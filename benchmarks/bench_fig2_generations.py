@@ -1,0 +1,83 @@
+"""Fig. 2 — per-generation RMSD evolution of adaptive villin trajectories.
+
+The paper follows selected trajectories across MSM generations: the
+initial unfolded runs, an adaptively spawned trajectory that reaches
+the first folded conformation, and a generation-4 spawn from which the
+native state becomes blind-predictable.  This benchmark runs the CG
+campaign and reports, per generation, the minimum RMSD to native and
+the lineage of the best trajectory — the same story in model units.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rmsd import rmsd_to_reference
+
+from conftest import CAMPAIGN, report, run_campaign
+
+#: RMSD (nm) counting as "folded" for the CG model; fluctuations of the
+#: folded state sit at 0.04-0.10 nm (the paper's 0.6-0.7 A plays the
+#: same role against its ~0.1-nm folded-state fluctuations).
+FIRST_FOLDED_NM = 0.12
+
+
+def test_fig2_generation_evolution(benchmark, villin_campaign):
+    project, controller, _ = villin_campaign
+    benchmark.pedantic(controller.min_rmsd_per_generation, rounds=3, iterations=1)
+
+    per_gen = controller.min_rmsd_per_generation()
+    lines = [
+        f"campaign: {CAMPAIGN['n_starting_conformations']} unfolded starts "
+        f"x {CAMPAIGN['trajectories_per_start']} trajectories, "
+        f"{CAMPAIGN['n_generations']} generations (paper: 9 x 25, 8-10 gens)",
+        "",
+        f"{'generation':>10s} {'min RMSD to native (nm)':>26s} {'new best?':>10s}",
+    ]
+    best = np.inf
+    first_folded_gen = None
+    for gen in sorted(per_gen):
+        value = per_gen[gen]
+        marker = "*" if value < best else ""
+        best = min(best, value)
+        if first_folded_gen is None and value < FIRST_FOLDED_NM:
+            first_folded_gen = gen
+        lines.append(f"{gen:>10d} {value:>26.3f} {marker:>10s}")
+
+    # lineage of the best trajectory (paper: the predictive trajectory
+    # was spawned in generation 4 and extended onward)
+    traces = controller.rmsd_traces()
+    best_traj = min(traces, key=lambda t: traces[t][1].min())
+    record = controller.trajectories[best_traj]
+    chain = [best_traj]
+    node = record
+    while node.parent is not None:
+        chain.append(node.parent)
+        node = controller.trajectories[node.parent]
+    lines += [
+        "",
+        f"best trajectory: {best_traj} (gen {record.generation}, "
+        f"spawned from cluster {record.start_cluster})",
+        f"lineage (most recent first): {' <- '.join(chain)}",
+        "",
+        f"paper: first folded conformation after ~3 generations; "
+        f"measured: first frame under {FIRST_FOLDED_NM} nm in generation "
+        f"{first_folded_gen}",
+    ]
+
+    # the adaptive machinery must improve on generation 0
+    assert min(per_gen.values()) <= per_gen[0] + 1e-12
+    # folding is reached within the campaign
+    assert first_folded_gen is not None, "campaign never approached native"
+    report("fig2_generations", lines)
+
+
+def test_fig2_adaptive_spawns_have_parents(villin_campaign, benchmark):
+    """Every post-gen-0 trajectory descends from a sampled frame."""
+    _, controller, _ = villin_campaign
+    benchmark(lambda: controller.rmsd_traces())
+    later = [
+        t for t in controller.trajectories.values() if t.generation > 0
+    ]
+    assert later
+    assert all(t.parent is not None for t in later)
+    assert all(t.start_cluster is not None for t in later)

@@ -1,0 +1,67 @@
+"""Fig. 3 — the first folded conformation.
+
+The paper superposes the first folded frame on the crystal structure:
+0.7 A C-alpha RMSD after three generations (~30 h).  Here: the minimum
+RMSD frame of the campaign, when it appeared (generation and simulated
+time), and how it compares with the folded-state fluctuation scale —
+the exact analogue of the paper's claim in model units.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rmsd import rmsd_to_reference
+from repro.md import LangevinIntegrator, Simulation
+from repro.md.models.villin import build_villin
+
+from conftest import CAMPAIGN, PS_TO_PAPER_NS, report
+
+
+def folded_fluctuation_scale(model, n_steps=6000):
+    """Typical RMSD of the *stably folded* state at 300 K — the yardstick
+    the first-folded RMSD is judged against."""
+    state = model.native_state(rng=5, temperature=300.0)
+    sim = Simulation(
+        model.system,
+        LangevinIntegrator(0.02, 300.0, friction=CAMPAIGN["friction"], rng=6),
+        state,
+        report_interval=100,
+    )
+    sim.run(n_steps)
+    values = rmsd_to_reference(sim.trajectory.frames, model.native)
+    return float(np.median(values))
+
+
+def test_fig3_first_folded_structure(benchmark, villin_campaign):
+    _, controller, _ = villin_campaign
+    model = build_villin("fast", **CAMPAIGN["model_params"])
+    yardstick = benchmark.pedantic(
+        folded_fluctuation_scale, args=(model,), rounds=1, iterations=1
+    )
+
+    best_value = np.inf
+    best_traj, best_time = None, None
+    for traj_id, (times, values) in controller.rmsd_traces().items():
+        k = int(np.argmin(values))
+        if values[k] < best_value:
+            best_value = float(values[k])
+            best_traj = traj_id
+            best_time = float(times[k])
+    record = controller.trajectories[best_traj]
+
+    lines = [
+        "paper: first folded conformation at 0.7 A Calpha RMSD from the",
+        "2F4K crystal structure, observed after ~3 generations (~30 h)",
+        "",
+        f"measured best frame: {best_value:.3f} nm RMSD to native",
+        f"  in trajectory {best_traj} (generation {record.generation})",
+        f"  at t = {best_time:.0f} ps of that command "
+        f"(~{best_time * PS_TO_PAPER_NS:.0f} paper-ns equivalent)",
+        f"folded-state fluctuation scale (native run): {yardstick:.3f} nm",
+        f"ratio best/fluctuation: {best_value / yardstick:.2f} "
+        "(paper's 0.7 A is likewise within native-state fluctuations)",
+    ]
+    # the first folded frame must be indistinguishable from the folded
+    # ensemble, as in the paper's Fig. 3 superposition
+    assert best_value < 2.0 * yardstick
+    report("fig3_first_folded", lines)

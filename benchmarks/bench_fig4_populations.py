@@ -1,0 +1,93 @@
+"""Fig. 4 — time evolution of MSM cluster populations.
+
+The paper propagates ``p(t + tau) = p(t) T(tau)`` from the nine
+unfolded states: 66 % of the population folds by 2 us, with a folding
+half-time of 500-600 ns, against an experimental ~700 ns.  Here the
+MSM built from the adaptive campaign is propagated from the unfolded
+starts, and the resulting half-time is validated against the direct
+(brute-force) folding kinetics of the same model — this reproduction's
+stand-in for experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.folding import half_time
+from repro.analysis.rmsd import rmsd_to_reference
+from repro.md.models.villin import build_villin
+
+from conftest import CAMPAIGN, PS_TO_PAPER_NS, report
+
+#: Membership threshold for "folded" microstates (nm); the paper uses
+#: 3.5 A on the all-atom system.
+FOLDED_NM = 0.25
+
+
+def test_fig4_population_evolution(benchmark, villin_campaign, brute_force_ensemble):
+    _, controller, _ = villin_campaign
+    msm, clusters = benchmark.pedantic(
+        controller.final_msm, rounds=1, iterations=1
+    )
+    model = build_villin("fast", **CAMPAIGN["model_params"])
+
+    # folded microstates: cluster centres within the threshold
+    center_rmsd = rmsd_to_reference(clusters.centers, model.native)
+    folded_full = center_rmsd < FOLDED_NM
+    folded_active = folded_full[msm.active_set]
+    assert folded_active.any(), "no folded microstate in the active set"
+
+    # initial distribution: where the unfolded starting frames live
+    gen0_starts = np.stack(
+        [
+            t.frames[0]
+            for t in controller.trajectories.values()
+            if t.generation == 0 and t.frames is not None
+        ]
+    )
+    start_labels = clusters.assign(gen0_starts, metric=controller.metric)
+    start_active = msm.map_to_active(start_labels)
+    start_active = start_active[start_active >= 0]
+    assert len(start_active), "every start state was trimmed"
+    p0 = np.zeros(msm.n_states)
+    for s in start_active:
+        p0[s] += 1.0
+    p0 /= p0.sum()
+
+    horizon_steps = 80
+    times, curve = msm.population_curve(p0, horizon_steps, folded_active)
+    msm_half_ps = half_time(curve, times, plateau=curve[-1])
+
+    # direct reference kinetics: cumulative first-passage folding of the
+    # brute-force ensemble (the "experimental" folding time here)
+    curves = brute_force_ensemble["rmsd_curves"]
+    t_ps = brute_force_ensemble["times_ps"]
+    reached = np.minimum.accumulate(curves, axis=1) < FOLDED_NM
+    direct_curve = reached.mean(axis=0)
+    direct_half_ps = half_time(direct_curve, t_ps, plateau=1.0)
+
+    lines = [
+        "paper: 66% of the population folded by 2 us; MSM half-time",
+        "500-600 ns vs experimental ~700 ns (ratio 0.71-0.86)",
+        "",
+        f"MSM: {msm.n_states} active microstates, lag {msm.lag_time:.0f} ps, "
+        f"{int(folded_active.sum())} folded states",
+        f"fraction folded at horizon ({times[-1]:.0f} ps): {curve[-1]:.2f}",
+        f"MSM folding half-time:   {msm_half_ps:7.1f} ps "
+        f"(~{msm_half_ps * PS_TO_PAPER_NS:.0f} paper-ns equivalent)",
+        f"direct-ensemble half-time: {direct_half_ps:7.1f} ps "
+        "(reproduction's 'experimental' reference)",
+        f"ratio MSM/direct: {msm_half_ps / direct_half_ps:.2f} "
+        "(paper's MSM/experiment ratio: 0.71-0.86)",
+        "",
+        f"{'t (ps)':>8s} {'folded population':>18s}",
+    ]
+    for k in range(0, horizon_steps + 1, 10):
+        lines.append(f"{times[k]:8.0f} {curve[k]:18.3f}")
+
+    # shape assertions: population flows from unfolded to folded and the
+    # MSM kinetics agree with direct simulation within a small factor
+    assert curve[0] < 0.05
+    assert curve[-1] > 0.3
+    assert msm_half_ps is not None and direct_half_ps is not None
+    assert 0.25 < msm_half_ps / direct_half_ps < 4.0
+    report("fig4_populations", lines)

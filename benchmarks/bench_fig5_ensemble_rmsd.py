@@ -1,0 +1,41 @@
+"""Fig. 5 — ensemble-average RMSD vs time with standard-deviation bars.
+
+The paper's point: adaptive ensemble simulation measures *ensemble
+properties* — the average C-alpha RMSD of the whole villin ensemble
+decays toward the native value with quantified statistical error.
+Here: the same curve for the CG ensemble, mean +/- one standard
+deviation (the paper's error bars).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import ensemble_mean_sd
+
+from conftest import PS_TO_PAPER_NS, report
+
+
+def test_fig5_ensemble_average_rmsd(benchmark, brute_force_ensemble):
+    curves = brute_force_ensemble["rmsd_curves"]
+    times = brute_force_ensemble["times_ps"]
+    mean, sd = benchmark(lambda: ensemble_mean_sd(curves))
+
+    lines = [
+        f"ensemble of {len(curves)} independent folding trajectories "
+        "from extended starts (paper Fig. 5: villin ensemble average)",
+        "",
+        f"{'t (ps)':>8s} {'t (paper-ns eq.)':>16s} {'<RMSD> (nm)':>12s} {'sd':>8s}",
+    ]
+    stride = max(1, len(times) // 12)
+    for k in range(0, len(times), stride):
+        lines.append(
+            f"{times[k]:8.0f} {times[k] * PS_TO_PAPER_NS:16.0f} "
+            f"{mean[k]:12.3f} {sd[k]:8.3f}"
+        )
+
+    # shape: the ensemble mean decays substantially from the unfolded
+    # plateau toward the native value, as in the paper
+    assert mean[0] > 2.0 * mean[-1]
+    # error bars stay finite and meaningful
+    assert np.all(sd[1:] > 0)
+    report("fig5_ensemble_rmsd", lines)

@@ -1,0 +1,68 @@
+"""Fig. 7 — scaling efficiency of the villin run vs total core count.
+
+Efficiency is ``t_res(1) / (N t_res(N))`` with ``t_res(1) = 1.1e5``
+hours, for 1/12/24/48/96 cores per simulation.  The paper's shape:
+near-linear scaling until the 225-command ceiling (at ~225 k cores for
+k cores per simulation), then a rapid drop; 53 % at 20,000 cores.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import ProjectSpec, sweep_total_cores
+from repro.perfmodel.scheduler_sim import analytic_result, reference_time_single_core
+
+from conftest import report
+
+CORE_COUNTS = [1, 12, 24, 48, 96, 192, 384, 768, 1536, 3072, 5376, 10000, 20000, 50000, 100000]
+CORES_PER_SIM = [1, 12, 24, 48, 96]
+
+
+def sweep_all():
+    return {
+        k: sweep_total_cores(CORE_COUNTS, cores_per_sim=k)
+        for k in CORES_PER_SIM
+    }
+
+
+def test_fig7_scaling_efficiency(benchmark):
+    results = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+
+    lines = [
+        "scaling efficiency t_res(1) / (N * t_res(N)); t_res(1) = "
+        f"{reference_time_single_core(ProjectSpec(total_cores=1, cores_per_sim=1)):.3g} h "
+        "(paper: 1.1e5 h)",
+        "",
+        f"{'N cores':>9s} " + " ".join(f"k={k:>4d}" for k in CORES_PER_SIM),
+    ]
+    table = {}
+    for k, rows in results.items():
+        for r in rows:
+            table[(r.spec.total_cores, k)] = r.efficiency
+    for n in CORE_COUNTS:
+        cells = []
+        for k in CORES_PER_SIM:
+            eff = table.get((n, k))
+            cells.append(f"{eff:6.2f}" if eff is not None else "     -")
+        lines.append(f"{n:>9d} " + " ".join(cells))
+
+    # paper anchors
+    eff_20k_96 = table[(20000, 96)]
+    lines += [
+        "",
+        f"paper: 53% efficiency at 20,000 cores (k=96); measured: {eff_20k_96:.2f}",
+        "paper: near-linear strong scaling 1 -> 5,376 cores; measured "
+        f"efficiency at 5,376 cores (k=24): {table[(5376, 24)]:.2f}",
+    ]
+    assert eff_20k_96 == pytest.approx(0.53, abs=0.06)
+    # near-linear below the ceiling for small k
+    assert table[(192, 1)] > 0.9
+    # the ceiling bites: efficiency at 100k cores is far below each
+    # line's best value
+    for k in CORES_PER_SIM:
+        best = max(eff for (n, kk), eff in table.items() if kk == k)
+        assert table[(100000, k)] < 0.6 * best + 1e-9
+    # larger k extends the efficient range to more cores (the paper's
+    # trade-off): at 50k cores, k=96 beats k=12
+    assert table[(50000, 96)] > table[(50000, 12)]
+    report("fig7_efficiency", lines)

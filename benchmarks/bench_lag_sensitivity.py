@@ -1,0 +1,73 @@
+"""Ablation — lag-time sensitivity (paper §3.2).
+
+The paper: "we constructed a Markov State Model with a lag time of
+25 ns (a sensitivity analysis showed that the system became Markovian
+for lag times of 20 ns or greater)".  This benchmark runs the same
+analysis on the adaptive campaign's data: implied timescales vs lag,
+the detected Markovian lag, and a Chapman-Kolmogorov check at the
+campaign's production lag.
+"""
+
+import numpy as np
+import pytest
+
+from repro.msm.validation import (
+    chapman_kolmogorov,
+    implied_timescale_scan,
+    markovian_lag,
+)
+
+from conftest import CAMPAIGN, PS_TO_PAPER_NS, report
+
+
+def test_lag_sensitivity(benchmark, villin_campaign):
+    _, controller, _ = villin_campaign
+    pool, index = controller._pooled_frames()
+    labels = controller.cluster_model.assign(pool, metric=controller.metric)
+    dtrajs = [labels[idx] for _, idx in index]
+    n_states = controller.cluster_model.n_clusters
+    frame_ps = CAMPAIGN["report_interval"] * 0.02  # config default timestep
+
+    lags = [1, 2, 3, 5, 8, 12]
+    scan = benchmark.pedantic(
+        implied_timescale_scan,
+        args=(dtrajs, n_states, lags),
+        kwargs={"frame_time": frame_ps, "k": 2},
+        rounds=1,
+        iterations=1,
+    )
+    lag_star = markovian_lag(scan, tolerance=0.1)
+
+    lines = [
+        "implied timescales vs lag on the adaptive campaign's trajectories",
+        f"(frame time {frame_ps:.0f} ps; campaign production lag "
+        f"{CAMPAIGN['lag_frames']} frames)",
+        "",
+        f"{'lag (frames)':>12s} {'lag (ps)':>9s} {'t1 (ps)':>9s} {'t2 (ps)':>9s}",
+    ]
+    for lag in lags:
+        t = scan[lag]
+        lines.append(
+            f"{lag:>12d} {lag * frame_ps:>9.0f} {t[0]:>9.1f} {t[1]:>9.1f}"
+        )
+    ck = chapman_kolmogorov(
+        dtrajs, n_states, lag=CAMPAIGN["lag_frames"], factors=(2, 3)
+    )
+    lines += [
+        "",
+        f"Markovian from lag {lag_star} frames "
+        f"(~{lag_star * frame_ps * PS_TO_PAPER_NS:.0f} paper-ns equivalent; "
+        "paper: Markovian for lags >= 20 ns)",
+        "Chapman-Kolmogorov at the production lag: "
+        + ", ".join(f"k={k}: {v:.3f}" for k, v in ck.items()),
+    ]
+
+    # a Markovian plateau exists within the scanned range, at or below
+    # the campaign's production lag — the paper's situation exactly
+    # (Markovian from 20 ns, production at 25 ns)
+    assert lag_star <= CAMPAIGN["lag_frames"] + 3
+    # the slowest timescale is resolved (finite) at the production lag
+    assert np.isfinite(scan[CAMPAIGN["lag_frames"]][0])
+    # timescales rise toward the plateau rather than diverging
+    assert scan[5][0] > scan[1][0]
+    report("lag_sensitivity", lines)

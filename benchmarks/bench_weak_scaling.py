@@ -1,0 +1,81 @@
+"""Ablation — weak scaling and the size-grows-reach argument (paper §4).
+
+Two of the paper's supporting claims:
+
+* "the underlying molecular dynamics implementation has close to ideal
+  weak scaling" — checked on the simulated domain decomposition: with
+  atoms-per-rank held fixed, the computational load per rank stays
+  constant while halo traffic per rank grows only with the slab
+  cross-section;
+* "the strong scaling regime for Copernicus will typically increase
+  more than proportionally to the system size" — checked on the
+  performance model: a 10x larger system supports proportionally more
+  cores per simulation at *higher* per-simulation efficiency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.md.models.lj_fluid import lj_fluid_state, lj_fluid_system
+from repro.md.parallel import DomainDecomposition
+from repro.perfmodel import VILLIN_MODEL
+
+from conftest import report
+
+
+def dd_weak_scaling_rows(atoms_per_rank=216):
+    rows = []
+    for n_ranks in (2, 4, 8):
+        n_atoms = atoms_per_rank * n_ranks
+        system, box = lj_fluid_system(n_particles=n_atoms, density=0.5)
+        state = lj_fluid_state(system, box, rng=0)
+        dd = DomainDecomposition(system, state.positions, n_ranks=n_ranks)
+        balance = dd.load_balance()
+        _, _, stats = dd.compute_forces(state.positions)
+        rows.append(
+            {
+                "n_ranks": n_ranks,
+                "n_atoms": n_atoms,
+                "load_imbalance": float(balance.max()),
+                "halo_per_rank": float(np.mean(stats.halo_atoms_per_rank)),
+            }
+        )
+    return rows
+
+
+def test_weak_scaling(benchmark):
+    rows = benchmark.pedantic(dd_weak_scaling_rows, rounds=1, iterations=1)
+
+    lines = [
+        "domain decomposition, fixed 216 atoms/rank (LJ fluid, rho*=0.5):",
+        "",
+        f"{'ranks':>6s} {'atoms':>7s} {'max load/mean':>14s} {'halo atoms/rank':>16s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['n_ranks']:>6d} {row['n_atoms']:>7d} "
+            f"{row['load_imbalance']:>14.2f} {row['halo_per_rank']:>16.1f}"
+        )
+
+    # weak scaling: per-rank load stays balanced as the system grows
+    assert all(row["load_imbalance"] < 2.0 for row in rows)
+    # halo per rank grows sublinearly with total size (surface, not volume)
+    halo_growth = rows[-1]["halo_per_rank"] / max(rows[1]["halo_per_rank"], 1.0)
+    atom_growth = rows[-1]["n_atoms"] / rows[1]["n_atoms"]
+    assert halo_growth < atom_growth
+
+    # the size-grows-reach argument on the performance model
+    big = VILLIN_MODEL.rescaled(10 * VILLIN_MODEL.n_atoms)
+    lines += [
+        "",
+        "performance model, villin vs 10x villin:",
+        f"  efficiency at 96 cores:  {VILLIN_MODEL.efficiency(96):.2f} vs "
+        f"{big.efficiency(96):.2f}",
+        f"  strong-scaling wall:     {VILLIN_MODEL.max_cores} vs "
+        f"{big.max_cores} cores",
+        "paper: larger systems scale to proportionally more cores at "
+        "better efficiency",
+    ]
+    assert big.efficiency(96) > VILLIN_MODEL.efficiency(96)
+    assert big.max_cores == 10 * VILLIN_MODEL.max_cores
+    report("weak_scaling", lines)

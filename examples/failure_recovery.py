@@ -1,0 +1,89 @@
+"""Checkpoint handoff: kill a worker mid-command, watch recovery.
+
+Reproduces the paper's fault-tolerance path (section 2.3): workers
+heartbeat the latest checkpoint of every running command; when a worker
+goes silent for twice the heartbeat interval, its server declares it
+dead and requeues the commands — *with* the checkpoint — so another
+worker transparently continues from where the dead one stopped.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from repro.core import Command, Project, ProjectRunner
+from repro.core.controller import Controller
+from repro.md.engine import MDTask
+from repro.net import Network
+from repro.server import CopernicusServer
+from repro.worker import SMPPlatform, Worker
+
+
+class SwarmController(Controller):
+    """A flat swarm of MD commands; complete when all return."""
+
+    def __init__(self, n_commands: int, n_steps: int) -> None:
+        self.n_commands = n_commands
+        self.n_steps = n_steps
+        self.finished = []
+
+    def on_project_start(self, project):
+        return [
+            Command(
+                command_id=f"cmd{k}",
+                project_id=project.project_id,
+                executable="mdrun",
+                payload=MDTask(
+                    model="villin-fast",
+                    n_steps=self.n_steps,
+                    report_interval=200,
+                    seed=k,
+                    task_id=f"cmd{k}",
+                ).to_payload(),
+            )
+            for k in range(self.n_commands)
+        ]
+
+    def on_command_finished(self, project, command, result):
+        self.finished.append((command.command_id, result["steps_completed"]))
+        return []
+
+    def is_complete(self, project):
+        return len(self.finished) >= self.n_commands
+
+
+def main() -> None:
+    net = Network(seed=0)
+    server = CopernicusServer("srv", net, heartbeat_interval=60.0)
+    flaky = Worker(
+        "flaky", net, server="srv", platform=SMPPlatform(cores=1),
+        segment_steps=1000,
+    )
+    steady = Worker(
+        "steady", net, server="srv", platform=SMPPlatform(cores=1),
+        segment_steps=1000,
+    )
+    for name in ("flaky", "steady"):
+        net.connect("srv", name)
+    flaky.announce(0.0)
+    steady.announce(0.0)
+
+    # the flaky worker dies after two 1,000-step segments of whatever
+    # command it picks up first
+    flaky.set_crash_hook(lambda cid, segment: segment == 2)
+
+    controller = SwarmController(n_commands=3, n_steps=5000)
+    runner = ProjectRunner(net, server, [flaky, steady], tick=90.0)
+    runner.submit(Project("swarm"), controller)
+    runner.run()
+
+    print("commands completed (steps executed by the finishing worker):")
+    for cid, steps in sorted(controller.finished):
+        note = " <- resumed from a dead worker's checkpoint" if steps < 5000 else ""
+        print(f"  {cid}: {steps} steps{note}")
+    print(f"\nworkers declared dead and requeued commands: "
+          f"{server.requeued_after_failure}")
+    print(f"flaky crashed: {flaky.crashed}; history: "
+          f"{[(r.command_id, r.segments, r.completed) for r in flaky.history]}")
+
+
+if __name__ == "__main__":
+    main()

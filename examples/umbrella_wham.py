@@ -1,0 +1,57 @@
+"""Umbrella sampling + WHAM: a free-energy profile along a coordinate.
+
+The paper lists umbrella sampling among the ensemble methods its
+framework hosts.  This example biases a tilted double well with a
+ladder of harmonic windows, reconstructs the unbiased free-energy
+profile with WHAM and compares the basin free-energy difference with
+the exact analytic value.
+
+Run:  python examples/umbrella_wham.py
+"""
+
+import numpy as np
+
+from repro.fep.umbrella import metropolis_sample, window_ladder
+from repro.fep.wham import free_energy_difference, wham
+
+KT = 1.0
+
+
+def potential(x: float) -> float:
+    """Tilted double well: two unequal basins around x = -1 and x = +1."""
+    return 3.0 * (x * x - 1.0) ** 2 + 0.8 * x
+
+
+def main() -> None:
+    windows = window_ladder(-1.8, 1.8, 13, k=15.0)
+    print(f"sampling {len(windows)} umbrella windows ...")
+    samples = [
+        metropolis_sample(potential, w, 3000, KT, rng=100 + i, step=0.25)
+        for i, w in enumerate(windows)
+    ]
+
+    result = wham(samples, windows, KT, n_bins=50)
+    print(f"WHAM converged in {result.n_iterations} iterations")
+
+    print("\nfree-energy profile (kT):")
+    stride = max(1, len(result.bin_centers) // 16)
+    for k in range(0, len(result.bin_centers), stride):
+        fe = result.free_energy[k]
+        bar = "#" * int(min(fe, 12.0) * 3) if np.isfinite(fe) else ""
+        print(f"  x={result.bin_centers[k]:+5.2f}  F={fe:6.2f}  {bar}")
+
+    df = free_energy_difference(
+        result, region_a=(-1.8, 0.0), region_b=(0.0, 1.8), kt=KT
+    )
+    # exact answer by numerical integration of the Boltzmann weight
+    xs = np.linspace(-2.2, 2.2, 4001)
+    p = np.exp(-np.array([potential(x) for x in xs]) / KT)
+    pa = np.trapezoid(np.where(xs < 0, p, 0), xs)
+    pb = np.trapezoid(np.where(xs >= 0, p, 0), xs)
+    exact = -KT * np.log(pb / pa)
+    print(f"\nbasin free-energy difference: WHAM {df:+.3f} kT, "
+          f"analytic {exact:+.3f} kT")
+
+
+if __name__ == "__main__":
+    main()

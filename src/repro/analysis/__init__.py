@@ -1,0 +1,30 @@
+"""Trajectory analysis: alignment, RMSD, statistics, folding observables."""
+
+from repro.analysis.rmsd import kabsch_align, rmsd, rmsd_to_reference
+from repro.analysis.stats import (
+    block_average,
+    standard_error,
+    running_mean,
+    ensemble_mean_sd,
+)
+from repro.analysis.folding import (
+    fraction_folded,
+    first_passage_time,
+    half_time,
+)
+from repro.analysis.surface import FreeEnergySurface, free_energy_surface
+
+__all__ = [
+    "kabsch_align",
+    "rmsd",
+    "rmsd_to_reference",
+    "block_average",
+    "standard_error",
+    "running_mean",
+    "ensemble_mean_sd",
+    "fraction_folded",
+    "first_passage_time",
+    "half_time",
+    "FreeEnergySurface",
+    "free_energy_surface",
+]

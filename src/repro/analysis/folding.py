@@ -1,0 +1,80 @@
+"""Folding observables: folded fraction, first-passage and half times.
+
+The paper's kinetic claims (Fig. 4) rest on two observables: the
+fraction of the ensemble within an RMSD threshold of native (3.5 A for
+all-atom villin) and the half-time of its rise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+def fraction_folded(
+    rmsd_values: np.ndarray, threshold: float
+) -> float:
+    """Fraction of frames with RMSD below *threshold*."""
+    rmsd_values = np.asarray(rmsd_values, dtype=float)
+    if rmsd_values.size == 0:
+        raise ConfigurationError("no RMSD values supplied")
+    if threshold <= 0:
+        raise ConfigurationError(f"threshold must be positive, got {threshold}")
+    return float(np.mean(rmsd_values < threshold))
+
+
+def first_passage_time(
+    values: np.ndarray, times: np.ndarray, threshold: float, below: bool = True
+) -> Optional[float]:
+    """Time of the first crossing of *threshold* (None if never).
+
+    ``below=True`` reports the first time ``values < threshold``
+    (e.g. RMSD dropping below a folded cutoff).
+    """
+    values = np.asarray(values, dtype=float)
+    times = np.asarray(times, dtype=float)
+    if values.shape != times.shape:
+        raise ConfigurationError("values and times must align")
+    hit = values < threshold if below else values > threshold
+    idx = np.flatnonzero(hit)
+    if len(idx) == 0:
+        return None
+    return float(times[idx[0]])
+
+
+def half_time(
+    curve: np.ndarray, times: np.ndarray, plateau: Optional[float] = None
+) -> Optional[float]:
+    """Time at which a rising curve first reaches half its plateau.
+
+    Parameters
+    ----------
+    curve:
+        Monotone-ish rising observable (e.g. folded population).
+    times:
+        Matching time axis.
+    plateau:
+        Asymptotic value; defaults to the curve's final value.
+
+    Returns
+    -------
+    Linear-interpolated crossing time, or ``None`` if never reached.
+    """
+    curve = np.asarray(curve, dtype=float)
+    times = np.asarray(times, dtype=float)
+    if curve.shape != times.shape or curve.size < 2:
+        raise ConfigurationError("curve and times must align (length >= 2)")
+    target = 0.5 * (plateau if plateau is not None else curve[-1])
+    above = curve >= target
+    idx = np.flatnonzero(above)
+    if len(idx) == 0:
+        return None
+    k = idx[0]
+    if k == 0:
+        return float(times[0])
+    # linear interpolation between the bracketing samples
+    frac = (target - curve[k - 1]) / max(curve[k] - curve[k - 1], 1e-300)
+    return float(times[k - 1] + frac * (times[k] - times[k - 1]))

@@ -1,0 +1,121 @@
+"""Free-energy surfaces from sampled data.
+
+Projects trajectory data onto one or two coordinates and converts the
+(optionally MSM-reweighted) histogram into a free-energy landscape —
+"the entire free energy landscape of a system" that the paper's MSM
+machinery maps out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class FreeEnergySurface:
+    """A (1-D or 2-D) free-energy landscape in kT units."""
+
+    edges: Tuple[np.ndarray, ...]
+    free_energy: np.ndarray
+    probability: np.ndarray
+
+    @property
+    def centers(self) -> Tuple[np.ndarray, ...]:
+        """Bin centres along each axis."""
+        return tuple(0.5 * (e[1:] + e[:-1]) for e in self.edges)
+
+    def minimum_location(self) -> Tuple[float, ...]:
+        """Coordinates of the global free-energy minimum."""
+        idx = np.unravel_index(
+            np.nanargmin(self.free_energy), self.free_energy.shape
+        )
+        return tuple(c[i] for c, i in zip(self.centers, idx))
+
+    def barrier_between(
+        self, a: Tuple[float, ...], b: Tuple[float, ...]
+    ) -> float:
+        """Crude barrier estimate: max F along the straight line a -> b."""
+        a_arr, b_arr = np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+        samples = np.linspace(0, 1, 64)[:, None] * (b_arr - a_arr) + a_arr
+        values = []
+        for point in samples:
+            idx = []
+            for axis, c in enumerate(self.centers):
+                k = int(np.clip(np.searchsorted(c, point[axis]), 0, len(c) - 1))
+                idx.append(k)
+            values.append(self.free_energy[tuple(idx)])
+        values = np.asarray(values)
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            raise ConfigurationError("no finite free energy along the path")
+        return float(np.nanmax(values) - min(values[0], values[-1]))
+
+
+def free_energy_surface(
+    coordinates: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    bins: int = 40,
+    ranges: Optional[Tuple] = None,
+) -> FreeEnergySurface:
+    """Histogram sampled coordinates into a free-energy surface.
+
+    Parameters
+    ----------
+    coordinates:
+        ``(n_samples,)`` for 1-D or ``(n_samples, 2)`` for 2-D.
+    weights:
+        Per-sample weights (e.g. MSM equilibrium reweighting);
+        ``None`` means raw counts.
+    bins:
+        Bins per axis.
+
+    Returns
+    -------
+    :class:`FreeEnergySurface` with F in kT (min-shifted to zero);
+    empty bins get ``inf``.
+    """
+    coordinates = np.asarray(coordinates, dtype=float)
+    if coordinates.ndim == 1:
+        coordinates = coordinates[:, None]
+    if coordinates.ndim != 2 or coordinates.shape[1] not in (1, 2):
+        raise ConfigurationError(
+            f"coordinates must be (n,) or (n, 2), got {coordinates.shape}"
+        )
+    if len(coordinates) == 0:
+        raise ConfigurationError("no samples supplied")
+    if weights is not None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (len(coordinates),):
+            raise ConfigurationError("weights must match sample count")
+        if np.any(weights < 0):
+            raise ConfigurationError("weights must be non-negative")
+    if bins < 2:
+        raise ConfigurationError("need at least 2 bins")
+
+    ndim = coordinates.shape[1]
+    if ndim == 1:
+        counts, edges_x = np.histogram(
+            coordinates[:, 0], bins=bins, weights=weights,
+            range=None if ranges is None else ranges[0],
+        )
+        edges: Tuple[np.ndarray, ...] = (edges_x,)
+    else:
+        counts, edges_x, edges_y = np.histogram2d(
+            coordinates[:, 0], coordinates[:, 1], bins=bins, weights=weights,
+            range=ranges,
+        )
+        edges = (edges_x, edges_y)
+    total = counts.sum()
+    if total <= 0:
+        raise ConfigurationError("histogram is empty")
+    probability = counts / total
+    with np.errstate(divide="ignore"):
+        fe = -np.log(np.where(probability > 0, probability, 0.0))
+    fe[probability == 0] = np.inf
+    fe -= fe[np.isfinite(fe)].min()
+    return FreeEnergySurface(edges=edges, free_energy=fe, probability=probability)

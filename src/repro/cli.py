@@ -1,0 +1,302 @@
+"""Command-line client, in the spirit of the paper's ``cpc`` tool.
+
+Copernicus users drive projects through a command-line client; this
+module is its reproduction-scale analogue:
+
+* ``python -m repro info`` — versions, registered models/executables;
+* ``python -m repro demo-msm`` — run an adaptive MSM project on a
+  simulated deployment and print its progress reports;
+* ``python -m repro demo-fep`` — run the BAR free-energy project to
+  its error target;
+* ``python -m repro scaling`` — print the Fig. 7/8/9 rows for chosen
+  core counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Copernicus reproduction: parallel adaptive MD",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package, model and executable inventory")
+
+    msm = sub.add_parser("demo-msm", help="run an adaptive MSM project")
+    msm.add_argument("--model", default="villin-fast")
+    msm.add_argument("--starts", type=int, default=2)
+    msm.add_argument("--trajs", type=int, default=3)
+    msm.add_argument("--steps", type=int, default=2000)
+    msm.add_argument("--generations", type=int, default=3)
+    msm.add_argument(
+        "--weighting", choices=["even", "adaptive", "mincounts"],
+        default="adaptive",
+    )
+    msm.add_argument("--seed", type=int, default=0)
+
+    fep = sub.add_parser("demo-fep", help="run the BAR free-energy project")
+    fep.add_argument("--windows", type=int, default=5)
+    fep.add_argument("--samples", type=int, default=500)
+    fep.add_argument("--target-error", type=float, default=0.05)
+    fep.add_argument("--seed", type=int, default=0)
+
+    scaling = sub.add_parser("scaling", help="performance-model tables")
+    scaling.add_argument(
+        "--cores", type=int, nargs="+",
+        default=[96, 1536, 5376, 20000, 100000],
+    )
+    scaling.add_argument(
+        "--cores-per-sim", type=int, nargs="+", default=[1, 24, 96]
+    )
+
+    recovery = sub.add_parser(
+        "demo-recovery", help="kill a worker mid-command; watch the handoff"
+    )
+    recovery.add_argument("--commands", type=int, default=3)
+    recovery.add_argument("--steps", type=int, default=4000)
+
+    umbrella = sub.add_parser(
+        "demo-umbrella", help="umbrella sampling + WHAM free-energy profile"
+    )
+    umbrella.add_argument("--windows", type=int, default=11)
+    umbrella.add_argument("--samples", type=int, default=2000)
+    return parser
+
+
+def cmd_info(args, out) -> int:
+    """``info``: print package, model and executable inventory."""
+    from repro.md.engine import MODEL_REGISTRY
+    from repro.worker.executable import _GLOBAL_EXECUTABLES
+
+    print(f"repro {__version__} — Copernicus reproduction (SC11)", file=out)
+    print(f"models: {', '.join(sorted(MODEL_REGISTRY))}", file=out)
+    print(f"executables: {', '.join(sorted(_GLOBAL_EXECUTABLES))}", file=out)
+    return 0
+
+
+def _deployment(seed: int):
+    from repro.net import Network
+    from repro.server import CopernicusServer
+    from repro.worker import SMPPlatform, Worker
+
+    net = Network(seed=seed)
+    server = CopernicusServer("project-server", net)
+    worker = Worker(
+        "w0", net, server="project-server", platform=SMPPlatform(cores=2)
+    )
+    net.connect("project-server", "w0")
+    worker.announce(0.0)
+    return net, server, worker
+
+
+def cmd_demo_msm(args, out) -> int:
+    """``demo-msm``: run an adaptive MSM project end to end."""
+    from repro.core import (
+        AdaptiveMSMController,
+        MSMProjectConfig,
+        Project,
+        ProjectRunner,
+    )
+
+    config = MSMProjectConfig(
+        model=args.model,
+        n_starting_conformations=args.starts,
+        trajectories_per_start=args.trajs,
+        steps_per_command=args.steps,
+        report_interval=50,
+        n_clusters=25,
+        lag_frames=5,
+        n_generations=args.generations,
+        weighting=args.weighting,
+        seed=args.seed,
+    )
+    controller = AdaptiveMSMController(config)
+    net, server, worker = _deployment(args.seed)
+    runner = ProjectRunner(net, server, [worker])
+    runner.submit(Project("demo-msm"), controller)
+    print("running adaptive MSM project ...", file=out)
+    runner.run()
+    for status in runner.status():
+        print(f"status: {status}", file=out)
+    if controller.native is not None:
+        per_gen = controller.min_rmsd_per_generation()
+        for gen in sorted(per_gen):
+            print(
+                f"generation {gen}: min RMSD to native {per_gen[gen]:.3f} nm",
+                file=out,
+            )
+    msm, _ = controller.final_msm()
+    print(
+        f"final MSM: {msm.n_states} states, slowest timescale "
+        f"{msm.timescales(1)[0]:.1f} ps",
+        file=out,
+    )
+    return 0
+
+
+def cmd_demo_fep(args, out) -> int:
+    """``demo-fep``: run the BAR project to its error target."""
+    from repro.core import (
+        BARController,
+        FEPProjectConfig,
+        Project,
+        ProjectRunner,
+    )
+
+    config = FEPProjectConfig(
+        n_windows=args.windows,
+        samples_per_command=args.samples,
+        target_error=args.target_error,
+        seed=args.seed,
+    )
+    controller = BARController(config)
+    net, server, worker = _deployment(args.seed)
+    runner = ProjectRunner(net, server, [worker])
+    runner.submit(Project("demo-fep"), controller)
+    print("running BAR free-energy project ...", file=out)
+    runner.run()
+    print(
+        f"dF = {controller.estimate:.4f} +/- {controller.error:.4f} "
+        f"(analytic {controller.analytic_reference():.4f}, "
+        f"{controller.round + 1} round(s))",
+        file=out,
+    )
+    return 0
+
+
+def cmd_scaling(args, out) -> int:
+    """``scaling``: print performance-model rows for chosen cores."""
+    from repro.perfmodel import ProjectSpec
+    from repro.perfmodel.scheduler_sim import analytic_result
+
+    header = f"{'N cores':>9s} {'k':>4s} {'hours':>8s} {'efficiency':>11s} {'MB/s':>8s}"
+    print(header, file=out)
+    for k in args.cores_per_sim:
+        for n in args.cores:
+            if n < k:
+                continue
+            spec = ProjectSpec(total_cores=n, cores_per_sim=k)
+            result = analytic_result(spec)
+            print(
+                f"{n:>9d} {k:>4d} {result.hours:>8.1f} "
+                f"{result.efficiency:>11.2f} "
+                f"{result.avg_bandwidth_mbps:>8.3f}",
+                file=out,
+            )
+    return 0
+
+
+def cmd_demo_recovery(args, out) -> int:
+    """``demo-recovery``: crash a worker and show checkpoint handoff."""
+    from repro.core import Command, Project, ProjectRunner
+    from repro.core.controller import Controller
+    from repro.md.engine import MDTask
+    from repro.net import Network
+    from repro.server import CopernicusServer
+    from repro.worker import SMPPlatform, Worker
+
+    class Swarm(Controller):
+        def __init__(self, n, steps):
+            self.n, self.steps, self.done = n, steps, []
+
+        def on_project_start(self, project):
+            return [
+                Command(
+                    f"cmd{k}", project.project_id, "mdrun",
+                    MDTask(
+                        model="villin-fast", n_steps=self.steps,
+                        report_interval=500, seed=k, task_id=f"cmd{k}",
+                    ).to_payload(),
+                )
+                for k in range(self.n)
+            ]
+
+        def on_command_finished(self, project, command, result):
+            self.done.append((command.command_id, result["steps_completed"]))
+            return []
+
+        def is_complete(self, project):
+            return len(self.done) >= self.n
+
+    net = Network(seed=0)
+    server = CopernicusServer("srv", net, heartbeat_interval=60.0)
+    flaky = Worker("flaky", net, server="srv", platform=SMPPlatform(cores=1),
+                   segment_steps=max(args.steps // 4, 1))
+    steady = Worker("steady", net, server="srv", platform=SMPPlatform(cores=1),
+                    segment_steps=max(args.steps // 4, 1))
+    net.connect("srv", "flaky")
+    net.connect("srv", "steady")
+    flaky.announce(0.0)
+    steady.announce(0.0)
+    flaky.set_crash_hook(lambda cid, seg: seg == 2)
+    controller = Swarm(args.commands, args.steps)
+    runner = ProjectRunner(net, server, [flaky, steady], tick=90.0)
+    runner.submit(Project("swarm"), controller)
+    runner.run()
+    for cid, steps in sorted(controller.done):
+        note = "  <- resumed from dead worker's checkpoint" if steps < args.steps else ""
+        print(f"{cid}: {steps} steps{note}", file=out)
+    print(
+        f"commands requeued after failures: {server.requeued_after_failure}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_demo_umbrella(args, out) -> int:
+    """``demo-umbrella``: umbrella sampling + WHAM vs analytic."""
+    import numpy as np
+
+    from repro.fep.umbrella import metropolis_sample, window_ladder
+    from repro.fep.wham import free_energy_difference, wham
+
+    def potential(x):
+        return 3.0 * (x * x - 1.0) ** 2 + 0.8 * x
+
+    windows = window_ladder(-1.8, 1.8, args.windows, k=15.0)
+    samples = [
+        metropolis_sample(potential, w, args.samples, 1.0, rng=100 + i, step=0.25)
+        for i, w in enumerate(windows)
+    ]
+    result = wham(samples, windows, kt=1.0, n_bins=40)
+    df = free_energy_difference(result, (-1.8, 0.0), (0.0, 1.8), kt=1.0)
+    xs = np.linspace(-2.2, 2.2, 2001)
+    p = np.exp(-np.array([potential(x) for x in xs]))
+    pa = np.trapezoid(np.where(xs < 0, p, 0), xs)
+    pb = np.trapezoid(np.where(xs >= 0, p, 0), xs)
+    exact = -np.log(pb / pa)
+    print(
+        f"WHAM basin dF = {df:+.3f} kT (analytic {exact:+.3f} kT, "
+        f"{result.n_iterations} iterations)",
+        file=out,
+    )
+    return 0
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "demo-msm": cmd_demo_msm,
+    "demo-fep": cmd_demo_fep,
+    "scaling": cmd_scaling,
+    "demo-recovery": cmd_demo_recovery,
+    "demo-umbrella": cmd_demo_umbrella,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""The Copernicus controller framework: plugin-driven adaptive projects.
+
+Controllers are event handlers (paper section 2.1): they react to
+project start and command completion, emit new commands in response,
+and decide when the project has converged.  All knowledge about how to
+interpret command output lives in these user-installable plugins; the
+server/worker fabric underneath is application-agnostic.
+
+Shipped plugins (matching the paper's): the Markov-state-model
+adaptive-sampling controller and the Bennett-acceptance-ratio
+free-energy controller.
+"""
+
+__all__ = [
+    "Command",
+    "Controller",
+    "Project",
+    "ProjectStatus",
+    "ProjectRunner",
+    "AdaptiveMSMController",
+    "MSMProjectConfig",
+    "BARController",
+    "FEPProjectConfig",
+]
+
+_LAZY = {
+    "Command": ("repro.core.command", "Command"),
+    "Controller": ("repro.core.controller", "Controller"),
+    "Project": ("repro.core.project", "Project"),
+    "ProjectStatus": ("repro.core.project", "ProjectStatus"),
+    "ProjectRunner": ("repro.core.runner", "ProjectRunner"),
+    "AdaptiveMSMController": ("repro.core.msm_controller", "AdaptiveMSMController"),
+    "MSMProjectConfig": ("repro.core.msm_controller", "MSMProjectConfig"),
+    "BARController": ("repro.core.fep_controller", "BARController"),
+    "FEPProjectConfig": ("repro.core.fep_controller", "FEPProjectConfig"),
+}
+
+
+def __getattr__(name: str):
+    # Lazy exports break the core <-> server import cycle: the server
+    # layer needs only repro.core.command, which must stay importable
+    # while repro.core.runner (which imports the server) is not yet.
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

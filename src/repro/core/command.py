@@ -1,0 +1,84 @@
+"""The unit of work: a *command*.
+
+A command is one independent parallel simulation (paper terminology):
+serialisable, routable between servers, resumable from a checkpoint.
+Controllers create commands; servers queue and match them; workers
+execute them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class Command:
+    """A serialisable work unit.
+
+    Attributes
+    ----------
+    command_id:
+        Unique id, conventionally ``gen<generation>_r<index>`` as in the
+        paper's Fig. 1 queue listings.
+    project_id:
+        Owning project.
+    executable:
+        Required executable name (e.g. ``mdrun``), matched against the
+        worker's installed executables.
+    payload:
+        Wire-format task body (e.g. an :class:`~repro.md.engine.MDTask`
+        payload).
+    min_cores / preferred_cores:
+        Resource requirements used by workload matching.
+    priority:
+        Routing priority; lower runs sooner (the paper: "the encoded
+        routing priority effectively determines the run priority").
+    origin_server:
+        Name of the server holding the project; results are propagated
+        back to it.
+    checkpoint:
+        Resume payload attached when a failed worker's command is
+        requeued.
+    """
+
+    command_id: str
+    project_id: str
+    executable: str
+    payload: Dict = field(default_factory=dict)
+    min_cores: int = 1
+    preferred_cores: int = 1
+    priority: int = 0
+    origin_server: str = ""
+    checkpoint: Optional[Dict] = None
+
+    def to_payload(self) -> Dict:
+        """Wire-format dict."""
+        out = {
+            "command_id": self.command_id,
+            "project_id": self.project_id,
+            "executable": self.executable,
+            "payload": self.payload,
+            "min_cores": int(self.min_cores),
+            "preferred_cores": int(self.preferred_cores),
+            "priority": int(self.priority),
+            "origin_server": self.origin_server,
+        }
+        if self.checkpoint is not None:
+            out["checkpoint"] = self.checkpoint
+        return out
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "Command":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            command_id=payload["command_id"],
+            project_id=payload["project_id"],
+            executable=payload["executable"],
+            payload=payload.get("payload", {}),
+            min_cores=int(payload.get("min_cores", 1)),
+            preferred_cores=int(payload.get("preferred_cores", 1)),
+            priority=int(payload.get("priority", 0)),
+            origin_server=payload.get("origin_server", ""),
+            checkpoint=payload.get("checkpoint"),
+        )

@@ -1,0 +1,90 @@
+"""Project event log: the audit trail behind real-time monitoring.
+
+Every notable occurrence — project submitted, command completed,
+follow-up commands issued, workers declared dead, project completed —
+is appended as a typed record.  The monitoring layer and post-mortem
+analyses read this trail; tests assert against it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class EventKind(enum.Enum):
+    """Kinds of project events."""
+
+    PROJECT_SUBMITTED = "project_submitted"
+    COMMANDS_ISSUED = "commands_issued"
+    COMMAND_COMPLETED = "command_completed"
+    WORKER_DEAD = "worker_dead"
+    PROJECT_COMPLETED = "project_completed"
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One event occurrence."""
+
+    time: float
+    kind: EventKind
+    project_id: str = ""
+    details: Dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = ", ".join(f"{k}={v}" for k, v in self.details.items())
+        scope = f" [{self.project_id}]" if self.project_id else ""
+        return f"t={self.time:.0f} {self.kind.value}{scope} {extras}".rstrip()
+
+
+class EventLog:
+    """Append-only in-memory event trail."""
+
+    def __init__(self) -> None:
+        self._records: List[EventRecord] = []
+
+    def record(
+        self,
+        time: float,
+        kind: EventKind,
+        project_id: str = "",
+        **details,
+    ) -> EventRecord:
+        """Append one event."""
+        record = EventRecord(
+            time=float(time), kind=kind, project_id=project_id, details=details
+        )
+        self._records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def all(self) -> List[EventRecord]:
+        """Every record in order."""
+        return list(self._records)
+
+    def filter(
+        self,
+        kind: Optional[EventKind] = None,
+        project_id: Optional[str] = None,
+    ) -> List[EventRecord]:
+        """Records matching the given kind and/or project."""
+        out = self._records
+        if kind is not None:
+            out = [r for r in out if r.kind is kind]
+        if project_id is not None:
+            out = [r for r in out if r.project_id == project_id]
+        return list(out)
+
+    def counts(self) -> Dict[str, int]:
+        """Occurrences per event kind."""
+        out: Dict[str, int] = {}
+        for record in self._records:
+            out[record.kind.value] = out.get(record.kind.value, 0) + 1
+        return out
+
+    def to_text(self) -> str:
+        """Human-readable transcript."""
+        return "\n".join(str(r) for r in self._records)

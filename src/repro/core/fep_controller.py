@@ -1,0 +1,181 @@
+"""The BAR free-energy controller plugin.
+
+Runs a ladder of lambda windows between two harmonic end states; each
+command samples one window and reports work values to its neighbours.
+Per adjacent pair the controller estimates the free-energy gap with
+BAR, sums the ladder, and — demonstrating the paper's convergence-
+driven stop criterion ("until ... the standard error estimate of the
+output result has reached a user-specified minimum value") — issues
+another round of sampling commands if the combined error is too large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.command import Command
+from repro.core.controller import Controller
+from repro.core.project import Project
+from repro.fep.bar import bar_free_energy, bar_error
+from repro.fep.systems import HarmonicWindow, window_ladder
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RandomStream
+
+
+@dataclass
+class FEPProjectConfig:
+    """Parameters of a BAR free-energy project."""
+
+    k_start: float = 1.0
+    k_end: float = 16.0
+    x0_start: float = 0.0
+    x0_end: float = 0.0
+    n_windows: int = 6
+    samples_per_command: int = 200
+    kt: float = 1.0
+    target_error: float = 0.05
+    max_rounds: int = 10
+    method: str = "exact"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_windows < 2:
+            raise ConfigurationError("need at least two windows")
+        if self.samples_per_command < 2:
+            raise ConfigurationError("samples_per_command must be >= 2")
+        if self.target_error <= 0:
+            raise ConfigurationError("target_error must be positive")
+        if self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+
+
+class BARController(Controller):
+    """Adaptive BAR ladder with an error-based stop criterion."""
+
+    def __init__(self, config: FEPProjectConfig) -> None:
+        self.config = config
+        self.rng = RandomStream(config.seed)
+        self.windows: List[HarmonicWindow] = window_ladder(
+            HarmonicWindow(config.k_start, config.x0_start),
+            HarmonicWindow(config.k_end, config.x0_end),
+            config.n_windows,
+        )
+        # accumulated work samples per window
+        self._work_next: Dict[int, List[np.ndarray]] = {}
+        self._work_prev: Dict[int, List[np.ndarray]] = {}
+        self.round = 0
+        self.pending: set = set()
+        self._complete = False
+        self.estimate: Optional[float] = None
+        self.error: Optional[float] = None
+        self.history: List[dict] = []
+
+    # -- command fabrication ----------------------------------------------
+
+    def _window_commands(self, project: Project) -> List[Command]:
+        cfg = self.config
+        commands = []
+        for i, window in enumerate(self.windows):
+            payload = {
+                "k": window.k,
+                "x0": window.x0,
+                "n_samples": cfg.samples_per_command,
+                "kt": cfg.kt,
+                "seed": int(self.rng.integers(0, 2**31 - 1)),
+                "method": cfg.method,
+                "window_index": i,
+            }
+            if i + 1 < len(self.windows):
+                payload["k_next"] = self.windows[i + 1].k
+                payload["x0_next"] = self.windows[i + 1].x0
+            if i > 0:
+                payload["k_prev"] = self.windows[i - 1].k
+                payload["x0_prev"] = self.windows[i - 1].x0
+            command_id = f"lambda{i}_round{self.round}"
+            self.pending.add(command_id)
+            commands.append(
+                Command(
+                    command_id=command_id,
+                    project_id=project.project_id,
+                    executable="fepsample",
+                    payload=payload,
+                    priority=self.round,
+                )
+            )
+        return commands
+
+    # -- controller events ----------------------------------------------------
+
+    def on_project_start(self, project: Project) -> List[Command]:
+        """Issue the first round of window-sampling commands."""
+        return self._window_commands(project)
+
+    def on_command_finished(
+        self, project: Project, command: Command, result: Dict
+    ) -> List[Command]:
+        """Collect work values; at round end, re-estimate and maybe re-issue."""
+        self.pending.discard(command.command_id)
+        window = int(result["window_index"])
+        if "work_to_next" in result:
+            self._work_next.setdefault(window, []).append(
+                np.asarray(result["work_to_next"])
+            )
+        if "work_to_prev" in result:
+            self._work_prev.setdefault(window, []).append(
+                np.asarray(result["work_to_prev"])
+            )
+        if self.pending:
+            return []
+        # round complete: estimate the ladder
+        self._estimate()
+        self.history.append(
+            {"round": self.round, "dF": self.estimate, "error": self.error}
+        )
+        if self.error is not None and self.error <= self.config.target_error:
+            self._complete = True
+            return []
+        self.round += 1
+        if self.round >= self.config.max_rounds:
+            self._complete = True
+            return []
+        return self._window_commands(project)
+
+    def _estimate(self) -> None:
+        total, variance = 0.0, 0.0
+        for i in range(len(self.windows) - 1):
+            forward = np.concatenate(self._work_next.get(i, [np.zeros(0)]))
+            reverse = np.concatenate(self._work_prev.get(i + 1, [np.zeros(0)]))
+            if len(forward) == 0 or len(reverse) == 0:
+                self.estimate, self.error = None, None
+                return
+            df = bar_free_energy(forward, reverse, kt=self.config.kt)
+            err = bar_error(forward, reverse, df, kt=self.config.kt)
+            total += df
+            variance += err * err
+        self.estimate = total
+        self.error = float(np.sqrt(variance))
+
+    def is_complete(self, project: Project) -> bool:
+        """Whether the error target (or round limit) was reached."""
+        return self._complete
+
+    def summary(self, project: Project) -> Dict:
+        """Progress report: round, current estimate and error."""
+        base = super().summary(project)
+        base.update(
+            {
+                "round": self.round,
+                "dF": self.estimate,
+                "error": self.error,
+                "target_error": self.config.target_error,
+            }
+        )
+        return base
+
+    def analytic_reference(self) -> float:
+        """The exact ladder free energy, for validation."""
+        kt = self.config.kt
+        return self.windows[-1].free_energy(kt) - self.windows[0].free_energy(kt)

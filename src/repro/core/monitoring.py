@@ -1,0 +1,115 @@
+"""Real-time project monitoring (the paper's web-interface analogue).
+
+Copernicus users watch their runs through a web interface; this module
+produces the same view — project progress, per-server queues, worker
+liveness, overlay traffic — as a structured snapshot, a terminal
+rendering and a self-contained HTML page.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List
+
+
+def status_snapshot(runner) -> Dict:
+    """A structured snapshot of a :class:`~repro.core.runner.ProjectRunner`."""
+    network = runner.network
+    servers = []
+    for server in runner._servers:
+        servers.append(
+            {
+                "name": server.name,
+                "queued": len(server.queue),
+                "queued_ids": [c.command_id for c in server.queue.commands()][:20],
+                "workers": {
+                    w: server.monitor.is_alive(w)
+                    for w in server.monitor.workers()
+                },
+                "in_flight": {
+                    w: sorted(cmds)
+                    for w, cmds in server.assignments.items()
+                    if cmds
+                },
+                "requeued_after_failure": server.requeued_after_failure,
+            }
+        )
+    return {
+        "now": runner.now,
+        "projects": runner.status(),
+        "servers": servers,
+        "traffic": network.traffic_report(),
+        "total_bytes": network.total_bytes(),
+        "messages": network.messages_delivered,
+    }
+
+
+def render_text(snapshot: Dict) -> str:
+    """Terminal dashboard."""
+    lines: List[str] = [f"== Copernicus status @ t={snapshot['now']:.0f}s =="]
+    lines.append("-- projects --")
+    for project in snapshot["projects"]:
+        fields = ", ".join(
+            f"{k}={v}" for k, v in project.items() if k != "project"
+        )
+        lines.append(f"  {project['project']}: {fields}")
+    lines.append("-- servers --")
+    for server in snapshot["servers"]:
+        alive = sum(server["workers"].values())
+        lines.append(
+            f"  {server['name']}: {server['queued']} queued, "
+            f"{alive}/{len(server['workers'])} workers alive, "
+            f"{server['requeued_after_failure']} requeued after failures"
+        )
+        for worker, commands in server["in_flight"].items():
+            lines.append(f"    {worker} running: {', '.join(commands)}")
+    lines.append(
+        f"-- overlay: {snapshot['messages']} messages, "
+        f"{snapshot['total_bytes']} bytes --"
+    )
+    for row in snapshot["traffic"]:
+        lines.append(
+            f"  {row['link']}: {row['messages']} msgs, {row['bytes']} bytes"
+        )
+    return "\n".join(lines)
+
+
+def render_html(snapshot: Dict) -> str:
+    """Self-contained HTML dashboard (write it to a file and open it)."""
+    rows = []
+    for project in snapshot["projects"]:
+        cells = "".join(
+            f"<td>{html.escape(str(v))}</td>" for v in project.values()
+        )
+        rows.append(f"<tr>{cells}</tr>")
+    header = "".join(
+        f"<th>{html.escape(str(k))}</th>"
+        for k in (snapshot["projects"][0].keys() if snapshot["projects"] else [])
+    )
+    servers = []
+    for server in snapshot["servers"]:
+        alive = sum(server["workers"].values())
+        servers.append(
+            f"<li><b>{html.escape(server['name'])}</b>: "
+            f"{server['queued']} queued, {alive}/{len(server['workers'])} "
+            f"workers alive</li>"
+        )
+    traffic = "".join(
+        f"<tr><td>{html.escape(row['link'])}</td>"
+        f"<td>{row['messages']}</td><td>{row['bytes']}</td></tr>"
+        for row in snapshot["traffic"]
+    )
+    return f"""<!doctype html>
+<html><head><meta charset="utf-8"><title>Copernicus status</title>
+<style>body{{font-family:sans-serif}}table{{border-collapse:collapse}}
+td,th{{border:1px solid #999;padding:4px 8px}}</style></head>
+<body>
+<h1>Copernicus status &mdash; t={snapshot['now']:.0f}s</h1>
+<h2>Projects</h2>
+<table><tr>{header}</tr>{''.join(rows)}</table>
+<h2>Servers</h2>
+<ul>{''.join(servers)}</ul>
+<h2>Overlay traffic ({snapshot['messages']} messages,
+{snapshot['total_bytes']} bytes)</h2>
+<table><tr><th>link</th><th>messages</th><th>bytes</th></tr>{traffic}</table>
+</body></html>"""

@@ -1,0 +1,58 @@
+"""Project state: the long-running job a controller drives."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.core.command import Command
+
+
+class ProjectStatus(enum.Enum):
+    """Lifecycle of a project."""
+
+    NEW = "new"
+    RUNNING = "running"
+    COMPLETE = "complete"
+    FAILED = "failed"
+
+
+@dataclass
+class Project:
+    """One Copernicus project (e.g. ``msm_villin`` in the paper's Fig. 1).
+
+    Attributes
+    ----------
+    project_id:
+        Unique name.
+    status:
+        Lifecycle state, advanced by the runner.
+    state:
+        Controller-owned scratch space; the framework never looks
+        inside.
+    issued / completed:
+        Command bookkeeping.
+    """
+
+    project_id: str
+    status: ProjectStatus = ProjectStatus.NEW
+    state: Dict[str, Any] = field(default_factory=dict)
+    issued: int = 0
+    completed: int = 0
+    #: log of (command_id, result) pairs in completion order
+    results_log: List[Tuple[str, dict]] = field(default_factory=list)
+
+    def record_issue(self, commands: List[Command]) -> None:
+        """Note newly issued commands."""
+        self.issued += len(commands)
+
+    def record_result(self, command: Command, result: dict) -> None:
+        """Note a completed command."""
+        self.completed += 1
+        self.results_log.append((command.command_id, result))
+
+    @property
+    def outstanding(self) -> int:
+        """Commands issued but not yet completed."""
+        return self.issued - self.completed

@@ -1,0 +1,196 @@
+"""ProjectRunner: binds network, servers, workers and controllers.
+
+The runner is the driver a user's ``cpc`` command would start: it
+submits a project to its origin server, then cycles workers (each cycle
+a worker requests a workload, executes it in checkpointed segments and
+returns results), advances the logical clock, and runs failure
+detection on every server.  Command results reaching the origin server
+trigger the controller, whose follow-up commands are queued
+immediately — adaptivity in action.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.command import Command
+from repro.core.controller import Controller
+from repro.core.events import EventKind, EventLog
+from repro.core.project import Project, ProjectStatus
+from repro.net.transport import Network
+from repro.server.server import CopernicusServer
+from repro.util.errors import SchedulingError
+from repro.worker.worker import Worker
+
+
+class ProjectRunner:
+    """Drives one or more projects over a Copernicus deployment.
+
+    Parameters
+    ----------
+    network:
+        The overlay.
+    project_server:
+        The server projects are submitted to.
+    workers:
+        Worker clients (already linked on the overlay).
+    tick:
+        Logical seconds per runner cycle (heartbeat timestamps advance
+        by this much).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        project_server: CopernicusServer,
+        workers: List[Worker],
+        tick: float = 60.0,
+    ) -> None:
+        if tick <= 0:
+            raise SchedulingError("tick must be positive")
+        self.network = network
+        self.project_server = project_server
+        self.workers = list(workers)
+        self.tick = float(tick)
+        self.now = 0.0
+        #: Audit trail of everything that happened on this runner.
+        self.events = EventLog()
+        self._projects: Dict[str, Project] = {}
+        self._controllers: Dict[str, Controller] = {}
+        #: All servers observed on the overlay (for failure checks).
+        self._servers: List[CopernicusServer] = []
+        for name in network.endpoints():
+            endpoint = network.endpoint(name)
+            if isinstance(endpoint, CopernicusServer):
+                self._servers.append(endpoint)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, project: Project, controller: Controller) -> None:
+        """Submit a project: host it and queue its initial commands."""
+        if project.project_id in self._projects:
+            raise SchedulingError(
+                f"project {project.project_id!r} already submitted"
+            )
+        self._projects[project.project_id] = project
+        self._controllers[project.project_id] = controller
+
+        def sink(command: Command, result: dict) -> None:
+            self._on_result(project, controller, command, result)
+
+        self.project_server.host_project(project.project_id, sink)
+        initial = controller.on_project_start(project)
+        project.record_issue(initial)
+        self.project_server.submit_commands(initial)
+        project.status = ProjectStatus.RUNNING
+        self.events.record(
+            self.now, EventKind.PROJECT_SUBMITTED, project.project_id
+        )
+        self.events.record(
+            self.now,
+            EventKind.COMMANDS_ISSUED,
+            project.project_id,
+            count=len(initial),
+            generation="initial",
+        )
+
+    def _on_result(
+        self,
+        project: Project,
+        controller: Controller,
+        command: Command,
+        result: dict,
+    ) -> None:
+        project.record_result(command, result)
+        self.events.record(
+            self.now,
+            EventKind.COMMAND_COMPLETED,
+            project.project_id,
+            command=command.command_id,
+        )
+        follow_ups = controller.on_command_finished(project, command, result)
+        if follow_ups:
+            project.record_issue(follow_ups)
+            self.project_server.submit_commands(follow_ups)
+            self.events.record(
+                self.now,
+                EventKind.COMMANDS_ISSUED,
+                project.project_id,
+                count=len(follow_ups),
+            )
+
+    # -- main loop ------------------------------------------------------------
+
+    def _queued_anywhere(self) -> int:
+        return sum(len(server.queue) for server in self._servers)
+
+    def run(self, max_cycles: int = 10000) -> None:
+        """Cycle until every project completes (or no progress is possible).
+
+        Raises
+        ------
+        SchedulingError
+            If commands remain but no live worker can make progress
+            (deadlock), or ``max_cycles`` is exhausted.
+        """
+        for _ in range(max_cycles):
+            if self._all_complete():
+                return
+            progress = 0
+            for worker in self.workers:
+                if worker.crashed:
+                    continue
+                worker.heartbeat(self.now)
+                progress += worker.work_once(now=self.now)
+            self.now += self.tick
+            for server in self._servers:
+                for worker_name in server.check_failures(self.now):
+                    self.events.record(
+                        self.now,
+                        EventKind.WORKER_DEAD,
+                        details_server=server.name,
+                        worker=worker_name,
+                    )
+            self._refresh_status()
+            if progress == 0:
+                if self._all_complete():
+                    return
+                if self._queued_anywhere() == 0 and not self._any_in_flight():
+                    raise SchedulingError(
+                        "no queued commands and no progress; project stalled"
+                    )
+                if all(w.crashed for w in self.workers):
+                    raise SchedulingError("every worker has crashed")
+        if not self._all_complete():
+            raise SchedulingError(f"projects unfinished after {max_cycles} cycles")
+
+    def _any_in_flight(self) -> bool:
+        return any(
+            any(cmds for cmds in server.assignments.values())
+            for server in self._servers
+        )
+
+    def _all_complete(self) -> bool:
+        self._refresh_status()
+        return all(
+            p.status is ProjectStatus.COMPLETE for p in self._projects.values()
+        )
+
+    def _refresh_status(self) -> None:
+        for pid, project in self._projects.items():
+            if project.status is ProjectStatus.RUNNING and self._controllers[
+                pid
+            ].is_complete(project):
+                project.status = ProjectStatus.COMPLETE
+                self.events.record(
+                    self.now, EventKind.PROJECT_COMPLETED, pid
+                )
+
+    # -- monitoring ------------------------------------------------------------
+
+    def status(self) -> List[dict]:
+        """Controller summaries for every project (the web-UI view)."""
+        return [
+            self._controllers[pid].summary(project)
+            for pid, project in self._projects.items()
+        ]

@@ -1,0 +1,373 @@
+"""Core of the discrete-event kernel: environment, events, processes.
+
+The design follows the classic event-scheduling world view:
+
+* an :class:`Environment` owns a priority queue of ``(time, priority,
+  sequence, event)`` entries;
+* an :class:`Event` carries callbacks and an outcome (value or
+  exception);
+* a :class:`Process` wraps a generator; each ``yield`` hands the kernel
+  an event to wait on, and the process resumes when that event fires.
+
+The kernel is deterministic: events scheduled for the same time fire in
+priority order, then insertion order, so simulations are exactly
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.util.errors import ReproError
+
+#: Priority for events that must fire before normal ones at equal time.
+URGENT = 0
+#: Default priority.
+NORMAL = 1
+
+
+class SimulationStopped(ReproError):
+    """Raised internally to unwind ``Environment.run`` at a stop event."""
+
+
+class Interrupt(ReproError):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupt ``cause`` is available on the exception instance.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence with callbacks.
+
+    An event starts *pending*, is *triggered* when given an outcome and
+    scheduled, and is *processed* once its callbacks have run.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+
+    # -- state inspection ------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has an outcome (it may not have fired yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._value is _PENDING:
+            raise ReproError("event has no outcome yet")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's outcome value (or exception if it failed)."""
+        if self._value is _PENDING:
+            raise ReproError("event has no outcome yet")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self._value is not _PENDING:
+            raise ReproError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception outcome."""
+        if self._value is not _PENDING:
+            raise ReproError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def _fire(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it finishes.
+
+    The generator may ``yield`` any :class:`Event`; it is resumed with
+    the event's value (or the exception is thrown in if the event
+    failed).  ``return value`` inside the generator sets the process's
+    own event value.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process needs a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init._ok = True
+        init._value = None
+        env.schedule(init, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not exited."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise ReproError("cannot interrupt a finished process")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        poke = Event(self.env)
+        poke._ok = False
+        poke._value = Interrupt(cause)
+        poke.callbacks.append(self._resume)
+        # Mark as "handled by a process" so the kernel doesn't treat the
+        # interrupt as an unhandled failure.
+        poke.defused = True  # type: ignore[attr-defined]
+        self.env.schedule(poke, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event.defused = True  # type: ignore[attr-defined]
+                next_event = self._generator.throw(event._value)
+        except StopIteration as exc:
+            self.succeed(getattr(exc, "value", None))
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into event
+            self.fail(exc)
+            return
+        if not isinstance(next_event, Event):
+            self._generator.close()
+            self.fail(
+                TypeError(f"process yielded a non-event: {next_event!r}")
+            )
+            return
+        if next_event.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            poke = Event(self.env)
+            poke._ok = next_event._ok
+            poke._value = next_event._value
+            if not next_event._ok:
+                poke.defused = True  # type: ignore[attr-defined]
+            poke.callbacks.append(self._resume)
+            self.env.schedule(poke, priority=URGENT)
+            self._target = poke
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = 0
+        for event in self._events:
+            if event.env is not env:
+                raise ReproError("cannot mix events from different environments")
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                self._pending += 1
+                event.callbacks.append(self._check)
+        if not self._events and self._value is _PENDING:
+            self.succeed({})
+
+    def _collect(self) -> dict:
+        # Only events that have actually fired (been processed) count as
+        # outcomes: a Timeout carries its value from creation but has not
+        # *happened* until the clock reaches it.
+        return {
+            i: ev._value
+            for i, ev in enumerate(self._events)
+            if ev.callbacks is None and ev._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every component event has fired (fails fast on failure)."""
+
+    def _check(self, event: Event) -> None:
+        if self._value is not _PENDING:
+            return
+        if event.callbacks is None and not event._ok:
+            event.defused = True  # type: ignore[attr-defined]
+            self.fail(event._value)
+            return
+        if all(ev.callbacks is None for ev in self._events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires when the first component event fires."""
+
+    def _check(self, event: Event) -> None:
+        if self._value is not _PENDING:
+            return
+        if event.callbacks is None and not event._ok:
+            event.defused = True  # type: ignore[attr-defined]
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # -- event construction ----------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires *delay* time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a process from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event that fires when all *events* have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event that fires when any of *events* fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling / running ----------------------------------------------
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        """Enqueue *event* to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty.
+        """
+        self._now, _, _, event = heapq.heappop(self._queue)
+        event._fire()
+        if event._ok is False and not getattr(event, "defused", False):
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        Returns the value of *until* when *until* is an event.
+        """
+        stop_value: list = []
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                return until._value
+
+            def _stop(event: Event) -> None:
+                stop_value.append(event)
+                raise SimulationStopped()
+
+            until.callbacks.append(_stop)
+            limit = float("inf")
+        elif until is None:
+            limit = float("inf")
+        else:
+            limit = float(until)
+            if limit < self._now:
+                raise ValueError(f"until={limit} is in the past (now={self._now})")
+
+        try:
+            while self._queue and self.peek() <= limit:
+                self.step()
+        except SimulationStopped:
+            event = stop_value[0]
+            if not event._ok:
+                raise event._value from None
+            return event._value
+        if limit != float("inf"):
+            self._now = limit
+        if isinstance(until, Event):
+            raise ReproError("run() ended before the 'until' event fired")
+        return None

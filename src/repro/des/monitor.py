@@ -1,0 +1,71 @@
+"""Statistics collection for DES runs."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+class Monitor:
+    """Records (time, value) observations and summarises them."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one observation."""
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Observation times as an array."""
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Observation values as an array."""
+        return np.asarray(self._values)
+
+    def mean(self) -> float:
+        """Plain mean of the observed values."""
+        if not self._values:
+            raise ValueError(f"monitor {self.name!r} has no observations")
+        return float(np.mean(self._values))
+
+    def maximum(self) -> float:
+        """Largest observed value."""
+        if not self._values:
+            raise ValueError(f"monitor {self.name!r} has no observations")
+        return float(np.max(self._values))
+
+    def series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(times, values)`` arrays."""
+        return self.times, self.values
+
+
+class TimeWeightedMonitor(Monitor):
+    """A monitor whose mean weights each value by how long it persisted.
+
+    Use for utilisation-style signals (cores busy, queue length) where
+    each recorded value holds until the next observation.
+    """
+
+    def time_average(self, until: float) -> float:
+        """Average of the piecewise-constant signal on ``[t0, until]``."""
+        if not self._values:
+            raise ValueError(f"monitor {self.name!r} has no observations")
+        times = np.append(self.times, until)
+        if times[-1] < times[-2]:
+            raise ValueError("'until' precedes the last observation")
+        widths = np.diff(times)
+        total = times[-1] - times[0]
+        if total == 0:
+            return float(self._values[-1])
+        return float(np.dot(widths, self.values) / total)

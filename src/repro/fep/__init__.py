@@ -1,0 +1,29 @@
+"""Free-energy perturbation: Bennett acceptance ratio and baselines.
+
+The paper ships a second plugin besides MSM sampling: "Bennett
+Acceptance Ratio free energy perturbation calculations".  This
+subpackage provides the estimator (with its asymptotic error), the
+exponential-averaging (Zwanzig) baseline, analytic harmonic test
+systems, and the window sampler the BAR controller's commands execute.
+"""
+
+from repro.fep.bar import bar_free_energy, bar_error, exp_free_energy
+from repro.fep.systems import HarmonicWindow, harmonic_free_energy_difference
+from repro.fep.sampling import run_fep_window, sample_window
+from repro.fep.umbrella import UmbrellaWindow, metropolis_sample
+from repro.fep.wham import wham, WHAMResult, free_energy_difference
+
+__all__ = [
+    "bar_free_energy",
+    "bar_error",
+    "exp_free_energy",
+    "HarmonicWindow",
+    "harmonic_free_energy_difference",
+    "run_fep_window",
+    "sample_window",
+    "UmbrellaWindow",
+    "metropolis_sample",
+    "wham",
+    "WHAMResult",
+    "free_energy_difference",
+]

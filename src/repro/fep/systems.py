@@ -1,0 +1,75 @@
+"""Analytic test systems for free-energy estimation.
+
+A lambda *window* is a harmonic potential ``U(x) = 0.5 k (x - x0)^2``
+whose spring constant and centre interpolate between two end states.
+Harmonic free energies are exact — ``F = -kT/2 ln(2 pi kT / k)`` per
+degree of freedom — so every estimator in :mod:`repro.fep.bar` can be
+validated quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RandomStream
+
+
+@dataclass(frozen=True)
+class HarmonicWindow:
+    """One lambda state: a 1-D harmonic well."""
+
+    k: float
+    x0: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ConfigurationError(f"spring constant must be positive, got {self.k}")
+
+    def energy(self, x: np.ndarray) -> np.ndarray:
+        """Potential energy at positions *x*."""
+        d = np.asarray(x, dtype=float) - self.x0
+        return 0.5 * self.k * d * d
+
+    def free_energy(self, kt: float) -> float:
+        """Absolute free energy, ``-kT/2 ln(2 pi kT / k)``."""
+        if kt <= 0:
+            raise ConfigurationError("kt must be positive")
+        return -0.5 * kt * np.log(2.0 * np.pi * kt / self.k)
+
+    def sample(self, n: int, kt: float, rng: RandomStream) -> np.ndarray:
+        """Exact Boltzmann samples (Gaussian with sigma^2 = kT/k)."""
+        if n < 1:
+            raise ConfigurationError("need at least one sample")
+        sigma = np.sqrt(kt / self.k)
+        return self.x0 + sigma * rng.normal(size=n)
+
+    @staticmethod
+    def interpolate(
+        a: "HarmonicWindow", b: "HarmonicWindow", lam: float
+    ) -> "HarmonicWindow":
+        """Geometric-k / linear-centre interpolation between end states."""
+        if not 0.0 <= lam <= 1.0:
+            raise ConfigurationError(f"lambda must be in [0, 1], got {lam}")
+        k = a.k ** (1.0 - lam) * b.k**lam
+        x0 = (1.0 - lam) * a.x0 + lam * b.x0
+        return HarmonicWindow(k=k, x0=x0)
+
+
+def harmonic_free_energy_difference(
+    a: HarmonicWindow, b: HarmonicWindow, kt: float
+) -> float:
+    """Exact dF = F_b - F_a = (kT/2) ln(k_b / k_a)."""
+    return b.free_energy(kt) - a.free_energy(kt)
+
+
+def window_ladder(
+    a: HarmonicWindow, b: HarmonicWindow, n_windows: int
+) -> list:
+    """Evenly spaced lambda windows from *a* to *b* inclusive."""
+    if n_windows < 2:
+        raise ConfigurationError("need at least two windows")
+    lams = np.linspace(0.0, 1.0, n_windows)
+    return [HarmonicWindow.interpolate(a, b, lam) for lam in lams]

@@ -1,0 +1,124 @@
+"""Weighted histogram analysis method (WHAM).
+
+Combines biased samples from umbrella windows into the unbiased free
+energy profile by the standard self-consistent equations
+(Kumar et al., J. Comput. Chem. 13, 1011 (1992)):
+
+``P(b) = sum_i n_i(b) / sum_i N_i exp(-(U_i(b) - f_i)/kT)``
+``exp(-f_i/kT) = sum_b P(b) exp(-U_i(b)/kT)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.fep.umbrella import UmbrellaWindow
+from repro.util.errors import EstimationError
+
+
+@dataclass
+class WHAMResult:
+    """Unbiased profile from WHAM."""
+
+    bin_centers: np.ndarray
+    free_energy: np.ndarray          # kT-scaled, min-shifted to 0
+    probability: np.ndarray
+    window_offsets: np.ndarray       # f_i per window
+    n_iterations: int
+    converged: bool
+
+
+def wham(
+    samples: Sequence[np.ndarray],
+    windows: Sequence[UmbrellaWindow],
+    kt: float,
+    n_bins: int = 60,
+    tol: float = 1e-8,
+    max_iter: int = 20000,
+) -> WHAMResult:
+    """Solve the WHAM equations for 1-D umbrella data.
+
+    Parameters
+    ----------
+    samples:
+        One coordinate array per window.
+    windows:
+        The bias of each window (aligned with *samples*).
+
+    Raises
+    ------
+    EstimationError
+        On inconsistent input or non-convergence.
+    """
+    if len(samples) != len(windows) or len(windows) < 2:
+        raise EstimationError("need one sample set per window (>= 2 windows)")
+    if kt <= 0:
+        raise EstimationError("kt must be positive")
+    samples = [np.asarray(s, dtype=float) for s in samples]
+    if any(len(s) == 0 for s in samples):
+        raise EstimationError("every window needs at least one sample")
+
+    lo = min(s.min() for s in samples)
+    hi = max(s.max() for s in samples)
+    edges = np.linspace(lo, hi, n_bins + 1)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+
+    counts = np.stack([np.histogram(s, bins=edges)[0] for s in samples])
+    n_per_window = counts.sum(axis=1).astype(float)
+    total_counts = counts.sum(axis=0).astype(float)
+    bias = np.stack([w.bias(centers) for w in windows])  # (W, B)
+    boltz = np.exp(-bias / kt)
+
+    f = np.zeros(len(windows))  # window free energies in kT units of energy
+    prob = np.full(n_bins, 1.0 / n_bins)
+    it = 0
+    for it in range(1, max_iter + 1):
+        denom = (n_per_window[:, None] * boltz * np.exp(f / kt)[:, None]).sum(
+            axis=0
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            prob_new = np.where(denom > 0, total_counts / denom, 0.0)
+        norm = prob_new.sum()
+        if norm <= 0:
+            raise EstimationError("WHAM produced an empty distribution")
+        prob_new /= norm
+        z = (boltz * prob_new[None, :]).sum(axis=1)
+        if np.any(z <= 0):
+            raise EstimationError("a window has no overlap with the data")
+        f_new = -kt * np.log(z)
+        f_new -= f_new[0]
+        delta = np.abs(f_new - f).max()
+        prob, f = prob_new, f_new
+        if delta < tol:
+            break
+    converged = delta < tol
+
+    with np.errstate(divide="ignore"):
+        fe = -kt * np.log(np.where(prob > 0, prob, np.nan))
+    fe -= np.nanmin(fe)
+    return WHAMResult(
+        bin_centers=centers,
+        free_energy=fe,
+        probability=prob,
+        window_offsets=f,
+        n_iterations=it,
+        converged=converged,
+    )
+
+
+def free_energy_difference(
+    result: WHAMResult, region_a: Tuple[float, float], region_b: Tuple[float, float],
+    kt: float,
+) -> float:
+    """dF = F(B) - F(A) between two coordinate regions (basin integrals)."""
+    centers = result.bin_centers
+    in_a = (centers >= region_a[0]) & (centers <= region_a[1])
+    in_b = (centers >= region_b[0]) & (centers <= region_b[1])
+    pa = result.probability[in_a].sum()
+    pb = result.probability[in_b].sum()
+    if pa <= 0 or pb <= 0:
+        raise EstimationError("a region has no probability mass")
+    return float(-kt * np.log(pb / pa))

@@ -1,0 +1,37 @@
+"""Molecular-dynamics engine substrate (the Gromacs substitute).
+
+A compact, vectorised-numpy MD engine providing everything the
+Copernicus layer needs from its simulation executable: force fields
+(bonded terms, Lennard-Jones + reaction-field nonbonded with cell-list
+neighbour search, Gō-type native-contact potentials), integrators
+(velocity Verlet, Langevin BAOAB, Nosé–Hoover), trajectory storage and
+binary checkpoint/restart, plus model builders for the coarse-grained
+villin headpiece used throughout the reproduction.
+
+Units are Gromacs-flavoured: nm, ps, kJ/mol, amu, kelvin.
+"""
+
+from repro.md.system import System, State, Topology
+from repro.md.integrators import (
+    VelocityVerletIntegrator,
+    LangevinIntegrator,
+    NoseHooverIntegrator,
+)
+from repro.md.simulation import Simulation, Checkpoint
+from repro.md.trajectory import Trajectory
+from repro.md.engine import MDEngine, MDTask, MDResult
+
+__all__ = [
+    "System",
+    "State",
+    "Topology",
+    "VelocityVerletIntegrator",
+    "LangevinIntegrator",
+    "NoseHooverIntegrator",
+    "Simulation",
+    "Checkpoint",
+    "Trajectory",
+    "MDEngine",
+    "MDTask",
+    "MDResult",
+]

@@ -1,0 +1,323 @@
+"""The simulation *executable*: what a Copernicus worker actually runs.
+
+In the paper, workers advertise "executables" (e.g. the Gromacs
+binaries) and the server hands them *commands* — serialised task
+specifications.  :class:`MDTask` is that specification, :class:`MDEngine`
+is the executable, and :class:`MDResult` is the returned output: a
+trajectory plus a checkpoint.  Everything crosses the (simulated)
+network as plain payload dicts, so tasks survive worker failure and can
+be resumed by a different worker from the last checkpoint
+(paper section 2.3).
+"""
+
+from __future__ import annotations
+
+import time as _walltime
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.md.integrators import (
+    LangevinIntegrator,
+    NoseHooverIntegrator,
+    VelocityVerletIntegrator,
+)
+from repro.md.models.doublewell import double_well_initial_state, double_well_system
+from repro.md.models.muller_brown import (
+    muller_brown_initial_state,
+    muller_brown_system,
+)
+from repro.md.models.villin import build_villin
+from repro.md.simulation import Checkpoint, Simulation
+from repro.md.system import State, System
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RandomStream
+
+
+@dataclass
+class MDTask:
+    """A serialisable simulation command.
+
+    Attributes
+    ----------
+    model:
+        Registered model name (``villin-full``, ``villin-fast``,
+        ``muller-brown``, ``double-well``).
+    n_steps:
+        Total steps the command must complete.
+    report_interval:
+        Steps between stored frames.
+    integrator:
+        ``langevin`` (default), ``nose-hoover`` or ``verlet``.
+    temperature / friction / timestep:
+        Integration parameters (K, 1/ps, ps).
+    seed:
+        RNG seed for velocities and noise.
+    initial_positions:
+        Explicit starting coordinates; if ``None``, the model's default
+        unfolded/initial builder runs.
+    checkpoint:
+        Resume payload from a previous partial run.
+    model_params:
+        Extra keyword arguments for the model builder.
+    task_id:
+        Opaque identifier assigned by the project controller.
+    """
+
+    model: str
+    n_steps: int
+    report_interval: int = 100
+    integrator: str = "langevin"
+    temperature: float = 300.0
+    friction: float = 1.0
+    timestep: float = 0.02
+    seed: int = 0
+    initial_positions: Optional[np.ndarray] = None
+    checkpoint: Optional[Dict] = None
+    model_params: Dict = field(default_factory=dict)
+    task_id: str = ""
+
+    def to_payload(self) -> Dict:
+        """Wire-format dict."""
+        payload = {
+            "model": self.model,
+            "n_steps": int(self.n_steps),
+            "report_interval": int(self.report_interval),
+            "integrator": self.integrator,
+            "temperature": float(self.temperature),
+            "friction": float(self.friction),
+            "timestep": float(self.timestep),
+            "seed": int(self.seed),
+            "model_params": dict(self.model_params),
+            "task_id": self.task_id,
+        }
+        if self.initial_positions is not None:
+            payload["initial_positions"] = np.asarray(self.initial_positions)
+        if self.checkpoint is not None:
+            payload["checkpoint"] = self.checkpoint
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "MDTask":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            model=payload["model"],
+            n_steps=int(payload["n_steps"]),
+            report_interval=int(payload.get("report_interval", 100)),
+            integrator=payload.get("integrator", "langevin"),
+            temperature=float(payload.get("temperature", 300.0)),
+            friction=float(payload.get("friction", 1.0)),
+            timestep=float(payload.get("timestep", 0.02)),
+            seed=int(payload.get("seed", 0)),
+            initial_positions=(
+                np.asarray(payload["initial_positions"])
+                if "initial_positions" in payload
+                else None
+            ),
+            checkpoint=payload.get("checkpoint"),
+            model_params=dict(payload.get("model_params", {})),
+            task_id=payload.get("task_id", ""),
+        )
+
+
+@dataclass
+class MDResult:
+    """Output of running (part of) an :class:`MDTask`."""
+
+    task_id: str
+    frames: np.ndarray
+    times: np.ndarray
+    checkpoint: Dict
+    steps_completed: int
+    completed: bool
+    wall_seconds: float
+    final_potential_energy: float
+
+    def to_payload(self) -> Dict:
+        """Wire-format dict."""
+        return {
+            "task_id": self.task_id,
+            "frames": self.frames,
+            "times": self.times,
+            "checkpoint": self.checkpoint,
+            "steps_completed": int(self.steps_completed),
+            "completed": bool(self.completed),
+            "wall_seconds": float(self.wall_seconds),
+            "final_potential_energy": float(self.final_potential_energy),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "MDResult":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            task_id=payload["task_id"],
+            frames=np.asarray(payload["frames"]),
+            times=np.asarray(payload["times"]),
+            checkpoint=payload["checkpoint"],
+            steps_completed=int(payload["steps_completed"]),
+            completed=bool(payload["completed"]),
+            wall_seconds=float(payload["wall_seconds"]),
+            final_potential_energy=float(payload["final_potential_energy"]),
+        )
+
+
+def _build_villin_task(task: MDTask):
+    variant = task.model.split("-", 1)[1] if "-" in task.model else "full"
+    model = build_villin(variant=variant, **task.model_params)
+    if task.initial_positions is not None:
+        rng = RandomStream(task.seed)
+        velocities = model.system.maxwell_boltzmann_velocities(
+            task.temperature, rng
+        )
+        state = State(np.asarray(task.initial_positions, dtype=float), velocities)
+    else:
+        state = model.extended_state(rng=task.seed, temperature=task.temperature)
+    return model.system, state
+
+
+def _build_muller_brown_task(task: MDTask):
+    system = muller_brown_system(**task.model_params)
+    if task.initial_positions is not None:
+        rng = RandomStream(task.seed)
+        velocities = system.maxwell_boltzmann_velocities(task.temperature, rng)
+        state = State(np.asarray(task.initial_positions, dtype=float), velocities)
+    else:
+        state = muller_brown_initial_state(
+            rng=task.seed, temperature=task.temperature, **task.model_params
+        )
+    return system, state
+
+
+def _build_lj_fluid_task(task: MDTask):
+    from repro.md.models.lj_fluid import lj_fluid_state, lj_fluid_system
+
+    system, box = lj_fluid_system(**task.model_params)
+    if task.initial_positions is not None:
+        rng = RandomStream(task.seed)
+        velocities = system.maxwell_boltzmann_velocities(task.temperature, rng)
+        state = State(np.asarray(task.initial_positions, dtype=float), velocities)
+    else:
+        state = lj_fluid_state(
+            system, box, temperature=task.temperature, rng=task.seed
+        )
+    return system, state
+
+
+def _build_double_well_task(task: MDTask):
+    system = double_well_system(**task.model_params)
+    if task.initial_positions is not None:
+        rng = RandomStream(task.seed)
+        velocities = system.maxwell_boltzmann_velocities(task.temperature, rng)
+        state = State(np.asarray(task.initial_positions, dtype=float), velocities)
+    else:
+        width = task.model_params.get("width", 1.0)
+        dim = task.model_params.get("dim", 1)
+        state = double_well_initial_state(
+            rng=task.seed, temperature=task.temperature, width=width, dim=dim
+        )
+    return system, state
+
+
+#: Model registry: name -> builder(task) -> (system, initial_state).
+MODEL_REGISTRY: Dict[str, Callable] = {
+    "villin-full": _build_villin_task,
+    "villin-fast": _build_villin_task,
+    "muller-brown": _build_muller_brown_task,
+    "double-well": _build_double_well_task,
+    "lj-fluid": _build_lj_fluid_task,
+}
+
+
+class MDEngine:
+    """Executes :class:`MDTask` commands; the worker-side 'executable'.
+
+    Parameters
+    ----------
+    segment_steps:
+        Steps per internal segment; checkpoints are cut at segment
+        boundaries, so this is the resume granularity.
+    """
+
+    #: Executable identifier matched against command requirements
+    #: during resource matching (the paper's "executables").
+    name = "mdrun"
+    version = "1.0"
+
+    def __init__(self, segment_steps: int = 1000) -> None:
+        if segment_steps <= 0:
+            raise ConfigurationError("segment_steps must be positive")
+        self.segment_steps = int(segment_steps)
+
+    def _make_integrator(self, task: MDTask):
+        if task.integrator == "langevin":
+            return LangevinIntegrator(
+                task.timestep,
+                task.temperature,
+                friction=task.friction,
+                rng=task.seed + 1,
+            )
+        if task.integrator == "nose-hoover":
+            return NoseHooverIntegrator(task.timestep, task.temperature)
+        if task.integrator == "verlet":
+            return VelocityVerletIntegrator(task.timestep)
+        raise ConfigurationError(f"unknown integrator {task.integrator!r}")
+
+    def prepare(self, task: MDTask) -> Simulation:
+        """Build the simulation for *task* (resuming its checkpoint if any)."""
+        try:
+            builder = MODEL_REGISTRY[task.model]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown model {task.model!r}; known: {sorted(MODEL_REGISTRY)}"
+            ) from None
+        system, state = builder(task)
+        simulation = Simulation(
+            system,
+            self._make_integrator(task),
+            state,
+            report_interval=task.report_interval,
+        )
+        if task.checkpoint is not None:
+            simulation.restore(Checkpoint.from_payload(task.checkpoint))
+        return simulation
+
+    def run(self, task: MDTask, abort_after_steps: Optional[int] = None) -> MDResult:
+        """Run *task* to completion (or abort early, returning a checkpoint).
+
+        Parameters
+        ----------
+        abort_after_steps:
+            If given, stop after at most this many further steps even
+            if the task is unfinished — used by failure-injection tests
+            and pre-empted workers.  The result then has
+            ``completed=False`` and a resumable checkpoint.
+        """
+        start_wall = _walltime.perf_counter()
+        simulation = self.prepare(task)
+        start_step = simulation.state.step
+        target = task.n_steps
+        budget = abort_after_steps if abort_after_steps is not None else target
+
+        while (
+            simulation.state.step - start_step < budget
+            and simulation.state.step < target
+        ):
+            remaining_task = target - simulation.state.step
+            remaining_budget = budget - (simulation.state.step - start_step)
+            chunk = min(self.segment_steps, remaining_task, remaining_budget)
+            simulation.run(chunk)
+
+        completed = simulation.state.step >= target
+        checkpoint = simulation.checkpoint()
+        trajectory = simulation.trajectory
+        return MDResult(
+            task_id=task.task_id,
+            frames=trajectory.frames,
+            times=trajectory.times,
+            checkpoint=checkpoint.to_payload(),
+            steps_completed=simulation.state.step - start_step,
+            completed=completed,
+            wall_seconds=_walltime.perf_counter() - start_wall,
+            final_potential_energy=simulation.potential_energy(),
+        )

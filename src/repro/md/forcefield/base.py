@@ -1,0 +1,48 @@
+"""Force interface."""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Force(Protocol):
+    """Anything that yields an energy and per-atom forces."""
+
+    def energy_forces(
+        self, positions: np.ndarray
+    ) -> Tuple[float, np.ndarray]:  # pragma: no cover - protocol
+        """Return ``(potential_energy, forces)`` at *positions*."""
+        ...
+
+
+def composite_energy_forces(
+    forces: Iterable[Force], positions: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Sum energy and forces over a collection of force terms."""
+    total_e = 0.0
+    total_f = np.zeros_like(positions)
+    for force in forces:
+        e, f = force.energy_forces(positions)
+        total_e += e
+        total_f += f
+    return total_e, total_f
+
+
+def numerical_forces(
+    force: Force, positions: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference forces, for validating analytic gradients in tests."""
+    flat = positions.ravel().copy()
+    out = np.empty_like(flat)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        e_plus, _ = force.energy_forces(flat.reshape(positions.shape))
+        flat[i] = orig - eps
+        e_minus, _ = force.energy_forces(flat.reshape(positions.shape))
+        flat[i] = orig
+        out[i] = -(e_plus - e_minus) / (2 * eps)
+    return out.reshape(positions.shape)

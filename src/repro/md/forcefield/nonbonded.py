@@ -1,0 +1,196 @@
+"""Nonbonded force-field terms: Lennard-Jones, reaction field, excluded volume.
+
+All terms take a *pair provider* (see :mod:`repro.md.neighborlist`), so
+the same kernel runs all-pairs for small systems and cell-list pruned
+for large ones.  Energies are cutoff-shifted so the potential is
+continuous at the cutoff.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+#: Coulomb prefactor f = 1/(4 pi eps0) in kJ mol^-1 nm e^-2 (Gromacs value).
+COULOMB_PREFACTOR = 138.935458
+
+
+class LennardJonesForce:
+    """12-6 Lennard-Jones with cutoff shift.
+
+    ``E(r) = 4 eps [(sigma/r)^12 - (sigma/r)^6] - E(cutoff)`` for r <
+    cutoff.  Per-atom ``sigma``/``epsilon`` arrays combine with
+    Lorentz–Berthelot rules; scalars apply uniformly.  With ``box``
+    set, pair vectors use the minimum-image convention (periodic
+    boundaries for bulk fluids).
+    """
+
+    def __init__(
+        self,
+        pair_provider,
+        sigma: float | np.ndarray,
+        epsilon: float | np.ndarray,
+        cutoff: float = 1.2,
+        box: Optional[np.ndarray] = None,
+    ) -> None:
+        if cutoff <= 0:
+            raise ConfigurationError(f"cutoff must be positive, got {cutoff}")
+        self.pair_provider = pair_provider
+        self.sigma = sigma
+        self.epsilon = epsilon
+        self.cutoff = float(cutoff)
+        self.box = np.asarray(box, dtype=float) if box is not None else None
+        if self.box is not None:
+            if np.any(self.box <= 0):
+                raise ConfigurationError("box lengths must be positive")
+            if self.cutoff > 0.5 * self.box.min():
+                raise ConfigurationError(
+                    "cutoff exceeds half the smallest box length"
+                )
+
+    def _pair_params(
+        self, i: np.ndarray, j: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if np.isscalar(self.sigma):
+            sig = np.full(len(i), float(self.sigma))
+        else:
+            sig = 0.5 * (np.asarray(self.sigma)[i] + np.asarray(self.sigma)[j])
+        if np.isscalar(self.epsilon):
+            eps = np.full(len(i), float(self.epsilon))
+        else:
+            eps = np.sqrt(np.asarray(self.epsilon)[i] * np.asarray(self.epsilon)[j])
+        return sig, eps
+
+    def energy_forces(self, positions: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Return (energy, forces) at *positions* (see class docstring)."""
+        forces = np.zeros_like(positions)
+        i, j = self.pair_provider.pairs(positions)
+        if len(i) == 0:
+            return 0.0, forces
+        rij = positions[j] - positions[i]
+        if self.box is not None:
+            rij -= self.box * np.round(rij / self.box)
+        r2 = np.sum(rij * rij, axis=1)
+        within = r2 < self.cutoff * self.cutoff
+        if not np.any(within):
+            return 0.0, forces
+        i, j, rij, r2 = i[within], j[within], rij[within], r2[within]
+        sig, eps = self._pair_params(i, j)
+        inv_r2 = 1.0 / r2
+        s6 = (sig * sig * inv_r2) ** 3
+        s12 = s6 * s6
+        # shift so E(cutoff) = 0
+        sc6 = (sig / self.cutoff) ** 6
+        shift = 4.0 * eps * (sc6 * sc6 - sc6)
+        energy = float(np.sum(4.0 * eps * (s12 - s6) - shift))
+        fscale = 24.0 * eps * (2.0 * s12 - s6) * inv_r2
+        fij = fscale[:, None] * rij
+        np.add.at(forces, self._as_index(j), fij)
+        np.add.at(forces, self._as_index(i), -fij)
+        return energy, forces
+
+    @staticmethod
+    def _as_index(idx: np.ndarray) -> np.ndarray:
+        return idx
+
+
+class ReactionFieldElectrostatics:
+    """Coulomb interaction with reaction-field correction (Gromacs form).
+
+    The paper's villin runs treat long-range electrostatics with a
+    reaction field and continuum dielectric 78 (section 3.1):
+
+    ``E(r) = f q_i q_j (1/r + k_rf r^2 - c_rf)`` for r < cutoff, with
+    ``k_rf = (eps_rf - 1) / (2 eps_rf + 1) / rc^3`` and
+    ``c_rf = 1/rc + k_rf rc^2`` making the potential vanish at rc.
+    """
+
+    def __init__(
+        self,
+        pair_provider,
+        charges: np.ndarray,
+        cutoff: float = 1.2,
+        epsilon_rf: float = 78.0,
+    ) -> None:
+        if cutoff <= 0:
+            raise ConfigurationError(f"cutoff must be positive, got {cutoff}")
+        if epsilon_rf <= 0.5:
+            raise ConfigurationError(
+                f"epsilon_rf must exceed 0.5, got {epsilon_rf}"
+            )
+        self.pair_provider = pair_provider
+        self.charges = np.asarray(charges, dtype=float)
+        self.cutoff = float(cutoff)
+        self.epsilon_rf = float(epsilon_rf)
+        rc = self.cutoff
+        self.k_rf = (epsilon_rf - 1.0) / (2.0 * epsilon_rf + 1.0) / rc**3
+        self.c_rf = 1.0 / rc + self.k_rf * rc**2
+
+    def energy_forces(self, positions: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Return (energy, forces) at *positions* (see class docstring)."""
+        forces = np.zeros_like(positions)
+        i, j = self.pair_provider.pairs(positions)
+        if len(i) == 0:
+            return 0.0, forces
+        rij = positions[j] - positions[i]
+        r2 = np.sum(rij * rij, axis=1)
+        within = r2 < self.cutoff * self.cutoff
+        if not np.any(within):
+            return 0.0, forces
+        i, j, rij, r2 = i[within], j[within], rij[within], r2[within]
+        r = np.sqrt(r2)
+        qq = COULOMB_PREFACTOR * self.charges[i] * self.charges[j]
+        energy = float(np.sum(qq * (1.0 / r + self.k_rf * r2 - self.c_rf)))
+        # -dE/dr = qq (1/r^2 - 2 k_rf r); force on j along +rij
+        fscale = qq * (1.0 / (r2 * r) - 2.0 * self.k_rf)
+        fij = fscale[:, None] * rij
+        np.add.at(forces, j, fij)
+        np.add.at(forces, i, -fij)
+        return energy, forces
+
+
+class ExcludedVolumeForce:
+    """Purely repulsive ``eps (sigma/r)^12`` wall, cutoff at ``r = sigma * factor``.
+
+    Used for the non-native pairs of a Gō model: chains cannot pass
+    through themselves but gain no attraction from non-native contacts.
+    """
+
+    def __init__(
+        self,
+        pair_provider,
+        sigma: float = 0.4,
+        epsilon: float = 1.0,
+        cutoff_factor: float = 3.0,
+    ) -> None:
+        if sigma <= 0 or epsilon <= 0:
+            raise ConfigurationError("sigma and epsilon must be positive")
+        self.pair_provider = pair_provider
+        self.sigma = float(sigma)
+        self.epsilon = float(epsilon)
+        self.cutoff = float(sigma * cutoff_factor)
+
+    def energy_forces(self, positions: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Return (energy, forces) at *positions* (see class docstring)."""
+        forces = np.zeros_like(positions)
+        i, j = self.pair_provider.pairs(positions)
+        if len(i) == 0:
+            return 0.0, forces
+        rij = positions[j] - positions[i]
+        r2 = np.sum(rij * rij, axis=1)
+        within = r2 < self.cutoff * self.cutoff
+        if not np.any(within):
+            return 0.0, forces
+        i, j, rij, r2 = i[within], j[within], rij[within], r2[within]
+        inv_r2 = 1.0 / r2
+        s12 = (self.sigma * self.sigma * inv_r2) ** 6
+        shift = self.epsilon * (self.sigma / self.cutoff) ** 12
+        energy = float(np.sum(self.epsilon * s12 - shift))
+        fscale = 12.0 * self.epsilon * s12 * inv_r2
+        fij = fscale[:, None] * rij
+        np.add.at(forces, j, fij)
+        np.add.at(forces, i, -fij)
+        return energy, forces

@@ -1,0 +1,188 @@
+"""Time integrators: velocity Verlet, Langevin (BAOAB), Nosé–Hoover.
+
+Each integrator advances a :class:`~repro.md.system.State` in place by
+one timestep and returns the forces at the new positions so the caller
+never computes forces twice per step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.system import State, System
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RandomStream, ensure_stream
+from repro.util.units import KB
+
+
+class _IntegratorBase:
+    """Shared timestep plumbing."""
+
+    def __init__(self, timestep: float) -> None:
+        if timestep <= 0:
+            raise ConfigurationError(f"timestep must be positive, got {timestep}")
+        self.timestep = float(timestep)
+
+    def initial_forces(self, system: System, state: State) -> np.ndarray:
+        """Forces at the current positions (used to prime the loop)."""
+        return system.energy_forces(state.positions)[1]
+
+    def _advance_clock(self, state: State) -> None:
+        state.step += 1
+        state.time += self.timestep
+
+
+class VelocityVerletIntegrator(_IntegratorBase):
+    """Symplectic NVE integrator (no thermostat)."""
+
+    def step(
+        self, system: System, state: State, forces: np.ndarray
+    ) -> np.ndarray:
+        """Advance one timestep in place; returns the new forces."""
+        dt = self.timestep
+        inv_m = 1.0 / system.masses[:, None]
+        state.velocities += 0.5 * dt * forces * inv_m
+        state.positions += dt * state.velocities
+        _, new_forces = system.energy_forces(state.positions)
+        state.velocities += 0.5 * dt * new_forces * inv_m
+        self._advance_clock(state)
+        return new_forces
+
+
+class LangevinIntegrator(_IntegratorBase):
+    """BAOAB-splitting Langevin dynamics (Leimkuhler–Matthews).
+
+    The workhorse thermostat for the coarse-grained folding runs: the
+    friction models solvent drag that the paper's explicit TIP3P water
+    provided physically.
+
+    Parameters
+    ----------
+    timestep:
+        dt in ps.
+    temperature:
+        Bath temperature in kelvin.
+    friction:
+        Collision rate gamma in ps^-1.
+    rng:
+        Noise stream (int seed or :class:`RandomStream`).
+    """
+
+    def __init__(
+        self,
+        timestep: float,
+        temperature: float,
+        friction: float = 1.0,
+        rng: int | RandomStream | None = 0,
+    ) -> None:
+        super().__init__(timestep)
+        if temperature < 0:
+            raise ConfigurationError(f"temperature must be >= 0, got {temperature}")
+        if friction <= 0:
+            raise ConfigurationError(f"friction must be positive, got {friction}")
+        self.temperature = float(temperature)
+        self.friction = float(friction)
+        self.rng = ensure_stream(rng)
+        self._decay = np.exp(-friction * self.timestep)
+        self._noise_scale = np.sqrt(1.0 - self._decay * self._decay)
+
+    @property
+    def rng_state(self) -> dict:
+        """Serialisable noise-generator state (checkpointed so a resumed
+        run continues the exact same noise sequence)."""
+        return self.rng.generator.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state: dict) -> None:
+        self.rng.generator.bit_generator.state = state
+
+    def step(
+        self, system: System, state: State, forces: np.ndarray
+    ) -> np.ndarray:
+        """Advance one timestep in place; returns the new forces."""
+        dt = self.timestep
+        inv_m = 1.0 / system.masses[:, None]
+        kt = KB * self.temperature
+        # B: half kick
+        state.velocities += 0.5 * dt * forces * inv_m
+        # A: half drift
+        state.positions += 0.5 * dt * state.velocities
+        # O: Ornstein-Uhlenbeck exact solve
+        sigma = np.sqrt(kt / system.masses)[:, None]
+        noise = self.rng.generator.standard_normal(state.velocities.shape)
+        state.velocities *= self._decay
+        state.velocities += self._noise_scale * sigma * noise
+        # A: half drift
+        state.positions += 0.5 * dt * state.velocities
+        # B: half kick with new forces
+        _, new_forces = system.energy_forces(state.positions)
+        state.velocities += 0.5 * dt * new_forces * inv_m
+        self._advance_clock(state)
+        return new_forces
+
+
+class NoseHooverIntegrator(_IntegratorBase):
+    """Nosé–Hoover thermostat (single chain), the paper's choice.
+
+    Section 3.1: "the temperature was kept at 300 K with a Nosé–Hoover
+    thermostat with an oscillation period of 0.5 ps".  The coupling
+    mass follows from that period: ``Q = N_df kT tau^2 / (4 pi^2)``.
+    Deterministic dynamics, canonical sampling for ergodic systems.
+    """
+
+    def __init__(
+        self,
+        timestep: float,
+        temperature: float,
+        oscillation_period: float = 0.5,
+    ) -> None:
+        super().__init__(timestep)
+        if temperature <= 0:
+            raise ConfigurationError(
+                f"temperature must be positive, got {temperature}"
+            )
+        if oscillation_period <= 0:
+            raise ConfigurationError(
+                f"oscillation_period must be positive, got {oscillation_period}"
+            )
+        self.temperature = float(temperature)
+        self.tau = float(oscillation_period)
+        self._xi = 0.0  # thermostat friction variable
+
+    def _thermostat_mass(self, system: System) -> float:
+        n_df = system.dim * system.n_atoms
+        return n_df * KB * self.temperature * self.tau**2 / (4.0 * np.pi**2)
+
+    def step(
+        self, system: System, state: State, forces: np.ndarray
+    ) -> np.ndarray:
+        """Advance one timestep in place; returns the new forces."""
+        dt = self.timestep
+        inv_m = 1.0 / system.masses[:, None]
+        n_df = system.dim * system.n_atoms
+        kt = KB * self.temperature
+        q_mass = self._thermostat_mass(system)
+
+        # Half-update of the thermostat variable, then a scaled kick.
+        ke = system.kinetic_energy(state.velocities)
+        self._xi += 0.5 * dt * (2.0 * ke - n_df * kt) / q_mass
+        scale = np.exp(-self._xi * 0.5 * dt)
+        state.velocities = state.velocities * scale + 0.5 * dt * forces * inv_m
+        state.positions += dt * state.velocities
+        _, new_forces = system.energy_forces(state.positions)
+        state.velocities += 0.5 * dt * new_forces * inv_m
+        scale = np.exp(-self._xi * 0.5 * dt)
+        state.velocities *= scale
+        ke = system.kinetic_energy(state.velocities)
+        self._xi += 0.5 * dt * (2.0 * ke - n_df * kt) / q_mass
+        self._advance_clock(state)
+        return new_forces
+
+    @property
+    def thermostat_state(self) -> float:
+        """The thermostat friction variable (checkpointed)."""
+        return self._xi
+
+    @thermostat_state.setter
+    def thermostat_state(self, value: float) -> None:
+        self._xi = float(value)

@@ -1,0 +1,41 @@
+"""Model systems for the reproduction.
+
+* :mod:`repro.md.models.villin` — coarse-grained Gō model of the villin
+  headpiece (the paper's benchmark protein), with a procedurally built
+  three-helix-bundle native state.
+* :mod:`repro.md.models.polymer` — geometric builders (helices, loops,
+  extended chains) shared by the protein models.
+* :mod:`repro.md.models.muller_brown` — the Müller–Brown 2-D surface,
+  a fast substrate for MSM unit tests.
+* :mod:`repro.md.models.doublewell` — 1-D/2-D double wells with known
+  analytic properties.
+"""
+
+from repro.md.models.villin import VillinModel, build_villin
+from repro.md.models.polymer import (
+    build_helix,
+    build_extended_chain,
+    chain_topology_from_native,
+)
+from repro.md.models.muller_brown import MullerBrownForce, muller_brown_system
+from repro.md.models.doublewell import DoubleWellForce, double_well_system
+from repro.md.models.lj_fluid import (
+    lj_fluid_system,
+    lj_fluid_state,
+    radial_distribution,
+)
+
+__all__ = [
+    "VillinModel",
+    "build_villin",
+    "build_helix",
+    "build_extended_chain",
+    "chain_topology_from_native",
+    "MullerBrownForce",
+    "muller_brown_system",
+    "DoubleWellForce",
+    "double_well_system",
+    "lj_fluid_system",
+    "lj_fluid_state",
+    "radial_distribution",
+]

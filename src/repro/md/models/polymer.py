@@ -1,0 +1,256 @@
+"""Geometric builders for coarse-grained (one bead per residue) chains."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.md.forcefield.bonded import PeriodicDihedralForce
+from repro.md.system import Topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RandomStream
+
+#: Ideal consecutive C-alpha spacing (nm).
+CA_SPACING = 0.38
+
+#: Ideal alpha-helix geometry for a C-alpha trace.
+HELIX_RISE = 0.15        # nm per residue along the axis
+HELIX_RADIUS = 0.23      # nm
+HELIX_TWIST = np.deg2rad(100.0)  # per residue
+
+
+def build_helix(
+    n_residues: int,
+    start: np.ndarray,
+    axis: np.ndarray,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """C-alpha coordinates of an ideal alpha-helix.
+
+    Parameters
+    ----------
+    n_residues:
+        Number of residues.
+    start:
+        Position of the helix axis at the first residue.
+    axis:
+        Direction of the helix axis (need not be normalised).
+    phase:
+        Rotational phase of the first residue around the axis.
+    """
+    if n_residues < 1:
+        raise ConfigurationError(f"n_residues must be >= 1, got {n_residues}")
+    axis = np.asarray(axis, dtype=float)
+    norm = np.linalg.norm(axis)
+    if norm == 0:
+        raise ConfigurationError("helix axis must be nonzero")
+    axis = axis / norm
+    # Build an orthonormal frame (u, v, axis).
+    seed = np.array([1.0, 0.0, 0.0])
+    if abs(np.dot(seed, axis)) > 0.9:
+        seed = np.array([0.0, 1.0, 0.0])
+    u = np.cross(axis, seed)
+    u /= np.linalg.norm(u)
+    v = np.cross(axis, u)
+    t = np.arange(n_residues)
+    angle = phase + t * HELIX_TWIST
+    coords = (
+        np.asarray(start, dtype=float)
+        + np.outer(t * HELIX_RISE, axis)
+        + HELIX_RADIUS * (np.outer(np.cos(angle), u) + np.outer(np.sin(angle), v))
+    )
+    return coords
+
+
+def build_loop(
+    start: np.ndarray, end: np.ndarray, n_residues: int, bulge: float = 0.35
+) -> np.ndarray:
+    """Loop residues between two anchor points with near-ideal spacing.
+
+    Residues are placed at equal arc lengths along a quadratic Bezier
+    curve from *start* to *end* whose control point bulges sideways.
+    The bulge is solved by bisection so the total path length matches
+    ``(n_residues + 1) * CA_SPACING``, giving every segment (including
+    the two anchor bonds) close to the ideal C-alpha distance even when
+    the anchors sit nearby in space.
+    """
+    if n_residues < 1:
+        raise ConfigurationError(f"loop needs >= 1 residue, got {n_residues}")
+    start = np.asarray(start, dtype=float)
+    end = np.asarray(end, dtype=float)
+    direction = end - start
+    span = np.linalg.norm(direction)
+    # Perpendicular bulge direction: away from the origin-projected line.
+    midpoint = 0.5 * (start + end)
+    outward = midpoint.copy()
+    if span > 1e-9:
+        outward = outward - np.dot(outward, direction) / span**2 * direction
+    nrm = np.linalg.norm(outward)
+    if nrm < 1e-9:
+        for seed in ([0.0, 0.0, 1.0], [0.0, 1.0, 0.0], [1.0, 0.0, 0.0]):
+            outward = np.cross(direction, np.asarray(seed))
+            nrm = np.linalg.norm(outward)
+            if nrm > 1e-9:
+                break
+        else:  # degenerate anchors: pick any direction
+            outward, nrm = np.array([0.0, 0.0, 1.0]), 1.0
+    outward /= nrm
+
+    target_length = (n_residues + 1) * CA_SPACING
+    t_fine = np.linspace(0.0, 1.0, 256)
+
+    def _curve(b: float) -> np.ndarray:
+        control = midpoint + b * outward
+        t = t_fine[:, None]
+        return (
+            (1 - t) ** 2 * start[None, :]
+            + 2 * (1 - t) * t * control[None, :]
+            + t**2 * end[None, :]
+        )
+
+    def _length(b: float) -> float:
+        pts = _curve(b)
+        return float(np.sum(np.linalg.norm(np.diff(pts, axis=0), axis=1)))
+
+    if span >= target_length:
+        chosen = 0.0  # anchors far apart: straight line is already long enough
+    else:
+        lo, hi = 0.0, max(bulge, 0.1)
+        while _length(hi) < target_length and hi < 100.0:
+            hi *= 2.0
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if _length(mid) < target_length:
+                lo = mid
+            else:
+                hi = mid
+        chosen = 0.5 * (lo + hi)
+
+    pts = _curve(chosen)
+    seg = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+    cumulative = np.concatenate([[0.0], np.cumsum(seg)])
+    total = cumulative[-1]
+    targets = np.arange(1, n_residues + 1) / (n_residues + 1) * total
+    coords = np.empty((n_residues, 3))
+    for k, s in enumerate(targets):
+        idx = np.searchsorted(cumulative, s)
+        idx = min(max(idx, 1), len(t_fine) - 1)
+        frac = (s - cumulative[idx - 1]) / max(seg[idx - 1], 1e-12)
+        coords[k] = pts[idx - 1] + frac * (pts[idx] - pts[idx - 1])
+    return coords
+
+
+def build_extended_chain(
+    n_residues: int,
+    spacing: float = CA_SPACING,
+    zigzag_angle: float = np.deg2rad(120.0),
+    rng: Optional[RandomStream] = None,
+    noise: float = 0.02,
+) -> np.ndarray:
+    """An extended (unfolded) zigzag chain in the xy-plane.
+
+    A zigzag rather than a straight line keeps every bond angle well
+    away from the straight-angle singularity of the harmonic angle
+    force.  Optional Gaussian noise decorrelates multiple unfolded
+    starting conformations, mirroring the paper's nine distinct
+    unfolded villin starts.
+    """
+    if n_residues < 2:
+        raise ConfigurationError(f"n_residues must be >= 2, got {n_residues}")
+    half = zigzag_angle / 2.0
+    step_x = spacing * np.sin(half)
+    step_y = spacing * np.cos(half)
+    x = np.arange(n_residues) * step_x
+    y = np.where(np.arange(n_residues) % 2 == 0, 0.0, step_y)
+    coords = np.stack([x, y, np.zeros(n_residues)], axis=1)
+    if rng is not None and noise > 0:
+        coords = coords + rng.normal(scale=noise, size=coords.shape)
+    return coords
+
+
+def chain_topology_from_native(
+    native: np.ndarray,
+    bond_k: float = 8000.0,
+    angle_k: float = 40.0,
+    dihedral_k: float = 2.0,
+    names: Optional[Sequence[str]] = None,
+) -> Topology:
+    """Bonded topology of a CG chain with equilibrium values from *native*.
+
+    This is the structure-based (Gō) prescription: bonds, angles and
+    dihedrals take their native geometry as the minimum.  Dihedrals get
+    the standard two-term (n=1 and n=3) Gō form; the n=3 share is added
+    by the caller via a second force if desired.
+    """
+    n = len(native)
+    if n < 2:
+        raise ConfigurationError("chain needs at least two residues")
+    bonds = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+    bond_vecs = native[1:] - native[:-1]
+    bond_r0 = np.linalg.norm(bond_vecs, axis=1)
+
+    if n >= 3:
+        angles = np.stack(
+            [np.arange(n - 2), np.arange(1, n - 1), np.arange(2, n)], axis=1
+        )
+        rij = native[angles[:, 0]] - native[angles[:, 1]]
+        rkj = native[angles[:, 2]] - native[angles[:, 1]]
+        cos_t = np.sum(rij * rkj, axis=1) / (
+            np.linalg.norm(rij, axis=1) * np.linalg.norm(rkj, axis=1)
+        )
+        angle_theta0 = np.arccos(np.clip(cos_t, -1.0, 1.0))
+    else:
+        angles = np.zeros((0, 3), dtype=int)
+        angle_theta0 = np.zeros(0)
+
+    if n >= 4:
+        dihedrals = np.stack(
+            [
+                np.arange(n - 3),
+                np.arange(1, n - 2),
+                np.arange(2, n - 1),
+                np.arange(3, n),
+            ],
+            axis=1,
+        )
+        phi_native = PeriodicDihedralForce.dihedral_angles(native, dihedrals)
+        # k (1 + cos(1*phi - delta)) has its minimum at phi_native when
+        # delta = phi_native - pi.
+        dihedral_phi0 = phi_native - np.pi
+        dihedral_mult = np.ones(len(dihedrals), dtype=int)
+    else:
+        dihedrals = np.zeros((0, 4), dtype=int)
+        dihedral_phi0 = np.zeros(0)
+        dihedral_mult = np.zeros(0, dtype=int)
+
+    return Topology(
+        n_atoms=n,
+        bonds=bonds,
+        bond_r0=bond_r0,
+        bond_k=np.full(len(bonds), bond_k),
+        angles=angles,
+        angle_theta0=angle_theta0,
+        angle_k=np.full(len(angles), angle_k),
+        dihedrals=dihedrals,
+        dihedral_phi0=dihedral_phi0,
+        dihedral_k=np.full(len(dihedrals), dihedral_k),
+        dihedral_mult=dihedral_mult,
+        names=list(names) if names is not None else None,
+    )
+
+
+def native_contact_pairs(
+    native: np.ndarray, cutoff: float = 1.1, min_separation: int = 4
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Native contact list: pairs at least *min_separation* apart in
+    sequence whose native distance is below *cutoff* (nm).
+
+    Returns ``(pairs, distances)``.
+    """
+    n = len(native)
+    iu, ju = np.triu_indices(n, k=min_separation)
+    d = np.linalg.norm(native[ju] - native[iu], axis=1)
+    mask = d < cutoff
+    pairs = np.stack([iu[mask], ju[mask]], axis=1)
+    return pairs, d[mask]

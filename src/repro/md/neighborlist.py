@@ -1,0 +1,160 @@
+"""Neighbour-pair generation: all-pairs and cell lists.
+
+Nonbonded forces are written against a *pair provider*: an object with
+``pairs(positions) -> (i, j)`` returning index arrays of candidate
+interacting pairs (i < j).  ``AllPairs`` precomputes the full pair list
+minus exclusions (ideal below a few hundred particles, where numpy
+overhead dominates any pruning win); ``CellList`` bins particles into
+cells of the cutoff size so only the 27 neighbouring cells are searched
+(linear scaling for large systems).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+def _exclusion_key(n_atoms: int, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+    """Map pairs to scalar keys for fast set membership tests."""
+    return i.astype(np.int64) * n_atoms + j.astype(np.int64)
+
+
+class AllPairs:
+    """Every unordered pair, minus exclusions, precomputed once."""
+
+    def __init__(
+        self, n_atoms: int, exclusions: Optional[Iterable[Tuple[int, int]]] = None
+    ) -> None:
+        if n_atoms < 1:
+            raise ConfigurationError(f"n_atoms must be >= 1, got {n_atoms}")
+        self.n_atoms = n_atoms
+        iu = np.triu_indices(n_atoms, k=1)
+        i, j = iu[0], iu[1]
+        if exclusions:
+            excl = {(min(a, b), max(a, b)) for a, b in exclusions}
+            if excl:
+                excl_arr = np.array(sorted(excl), dtype=np.int64)
+                keys = _exclusion_key(n_atoms, i, j)
+                excl_keys = _exclusion_key(
+                    n_atoms, excl_arr[:, 0], excl_arr[:, 1]
+                )
+                keep = ~np.isin(keys, excl_keys)
+                i, j = i[keep], j[keep]
+        self._i = np.ascontiguousarray(i)
+        self._j = np.ascontiguousarray(j)
+
+    def pairs(self, positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the fixed (i, j) pair arrays (positions unused)."""
+        return self._i, self._j
+
+    def __len__(self) -> int:
+        return len(self._i)
+
+
+class CellList:
+    """Cutoff-based pair provider using spatial binning.
+
+    Pairs further apart than ``cutoff + skin`` are never returned; the
+    skin gives headroom so callers re-using a pair list across a few
+    steps stay correct.
+
+    Parameters
+    ----------
+    cutoff:
+        Interaction cutoff (nm).
+    skin:
+        Extra margin added to the cell size (nm).
+    exclusions:
+        Pairs never returned.
+    """
+
+    def __init__(
+        self,
+        cutoff: float,
+        skin: float = 0.1,
+        exclusions: Optional[Iterable[Tuple[int, int]]] = None,
+    ) -> None:
+        if cutoff <= 0:
+            raise ConfigurationError(f"cutoff must be positive, got {cutoff}")
+        if skin < 0:
+            raise ConfigurationError(f"skin must be >= 0, got {skin}")
+        self.cutoff = float(cutoff)
+        self.skin = float(skin)
+        self._excl: Set[Tuple[int, int]] = (
+            {(min(a, b), max(a, b)) for a, b in exclusions} if exclusions else set()
+        )
+
+    def pairs(self, positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Candidate pairs within ``cutoff + skin`` of each other."""
+        n = len(positions)
+        reach = self.cutoff + self.skin
+        origin = positions.min(axis=0)
+        cells = np.floor((positions - origin) / reach).astype(np.int64)
+        # Hash 3-D (or 2-D) cell coordinates into a single key per atom.
+        span = cells.max(axis=0) + 2
+        multipliers = np.ones(positions.shape[1], dtype=np.int64)
+        for d in range(1, positions.shape[1]):
+            multipliers[d] = multipliers[d - 1] * span[d - 1]
+        keys = cells @ multipliers
+
+        # Group atom indices by cell.
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        cell_starts = np.flatnonzero(
+            np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+        )
+        cell_map = {}
+        boundaries = np.append(cell_starts, n)
+        for s, e in zip(boundaries[:-1], boundaries[1:]):
+            cell_map[sorted_keys[s]] = order[s:e]
+
+        dim = positions.shape[1]
+        offsets = np.array(
+            np.meshgrid(*[[-1, 0, 1]] * dim, indexing="ij")
+        ).reshape(dim, -1).T
+
+        out_i, out_j = [], []
+        unique_cells = np.unique(cells, axis=0)
+        for cell in unique_cells:
+            key = cell @ multipliers
+            members = cell_map[key]
+            for off in offsets:
+                nkey = (cell + off) @ multipliers
+                others = cell_map.get(nkey)
+                if others is None:
+                    continue
+                if nkey < key:
+                    continue  # each cell pair visited once
+                if nkey == key:
+                    ii, jj = np.triu_indices(len(members), k=1)
+                    out_i.append(members[ii])
+                    out_j.append(members[jj])
+                else:
+                    ii = np.repeat(members, len(others))
+                    jj = np.tile(others, len(members))
+                    out_i.append(ii)
+                    out_j.append(jj)
+
+        if not out_i:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        i = np.concatenate(out_i)
+        j = np.concatenate(out_j)
+        # Orient (i < j) and drop pairs beyond the reach or excluded.
+        swap = i > j
+        i2 = np.where(swap, j, i)
+        j2 = np.where(swap, i, j)
+        d = positions[j2] - positions[i2]
+        within = np.sum(d * d, axis=1) <= reach * reach
+        i2, j2 = i2[within], j2[within]
+        if self._excl:
+            excl_arr = np.array(sorted(self._excl), dtype=np.int64)
+            keys_p = _exclusion_key(n, i2, j2)
+            keys_e = _exclusion_key(n, excl_arr[:, 0], excl_arr[:, 1])
+            keep = ~np.isin(keys_p, keys_e)
+            i2, j2 = i2[keep], j2[keep]
+        return i2, j2

@@ -1,0 +1,87 @@
+"""Trajectory observables: geometry and energy reporters.
+
+Vectorised over whole trajectories: each function takes
+``(n_frames, n_atoms, 3)`` (or a single frame) and returns per-frame
+values.  These are the quantities the MSM layer and the examples read
+off raw coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+def _frames(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 2:
+        return x[None]
+    if x.ndim != 3:
+        raise ConfigurationError(
+            f"expected (n_frames, n_atoms, dim) or (n_atoms, dim), got {x.shape}"
+        )
+    return x
+
+
+def radius_of_gyration(
+    positions: np.ndarray, masses: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Mass-weighted radius of gyration per frame."""
+    frames = _frames(positions)
+    n_atoms = frames.shape[1]
+    if masses is None:
+        masses = np.ones(n_atoms)
+    masses = np.asarray(masses, dtype=float)
+    if masses.shape != (n_atoms,):
+        raise ConfigurationError("masses must match the atom count")
+    total = masses.sum()
+    com = np.einsum("fad,a->fd", frames, masses) / total
+    delta = frames - com[:, None, :]
+    rg2 = np.einsum("fad,fad,a->f", delta, delta, masses) / total
+    out = np.sqrt(rg2)
+    return out if positions.ndim == 3 else out  # always (n_frames,)
+
+
+def end_to_end_distance(positions: np.ndarray) -> np.ndarray:
+    """Distance between the first and last atom, per frame."""
+    frames = _frames(positions)
+    d = frames[:, -1, :] - frames[:, 0, :]
+    return np.sqrt(np.sum(d * d, axis=1))
+
+
+def fraction_native_contacts(
+    positions: np.ndarray,
+    pairs: np.ndarray,
+    r0: np.ndarray,
+    tolerance: float = 1.2,
+) -> np.ndarray:
+    """Q per frame: fraction of native pairs within ``tolerance * r0``."""
+    frames = _frames(positions)
+    pairs = np.asarray(pairs, dtype=int).reshape(-1, 2)
+    r0 = np.asarray(r0, dtype=float)
+    if len(pairs) != len(r0):
+        raise ConfigurationError("pairs and r0 misaligned")
+    if len(pairs) == 0:
+        return np.ones(len(frames))
+    d = frames[:, pairs[:, 1], :] - frames[:, pairs[:, 0], :]
+    dist = np.sqrt(np.sum(d * d, axis=2))
+    return np.mean(dist < tolerance * r0[None, :], axis=1)
+
+
+def potential_energy_series(system, positions: np.ndarray) -> np.ndarray:
+    """Potential energy of every frame under *system*'s force field."""
+    frames = _frames(positions)
+    return np.array([system.potential_energy(frame) for frame in frames])
+
+
+def bond_length_series(positions: np.ndarray, i: int, j: int) -> np.ndarray:
+    """Distance between two atoms, per frame."""
+    frames = _frames(positions)
+    n_atoms = frames.shape[1]
+    if not (0 <= i < n_atoms and 0 <= j < n_atoms):
+        raise ConfigurationError("atom index out of range")
+    d = frames[:, j, :] - frames[:, i, :]
+    return np.sqrt(np.sum(d * d, axis=1))

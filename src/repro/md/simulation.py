@@ -1,0 +1,217 @@
+"""Simulation driver with reporting and checkpoint/restart.
+
+The :class:`Simulation` is what a Copernicus *command* ultimately runs:
+it owns a system, an integrator and a state, advances them, snapshots
+coordinates at a fixed interval and can serialise its complete state to
+a :class:`Checkpoint` at any step — the property that lets a failed
+worker's command be transparently resumed by another worker
+(paper section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.md.integrators import NoseHooverIntegrator
+from repro.md.system import State, System
+from repro.md.trajectory import Trajectory
+from repro.util.errors import ConfigurationError, SimulationError
+
+
+@dataclass
+class Checkpoint:
+    """A complete, serialisable snapshot of a running simulation.
+
+    Includes the stochastic integrator's noise-generator state, so a
+    Langevin run resumed on another worker continues the *identical*
+    trajectory — failure recovery is bitwise reproducible.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    time: float
+    step: int
+    thermostat_state: float = 0.0
+    rng_state: Optional[Dict] = None
+    metadata: Dict = field(default_factory=dict)
+
+    def to_payload(self) -> Dict:
+        """Wire-format dict (see :mod:`repro.util.serialization`)."""
+        payload = {
+            "positions": self.positions,
+            "velocities": self.velocities,
+            "time": float(self.time),
+            "step": int(self.step),
+            "thermostat_state": float(self.thermostat_state),
+            "metadata": dict(self.metadata),
+        }
+        if self.rng_state is not None:
+            payload["rng_state"] = _encode_rng_state(self.rng_state)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "Checkpoint":
+        """Inverse of :meth:`to_payload`."""
+        raw_rng = payload.get("rng_state")
+        return cls(
+            positions=np.asarray(payload["positions"], dtype=float),
+            velocities=np.asarray(payload["velocities"], dtype=float),
+            time=float(payload["time"]),
+            step=int(payload["step"]),
+            thermostat_state=float(payload.get("thermostat_state", 0.0)),
+            rng_state=_decode_rng_state(raw_rng) if raw_rng else None,
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+
+def _encode_rng_state(state: Dict) -> Dict:
+    """numpy bit-generator state -> wire-format (stringified big ints)."""
+    inner = state.get("state", {})
+    return {
+        "bit_generator": state.get("bit_generator", "PCG64"),
+        "state": str(inner.get("state", 0)),
+        "inc": str(inner.get("inc", 0)),
+        "has_uint32": int(state.get("has_uint32", 0)),
+        "uinteger": int(state.get("uinteger", 0)),
+    }
+
+
+def _decode_rng_state(payload: Dict) -> Dict:
+    """Inverse of :func:`_encode_rng_state`."""
+    return {
+        "bit_generator": payload.get("bit_generator", "PCG64"),
+        "state": {
+            "state": int(payload["state"]),
+            "inc": int(payload["inc"]),
+        },
+        "has_uint32": int(payload.get("has_uint32", 0)),
+        "uinteger": int(payload.get("uinteger", 0)),
+    }
+
+
+class Simulation:
+    """Drives an integrator over a system, recording frames.
+
+    Parameters
+    ----------
+    system:
+        The particle system (with force terms attached).
+    integrator:
+        Any integrator from :mod:`repro.md.integrators`.
+    state:
+        Initial state.  Velocities may be zero; call
+        ``system.maxwell_boltzmann_velocities`` to thermalise.
+    report_interval:
+        Steps between trajectory snapshots (0 disables recording).
+    """
+
+    def __init__(
+        self,
+        system: System,
+        integrator,
+        state: State,
+        report_interval: int = 0,
+    ) -> None:
+        if state.positions.shape != (system.n_atoms, system.dim):
+            raise ConfigurationError(
+                f"state shape {state.positions.shape} does not match system "
+                f"({system.n_atoms}, {system.dim})"
+            )
+        if report_interval < 0:
+            raise ConfigurationError("report_interval must be >= 0")
+        self.system = system
+        self.integrator = integrator
+        self.state = state
+        self.report_interval = int(report_interval)
+        self.trajectory = Trajectory()
+        self._forces: Optional[np.ndarray] = None
+        self._observers: List[Callable[[State], None]] = []
+
+    def add_observer(self, callback: Callable[[State], None]) -> None:
+        """Register a callable invoked at every report interval."""
+        self._observers.append(callback)
+
+    def run(self, n_steps: int) -> None:
+        """Advance *n_steps* timesteps.
+
+        Raises
+        ------
+        SimulationError
+            If coordinates become non-finite (numerical blow-up).
+        """
+        if n_steps < 0:
+            raise ConfigurationError(f"n_steps must be >= 0, got {n_steps}")
+        if self._forces is None:
+            self._forces = self.integrator.initial_forces(self.system, self.state)
+            if self.report_interval and len(self.trajectory) == 0:
+                self._report()
+        for _ in range(n_steps):
+            self._forces = self.integrator.step(
+                self.system, self.state, self._forces
+            )
+            if self.report_interval and self.state.step % self.report_interval == 0:
+                if not np.all(np.isfinite(self.state.positions)):
+                    raise SimulationError(
+                        f"non-finite coordinates at step {self.state.step}; "
+                        "reduce the timestep"
+                    )
+                self._report()
+
+    def _report(self) -> None:
+        self.trajectory.append(self.state.positions, self.state.time)
+        for observer in self._observers:
+            observer(self.state)
+
+    # -- energies ---------------------------------------------------------
+
+    def potential_energy(self) -> float:
+        """Current potential energy (kJ/mol)."""
+        return self.system.potential_energy(self.state.positions)
+
+    def kinetic_energy(self) -> float:
+        """Current kinetic energy (kJ/mol)."""
+        return self.system.kinetic_energy(self.state.velocities)
+
+    def total_energy(self) -> float:
+        """Current total energy (kJ/mol)."""
+        return self.potential_energy() + self.kinetic_energy()
+
+    # -- checkpointing ------------------------------------------------------
+
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot everything needed to continue this run elsewhere."""
+        thermo = 0.0
+        if isinstance(self.integrator, NoseHooverIntegrator):
+            thermo = self.integrator.thermostat_state
+        rng_state = getattr(self.integrator, "rng_state", None)
+        return Checkpoint(
+            positions=self.state.positions.copy(),
+            velocities=self.state.velocities.copy(),
+            time=self.state.time,
+            step=self.state.step,
+            thermostat_state=thermo,
+            rng_state=dict(rng_state) if rng_state is not None else None,
+        )
+
+    def restore(self, checkpoint: Checkpoint) -> None:
+        """Resume from a checkpoint (possibly produced by another worker)."""
+        if checkpoint.positions.shape != (self.system.n_atoms, self.system.dim):
+            raise ConfigurationError(
+                "checkpoint geometry does not match this system"
+            )
+        self.state = State(
+            checkpoint.positions.copy(),
+            checkpoint.velocities.copy(),
+            time=checkpoint.time,
+            step=checkpoint.step,
+        )
+        if isinstance(self.integrator, NoseHooverIntegrator):
+            self.integrator.thermostat_state = checkpoint.thermostat_state
+        if checkpoint.rng_state is not None and hasattr(
+            self.integrator, "rng_state"
+        ):
+            self.integrator.rng_state = checkpoint.rng_state
+        self._forces = None

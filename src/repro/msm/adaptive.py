@@ -1,0 +1,114 @@
+"""Adaptive-sampling weight schemes for spawning new trajectories.
+
+The Copernicus MSM controller chooses, at every clustering step, how
+many new trajectories to start from each microstate (paper section
+3.2).  Two regimes:
+
+* **even weighting** — uniform over discovered states; right when the
+  state partitioning itself is still unstable (early generations);
+* **adaptive weighting** — proportional to the statistical uncertainty
+  of each state's outgoing transition probabilities; optimises
+  convergence of the kinetics once states are stable, and "can boost
+  sampling efficiency twofold compared to even weighting".
+
+The uncertainty weight uses the Dirichlet posterior of each row: a row
+observed ``n_i`` times has total transition-probability variance
+``sum_j p_ij (1 - p_ij) / (n_i + K + 1)`` under a uniform prior with
+``K`` states — the `mincounts` variant keeps only the ``1/n`` scaling,
+the classic "explore least-visited states" heuristic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError, EstimationError
+from repro.util.rng import RandomStream, ensure_stream
+
+
+def _check_counts(counts: np.ndarray) -> np.ndarray:
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 2 or counts.shape[0] != counts.shape[1]:
+        raise EstimationError(f"count matrix must be square, got {counts.shape}")
+    return counts
+
+
+def even_weights(counts: np.ndarray) -> np.ndarray:
+    """Uniform weights over discovered (visited) states."""
+    counts = _check_counts(counts)
+    visited = (counts.sum(axis=1) + counts.sum(axis=0)) > 0
+    if not visited.any():
+        raise EstimationError("no visited states")
+    w = visited.astype(float)
+    return w / w.sum()
+
+
+def mincounts_weights(counts: np.ndarray) -> np.ndarray:
+    """Weights inversely proportional to visit counts (exploration)."""
+    counts = _check_counts(counts)
+    visits = counts.sum(axis=1) + counts.sum(axis=0)
+    visited = visits > 0
+    if not visited.any():
+        raise EstimationError("no visited states")
+    w = np.where(visited, 1.0 / (1.0 + visits), 0.0)
+    return w / w.sum()
+
+
+def uncertainty_weights(counts: np.ndarray, prior: float = 1.0) -> np.ndarray:
+    """Weights from the Dirichlet posterior variance of each row.
+
+    ``w_i proportional to sum_j p_ij (1 - p_ij) / (n_i + K + 1)`` with
+    posterior means ``p_ij = (c_ij + prior/K) / (n_i + prior)``.
+    States with no outgoing counts receive the maximum row weight, so
+    newly discovered states are sampled first — which is what makes the
+    scheme *adaptive* rather than merely refining.
+    """
+    counts = _check_counts(counts)
+    n_states = counts.shape[0]
+    visited = (counts.sum(axis=1) + counts.sum(axis=0)) > 0
+    if not visited.any():
+        raise EstimationError("no visited states")
+    row_totals = counts.sum(axis=1)
+    alpha = counts + prior / n_states
+    alpha_total = row_totals + prior
+    p = alpha / alpha_total[:, None]
+    variance = (p * (1.0 - p)).sum(axis=1) / (alpha_total + 1.0)
+    w = np.where(visited, variance, 0.0)
+    # unvisited-out states (seen only as destinations) are maximally uncertain
+    no_out = visited & (row_totals == 0)
+    if w[visited].max() > 0:
+        w[no_out] = np.where(w[no_out] > 0, w[no_out], w.max())
+    if w.sum() == 0:
+        return even_weights(counts)
+    return w / w.sum()
+
+
+def allocate_starts(
+    weights: np.ndarray,
+    n_trajectories: int,
+    rng: int | RandomStream | None = 0,
+) -> np.ndarray:
+    """Turn state weights into integer trajectory counts per state.
+
+    Uses largest-remainder apportionment with random tie-breaking, so
+    the allocation is exact (sums to ``n_trajectories``), proportional
+    and reproducible.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 1 or np.any(weights < 0):
+        raise ConfigurationError("weights must be a non-negative 1-D array")
+    if n_trajectories < 0:
+        raise ConfigurationError("n_trajectories must be >= 0")
+    total = weights.sum()
+    if total <= 0:
+        raise ConfigurationError("weights sum to zero")
+    stream = ensure_stream(rng)
+    quota = weights / total * n_trajectories
+    base = np.floor(quota).astype(int)
+    remaining = n_trajectories - int(base.sum())
+    if remaining > 0:
+        remainders = quota - base
+        # random jitter breaks exact ties reproducibly
+        order = np.argsort(-(remainders + 1e-12 * stream.uniform(size=len(weights))))
+        base[order[:remaining]] += 1
+    return base

@@ -1,0 +1,63 @@
+"""Ergodic trimming: restrict counts to the largest connected set.
+
+The paper: "Analysis was performed on the largest connected subset of
+the Markovian transition matrix."  States only reached, or only left,
+cannot support equilibrium estimation; the strongly connected component
+with the most counts is the standard fix.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.util.errors import EstimationError
+
+
+def largest_connected_set(counts: np.ndarray, directed: bool = True) -> np.ndarray:
+    """Indices of the largest (strongly) connected component.
+
+    Components are compared by total outgoing counts, breaking ties by
+    size, so the dynamically dominant component wins even when a swarm
+    of singleton states exists.
+    """
+    counts = np.asarray(counts)
+    if counts.ndim != 2 or counts.shape[0] != counts.shape[1]:
+        raise EstimationError(f"count matrix must be square, got {counts.shape}")
+    graph_cls = nx.DiGraph if directed else nx.Graph
+    graph = nx.from_numpy_array(counts, create_using=graph_cls)
+    components = (
+        nx.strongly_connected_components(graph)
+        if directed
+        else nx.connected_components(graph)
+    )
+
+    def weight(component) -> Tuple[float, int]:
+        idx = np.fromiter(component, dtype=int)
+        return float(counts[idx].sum()), len(idx)
+
+    best = max(components, key=weight)
+    return np.sort(np.fromiter(best, dtype=int))
+
+
+def trim_counts(counts: np.ndarray, directed: bool = True):
+    """Restrict a count matrix to its largest connected set.
+
+    Returns ``(trimmed_counts, kept_indices)`` where ``kept_indices``
+    maps trimmed state numbers back to the original numbering.
+    """
+    kept = largest_connected_set(counts, directed=directed)
+    return np.asarray(counts)[np.ix_(kept, kept)], kept
+
+
+def map_dtrajs_to_subset(dtrajs, kept: np.ndarray, n_states: int):
+    """Re-index discrete trajectories onto a kept-state subset.
+
+    Frames in removed states become ``-1``; callers should split
+    trajectories at those points before recounting.
+    """
+    mapping = np.full(n_states, -1, dtype=int)
+    mapping[np.asarray(kept, dtype=int)] = np.arange(len(kept))
+    return [mapping[np.asarray(d, dtype=int)] for d in dtrajs]

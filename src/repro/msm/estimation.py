@@ -1,0 +1,114 @@
+"""Transition-matrix estimation from count matrices.
+
+Two estimators:
+
+* :func:`estimate_transition_matrix` — row-normalised maximum
+  likelihood (optionally with a pseudocount prior);
+* :func:`reversible_transition_matrix` — maximum likelihood under
+  detailed balance, via the classic self-consistent iteration
+  (Bowman et al., J. Chem. Phys. 131, 124101 (2009) — reference [2]
+  of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import EstimationError
+
+
+def _check_counts(counts: np.ndarray) -> np.ndarray:
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 2 or counts.shape[0] != counts.shape[1]:
+        raise EstimationError(f"count matrix must be square, got {counts.shape}")
+    if np.any(counts < 0):
+        raise EstimationError("count matrix has negative entries")
+    return counts
+
+
+def estimate_transition_matrix(
+    counts: np.ndarray, prior: float = 0.0
+) -> np.ndarray:
+    """Row-normalised MLE: ``T[i, j] = C[i, j] / sum_j C[i, j]``.
+
+    Parameters
+    ----------
+    counts:
+        Square count matrix.
+    prior:
+        Dirichlet pseudocount added to every entry.  With ``prior=0``
+        empty rows get a self-loop (absorbing), keeping T stochastic.
+    """
+    counts = _check_counts(counts) + float(prior)
+    row_sums = counts.sum(axis=1)
+    T = np.zeros_like(counts)
+    nonzero = row_sums > 0
+    T[nonzero] = counts[nonzero] / row_sums[nonzero, None]
+    empty = np.flatnonzero(~nonzero)
+    T[empty, empty] = 1.0
+    return T
+
+
+def reversible_transition_matrix(
+    counts: np.ndarray, tol: float = 1e-10, max_iter: int = 10000
+) -> np.ndarray:
+    """Maximum-likelihood reversible transition matrix.
+
+    Solves for ``X[i, j] = X[j, i]`` (unnormalised symmetric flows)
+    maximising the likelihood of *counts*, by the standard fixed-point
+
+    ``X[i, j] <- (C[i, j] + C[j, i]) / (C_i / x_i + C_j / x_j)``
+
+    where ``C_i`` are row sums of C and ``x_i`` row sums of X.  The
+    result ``T[i, j] = X[i, j] / x_i`` satisfies detailed balance with
+    respect to ``pi = x / sum(x)`` exactly.
+
+    Requires the count graph to be connected (use
+    :func:`repro.msm.connectivity.trim_counts` first).
+    """
+    counts = _check_counts(counts)
+    n = counts.shape[0]
+    c_sym = counts + counts.T
+    if np.any(c_sym.sum(axis=1) == 0):
+        raise EstimationError(
+            "count matrix has empty states; trim to the connected set first"
+        )
+    row_counts = counts.sum(axis=1)
+    x = c_sym.copy() / max(c_sym.sum(), 1.0)
+    for _ in range(max_iter):
+        x_row = x.sum(axis=1)
+        denom = row_counts[:, None] / x_row[:, None] + row_counts[None, :] / x_row[None, :]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_new = np.where(c_sym > 0, c_sym / denom, 0.0)
+        delta = np.abs(x_new - x).max()
+        x = x_new
+        if delta < tol:
+            break
+    else:
+        raise EstimationError(
+            f"reversible estimator did not converge in {max_iter} iterations"
+        )
+    x_row = x.sum(axis=1)
+    if np.any(x_row <= 0):
+        raise EstimationError("reversible estimator produced an empty state")
+    T = x / x_row[:, None]
+    return T
+
+
+def is_stochastic(T: np.ndarray, tol: float = 1e-8) -> bool:
+    """True if *T* is a right-stochastic matrix."""
+    T = np.asarray(T, dtype=float)
+    return (
+        T.ndim == 2
+        and T.shape[0] == T.shape[1]
+        and bool(np.all(T >= -tol))
+        and bool(np.allclose(T.sum(axis=1), 1.0, atol=tol))
+    )
+
+
+def detailed_balance_violation(T: np.ndarray, pi: np.ndarray) -> float:
+    """Max |pi_i T_ij - pi_j T_ji| — zero for a reversible chain."""
+    T = np.asarray(T, dtype=float)
+    pi = np.asarray(pi, dtype=float)
+    flux = pi[:, None] * T
+    return float(np.abs(flux - flux.T).max())

@@ -1,0 +1,128 @@
+"""Metastable macrostate lumping (PCCA-style spectral clustering).
+
+Microstate MSMs (the paper's 10,000 clusters) are analysed through a
+handful of *metastable* macrostates — groups of microstates that
+interconvert quickly internally and slowly with each other.  Following
+Perron-cluster cluster analysis, the dominant right eigenvectors of the
+transition matrix embed each microstate in a low-dimensional space
+where metastable sets separate; k-means on that embedding (weighted by
+the stationary distribution) recovers them.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.msm.analysis import _check_T, stationary_distribution
+from repro.util.errors import EstimationError
+from repro.util.rng import RandomStream
+
+
+def spectral_embedding(T: np.ndarray, n_macrostates: int) -> np.ndarray:
+    """Coordinates of each microstate in the top right eigenvectors.
+
+    Returns an ``(n_states, n_macrostates - 1)`` real array (the
+    trivial constant eigenvector is dropped).
+    """
+    T = _check_T(T)
+    if n_macrostates < 2:
+        raise EstimationError("need at least 2 macrostates")
+    if n_macrostates > T.shape[0]:
+        raise EstimationError("more macrostates than microstates")
+    vals, vecs = np.linalg.eig(T)
+    order = np.argsort(-np.abs(vals))
+    top = vecs[:, order[:n_macrostates]]
+    if np.abs(top.imag).max() > 1e-8:
+        # complex pairs indicate non-metastable structure; use real parts
+        top = top.real
+    else:
+        top = top.real
+    # drop the constant eigenvector; normalise each column
+    emb = top[:, 1:]
+    norms = np.linalg.norm(emb, axis=0)
+    norms[norms == 0] = 1.0
+    return emb / norms
+
+
+def _kmeans(
+    points: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    rng: RandomStream,
+    n_iter: int = 100,
+) -> np.ndarray:
+    """Weighted k-means with farthest-point init; returns labels."""
+    n = len(points)
+    centers = [int(rng.integers(0, n))]
+    d = np.linalg.norm(points - points[centers[0]], axis=1)
+    for _ in range(k - 1):
+        centers.append(int(np.argmax(d)))
+        d = np.minimum(
+            d, np.linalg.norm(points - points[centers[-1]], axis=1)
+        )
+    C = points[centers].copy()
+    labels = np.zeros(n, dtype=int)
+    for _ in range(n_iter):
+        dist = np.linalg.norm(points[:, None, :] - C[None, :, :], axis=2)
+        new_labels = np.argmin(dist, axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for c in range(k):
+            members = labels == c
+            if members.any():
+                w = weights[members][:, None]
+                C[c] = (points[members] * w).sum(axis=0) / w.sum()
+    return labels
+
+
+def lump_states(
+    T: np.ndarray, n_macrostates: int, seed: int = 0
+) -> np.ndarray:
+    """Assign each microstate to one of *n_macrostates* metastable sets."""
+    emb = spectral_embedding(T, n_macrostates)
+    pi = stationary_distribution(T)
+    labels = _kmeans(emb, pi, n_macrostates, RandomStream(seed))
+    # re-label so macrostate ids are contiguous 0..k'-1
+    unique = np.unique(labels)
+    remap = {int(u): i for i, u in enumerate(unique)}
+    return np.asarray([remap[int(l)] for l in labels], dtype=int)
+
+
+def coarse_grain(
+    T: np.ndarray, labels: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Macrostate transition matrix and populations from a lumping.
+
+    Uses the stationary-distribution-weighted aggregation
+    ``T_AB = sum_{i in A, j in B} pi_i T_ij / sum_{i in A} pi_i``.
+    """
+    T = _check_T(T)
+    labels = np.asarray(labels, dtype=int)
+    if labels.shape != (T.shape[0],):
+        raise EstimationError("labels must cover every microstate")
+    pi = stationary_distribution(T)
+    k = labels.max() + 1
+    pops = np.zeros(k)
+    T_macro = np.zeros((k, k))
+    for a in range(k):
+        in_a = labels == a
+        pops[a] = pi[in_a].sum()
+        if pops[a] == 0:
+            raise EstimationError(f"macrostate {a} has zero population")
+        flux = (pi[in_a, None] * T[in_a, :]).sum(axis=0)
+        for b in range(k):
+            T_macro[a, b] = flux[labels == b].sum() / pops[a]
+    return T_macro, pops
+
+
+def metastability(T: np.ndarray, labels: np.ndarray) -> float:
+    """Trace of the coarse-grained matrix over the macrostate count.
+
+    1.0 means perfectly metastable macrostates (no inter-macrostate
+    transitions at this lag); 1/k is the uninformative floor.
+    """
+    T_macro, _ = coarse_grain(T, labels)
+    return float(np.trace(T_macro) / T_macro.shape[0])

@@ -1,0 +1,53 @@
+"""Distance metrics for clustering trajectory frames.
+
+A metric computes distances between a batch of frames and a single
+target frame (``to_target``), vectorised over the batch — the access
+pattern of k-centers clustering, where each iteration measures every
+frame against one new centre.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.rmsd import rmsd_to_reference
+from repro.util.errors import ConfigurationError
+
+
+class EuclideanMetric:
+    """Plain Euclidean distance on feature vectors ``(n_frames, d)``."""
+
+    def to_target(self, frames: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Distances from every frame to *target*."""
+        frames = np.asarray(frames, dtype=float)
+        target = np.asarray(target, dtype=float)
+        if frames.ndim == 1:
+            frames = frames[:, None]
+        if target.ndim == 0:
+            target = target[None]
+        if frames.shape[1:] != target.shape:
+            raise ConfigurationError(
+                f"frame shape {frames.shape[1:]} != target shape {target.shape}"
+            )
+        diff = frames - target[None]
+        return np.sqrt(np.sum(diff.reshape(len(frames), -1) ** 2, axis=1))
+
+
+class RMSDMetric:
+    """Optimal-superposition RMSD on coordinate frames ``(n, n_atoms, 3)``.
+
+    This is the paper's clustering metric: conformations are compared
+    after rigid-body alignment, so rotated/translated copies of the
+    same structure cluster together.
+    """
+
+    def to_target(self, frames: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """RMSD from every frame to *target* after Kabsch alignment."""
+        frames = np.asarray(frames, dtype=float)
+        target = np.asarray(target, dtype=float)
+        if frames.ndim != 3 or target.ndim != 2:
+            raise ConfigurationError(
+                "RMSDMetric needs (n_frames, n_atoms, 3) frames and "
+                "(n_atoms, 3) target"
+            )
+        return rmsd_to_reference(frames, target, align=True)

@@ -1,0 +1,34 @@
+"""Simulated authenticated overlay network.
+
+The paper's Copernicus deployment is a small, relatively static overlay
+of servers speaking SSL over high-latency links, with workers and user
+clients attached to their nearest server (Fig. 1).  This subpackage
+reproduces that substrate in-process:
+
+* :mod:`repro.net.auth` — public-key trust: every endpoint owns a
+  keypair and only communicates with peers whose keys it has imported
+  (the paper's "exchange of public keys ... set of trusted keys").
+* :mod:`repro.net.transport` — the message fabric: named endpoints,
+  point-to-point links with latency/bandwidth parameters, multi-hop
+  routing along the overlay, and per-link traffic accounting that the
+  bandwidth analyses read out.
+* :mod:`repro.net.protocol` — typed request/response messages.
+"""
+
+from repro.net.auth import KeyPair, TrustStore
+from repro.net.protocol import Message, MessageType
+from repro.net.transport import Endpoint, Link, Network
+
+__all__ = [
+    "KeyPair",
+    "TrustStore",
+    "Message",
+    "MessageType",
+    "Endpoint",
+    "Link",
+    "Network",
+]
+
+# repro.net.topology is imported lazily by callers that need the
+# pre-built deployments; importing it here would create a cycle with
+# repro.server/repro.worker.

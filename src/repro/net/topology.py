@@ -1,0 +1,151 @@
+"""Pre-built overlay topologies.
+
+Deployment recipes from the paper: a single server with local workers
+(a workstation), a cluster with a head-node relay, and the full Fig. 1
+multi-site layout (two project servers behind a gateway, three clusters
+— one of them intercontinental).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.net.transport import Network
+from repro.server.server import CopernicusServer
+from repro.util.errors import ConfigurationError
+from repro.worker.platform import SMPPlatform
+from repro.worker.worker import Worker
+
+#: Latency presets (seconds) for common link classes.
+LATENCY_LOCAL = 0.0005       # node to head-node
+LATENCY_CAMPUS = 0.005       # within a data centre
+LATENCY_WAN = 0.03           # between nearby sites
+LATENCY_INTERCONTINENTAL = 0.15
+
+
+@dataclass
+class Deployment:
+    """A constructed overlay plus handles to its parts."""
+
+    network: Network
+    project_servers: List[CopernicusServer]
+    relay_servers: List[CopernicusServer] = field(default_factory=list)
+    workers: List[Worker] = field(default_factory=list)
+
+    @property
+    def project_server(self) -> CopernicusServer:
+        """The first (often only) project server."""
+        return self.project_servers[0]
+
+    def announce_all(self, now: float = 0.0) -> None:
+        """Announce every worker to its server."""
+        for worker in self.workers:
+            worker.announce(now)
+
+
+def workstation(
+    n_workers: int = 1,
+    cores_per_worker: int = 2,
+    seed: int = 0,
+    heartbeat_interval: float = 120.0,
+) -> Deployment:
+    """A single server with directly attached workers."""
+    if n_workers < 1:
+        raise ConfigurationError("need at least one worker")
+    net = Network(seed=seed)
+    server = CopernicusServer("server", net, heartbeat_interval=heartbeat_interval)
+    workers = []
+    for k in range(n_workers):
+        worker = Worker(
+            f"w{k}", net, server="server",
+            platform=SMPPlatform(cores=cores_per_worker),
+        )
+        net.connect("server", f"w{k}", latency=LATENCY_LOCAL)
+        workers.append(worker)
+    deployment = Deployment(net, [server], [], workers)
+    deployment.announce_all()
+    return deployment
+
+
+def cluster(
+    n_nodes: int = 4,
+    cores_per_node: int = 2,
+    seed: int = 0,
+    heartbeat_interval: float = 120.0,
+    shared_filesystem: bool = True,
+) -> Deployment:
+    """A project server plus a cluster behind a head-node relay.
+
+    With ``shared_filesystem=True`` the head node and its workers mount
+    a common filesystem, so trajectory data never crosses the wire to
+    the head node (paper section 2.3).
+    """
+    if n_nodes < 1:
+        raise ConfigurationError("need at least one node")
+    net = Network(seed=seed)
+    project = CopernicusServer(
+        "project-server", net, heartbeat_interval=heartbeat_interval
+    )
+    head = CopernicusServer("head-node", net, heartbeat_interval=heartbeat_interval)
+    net.connect("project-server", "head-node", latency=LATENCY_WAN)
+    workers = []
+    for k in range(n_nodes):
+        worker = Worker(
+            f"node{k}", net, server="head-node",
+            platform=SMPPlatform(cores=cores_per_node),
+        )
+        net.connect("head-node", f"node{k}", latency=LATENCY_LOCAL)
+        workers.append(worker)
+    if shared_filesystem:
+        net.attach_filesystem(
+            "cluster-fs", ["head-node"] + [f"node{k}" for k in range(n_nodes)]
+        )
+    deployment = Deployment(net, [project], [head], workers)
+    deployment.announce_all()
+    return deployment
+
+
+def figure1(
+    workers_per_cluster: int = 2,
+    cores_per_worker: int = 2,
+    seed: int = 0,
+    heartbeat_interval: float = 120.0,
+) -> Deployment:
+    """The paper's Fig. 1: two project servers, a gateway, three clusters.
+
+    Clusters 0 and 1 share a site with the gateway; cluster 2 sits on
+    another continent behind a high-latency link.
+    """
+    net = Network(seed=seed)
+    villin = CopernicusServer(
+        "server-villin", net, heartbeat_interval=heartbeat_interval
+    )
+    titin = CopernicusServer(
+        "server-titin", net, heartbeat_interval=heartbeat_interval
+    )
+    gateway = CopernicusServer("gateway", net, heartbeat_interval=heartbeat_interval)
+    net.connect("server-villin", "gateway", latency=LATENCY_CAMPUS)
+    net.connect("server-titin", "gateway", latency=LATENCY_CAMPUS)
+    relays, workers = [gateway], []
+    for c in range(3):
+        head = CopernicusServer(
+            f"cluster{c}-head", net, heartbeat_interval=heartbeat_interval
+        )
+        relays.append(head)
+        latency = LATENCY_INTERCONTINENTAL if c == 2 else LATENCY_CAMPUS
+        net.connect("gateway", f"cluster{c}-head", latency=latency)
+        names = []
+        for w in range(workers_per_cluster):
+            name = f"c{c}w{w}"
+            worker = Worker(
+                name, net, server=f"cluster{c}-head",
+                platform=SMPPlatform(cores=cores_per_worker),
+            )
+            net.connect(f"cluster{c}-head", name, latency=LATENCY_LOCAL)
+            workers.append(worker)
+            names.append(name)
+        net.attach_filesystem(f"cluster{c}-fs", [f"cluster{c}-head"] + names)
+    deployment = Deployment(net, [villin, titin], relays, workers)
+    deployment.announce_all()
+    return deployment

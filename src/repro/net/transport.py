@@ -1,0 +1,318 @@
+"""The overlay message fabric: endpoints, links, routing, accounting.
+
+Endpoints register with a :class:`Network` and connect through
+:class:`Link` objects carrying latency and bandwidth parameters.  A
+message to a named endpoint is routed along the overlay's shortest
+path (by latency); a message to :data:`~repro.net.protocol.ANY_SERVER`
+walks outward until some endpoint accepts it — the paper's "routing of
+requests both to specific servers, and to the first server with
+available commands".
+
+Delivery is synchronous (the reply returns to the caller), but every
+link records the bytes and virtual seconds it carried, so bandwidth
+analyses can read real traffic numbers off a functional run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.auth import KeyPair, TrustStore, exchange_keys, mutual_handshake
+from repro.net.protocol import ANY_SERVER, Message, MessageType
+from repro.util.errors import CommunicationError
+from repro.util.rng import RandomStream
+from repro.util.serialization import message_size
+
+
+@dataclass
+class Link:
+    """A bidirectional overlay edge with latency/bandwidth accounting."""
+
+    a: str
+    b: str
+    latency: float = 0.01  # seconds per traversal
+    bandwidth: float = 100e6  # bytes per second
+    bytes_carried: int = 0
+    messages_carried: int = 0
+    busy_seconds: float = 0.0
+
+    def other(self, name: str) -> str:
+        """The far end of this link."""
+        if name == self.a:
+            return self.b
+        if name == self.b:
+            return self.a
+        raise CommunicationError(f"{name!r} is not on link {self.a}<->{self.b}")
+
+    def record(self, n_bytes: int) -> float:
+        """Account one traversal; returns the virtual transfer time."""
+        self.bytes_carried += n_bytes
+        self.messages_carried += 1
+        duration = self.latency + n_bytes / self.bandwidth
+        self.busy_seconds += duration
+        return duration
+
+
+class Endpoint:
+    """A named participant on the overlay (server, worker or client).
+
+    Subclasses (or composition users) provide ``handler(message) ->
+    payload | None``; returning ``None`` from a wildcard-routed message
+    means "not mine, keep walking".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: "Network",
+        handler: Optional[Callable[[Message], Optional[dict]]] = None,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.keypair = KeyPair.generate(network.rng, owner=name)
+        self.trust = TrustStore()
+        self._handler = handler
+        network._register(self)
+
+    def handle(self, message: Message) -> Optional[dict]:
+        """Process an inbound request; override or pass ``handler=``."""
+        if self._handler is None:
+            raise CommunicationError(
+                f"endpoint {self.name!r} has no message handler"
+            )
+        return self._handler(message)
+
+    def send(
+        self, dst: str, type: MessageType, payload: Optional[dict] = None
+    ) -> dict:
+        """Send a request and return the response payload."""
+        message = Message(type=type, src=self.name, dst=dst, payload=payload or {})
+        return self.network.deliver(message)
+
+
+#: Wire cost of passing a data *reference* instead of the data itself
+#: when both ends see the same filesystem (paper section 2.3).
+SHARED_FS_REF_BYTES = 256
+
+
+class Network:
+    """The overlay graph plus its delivery engine."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = RandomStream(seed)
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._adjacency: Dict[str, List[str]] = {}
+        #: filesystem name -> set of endpoint names mounting it
+        self._filesystems: Dict[str, set] = {}
+        #: Virtual clock accumulating transfer time of the longest path
+        #: seen; useful for latency reports.
+        self.total_transfer_seconds = 0.0
+        self.messages_delivered = 0
+        #: Bytes saved by shared-filesystem data passing.
+        self.bytes_saved_by_shared_fs = 0
+
+    # -- construction ----------------------------------------------------
+
+    def _register(self, endpoint: Endpoint) -> None:
+        if endpoint.name in self._endpoints:
+            raise CommunicationError(f"duplicate endpoint name {endpoint.name!r}")
+        self._endpoints[endpoint.name] = endpoint
+        self._adjacency[endpoint.name] = []
+
+    def endpoint(self, name: str) -> Endpoint:
+        """Look up an endpoint by name."""
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise CommunicationError(f"unknown endpoint {name!r}") from None
+
+    def endpoints(self) -> List[str]:
+        """All registered endpoint names."""
+        return list(self._endpoints)
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        latency: float = 0.01,
+        bandwidth: float = 100e6,
+    ) -> Link:
+        """Create a trusted link between two endpoints (key exchange included)."""
+        if a == b:
+            raise CommunicationError("cannot link an endpoint to itself")
+        ep_a, ep_b = self.endpoint(a), self.endpoint(b)
+        key = (min(a, b), max(a, b))
+        if key in self._links:
+            raise CommunicationError(f"link {a}<->{b} already exists")
+        exchange_keys(ep_a.keypair, ep_a.trust, ep_b.keypair, ep_b.trust)
+        link = Link(a=key[0], b=key[1], latency=latency, bandwidth=bandwidth)
+        self._links[key] = link
+        self._adjacency[a].append(b)
+        self._adjacency[b].append(a)
+        return link
+
+    def attach_filesystem(self, fs_name: str, endpoints: List[str]) -> None:
+        """Declare that *endpoints* all mount the filesystem *fs_name*.
+
+        Traffic between two endpoints sharing a filesystem passes a
+        small data reference instead of the payload — the paper's
+        shared-filesystem detection ("Copernicus can detect and take
+        advantage of shared file systems to reduce communication").
+        """
+        for name in endpoints:
+            self.endpoint(name)  # validates existence
+        self._filesystems.setdefault(fs_name, set()).update(endpoints)
+
+    def share_filesystem(self, a: str, b: str) -> bool:
+        """Whether two endpoints mount a common filesystem."""
+        return any(
+            a in members and b in members
+            for members in self._filesystems.values()
+        )
+
+    def link(self, a: str, b: str) -> Link:
+        """The link between *a* and *b*."""
+        try:
+            return self._links[(min(a, b), max(a, b))]
+        except KeyError:
+            raise CommunicationError(f"no link {a}<->{b}") from None
+
+    def links(self) -> List[Link]:
+        """All links."""
+        return list(self._links.values())
+
+    # -- routing -----------------------------------------------------------
+
+    def shortest_path(self, src: str, dst: str) -> List[str]:
+        """Lowest-latency path between two endpoints (Dijkstra).
+
+        Raises
+        ------
+        CommunicationError
+            If no path exists.
+        """
+        import heapq
+
+        if src not in self._endpoints or dst not in self._endpoints:
+            raise CommunicationError(f"unknown endpoint in {src!r} -> {dst!r}")
+        dist = {src: 0.0}
+        prev: Dict[str, str] = {}
+        heap = [(0.0, src)]
+        seen = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in seen:
+                continue
+            seen.add(node)
+            if node == dst:
+                break
+            for nbr in self._adjacency[node]:
+                nd = d + self.link(node, nbr).latency
+                if nd < dist.get(nbr, float("inf")):
+                    dist[nbr] = nd
+                    prev[nbr] = node
+                    heapq.heappush(heap, (nd, nbr))
+        if dst not in dist:
+            raise CommunicationError(f"no route from {src!r} to {dst!r}")
+        path = [dst]
+        while path[-1] != src:
+            path.append(prev[path[-1]])
+        return path[::-1]
+
+    def _traverse(self, message: Message, path: List[str]) -> None:
+        """Account a message over every hop, verifying trust per link."""
+        size = message_size(message.payload)
+        if len(path) >= 2 and self.share_filesystem(path[0], path[-1]):
+            # payload stays on disk; only a reference crosses the wire
+            if size > SHARED_FS_REF_BYTES:
+                self.bytes_saved_by_shared_fs += size - SHARED_FS_REF_BYTES
+                size = SHARED_FS_REF_BYTES
+        for hop_src, hop_dst in zip(path[:-1], path[1:]):
+            ep_s, ep_d = self.endpoint(hop_src), self.endpoint(hop_dst)
+            mutual_handshake(ep_s.keypair, ep_s.trust, ep_d.keypair, ep_d.trust)
+            duration = self.link(hop_src, hop_dst).record(size)
+            self.total_transfer_seconds += duration
+            message.hops.append(hop_dst)
+
+    # -- delivery ------------------------------------------------------------
+
+    def deliver(self, message: Message) -> dict:
+        """Route *message* and return the handler's response payload.
+
+        Wildcard destination (:data:`ANY_SERVER`) walks the overlay
+        breadth-first from the source until an endpoint's handler
+        accepts (returns non-``None``).
+        """
+        self.messages_delivered += 1
+        if message.dst == ANY_SERVER:
+            return self._deliver_any(message)
+        path = self.shortest_path(message.src, message.dst)
+        self._traverse(message, path)
+        response = self.endpoint(message.dst).handle(message)
+        if response is None:
+            response = {}
+        # account the response travelling back
+        back = Message(
+            type=MessageType.RESPONSE,
+            src=message.dst,
+            dst=message.src,
+            payload=response,
+        )
+        self._traverse(back, path[::-1])
+        return response
+
+    def _deliver_any(self, message: Message) -> dict:
+        visited = {message.src}
+        frontier = list(self._adjacency[message.src])
+        order: List[str] = []
+        while frontier:
+            node = frontier.pop(0)
+            if node in visited:
+                continue
+            visited.add(node)
+            order.append(node)
+            frontier.extend(
+                n for n in self._adjacency[node] if n not in visited
+            )
+        for candidate in order:
+            probe = Message(
+                type=message.type,
+                src=message.src,
+                dst=candidate,
+                payload=message.payload,
+            )
+            path = self.shortest_path(message.src, candidate)
+            self._traverse(probe, path)
+            response = self.endpoint(candidate).handle(probe)
+            if response is not None:
+                back = Message(
+                    type=MessageType.RESPONSE,
+                    src=candidate,
+                    dst=message.src,
+                    payload=response,
+                )
+                self._traverse(back, path[::-1])
+                return response
+        raise CommunicationError(
+            f"no endpoint accepted wildcard {message.type} from {message.src!r}"
+        )
+
+    # -- reporting ------------------------------------------------------------
+
+    def traffic_report(self) -> List[dict]:
+        """Per-link traffic summary."""
+        return [
+            {
+                "link": f"{link.a}<->{link.b}",
+                "bytes": link.bytes_carried,
+                "messages": link.messages_carried,
+                "busy_seconds": link.busy_seconds,
+            }
+            for link in self.links()
+        ]
+
+    def total_bytes(self) -> int:
+        """Total bytes carried across all links."""
+        return sum(link.bytes_carried for link in self.links())

@@ -1,0 +1,88 @@
+"""Bandwidth analyses: Fig. 9 ensemble traffic and the Fig. 6 hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.perfmodel.scheduler_sim import ProjectSpec, analytic_result
+from repro.util.errors import ConfigurationError
+
+
+def ensemble_bandwidth(spec: ProjectSpec) -> float:
+    """Average ensemble-level bandwidth (MB/s) for a project.
+
+    Trajectory output flows from workers to the project server over the
+    project's makespan; the average is total data over total time —
+    the quantity plotted in Fig. 9.
+    """
+    return analytic_result(spec).avg_bandwidth_mbps
+
+
+@dataclass(frozen=True)
+class HierarchyLevel:
+    """One level of the Copernicus parallelism hierarchy (Fig. 6)."""
+
+    level: str
+    mechanism: str
+    average_bandwidth: str
+    peak_bandwidth: str
+    latency: str
+
+
+def parallelism_hierarchy() -> List[HierarchyLevel]:
+    """The multi-level parallelism table of Fig. 6 (paper's numbers)."""
+    return [
+        HierarchyLevel(
+            level="SIMD kernels",
+            mechanism="hand-tuned vector instructions within a core",
+            average_bandwidth="register-file",
+            peak_bandwidth="register-file",
+            latency="~ns",
+        ),
+        HierarchyLevel(
+            level="threads",
+            mechanism="shared memory within a node",
+            average_bandwidth="0.5 GB/s",
+            peak_bandwidth="25 GB/s",
+            latency="<100 ns",
+        ),
+        HierarchyLevel(
+            level="MPI",
+            mechanism="message passing over Infiniband between nodes",
+            average_bandwidth="0.5 GB/s",
+            peak_bandwidth=">2.7 GB/s",
+            latency="1-10 us",
+        ),
+        HierarchyLevel(
+            level="ensemble (SSL)",
+            mechanism="worker <-> server trajectory/result traffic",
+            average_bandwidth="0.04 MB/s",
+            peak_bandwidth="100 MB/s",
+            latency="10 ms",
+        ),
+        HierarchyLevel(
+            level="server overlay",
+            mechanism="server <-> server across sites",
+            average_bandwidth="<0.04 MB/s",
+            peak_bandwidth="100 MB/s",
+            latency=">100 ms",
+        ),
+    ]
+
+
+def single_simulation_mpi_bandwidth(cores: int) -> float:
+    """MPI traffic of one villin simulation, MB/s (paper: 500-2900 MB/s
+    for 24-96 cores).
+
+    Communication volume grows with core count (halo exchange plus
+    global reductions); a linear interpolation through the paper's two
+    quoted points is all downstream analyses need.
+    """
+    if cores < 1:
+        raise ConfigurationError("cores must be >= 1")
+    if cores <= 1:
+        return 0.0
+    # 24 cores -> 500 MB/s, 96 cores -> 2900 MB/s (paper section 4)
+    slope = (2900.0 - 500.0) / (96.0 - 24.0)
+    return max(0.0, 500.0 + slope * (cores - 24.0))

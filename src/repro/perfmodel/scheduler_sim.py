@@ -1,0 +1,298 @@
+"""Discrete-event simulation of the Copernicus controller's scheduling.
+
+A project is G generations of ``n_commands`` trajectories, each needing
+``ns_per_command`` nanoseconds of simulation.  Workers of ``cores_per_sim``
+cores pull work greedily; a single trajectory cannot be spread over
+more than one worker, so with more workers than trajectories the extra
+capacity idles — the command-count ceiling that flattens Figs. 7 and 8.
+Trajectories are scheduled in ``ns_per_quantum`` extension chunks, the
+paper's model of the controller continuously extending runs as results
+stream back, which is what lets utilisation stay near-perfect below the
+ceiling.
+
+Both a DES (event-accurate, yields utilisation traces) and the analytic
+closed form it converges to are provided; the test suite checks they
+agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.des import Environment, Store
+from repro.perfmodel.mdperf import MDPerformanceModel, VILLIN_MODEL
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class ProjectSpec:
+    """One adaptive-MSM project for the scheduler model (villin defaults)."""
+
+    total_cores: int = 5000
+    cores_per_sim: int = 24
+    n_commands: int = 225          # commands per generation (paper: 225)
+    n_generations: int = 3         # first-folded stop criterion
+    ns_per_command: float = 50.0   # trajectory length per generation
+    ns_per_quantum: float = 10.0   # controller extension granularity
+    cluster_overhead_hours: float = 0.05
+    data_per_command_mb: float = 15.0   # compressed trajectory upload
+    md_model: MDPerformanceModel = field(default_factory=lambda: VILLIN_MODEL)
+
+    def __post_init__(self) -> None:
+        if self.total_cores < 1 or self.cores_per_sim < 1:
+            raise ConfigurationError("core counts must be >= 1")
+        if self.cores_per_sim > self.total_cores:
+            raise ConfigurationError(
+                "cores_per_sim cannot exceed total_cores"
+            )
+        if self.n_commands < 1 or self.n_generations < 1:
+            raise ConfigurationError("command/generation counts must be >= 1")
+        if self.ns_per_command <= 0 or self.ns_per_quantum <= 0:
+            raise ConfigurationError("ns parameters must be positive")
+        if self.cluster_overhead_hours < 0 or self.data_per_command_mb < 0:
+            raise ConfigurationError("overheads must be >= 0")
+
+    @property
+    def n_workers(self) -> int:
+        """Concurrent simulations the core pool supports."""
+        return max(1, self.total_cores // self.cores_per_sim)
+
+    @property
+    def total_ns(self) -> float:
+        """Total simulated nanoseconds in the project."""
+        return self.n_commands * self.n_generations * self.ns_per_command
+
+
+@dataclass
+class SchedulerResult:
+    """Outcome of one scheduler run."""
+
+    spec: ProjectSpec
+    hours: float
+    efficiency: float
+    core_hours: float
+    avg_bandwidth_mbps: float
+    generation_hours: List[float]
+    worker_utilization: float
+
+
+def reference_time_single_core(spec: ProjectSpec) -> float:
+    """t_res(1): hours for one core to run the whole command set."""
+    return spec.total_ns / spec.md_model.rate(1) + (
+        spec.n_generations * spec.cluster_overhead_hours
+    )
+
+
+def analytic_project_time(spec: ProjectSpec) -> float:
+    """Closed-form makespan in hours.
+
+    Per generation the makespan is bounded below by both the work
+    bound (total ns over aggregate rate) and the chain bound (one
+    trajectory's ns at the per-simulation rate); greedy scheduling of
+    quantum chunks achieves the maximum of the two up to one quantum
+    of tail.
+    """
+    rate = spec.md_model.rate(spec.cores_per_sim)  # ns/hour per simulation
+    active = min(spec.n_workers, spec.n_commands)
+    work_bound = spec.n_commands * spec.ns_per_command / (active * rate)
+    chain_bound = spec.ns_per_command / rate
+    per_generation = max(work_bound, chain_bound)
+    return spec.n_generations * (per_generation + spec.cluster_overhead_hours)
+
+
+def simulate_project(spec: ProjectSpec) -> SchedulerResult:
+    """Run the DES of the controller and return timing/efficiency.
+
+    Workers greedily pull ``ns_per_quantum`` trajectory extensions from
+    the current generation's queue; a generation barrier models the
+    clustering step.
+    """
+    env = Environment()
+    rate = spec.md_model.rate(spec.cores_per_sim)
+    quantum_hours = spec.ns_per_quantum / rate
+    n_workers = min(spec.n_workers, spec.n_commands)
+    generation_hours: List[float] = []
+    busy_hours = [0.0]
+
+    def generation(env: Environment, gen_index: int):
+        start = env.now
+        # each trajectory is a chain of quanta; chains[i] = quanta left
+        chains = Store(env)
+        remaining: Dict[int, int] = {}
+        quanta_per_traj = int(np.ceil(spec.ns_per_command / spec.ns_per_quantum))
+        last_quantum_hours = (
+            spec.ns_per_command - (quanta_per_traj - 1) * spec.ns_per_quantum
+        ) / rate
+        for t in range(spec.n_commands):
+            remaining[t] = quanta_per_traj
+            chains.put(t)
+        done = env.event()
+        finished = [0]
+
+        def worker(env: Environment):
+            from repro.des import Interrupt
+
+            try:
+                while True:
+                    traj = yield chains.get()
+                    is_last = remaining[traj] == 1
+                    duration = last_quantum_hours if is_last else quantum_hours
+                    yield env.timeout(duration)
+                    busy_hours[0] += duration
+                    remaining[traj] -= 1
+                    if remaining[traj] == 0:
+                        finished[0] += 1
+                        if finished[0] == spec.n_commands:
+                            done.succeed()
+                    else:
+                        chains.put(traj)
+            except Interrupt:
+                return  # generation barrier: stand down
+
+        procs = [env.process(worker(env)) for _ in range(n_workers)]
+        yield done
+        for proc in procs:
+            if proc.is_alive:
+                proc.interrupt("generation complete")
+        yield env.timeout(spec.cluster_overhead_hours)
+        generation_hours.append(env.now - start)
+
+    def project(env: Environment):
+        for g in range(spec.n_generations):
+            yield env.process(generation(env, g))
+
+    main = env.process(project(env))
+    env.run(until=main)
+
+    hours = env.now
+    t1 = reference_time_single_core(spec)
+    efficiency = t1 / (spec.total_cores * hours)
+    total_mb = spec.n_commands * spec.n_generations * spec.data_per_command_mb
+    avg_bandwidth = total_mb / (hours * 3600.0)
+    utilization = busy_hours[0] / (n_workers * hours)
+    return SchedulerResult(
+        spec=spec,
+        hours=hours,
+        efficiency=efficiency,
+        core_hours=spec.total_cores * hours,
+        avg_bandwidth_mbps=avg_bandwidth,
+        generation_hours=generation_hours,
+        worker_utilization=utilization,
+    )
+
+
+def analytic_result(spec: ProjectSpec) -> SchedulerResult:
+    """SchedulerResult from the closed form (no DES) — fast for sweeps."""
+    hours = analytic_project_time(spec)
+    t1 = reference_time_single_core(spec)
+    total_mb = spec.n_commands * spec.n_generations * spec.data_per_command_mb
+    rate = spec.md_model.rate(spec.cores_per_sim)
+    active = min(spec.n_workers, spec.n_commands)
+    per_gen = hours / spec.n_generations
+    return SchedulerResult(
+        spec=spec,
+        hours=hours,
+        efficiency=t1 / (spec.total_cores * hours),
+        core_hours=spec.total_cores * hours,
+        avg_bandwidth_mbps=total_mb / (hours * 3600.0),
+        generation_hours=[per_gen] * spec.n_generations,
+        worker_utilization=min(
+            1.0,
+            spec.n_commands
+            * spec.ns_per_command
+            / (active * rate * per_gen),
+        ),
+    )
+
+
+@dataclass
+class ResourcePool:
+    """One contributed resource (a cluster) in a multi-site project.
+
+    The paper's villin run used two simultaneously: "64-80 nodes on the
+    Infiniband system and 96-144 nodes on the Cray".
+    """
+
+    name: str
+    total_cores: int
+    cores_per_sim: int
+    rate_multiplier: float = 1.0  # relative per-core speed of this site
+
+    def __post_init__(self) -> None:
+        if self.total_cores < 1 or self.cores_per_sim < 1:
+            raise ConfigurationError("pool core counts must be >= 1")
+        if self.cores_per_sim > self.total_cores:
+            raise ConfigurationError("cores_per_sim exceeds the pool")
+        if self.rate_multiplier <= 0:
+            raise ConfigurationError("rate_multiplier must be positive")
+
+    @property
+    def n_workers(self) -> int:
+        """Concurrent simulations this pool can host."""
+        return self.total_cores // self.cores_per_sim
+
+
+def analytic_heterogeneous_time(
+    pools: List[ResourcePool],
+    n_commands: int = 225,
+    n_generations: int = 3,
+    ns_per_command: float = 50.0,
+    cluster_overhead_hours: float = 0.05,
+    md_model: Optional[MDPerformanceModel] = None,
+) -> float:
+    """Makespan (hours) of a project spread over several resource pools.
+
+    Trajectories are pinned to a pool (a simulation cannot span sites);
+    allocating commands proportionally to pool throughput makes all
+    pools finish together, so the per-generation time is the larger of
+    the aggregate work bound and the slowest-used-pool chain bound.
+    Pools are engaged fastest-first when there are more workers than
+    commands.
+    """
+    if not pools:
+        raise ConfigurationError("need at least one pool")
+    if n_commands < 1 or n_generations < 1 or ns_per_command <= 0:
+        raise ConfigurationError("invalid project parameters")
+    model = md_model or VILLIN_MODEL
+    rated = sorted(
+        (
+            (p, model.rate(p.cores_per_sim) * p.rate_multiplier)
+            for p in pools
+        ),
+        key=lambda item: -item[1],
+    )
+    throughput = 0.0
+    slots_left = n_commands
+    slowest_used_rate = None
+    for pool, rate in rated:
+        if slots_left <= 0:
+            break
+        used_workers = min(pool.n_workers, slots_left)
+        throughput += used_workers * rate
+        slots_left -= used_workers
+        slowest_used_rate = rate
+    work_bound = n_commands * ns_per_command / throughput
+    chain_bound = ns_per_command / slowest_used_rate
+    per_generation = max(work_bound, chain_bound)
+    return n_generations * (per_generation + cluster_overhead_hours)
+
+
+def sweep_total_cores(
+    core_counts: List[int],
+    cores_per_sim: int,
+    use_des: bool = False,
+    **spec_kwargs,
+) -> List[SchedulerResult]:
+    """Evaluate the project across total core counts (one Fig. 7/8 line)."""
+    results = []
+    for n in core_counts:
+        if n < cores_per_sim:
+            continue
+        spec = ProjectSpec(
+            total_cores=n, cores_per_sim=cores_per_sim, **spec_kwargs
+        )
+        results.append(simulate_project(spec) if use_des else analytic_result(spec))
+    return results

@@ -1,0 +1,17 @@
+"""Copernicus servers: command queues, matching, heartbeats, recovery."""
+
+from repro.server.queue import CommandQueue
+from repro.server.matching import WorkerCapabilities, build_workload
+from repro.server.heartbeat import HeartbeatMonitor
+from repro.server.server import CopernicusServer
+from repro.server.datastore import ProjectStore, replay
+
+__all__ = [
+    "CommandQueue",
+    "WorkerCapabilities",
+    "build_workload",
+    "HeartbeatMonitor",
+    "CopernicusServer",
+    "ProjectStore",
+    "replay",
+]

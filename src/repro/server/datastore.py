@@ -1,0 +1,108 @@
+"""Durable project storage: crash-safe result logs and replay recovery.
+
+Copernicus projects run for days; a project server must be able to
+restart without losing them.  The store appends every completed
+command's (command, result) pair to disk in completion order.  After a
+restart, :func:`replay` feeds the log back through a *fresh* controller
+instance: because controllers are deterministic given their seed and
+the event order, this reconstructs the exact pre-crash state — and
+returns the commands that were issued but never completed, ready to be
+requeued.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+from repro.core.command import Command
+from repro.core.controller import Controller
+from repro.core.project import Project
+from repro.util.errors import ConfigurationError
+from repro.util.serialization import decode_message, encode_message
+
+
+class ProjectStore:
+    """Append-only result log per project, under one root directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _project_dir(self, project_id: str) -> Path:
+        if not project_id or "/" in project_id:
+            raise ConfigurationError(f"bad project id {project_id!r}")
+        path = self.root / project_id
+        (path / "results").mkdir(parents=True, exist_ok=True)
+        return path
+
+    # -- writing -----------------------------------------------------------
+
+    def record_result(
+        self, project_id: str, command: Command, result: dict
+    ) -> Path:
+        """Append one completed command (atomic via rename)."""
+        directory = self._project_dir(project_id) / "results"
+        sequence = len(list(directory.glob("*.bin")))
+        blob = encode_message(
+            {"command": command.to_payload(), "result": result}
+        )
+        final = directory / f"{sequence:06d}.bin"
+        temp = directory / f".{sequence:06d}.tmp"
+        temp.write_bytes(blob)
+        temp.rename(final)
+        return final
+
+    def save_metadata(self, project_id: str, metadata: dict) -> None:
+        """Persist small JSON metadata (config summary, status...)."""
+        path = self._project_dir(project_id) / "meta.json"
+        path.write_text(json.dumps(metadata, indent=2, default=str))
+
+    # -- reading -----------------------------------------------------------
+
+    def load_metadata(self, project_id: str) -> dict:
+        """Read back the metadata (empty dict if none)."""
+        path = self._project_dir(project_id) / "meta.json"
+        if not path.exists():
+            return {}
+        return json.loads(path.read_text())
+
+    def iter_results(
+        self, project_id: str
+    ) -> Iterator[Tuple[Command, dict]]:
+        """Yield (command, result) pairs in completion order."""
+        directory = self._project_dir(project_id) / "results"
+        for path in sorted(directory.glob("*.bin")):
+            payload = decode_message(path.read_bytes())
+            yield Command.from_payload(payload["command"]), payload["result"]
+
+    def result_count(self, project_id: str) -> int:
+        """Completed commands on record."""
+        return len(list((self._project_dir(project_id) / "results").glob("*.bin")))
+
+    def projects(self) -> List[str]:
+        """Project ids present in the store."""
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+
+def replay(
+    store: ProjectStore, project_id: str, controller: Controller
+) -> Tuple[Project, List[Command]]:
+    """Rebuild a project's state from the log through a fresh controller.
+
+    Returns ``(project, outstanding_commands)``: the reconstructed
+    project plus every command the controller issued that has no
+    recorded result — exactly what must be requeued to resume.
+    """
+    project = Project(project_id)
+    issued = {c.command_id: c for c in controller.on_project_start(project)}
+    project.record_issue(list(issued.values()))
+    for command, result in store.iter_results(project_id):
+        project.record_result(command, result)
+        follow_ups = controller.on_command_finished(project, command, result)
+        issued.pop(command.command_id, None)
+        for follow_up in follow_ups:
+            issued[follow_up.command_id] = follow_up
+        project.record_issue(follow_ups)
+    return project, list(issued.values())

@@ -1,0 +1,93 @@
+"""Worker liveness tracking via heartbeats.
+
+Paper section 2.3: workers heartbeat every 120 s (default, ~200-byte
+messages); a server that misses heartbeats for twice the interval
+declares the worker dead and arranges for its commands to be requeued
+— continuing from the last checkpoint when one is available.
+Heartbeats are never forwarded past the nearest server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Default heartbeat interval in seconds (paper value).
+DEFAULT_INTERVAL = 120.0
+
+
+@dataclass
+class WorkerRecord:
+    """Liveness and recovery state for one worker."""
+
+    worker: str
+    last_heartbeat: float
+    alive: bool = True
+    #: Latest checkpoint payload per running command id.
+    checkpoints: Dict[str, dict] = field(default_factory=dict)
+
+
+class HeartbeatMonitor:
+    """Tracks worker heartbeats and detects failures."""
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL) -> None:
+        if interval <= 0:
+            raise ValueError(f"heartbeat interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self._records: Dict[str, WorkerRecord] = {}
+
+    def register(self, worker: str, now: float) -> None:
+        """Start tracking a worker (e.g. at announce time)."""
+        self._records[worker] = WorkerRecord(worker=worker, last_heartbeat=now)
+
+    def beat(
+        self,
+        worker: str,
+        now: float,
+        checkpoints: Optional[Dict[str, dict]] = None,
+    ) -> None:
+        """Record a heartbeat, optionally carrying command checkpoints."""
+        record = self._records.get(worker)
+        if record is None:
+            self.register(worker, now)
+            record = self._records[worker]
+        record.last_heartbeat = now
+        record.alive = True
+        if checkpoints:
+            record.checkpoints.update(checkpoints)
+
+    def is_alive(self, worker: str) -> bool:
+        """Whether the worker is currently considered alive."""
+        record = self._records.get(worker)
+        return bool(record and record.alive)
+
+    def checkpoint_for(self, worker: str, command_id: str) -> Optional[dict]:
+        """Last checkpoint the worker reported for a command, if any."""
+        record = self._records.get(worker)
+        if record is None:
+            return None
+        return record.checkpoints.get(command_id)
+
+    def clear_checkpoint(self, worker: str, command_id: str) -> None:
+        """Forget a command's checkpoint (after completion)."""
+        record = self._records.get(worker)
+        if record is not None:
+            record.checkpoints.pop(command_id, None)
+
+    def check(self, now: float) -> List[str]:
+        """Return workers newly declared dead at time *now*.
+
+        A worker dies when no heartbeat arrived within twice the
+        interval.  Each worker is reported dead at most once (until it
+        beats again).
+        """
+        dead = []
+        for record in self._records.values():
+            if record.alive and now - record.last_heartbeat > 2.0 * self.interval:
+                record.alive = False
+                dead.append(record.worker)
+        return dead
+
+    def workers(self) -> List[str]:
+        """All tracked worker names."""
+        return list(self._records)

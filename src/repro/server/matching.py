@@ -1,0 +1,89 @@
+"""Resource matching: pairing queued commands with worker capabilities.
+
+The paper (section 2.3): the worker conveys its architecture, core
+count and installed executables; the server "matches the available
+executables to commands in its queue, and constructs a workload that
+maximally utilizes the available resources given the preferred
+resource requirements of the commands".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.command import Command
+from repro.server.queue import CommandQueue
+from repro.util.errors import SchedulingError
+
+
+@dataclass
+class WorkerCapabilities:
+    """What a worker announced about itself."""
+
+    worker: str
+    platform: str
+    cores: int
+    executables: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise SchedulingError(
+                f"worker {self.worker!r} announced {self.cores} cores"
+            )
+
+    def to_payload(self) -> Dict:
+        """Wire-format dict."""
+        return {
+            "worker": self.worker,
+            "platform": self.platform,
+            "cores": int(self.cores),
+            "executables": list(self.executables),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "WorkerCapabilities":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            worker=payload["worker"],
+            platform=payload["platform"],
+            cores=int(payload["cores"]),
+            executables=list(payload.get("executables", [])),
+        )
+
+
+def can_run(command: Command, caps: WorkerCapabilities) -> bool:
+    """Whether a worker can execute a command at all."""
+    return (
+        command.executable in caps.executables
+        and command.min_cores <= caps.cores
+    )
+
+
+def build_workload(
+    queue: CommandQueue, caps: WorkerCapabilities
+) -> List[Tuple[Command, int]]:
+    """Pop commands for a worker, packing its cores greedily.
+
+    Commands are taken in priority order.  Each receives its preferred
+    core count when available, degrading toward ``min_cores`` as the
+    worker fills up; packing stops when no queued command fits in the
+    remaining cores.
+
+    Returns
+    -------
+    List of ``(command, cores_assigned)``.
+    """
+    workload: List[Tuple[Command, int]] = []
+    free = caps.cores
+    while free > 0:
+        command = queue.pop_matching(
+            lambda c: c.executable in caps.executables and c.min_cores <= free
+        )
+        if command is None:
+            break
+        assigned = min(command.preferred_cores, free)
+        assigned = max(assigned, command.min_cores)
+        workload.append((command, assigned))
+        free -= assigned
+    return workload

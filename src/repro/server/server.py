@@ -1,0 +1,203 @@
+"""The Copernicus server.
+
+Every server runs identical code (paper section 2); its role — project
+server, relay on a cluster head node, or both — emerges from its
+connectivity and from whether projects were submitted to it.  A server:
+
+* queues commands and matches them to worker capabilities;
+* relays workload requests to "the first server with available
+  commands" when its own queue is empty;
+* tracks worker heartbeats, declares silent workers dead and requeues
+  their in-flight commands from the last reported checkpoint;
+* propagates command results back to the project's origin server,
+  where the registered result sink (the project controller) consumes
+  them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.command import Command
+from repro.net.protocol import ANY_SERVER, Message, MessageType
+from repro.net.transport import Endpoint, Network
+from repro.server.heartbeat import DEFAULT_INTERVAL, HeartbeatMonitor
+from repro.server.matching import WorkerCapabilities, build_workload
+from repro.server.queue import CommandQueue
+from repro.util.errors import SchedulingError
+
+
+class CopernicusServer(Endpoint):
+    """A server node on the overlay."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        heartbeat_interval: float = DEFAULT_INTERVAL,
+    ) -> None:
+        super().__init__(name, network)
+        self.queue = CommandQueue()
+        self.monitor = HeartbeatMonitor(heartbeat_interval)
+        #: Worker capabilities by worker name (workers attached here).
+        self.worker_caps: Dict[str, WorkerCapabilities] = {}
+        #: In-flight commands per worker: {worker: {command_id: Command}}.
+        self.assignments: Dict[str, Dict[str, Command]] = {}
+        #: Result sinks per locally hosted project.
+        self._sinks: Dict[str, Callable[[Command, dict], None]] = {}
+        #: Count of commands requeued after worker failures.
+        self.requeued_after_failure = 0
+
+    # -- project hosting ---------------------------------------------------
+
+    def host_project(
+        self, project_id: str, sink: Callable[[Command, dict], None]
+    ) -> None:
+        """Register this server as *project_id*'s origin with a result sink."""
+        self._sinks[project_id] = sink
+
+    def submit_commands(self, commands: List[Command]) -> None:
+        """Queue commands for a project hosted here (stamps origin)."""
+        for command in commands:
+            if not command.origin_server:
+                command.origin_server = self.name
+            self.queue.push(command)
+
+    def hosts(self, project_id: str) -> bool:
+        """Whether this server is the origin of *project_id*."""
+        return project_id in self._sinks
+
+    # -- message handling ---------------------------------------------------
+
+    def handle(self, message: Message) -> Optional[dict]:
+        """Dispatch one inbound request."""
+        if message.type == MessageType.WORKER_ANNOUNCE:
+            return self._on_announce(message)
+        if message.type == MessageType.HEARTBEAT:
+            return self._on_heartbeat(message)
+        if message.type == MessageType.WORKLOAD_REQUEST:
+            return self._on_workload_request(message)
+        if message.type == MessageType.COMMAND_FETCH:
+            return self._on_command_fetch(message)
+        if message.type == MessageType.COMMAND_RESULT:
+            return self._on_command_result(message)
+        if message.type == MessageType.RESULT_FORWARD:
+            return self._on_result_forward(message)
+        if message.type == MessageType.PROJECT_STATUS:
+            return self._on_project_status(message)
+        raise SchedulingError(
+            f"server {self.name!r} cannot handle {message.type}"
+        )
+
+    def _on_announce(self, message: Message) -> dict:
+        caps = WorkerCapabilities.from_payload(message.payload)
+        self.worker_caps[caps.worker] = caps
+        self.assignments.setdefault(caps.worker, {})
+        self.monitor.register(caps.worker, float(message.payload.get("now", 0.0)))
+        return {"ok": True, "server": self.name}
+
+    def _on_heartbeat(self, message: Message) -> dict:
+        self.monitor.beat(
+            message.payload["worker"],
+            float(message.payload["now"]),
+            checkpoints=message.payload.get("checkpoints"),
+        )
+        return {"ok": True}
+
+    def _on_workload_request(self, message: Message) -> dict:
+        caps = WorkerCapabilities.from_payload(message.payload)
+        workload = build_workload(self.queue, caps)
+        if not workload:
+            workload = self._fetch_from_peers(caps)
+        assigned = self.assignments.setdefault(caps.worker, {})
+        out_commands, out_cores = [], []
+        for command, cores in workload:
+            assigned[command.command_id] = command
+            out_commands.append(command.to_payload())
+            out_cores.append(cores)
+        return {"commands": out_commands, "cores": out_cores}
+
+    def _fetch_from_peers(
+        self, caps: WorkerCapabilities
+    ) -> List[Tuple[Command, int]]:
+        """Ask the overlay for commands when the local queue is empty."""
+        try:
+            response = self.send(
+                ANY_SERVER, MessageType.COMMAND_FETCH, caps.to_payload()
+            )
+        except Exception:
+            return []
+        return [
+            (Command.from_payload(p), int(c))
+            for p, c in zip(response.get("commands", []), response.get("cores", []))
+        ]
+
+    def _on_command_fetch(self, message: Message) -> Optional[dict]:
+        caps = WorkerCapabilities.from_payload(message.payload)
+        workload = build_workload(self.queue, caps)
+        if not workload:
+            return None  # keep walking the overlay
+        return {
+            "commands": [c.to_payload() for c, _ in workload],
+            "cores": [k for _, k in workload],
+        }
+
+    def _on_command_result(self, message: Message) -> dict:
+        worker = message.payload["worker"]
+        command = Command.from_payload(message.payload["command"])
+        result = message.payload["result"]
+        self.assignments.get(worker, {}).pop(command.command_id, None)
+        self.monitor.clear_checkpoint(worker, command.command_id)
+        self._route_result(command, result)
+        return {"ok": True}
+
+    def _on_result_forward(self, message: Message) -> dict:
+        command = Command.from_payload(message.payload["command"])
+        result = message.payload["result"]
+        self._route_result(command, result)
+        return {"ok": True}
+
+    def _route_result(self, command: Command, result: dict) -> None:
+        if command.project_id in self._sinks:
+            self._sinks[command.project_id](command, result)
+            return
+        origin = command.origin_server
+        if not origin or origin == self.name:
+            raise SchedulingError(
+                f"no sink for project {command.project_id!r} on {self.name!r}"
+            )
+        self.send(
+            origin,
+            MessageType.RESULT_FORWARD,
+            {"command": command.to_payload(), "result": result},
+        )
+
+    def _on_project_status(self, message: Message) -> dict:
+        return {
+            "server": self.name,
+            "queued": len(self.queue),
+            "queued_ids": [c.command_id for c in self.queue.commands()],
+            "workers": self.monitor.workers(),
+            "in_flight": {
+                w: sorted(cmds) for w, cmds in self.assignments.items() if cmds
+            },
+        }
+
+    # -- failure handling --------------------------------------------------
+
+    def check_failures(self, now: float) -> List[str]:
+        """Detect dead workers; requeue their commands from checkpoints.
+
+        Returns the names of workers newly declared dead.
+        """
+        dead = self.monitor.check(now)
+        for worker in dead:
+            in_flight = self.assignments.get(worker, {})
+            for command_id, command in list(in_flight.items()):
+                checkpoint = self.monitor.checkpoint_for(worker, command_id)
+                if checkpoint is not None:
+                    command.checkpoint = checkpoint
+                self.queue.push(command)
+                self.requeued_after_failure += 1
+            self.assignments[worker] = {}
+        return dead

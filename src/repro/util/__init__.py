@@ -1,0 +1,39 @@
+"""Shared utility substrate: units, RNG streams, errors, serialization."""
+
+from repro.util.errors import (
+    ReproError,
+    ConfigurationError,
+    CommunicationError,
+    AuthenticationError,
+    SchedulingError,
+    SimulationError,
+    EstimationError,
+)
+from repro.util.rng import RandomStream, spawn_streams
+from repro.util.units import (
+    KB,
+    PS_PER_NS,
+    NS_PER_US,
+    Quantity,
+    kelvin_to_kt,
+)
+from repro.util.serialization import encode_message, decode_message
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CommunicationError",
+    "AuthenticationError",
+    "SchedulingError",
+    "SimulationError",
+    "EstimationError",
+    "RandomStream",
+    "spawn_streams",
+    "KB",
+    "PS_PER_NS",
+    "NS_PER_US",
+    "Quantity",
+    "kelvin_to_kt",
+    "encode_message",
+    "decode_message",
+]

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the whole package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch framework failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class CommunicationError(ReproError):
+    """A network operation failed (unreachable peer, broken route...)."""
+
+
+class AuthenticationError(CommunicationError):
+    """A peer presented an untrusted or mismatching key."""
+
+
+class SchedulingError(ReproError):
+    """The server could not queue, match or track a command."""
+
+
+class SimulationError(ReproError):
+    """The MD engine hit an unrecoverable numerical or setup problem."""
+
+
+class EstimationError(ReproError):
+    """A statistical estimator received unusable input (e.g. empty counts)."""

@@ -1,0 +1,137 @@
+"""Minimal structured logging with logical-clock support.
+
+The framework runs against a *logical* clock (the runner's ``now``),
+so standard wall-clock logging mislabels events.  This logger takes a
+clock callable, supports per-component child loggers and keeps records
+as structured data so tests can assert on them.
+"""
+
+from __future__ import annotations
+
+import enum
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TextIO
+
+
+class Level(enum.IntEnum):
+    """Log severities."""
+
+    DEBUG = 10
+    INFO = 20
+    WARNING = 30
+    ERROR = 40
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One structured log entry."""
+
+    time: float
+    level: Level
+    component: str
+    message: str
+    fields: Dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return (
+            f"[t={self.time:10.1f}] {self.level.name:7s} "
+            f"{self.component}: {self.message}"
+            + (f" ({extras})" if extras else "")
+        )
+
+
+class Logger:
+    """A structured logger bound to a clock.
+
+    Parameters
+    ----------
+    component:
+        Name prefixing every record (e.g. ``server.queue``).
+    clock:
+        Callable returning the current (logical) time.
+    level:
+        Minimum severity recorded.
+    stream:
+        Optional text stream to echo formatted records to.
+    """
+
+    def __init__(
+        self,
+        component: str = "root",
+        clock: Optional[Callable[[], float]] = None,
+        level: Level = Level.INFO,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.component = component
+        self.clock = clock or (lambda: 0.0)
+        self.level = level
+        self.stream = stream
+        self.records: List[LogRecord] = []
+        self._parent: Optional[Logger] = None
+
+    def child(self, suffix: str) -> "Logger":
+        """A sub-logger sharing this logger's sink and clock."""
+        logger = Logger(
+            component=f"{self.component}.{suffix}",
+            clock=self.clock,
+            level=self.level,
+            stream=self.stream,
+        )
+        logger._parent = self
+        return logger
+
+    def log(self, level: Level, message: str, **fields) -> Optional[LogRecord]:
+        """Record a message if it clears the threshold."""
+        if level < self.level:
+            return None
+        record = LogRecord(
+            time=float(self.clock()),
+            level=level,
+            component=self.component,
+            message=message,
+            fields=fields,
+        )
+        sink = self
+        while sink._parent is not None:
+            sink = sink._parent
+        sink.records.append(record)
+        if sink.stream is not None:
+            print(record, file=sink.stream)
+        return record
+
+    def debug(self, message: str, **fields):
+        """Log at DEBUG."""
+        return self.log(Level.DEBUG, message, **fields)
+
+    def info(self, message: str, **fields):
+        """Log at INFO."""
+        return self.log(Level.INFO, message, **fields)
+
+    def warning(self, message: str, **fields):
+        """Log at WARNING."""
+        return self.log(Level.WARNING, message, **fields)
+
+    def error(self, message: str, **fields):
+        """Log at ERROR."""
+        return self.log(Level.ERROR, message, **fields)
+
+    def filter(self, level: Optional[Level] = None, component: Optional[str] = None):
+        """Records at/above *level* and matching component prefix."""
+        out = self.records
+        if level is not None:
+            out = [r for r in out if r.level >= level]
+        if component is not None:
+            out = [
+                r
+                for r in out
+                if r.component == component
+                or r.component.startswith(component + ".")
+            ]
+        return list(out)
+
+
+def stderr_logger(component: str = "repro", level: Level = Level.INFO) -> Logger:
+    """A logger echoing to stderr (wall-clock-free)."""
+    return Logger(component=component, level=level, stream=sys.stderr)

@@ -1,0 +1,19 @@
+"""Copernicus workers: platforms, executables, the execution loop."""
+
+from repro.worker.platform import SMPPlatform, MPISimPlatform, PLATFORM_REGISTRY
+from repro.worker.executable import (
+    ExecutableRegistry,
+    default_registry,
+    run_executable,
+)
+from repro.worker.worker import Worker
+
+__all__ = [
+    "SMPPlatform",
+    "MPISimPlatform",
+    "PLATFORM_REGISTRY",
+    "ExecutableRegistry",
+    "default_registry",
+    "run_executable",
+    "Worker",
+]

@@ -1,0 +1,71 @@
+"""Parallel command execution within a worker.
+
+A worker whose platform reports several cores can run the commands of
+one workload concurrently — each command in its own OS process, the
+in-process analogue of one node hosting several independent
+simulations.  Results are byte-identical to serial execution (commands
+are deterministic given their payloads); only wall-time changes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.command import Command
+from repro.util.errors import ConfigurationError
+from repro.worker.executable import run_executable
+
+
+def _run_one(name: str, payload: dict) -> Tuple[dict, bool]:
+    """Module-level trampoline (picklable for the process pool)."""
+    return run_executable(name, payload)
+
+
+class ParallelExecutor:
+    """Runs a list of commands over a process pool.
+
+    Parameters
+    ----------
+    n_processes:
+        Pool size; match the worker's core count.
+    """
+
+    def __init__(self, n_processes: int = 2) -> None:
+        if n_processes < 1:
+            raise ConfigurationError("n_processes must be >= 1")
+        self.n_processes = int(n_processes)
+
+    def run_commands(
+        self, commands: Sequence[Command]
+    ) -> List[Tuple[Command, Optional[dict]]]:
+        """Execute every command; returns ``[(command, result), ...]``.
+
+        Results arrive in submission order.  A command whose checkpoint
+        is set resumes from it, exactly as in serial execution.  With
+        one process (or one command) the pool is skipped entirely.
+        """
+        prepared: List[Tuple[Command, dict]] = []
+        for command in commands:
+            payload = dict(command.payload)
+            if command.checkpoint is not None:
+                payload["checkpoint"] = command.checkpoint
+            prepared.append((command, payload))
+
+        if self.n_processes == 1 or len(prepared) <= 1:
+            out = []
+            for command, payload in prepared:
+                result, _ = _run_one(command.executable, payload)
+                out.append((command, result))
+            return out
+
+        with ProcessPoolExecutor(max_workers=self.n_processes) as pool:
+            futures = [
+                pool.submit(_run_one, command.executable, payload)
+                for command, payload in prepared
+            ]
+            out = []
+            for (command, _), future in zip(prepared, futures):
+                result, _ = future.result()
+                out.append((command, result))
+            return out

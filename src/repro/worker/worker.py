@@ -1,0 +1,226 @@
+"""The worker client: announce, fetch workloads, execute, heartbeat.
+
+A worker bootstraps by conveying its platform resources and installed
+executables to its nearest server, then loops: request a workload,
+execute each command in checkpointed segments (heartbeating with the
+latest checkpoint after every segment — the shared-filesystem recovery
+path of paper section 2.3), and return results.
+
+Failure injection: ``crash()`` makes the worker stop mid-segment and
+never heartbeat again, which is exactly how a node loss looks to the
+server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.command import Command
+from repro.net.protocol import Message, MessageType
+from repro.net.transport import Endpoint, Network
+from repro.worker.executable import ExecutableRegistry, default_registry
+from repro.worker.platform import SMPPlatform
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class ExecutionRecord:
+    """Bookkeeping for one executed command."""
+
+    command_id: str
+    segments: int = 0
+    completed: bool = False
+
+
+class Worker(Endpoint):
+    """A worker attached to a server.
+
+    Parameters
+    ----------
+    name / network:
+        Endpoint identity.
+    server:
+        Name of the nearest server (must be linked on the overlay).
+    platform:
+        A platform plugin instance (default: SMP with 1 core).
+    executables:
+        Installed executables (default: all built-ins).
+    segment_steps:
+        MD steps between checkpoint heartbeats while executing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        server: str,
+        platform=None,
+        executables: Optional[ExecutableRegistry] = None,
+        segment_steps: int = 2000,
+    ) -> None:
+        super().__init__(name, network)
+        if segment_steps < 1:
+            raise ConfigurationError("segment_steps must be >= 1")
+        self.server = server
+        self.platform = platform or SMPPlatform(cores=1)
+        self.executables = executables or default_registry()
+        self.segment_steps = segment_steps
+        self.crashed = False
+        #: Executed-command log (for tests and reports).
+        self.history: List[ExecutionRecord] = []
+        #: Crash trigger: called before each segment; return True to die.
+        self._crash_hook: Optional[Callable[[str, int], bool]] = None
+
+    # -- endpoint ------------------------------------------------------------
+
+    def handle(self, message: Message) -> Optional[dict]:
+        """Workers ignore overlay fetches; they initiate all their traffic."""
+        if message.type == MessageType.COMMAND_FETCH:
+            return None  # not a server: keep walking
+        return None
+
+    # -- failure injection --------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate node loss: stop executing and never heartbeat again."""
+        self.crashed = True
+
+    def set_crash_hook(self, hook: Callable[[str, int], bool]) -> None:
+        """Install a predicate ``(command_id, segment_index) -> bool``
+        that, when returning True, kills the worker mid-command."""
+        self._crash_hook = hook
+
+    # -- protocol actions --------------------------------------------------
+
+    def capabilities_payload(self) -> dict:
+        """The announce body: platform resources plus executables."""
+        info = self.platform.detect()
+        return {
+            "worker": self.name,
+            "platform": info.name,
+            "cores": info.cores,
+            "executables": self.executables.names,
+        }
+
+    def announce(self, now: float = 0.0) -> dict:
+        """Present this worker to its server."""
+        payload = self.capabilities_payload()
+        payload["now"] = now
+        return self.send(self.server, MessageType.WORKER_ANNOUNCE, payload)
+
+    def heartbeat(
+        self, now: float, checkpoints: Optional[Dict[str, dict]] = None
+    ) -> Optional[dict]:
+        """Send a liveness signal (suppressed when crashed)."""
+        if self.crashed:
+            return None
+        body = {"worker": self.name, "now": now}
+        if checkpoints:
+            body["checkpoints"] = checkpoints
+        return self.send(self.server, MessageType.HEARTBEAT, body)
+
+    def request_workload(self) -> List[Command]:
+        """Ask the server for commands matching this worker."""
+        if self.crashed:
+            return []
+        response = self.send(
+            self.server, MessageType.WORKLOAD_REQUEST, self.capabilities_payload()
+        )
+        return [Command.from_payload(p) for p in response.get("commands", [])]
+
+    def run_command(self, command: Command, now: float = 0.0) -> Optional[dict]:
+        """Execute one command in checkpointed segments.
+
+        Returns the final result payload, or ``None`` if the worker
+        crashed mid-command (the server will detect it by heartbeat
+        timeout and requeue from the last checkpoint).
+        """
+        record = ExecutionRecord(command_id=command.command_id)
+        self.history.append(record)
+        payload = dict(command.payload)
+        if command.checkpoint is not None:
+            payload["checkpoint"] = command.checkpoint
+        total_result: Optional[dict] = None
+
+        while True:
+            if self.crashed or (
+                self._crash_hook
+                and self._crash_hook(command.command_id, record.segments)
+            ):
+                self.crashed = True
+                return None
+            result, completed = self.executables.run(
+                command.executable, payload, abort_after_steps=self.segment_steps
+            )
+            record.segments += 1
+            total_result = self._merge_segment(total_result, result)
+            if completed:
+                record.completed = True
+                self.heartbeat(now)
+                return total_result
+            # continue from the returned checkpoint, heartbeating it so
+            # the server can recover the command if this worker dies
+            payload["checkpoint"] = result["checkpoint"]
+            self.heartbeat(
+                now, checkpoints={command.command_id: result["checkpoint"]}
+            )
+
+    @staticmethod
+    def _merge_segment(
+        accumulated: Optional[dict], segment: dict
+    ) -> dict:
+        """Concatenate per-segment outputs into one command result."""
+        if accumulated is None:
+            return dict(segment)
+        merged = dict(segment)
+        if "frames" in segment and "frames" in accumulated:
+            import numpy as np
+
+            prev_f, prev_t = accumulated["frames"], accumulated["times"]
+            cur_f, cur_t = segment["frames"], segment["times"]
+            if len(prev_f) and len(cur_f):
+                # segments overlap at the checkpoint frame; drop duplicates
+                keep = cur_t > prev_t[-1] + 1e-12
+                cur_f, cur_t = cur_f[keep], cur_t[keep]
+            merged["frames"] = np.concatenate([prev_f, cur_f]) if len(prev_f) else cur_f
+            merged["times"] = np.concatenate([prev_t, cur_t]) if len(prev_t) else cur_t
+        if "steps_completed" in segment and "steps_completed" in accumulated:
+            merged["steps_completed"] = (
+                accumulated["steps_completed"] + segment["steps_completed"]
+            )
+        if "wall_seconds" in segment and "wall_seconds" in accumulated:
+            merged["wall_seconds"] = (
+                accumulated["wall_seconds"] + segment["wall_seconds"]
+            )
+        return merged
+
+    def submit_result(self, command: Command, result: dict) -> Optional[dict]:
+        """Return a finished command's output to the server."""
+        if self.crashed:
+            return None
+        return self.send(
+            self.server,
+            MessageType.COMMAND_RESULT,
+            {
+                "worker": self.name,
+                "command": command.to_payload(),
+                "result": result,
+            },
+        )
+
+    def work_once(self, now: float = 0.0) -> int:
+        """One poll cycle: fetch a workload and run it to completion.
+
+        Returns the number of commands completed this cycle.
+        """
+        commands = self.request_workload()
+        done = 0
+        for command in commands:
+            result = self.run_command(command, now=now)
+            if result is None:
+                break  # crashed
+            response = self.submit_result(command, result)
+            if response is not None:
+                done += 1
+        return done

@@ -1,0 +1,178 @@
+"""Tests for statistics and folding observables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.folding import first_passage_time, fraction_folded, half_time
+from repro.analysis.stats import (
+    autocorrelation_time,
+    block_average,
+    ensemble_mean_sd,
+    running_mean,
+    standard_error,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RandomStream
+
+
+def test_block_average_iid_matches_naive():
+    rng = RandomStream(0)
+    x = rng.normal(size=10000)
+    mean, err = block_average(x, n_blocks=10)
+    assert mean == pytest.approx(0.0, abs=0.05)
+    assert err == pytest.approx(standard_error(x), rel=0.6)
+
+
+def test_block_average_correlated_error_larger():
+    """Strongly correlated data must yield a larger block error."""
+    rng = RandomStream(1)
+    # AR(1) with strong correlation
+    n = 20000
+    x = np.empty(n)
+    x[0] = 0.0
+    noise = rng.normal(size=n)
+    for i in range(1, n):
+        x[i] = 0.99 * x[i - 1] + noise[i]
+    _, block_err = block_average(x, n_blocks=10)
+    naive = standard_error(x)
+    assert block_err > 3 * naive
+
+
+def test_block_average_validation():
+    with pytest.raises(ConfigurationError):
+        block_average(np.arange(10.0), n_blocks=1)
+    with pytest.raises(ConfigurationError):
+        block_average(np.arange(3.0), n_blocks=5)
+    with pytest.raises(ConfigurationError):
+        block_average(np.zeros((2, 2)))
+
+
+def test_standard_error_value():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    expected = np.std(x, ddof=1) / 2.0
+    assert standard_error(x) == pytest.approx(expected)
+
+
+def test_standard_error_needs_two():
+    with pytest.raises(ConfigurationError):
+        standard_error(np.array([1.0]))
+
+
+def test_running_mean_constant():
+    x = np.full(10, 3.0)
+    np.testing.assert_allclose(running_mean(x, 4), 3.0)
+
+
+def test_running_mean_length():
+    assert len(running_mean(np.arange(10.0), 3)) == 8
+
+
+def test_running_mean_invalid_window():
+    with pytest.raises(ConfigurationError):
+        running_mean(np.arange(5.0), 0)
+
+
+def test_ensemble_mean_sd():
+    curves = np.array([[0.0, 1.0], [2.0, 3.0]])
+    mean, sd = ensemble_mean_sd(curves)
+    np.testing.assert_allclose(mean, [1.0, 2.0])
+    np.testing.assert_allclose(sd, np.std([0, 2], ddof=1))
+
+
+def test_ensemble_mean_sd_needs_two_members():
+    with pytest.raises(ConfigurationError):
+        ensemble_mean_sd(np.zeros((1, 5)))
+
+
+def test_autocorrelation_time_white_noise_small():
+    rng = RandomStream(2)
+    tau = autocorrelation_time(rng.normal(size=5000))
+    assert tau < 2.0
+
+
+def test_autocorrelation_time_correlated_larger():
+    rng = RandomStream(3)
+    n = 5000
+    x = np.empty(n)
+    x[0] = 0.0
+    noise = rng.normal(size=n)
+    for i in range(1, n):
+        x[i] = 0.95 * x[i - 1] + noise[i]
+    assert autocorrelation_time(x) > 5.0
+
+
+def test_autocorrelation_time_too_short():
+    with pytest.raises(ConfigurationError):
+        autocorrelation_time(np.array([1.0, 2.0]))
+
+
+# ------------------------------------------------------------ folding
+
+
+def test_fraction_folded_basic():
+    rmsds = np.array([0.1, 0.2, 0.9, 1.5])
+    assert fraction_folded(rmsds, threshold=0.35) == pytest.approx(0.5)
+
+
+def test_fraction_folded_validation():
+    with pytest.raises(ConfigurationError):
+        fraction_folded(np.array([]), 0.35)
+    with pytest.raises(ConfigurationError):
+        fraction_folded(np.array([0.1]), -1.0)
+
+
+def test_first_passage_time_below():
+    values = np.array([1.0, 0.8, 0.2, 0.9])
+    times = np.array([0.0, 1.0, 2.0, 3.0])
+    assert first_passage_time(values, times, threshold=0.35) == 2.0
+
+
+def test_first_passage_time_above():
+    values = np.array([0.0, 0.5, 1.2])
+    times = np.array([0.0, 1.0, 2.0])
+    assert first_passage_time(values, times, 1.0, below=False) == 2.0
+
+
+def test_first_passage_never_returns_none():
+    values = np.ones(5)
+    times = np.arange(5.0)
+    assert first_passage_time(values, times, 0.5) is None
+
+
+def test_first_passage_shape_mismatch():
+    with pytest.raises(ConfigurationError):
+        first_passage_time(np.ones(3), np.ones(4), 0.5)
+
+
+def test_half_time_linear_curve():
+    times = np.linspace(0, 10, 11)
+    curve = times / 10.0  # plateau 1.0 at t=10
+    assert half_time(curve, times) == pytest.approx(5.0)
+
+
+def test_half_time_explicit_plateau():
+    times = np.linspace(0, 10, 11)
+    curve = times / 10.0
+    # half of plateau 0.6 is 0.3, reached at t=3
+    assert half_time(curve, times, plateau=0.6) == pytest.approx(3.0)
+
+
+def test_half_time_exponential_matches_log2():
+    """For 1 - exp(-t/tau), t_half = tau ln 2."""
+    tau = 4.0
+    times = np.linspace(0, 60, 2000)
+    curve = 1.0 - np.exp(-times / tau)
+    assert half_time(curve, times, plateau=1.0) == pytest.approx(
+        tau * np.log(2), rel=1e-3
+    )
+
+
+def test_half_time_never_reached():
+    times = np.linspace(0, 5, 6)
+    curve = np.zeros(6)
+    assert half_time(curve, times, plateau=1.0) is None
+
+
+def test_half_time_validation():
+    with pytest.raises(ConfigurationError):
+        half_time(np.array([1.0]), np.array([1.0]))

@@ -1,0 +1,88 @@
+"""Tests for free-energy surface estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.surface import FreeEnergySurface, free_energy_surface
+from repro.md import LangevinIntegrator, Simulation
+from repro.md.models.muller_brown import MINIMA, muller_brown_initial_state, muller_brown_system
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RandomStream
+
+
+def test_1d_gaussian_surface_quadratic():
+    """Gaussian samples give a parabolic free energy: F = x^2/(2 sig^2)."""
+    rng = RandomStream(0)
+    sigma = 0.5
+    samples = rng.normal(scale=sigma, size=200000)
+    surface = free_energy_surface(samples, bins=41, ranges=((-1.5, 1.5),))
+    (centers,) = surface.centers
+    expected = centers**2 / (2 * sigma**2)
+    expected -= expected.min()
+    finite = np.isfinite(surface.free_energy)
+    rmse = np.sqrt(np.mean((surface.free_energy[finite] - expected[finite]) ** 2))
+    assert rmse < 0.1
+
+
+def test_minimum_location_1d():
+    rng = RandomStream(1)
+    samples = rng.normal(loc=2.0, scale=0.3, size=50000)
+    surface = free_energy_surface(samples, bins=30)
+    assert surface.minimum_location()[0] == pytest.approx(2.0, abs=0.1)
+
+
+def test_weights_shift_minimum():
+    """Reweighting moves the apparent minimum."""
+    rng = RandomStream(2)
+    samples = np.concatenate([
+        rng.normal(loc=-1.0, scale=0.2, size=5000),
+        rng.normal(loc=1.0, scale=0.2, size=5000),
+    ])
+    # upweight the right basin 10x
+    weights = np.where(samples > 0, 10.0, 1.0)
+    surface = free_energy_surface(samples, weights=weights, bins=40)
+    assert surface.minimum_location()[0] > 0
+
+
+def test_2d_muller_brown_minima_recovered():
+    """Sampling the Muller-Brown surface recovers its deep minima."""
+    system = muller_brown_system(scale=0.05)
+    state = muller_brown_initial_state(minimum=1, temperature=300.0, rng=3)
+    sim = Simulation(
+        system,
+        LangevinIntegrator(0.01, 300.0, friction=2.0, rng=4),
+        state,
+        report_interval=5,
+    )
+    sim.run(60000)
+    points = sim.trajectory.frames[:, 0, :]
+    surface = free_energy_surface(points, bins=30)
+    x_min, y_min = surface.minimum_location()
+    # the global minimum lands near one of the two deep MB minima
+    d = np.linalg.norm(MINIMA[:2] - np.array([x_min, y_min]), axis=1)
+    assert d.min() < 0.35
+
+
+def test_barrier_between_two_basins():
+    rng = RandomStream(5)
+    samples = np.concatenate([
+        rng.normal(loc=-1.0, scale=0.2, size=20000),
+        rng.normal(loc=1.0, scale=0.2, size=20000),
+        rng.uniform(-1, 1, size=500),   # thin barrier sampling
+    ])
+    surface = free_energy_surface(samples, bins=50)
+    barrier = surface.barrier_between((-1.0,), (1.0,))
+    assert barrier > 1.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        free_energy_surface(np.zeros((0,)))
+    with pytest.raises(ConfigurationError):
+        free_energy_surface(np.zeros((5, 3)))
+    with pytest.raises(ConfigurationError):
+        free_energy_surface(np.zeros(5), weights=np.ones(3))
+    with pytest.raises(ConfigurationError):
+        free_energy_surface(np.zeros(5), weights=-np.ones(5))
+    with pytest.raises(ConfigurationError):
+        free_energy_surface(np.zeros(5), bins=1)

@@ -1,0 +1,76 @@
+"""Tests for the command-line client."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_info_lists_inventory():
+    code, text = run_cli(["info"])
+    assert code == 0
+    assert "villin-fast" in text
+    assert "mdrun" in text
+    assert "fepsample" in text
+
+
+def test_scaling_table():
+    code, text = run_cli(
+        ["scaling", "--cores", "5000", "20000", "--cores-per-sim", "24", "96"]
+    )
+    assert code == 0
+    assert "5000" in text and "20000" in text
+    # the 20k/96 row carries the ~53% efficiency anchor
+    for line in text.splitlines():
+        if line.strip().startswith("20000") and " 96 " in line:
+            assert "0.5" in line
+
+
+def test_demo_fep_runs():
+    code, text = run_cli(
+        ["demo-fep", "--windows", "3", "--samples", "800",
+         "--target-error", "0.1"]
+    )
+    assert code == 0
+    assert "dF =" in text
+
+
+def test_demo_msm_runs_muller_brown():
+    code, text = run_cli(
+        [
+            "demo-msm",
+            "--model", "muller-brown",
+            "--starts", "2",
+            "--trajs", "2",
+            "--steps", "800",
+            "--generations", "2",
+        ]
+    )
+    assert code == 0
+    assert "final MSM" in text
+    assert "complete" in text
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_demo_recovery_runs():
+    code, text = run_cli(["demo-recovery", "--commands", "2", "--steps", "2000"])
+    assert code == 0
+    assert "requeued after failures: " in text
+    assert "resumed from dead worker's checkpoint" in text
+
+
+def test_demo_umbrella_runs():
+    code, text = run_cli(["demo-umbrella", "--windows", "9", "--samples", "800"])
+    assert code == 0
+    assert "WHAM basin dF" in text

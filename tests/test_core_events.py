@@ -1,0 +1,90 @@
+"""Tests for the event log and its runner integration."""
+
+import pytest
+
+from repro.core import Project, ProjectRunner
+from repro.core.events import EventKind, EventLog, EventRecord
+from repro.net import Network
+from repro.server import CopernicusServer
+from repro.worker import SMPPlatform, Worker
+
+from tests.test_core_controllers import OneShotController
+
+
+def test_event_log_basics():
+    log = EventLog()
+    log.record(0.0, EventKind.PROJECT_SUBMITTED, "p")
+    log.record(5.0, EventKind.COMMAND_COMPLETED, "p", command="c0")
+    log.record(5.0, EventKind.COMMAND_COMPLETED, "q", command="c1")
+    assert len(log) == 3
+    assert log.counts() == {
+        "project_submitted": 1,
+        "command_completed": 2,
+    }
+
+
+def test_event_log_filtering():
+    log = EventLog()
+    log.record(0.0, EventKind.PROJECT_SUBMITTED, "p")
+    log.record(1.0, EventKind.COMMAND_COMPLETED, "p")
+    log.record(2.0, EventKind.COMMAND_COMPLETED, "q")
+    assert len(log.filter(kind=EventKind.COMMAND_COMPLETED)) == 2
+    assert len(log.filter(project_id="q")) == 1
+    assert len(log.filter(kind=EventKind.COMMAND_COMPLETED, project_id="p")) == 1
+
+
+def test_event_record_str():
+    record = EventRecord(3.0, EventKind.WORKER_DEAD, details={"worker": "w0"})
+    text = str(record)
+    assert "worker_dead" in text
+    assert "w0" in text
+
+
+def test_event_log_to_text():
+    log = EventLog()
+    log.record(0.0, EventKind.PROJECT_SUBMITTED, "p")
+    log.record(9.0, EventKind.PROJECT_COMPLETED, "p")
+    text = log.to_text()
+    assert text.count("\n") == 1
+    assert "project_completed" in text
+
+
+def test_runner_records_lifecycle():
+    net = Network(seed=0)
+    server = CopernicusServer("srv", net)
+    worker = Worker("w0", net, server="srv", platform=SMPPlatform(cores=2))
+    net.connect("srv", "w0")
+    worker.announce(0.0)
+    runner = ProjectRunner(net, server, [worker])
+    runner.submit(Project("demo"), OneShotController(n_commands=2))
+    runner.run()
+    counts = runner.events.counts()
+    assert counts["project_submitted"] == 1
+    assert counts["command_completed"] == 2
+    assert counts["project_completed"] == 1
+    # issue event carries the batch size
+    issued = runner.events.filter(kind=EventKind.COMMANDS_ISSUED)
+    assert issued[0].details["count"] == 2
+
+
+def test_runner_records_worker_death():
+    net = Network(seed=0)
+    server = CopernicusServer("srv", net, heartbeat_interval=10.0)
+    flaky = Worker(
+        "flaky", net, server="srv", platform=SMPPlatform(cores=1),
+        segment_steps=200,
+    )
+    steady = Worker(
+        "steady", net, server="srv", platform=SMPPlatform(cores=1),
+        segment_steps=200,
+    )
+    net.connect("srv", "flaky")
+    net.connect("srv", "steady")
+    flaky.announce(0.0)
+    steady.announce(0.0)
+    flaky.set_crash_hook(lambda cid, seg: seg == 1)
+    runner = ProjectRunner(net, server, [flaky, steady], tick=30.0)
+    runner.submit(Project("demo"), OneShotController(n_commands=2, n_steps=1000))
+    runner.run()
+    dead_events = runner.events.filter(kind=EventKind.WORKER_DEAD)
+    assert any(e.details.get("worker") == "flaky" for e in dead_events)

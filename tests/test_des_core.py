@@ -1,0 +1,317 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import AllOf, AnyOf, Environment, Interrupt
+from repro.util.errors import ReproError
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.5)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == pytest.approx(3.5)
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+
+
+def test_run_until_time_stops_early():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        for _ in range(10):
+            yield env.timeout(1)
+            seen.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=4.5)
+    assert seen == [1, 2, 3, 4]
+    assert env.now == pytest.approx(4.5)
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+
+    env.process(proc(env))
+    env.run()
+    with pytest.raises(ValueError):
+        env.run(until=env.now - 1)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def waiter(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    for delay, tag in [(5, "c"), (1, "a"), (3, "b")]:
+        env.process(waiter(env, delay, tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_creation_order():
+    env = Environment()
+    order = []
+
+    def waiter(env, tag):
+        yield env.timeout(2)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(waiter(env, tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    results = []
+
+    def waiter(env, ev):
+        value = yield ev
+        results.append(value)
+
+    ev = env.event()
+
+    def trigger(env, ev):
+        yield env.timeout(2)
+        ev.succeed("payload")
+
+    env.process(waiter(env, ev))
+    env.process(trigger(env, ev))
+    env.run()
+    assert results == ["payload"]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(ReproError):
+        ev.succeed(2)
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    caught = []
+
+    def waiter(env, ev):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    ev = env.event()
+
+    def trigger(env, ev):
+        yield env.timeout(1)
+        ev.fail(RuntimeError("boom"))
+
+    env.process(waiter(env, ev))
+    env.process(trigger(env, ev))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_propagates_from_run():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("explode")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="explode"):
+        env.run()
+
+
+def test_yield_already_processed_event_resumes():
+    env = Environment()
+    trace = []
+
+    def proc(env, ev):
+        yield env.timeout(5)  # ev fired at t=1, long before
+        value = yield ev
+        trace.append((env.now, value))
+
+    ev = env.event()
+
+    def early(env, ev):
+        yield env.timeout(1)
+        ev.succeed("old")
+
+    env.process(proc(env, ev))
+    env.process(early(env, ev))
+    env.run()
+    assert trace == [(5.0, "old")]
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    p = env.process(bad(env))
+    with pytest.raises(TypeError):
+        env.run(until=p)
+
+
+def test_allof_waits_for_all():
+    env = Environment()
+    done_at = []
+
+    def proc(env):
+        yield AllOf(env, [env.timeout(1), env.timeout(4), env.timeout(2)])
+        done_at.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done_at == [4.0]
+
+
+def test_anyof_fires_on_first():
+    env = Environment()
+    done_at = []
+
+    def proc(env):
+        yield AnyOf(env, [env.timeout(3), env.timeout(1)])
+        done_at.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done_at == [1.0]
+
+
+def test_and_or_operators():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        yield env.timeout(1) & env.timeout(2)
+        times.append(env.now)
+        yield env.timeout(10) | env.timeout(3)
+        times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [2.0, 5.0]
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    causes = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as exc:
+            causes.append((env.now, exc.cause))
+
+    def attacker(env, target):
+        yield env.timeout(2)
+        target.interrupt("preempted")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert causes == [(2.0, "preempted")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(ReproError):
+        p.interrupt()
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_run_until_event_value():
+    env = Environment()
+    ev = env.event()
+
+    def trigger(env, ev):
+        yield env.timeout(7)
+        ev.succeed(123)
+
+    env.process(trigger(env, ev))
+    assert env.run(until=ev) == 123
+    assert env.now == pytest.approx(7)
+
+
+def test_run_until_event_never_fires_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(ReproError):
+        env.run(until=ev)
+
+
+def test_peek_empty_queue_is_inf():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+@settings(max_examples=40)
+@given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=20))
+def test_property_completion_order_matches_sorted_delays(delays):
+    """Processes complete in non-decreasing delay order (stable on ties)."""
+    env = Environment()
+    completions = []
+
+    def proc(env, i, d):
+        yield env.timeout(d)
+        completions.append((env.now, i))
+
+    for i, d in enumerate(delays):
+        env.process(proc(env, i, d))
+    env.run()
+    times = [t for t, _ in completions]
+    assert times == sorted(times)
+    # ties keep creation order (deterministic kernel)
+    for (t1, i1), (t2, i2) in zip(completions, completions[1:]):
+        if t1 == t2:
+            assert i1 < i2

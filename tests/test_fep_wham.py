@@ -1,0 +1,140 @@
+"""Tests for umbrella sampling and WHAM."""
+
+import numpy as np
+import pytest
+
+from repro.fep.umbrella import UmbrellaWindow, metropolis_sample, window_ladder
+from repro.fep.wham import WHAMResult, free_energy_difference, wham
+from repro.util.errors import ConfigurationError, EstimationError
+
+
+KT = 1.0
+
+
+def tilted_double_well(x):
+    """E(x) = 3 ((x^2 - 1)^2) + 0.8 x — asymmetric double well."""
+    return 3.0 * (x * x - 1.0) ** 2 + 0.8 * x
+
+
+def analytic_profile(energy, lo=-2.2, hi=2.2, n=4001):
+    xs = np.linspace(lo, hi, n)
+    e = np.array([energy(x) for x in xs])
+    p = np.exp(-(e - e.min()) / KT)
+    p /= np.trapezoid(p, xs)
+    return xs, e - e.min(), p
+
+
+# -------------------------------------------------------------- umbrella
+
+
+def test_window_validation():
+    with pytest.raises(ConfigurationError):
+        UmbrellaWindow(center=0.0, k=-1.0)
+
+
+def test_window_ladder_coverage():
+    ladder = window_ladder(-2.0, 2.0, 9, k=10.0)
+    assert len(ladder) == 9
+    assert ladder[0].center == -2.0
+    assert ladder[-1].center == 2.0
+    with pytest.raises(ConfigurationError):
+        window_ladder(0, 1, 1, k=1.0)
+
+
+def test_metropolis_sampling_biased_mean():
+    """With a stiff bias the samples hug the window centre."""
+    window = UmbrellaWindow(center=0.5, k=200.0)
+    samples = metropolis_sample(
+        tilted_double_well, window, 2000, KT, rng=0, step=0.15
+    )
+    assert abs(samples.mean() - 0.5) < 0.1
+    assert samples.std() < 0.2
+
+
+def test_metropolis_sampling_unbiased_limit():
+    """A very weak bias recovers the underlying Boltzmann distribution's
+    preference for the lower (left) well."""
+    window = UmbrellaWindow(center=0.0, k=1e-6)
+    samples = metropolis_sample(
+        tilted_double_well, window, 4000, KT, rng=1, step=0.4
+    )
+    assert (samples < 0).mean() > 0.6  # tilt favours the left well
+
+
+def test_metropolis_validation():
+    window = UmbrellaWindow(center=0.0, k=1.0)
+    with pytest.raises(ConfigurationError):
+        metropolis_sample(tilted_double_well, window, 0, KT)
+    with pytest.raises(ConfigurationError):
+        metropolis_sample(tilted_double_well, window, 10, -1.0)
+
+
+# ------------------------------------------------------------------ WHAM
+
+
+@pytest.fixture(scope="module")
+def umbrella_data():
+    windows = window_ladder(-1.8, 1.8, 13, k=15.0)
+    samples = [
+        metropolis_sample(
+            tilted_double_well, w, 3000, KT, rng=100 + i, step=0.25
+        )
+        for i, w in enumerate(windows)
+    ]
+    return samples, windows
+
+
+def test_wham_converges(umbrella_data):
+    samples, windows = umbrella_data
+    result = wham(samples, windows, KT, n_bins=50)
+    assert result.converged
+    assert result.probability.sum() == pytest.approx(1.0)
+
+
+def test_wham_recovers_two_minima(umbrella_data):
+    samples, windows = umbrella_data
+    result = wham(samples, windows, KT, n_bins=50)
+    fe = result.free_energy
+    centers = result.bin_centers
+    left = np.nanargmin(np.where(centers < 0, fe, np.nan))
+    right = np.nanargmin(np.where(centers > 0, fe, np.nan))
+    assert centers[left] == pytest.approx(-1.05, abs=0.25)
+    assert centers[right] == pytest.approx(0.95, abs=0.25)
+    # barrier between the minima
+    barrier_region = (centers > -0.5) & (centers < 0.5)
+    assert np.nanmin(fe[barrier_region]) > fe[left] + 1.0
+
+
+def test_wham_free_energy_difference_matches_analytic(umbrella_data):
+    samples, windows = umbrella_data
+    result = wham(samples, windows, KT, n_bins=50)
+    df = free_energy_difference(
+        result, region_a=(-1.8, 0.0), region_b=(0.0, 1.8), kt=KT
+    )
+    # analytic basin free-energy difference by direct integration
+    xs, _, p = analytic_profile(tilted_double_well)
+    pa = np.trapezoid(np.where(xs < 0, p, 0), xs)
+    pb = np.trapezoid(np.where(xs >= 0, p, 0), xs)
+    exact = -KT * np.log(pb / pa)
+    assert df == pytest.approx(exact, abs=0.25)
+
+
+def test_wham_profile_shape_matches_analytic(umbrella_data):
+    samples, windows = umbrella_data
+    result = wham(samples, windows, KT, n_bins=50)
+    xs, fe_exact, _ = analytic_profile(tilted_double_well)
+    # compare on bins inside the sampled range with finite estimates
+    ok = np.isfinite(result.free_energy) & (np.abs(result.bin_centers) < 1.5)
+    approx = np.interp(result.bin_centers[ok], xs, fe_exact)
+    rmse = np.sqrt(np.mean((result.free_energy[ok] - approx) ** 2))
+    assert rmse < 0.5  # within half kT across the profile
+
+
+def test_wham_validation():
+    windows = window_ladder(-1, 1, 3, k=5.0)
+    with pytest.raises(EstimationError):
+        wham([np.ones(5)], windows, KT)
+    with pytest.raises(EstimationError):
+        wham([np.ones(5)] * 3, windows, kt=-1.0)
+    with pytest.raises(EstimationError):
+        wham([np.ones(5), np.zeros(0), np.ones(5)], windows, KT)

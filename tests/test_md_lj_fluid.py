@@ -1,0 +1,141 @@
+"""Tests for the periodic LJ fluid."""
+
+import numpy as np
+import pytest
+
+from repro.md import LangevinIntegrator, Simulation, VelocityVerletIntegrator
+from repro.md.models.lj_fluid import (
+    lattice_positions,
+    lj_fluid_state,
+    lj_fluid_system,
+    radial_distribution,
+    wrap_positions,
+)
+from repro.util.errors import ConfigurationError
+
+
+def test_lattice_fills_box():
+    pos = lattice_positions(27, 3.0)
+    assert pos.shape == (27, 3)
+    assert pos.min() > 0 and pos.max() < 3.0
+
+
+def test_lattice_validation():
+    with pytest.raises(ConfigurationError):
+        lattice_positions(0, 1.0)
+
+
+def test_fluid_density_sets_box():
+    system, box = lj_fluid_system(n_particles=64, density=0.5, sigma=0.34)
+    volume = float(np.prod(box))
+    rho_star = 64 * 0.34**3 / volume
+    assert rho_star == pytest.approx(0.5, rel=1e-10)
+
+
+def test_fluid_validation():
+    with pytest.raises(ConfigurationError):
+        lj_fluid_system(n_particles=1)
+    with pytest.raises(ConfigurationError):
+        lj_fluid_system(density=-1.0)
+
+
+def test_minimum_image_energy_translation_invariant():
+    """Shifting all particles across the boundary leaves E unchanged."""
+    system, box = lj_fluid_system(n_particles=27, density=0.4)
+    state = lj_fluid_state(system, box, rng=0)
+    e0 = system.potential_energy(state.positions)
+    shifted = state.positions + 0.37 * box  # crosses the boundary
+    e1 = system.potential_energy(shifted)
+    assert e1 == pytest.approx(e0, rel=1e-10)
+
+
+def test_nve_energy_conservation_with_pbc():
+    system, box = lj_fluid_system(n_particles=27, density=0.3)
+    state = lj_fluid_state(system, box, temperature=120.0, rng=1)
+    sim = Simulation(system, VelocityVerletIntegrator(0.002), state)
+    e0 = sim.total_energy()
+    sim.run(2000)
+    assert sim.total_energy() == pytest.approx(e0, rel=2e-3)
+
+
+def test_fluid_melts_from_lattice():
+    """Langevin dynamics destroys the initial lattice order."""
+    system, box = lj_fluid_system(n_particles=64, density=0.5)
+    state = lj_fluid_state(system, box, temperature=300.0, rng=2)
+    start = state.positions.copy()
+    sim = Simulation(
+        system, LangevinIntegrator(0.002, 300.0, friction=2.0, rng=3), state
+    )
+    sim.run(3000)
+    displacement = np.linalg.norm(sim.state.positions - start, axis=1)
+    assert displacement.mean() > 0.1  # particles diffused off their sites
+
+
+def test_wrap_positions_in_box():
+    box = np.array([2.0, 2.0, 2.0])
+    pos = np.array([[2.5, -0.5, 1.0]])
+    wrapped = wrap_positions(pos, box)
+    np.testing.assert_allclose(wrapped, [[0.5, 1.5, 1.0]])
+
+
+def test_rdf_ideal_gas_flat():
+    """Random (ideal) configurations give g(r) ~ 1."""
+    rng = np.random.default_rng(0)
+    box = np.full(3, 4.0)
+    frames = rng.random((8, 200, 3)) * box
+    r, g = radial_distribution(frames, box, n_bins=20)
+    # away from r=0 the profile is flat around 1
+    assert np.abs(g[5:] - 1.0).mean() < 0.15
+
+
+def test_rdf_liquid_first_peak():
+    """An equilibrated LJ fluid shows the contact peak near 1.1 sigma."""
+    sigma = 0.34
+    system, box = lj_fluid_system(n_particles=125, density=0.7, sigma=sigma)
+    state = lj_fluid_state(system, box, temperature=150.0, rng=4)
+    sim = Simulation(
+        system,
+        LangevinIntegrator(0.002, 150.0, friction=2.0, rng=5),
+        state,
+        report_interval=200,
+    )
+    sim.run(4000)
+    frames = wrap_positions(sim.trajectory.frames[5:], box)
+    r, g = radial_distribution(frames, box, n_bins=40)
+    peak_r = r[np.argmax(g)]
+    assert peak_r == pytest.approx(2 ** (1 / 6) * sigma, rel=0.15)
+    assert g.max() > 1.5  # clear liquid structure
+
+
+def test_rdf_validation():
+    with pytest.raises(ConfigurationError):
+        radial_distribution(np.zeros((1, 5, 3)), np.full(3, 2.0), n_bins=1)
+
+
+def test_virial_pressure_ideal_gas_limit():
+    """At very low density the pressure approaches rho kT."""
+    from repro.md.models.lj_fluid import virial_pressure
+    from repro.util.units import KB
+
+    system, box = lj_fluid_system(n_particles=27, density=0.01)
+    state = lj_fluid_state(system, box, temperature=300.0, rng=7)
+    p = virial_pressure(system, state.positions, box, 300.0)
+    ideal = 27 * KB * 300.0 / float(np.prod(box))
+    assert p == pytest.approx(ideal, rel=0.1)
+
+
+def test_virial_pressure_attraction_lowers_pressure():
+    """In the attractive regime P falls below the ideal value."""
+    from repro.md.models.lj_fluid import virial_pressure
+    from repro.md import LangevinIntegrator, Simulation
+    from repro.util.units import KB
+
+    system, box = lj_fluid_system(n_particles=64, density=0.5, epsilon=2.0)
+    state = lj_fluid_state(system, box, temperature=120.0, rng=8)
+    sim = Simulation(
+        system, LangevinIntegrator(0.002, 120.0, friction=2.0, rng=9), state
+    )
+    sim.run(2000)  # equilibrate off the lattice
+    p = virial_pressure(system, sim.state.positions, box, 120.0)
+    ideal = 64 * KB * 120.0 / float(np.prod(box))
+    assert p < ideal

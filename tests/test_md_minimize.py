@@ -1,0 +1,90 @@
+"""Tests for energy minimisation."""
+
+import numpy as np
+import pytest
+
+from repro.md.minimize import fire_minimize, steepest_descent
+from repro.md.models.villin import build_villin
+from repro.md.system import System
+from repro.md.forcefield.bonded import HarmonicBondForce
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RandomStream
+
+
+@pytest.fixture(scope="module")
+def villin():
+    return build_villin("fast")
+
+
+def perturbed(villin, scale=0.05, seed=0):
+    rng = RandomStream(seed)
+    return villin.native + rng.normal(scale=scale, size=villin.native.shape)
+
+
+def test_sd_reduces_energy(villin):
+    start = perturbed(villin)
+    e_start = villin.system.potential_energy(start)
+    result = steepest_descent(villin.system, start, tolerance=50.0)
+    assert result.energy < e_start
+    assert result.max_force < 50.0
+    assert result.converged
+
+
+def test_sd_recovers_native_basin(villin):
+    start = perturbed(villin, scale=0.03, seed=1)
+    result = steepest_descent(
+        villin.system, start, tolerance=5.0, max_steps=5000
+    )
+    e_native = villin.system.potential_energy(villin.native)
+    # relaxed energy close to the native minimum
+    assert result.energy < e_native + 20.0
+
+
+def test_sd_dimer_exact():
+    system = System(
+        masses=[1.0, 1.0],
+        forces=[HarmonicBondForce([[0, 1]], [1.0], [100.0])],
+    )
+    start = np.array([[0.0, 0.0, 0.0], [1.4, 0.0, 0.0]])
+    result = steepest_descent(system, start, tolerance=1e-4, max_steps=5000)
+    d = np.linalg.norm(result.positions[1] - result.positions[0])
+    assert d == pytest.approx(1.0, abs=1e-4)
+    assert result.converged
+
+
+def test_sd_does_not_mutate_input(villin):
+    start = perturbed(villin)
+    snapshot = start.copy()
+    steepest_descent(villin.system, start, tolerance=100.0, max_steps=50)
+    np.testing.assert_array_equal(start, snapshot)
+
+
+def test_sd_invalid_params(villin):
+    with pytest.raises(ConfigurationError):
+        steepest_descent(villin.system, villin.native, tolerance=0.0)
+
+
+def test_fire_reduces_energy(villin):
+    start = perturbed(villin, seed=2)
+    e_start = villin.system.potential_energy(start)
+    result = fire_minimize(villin.system, start, tolerance=50.0)
+    assert result.energy < e_start
+    assert result.converged
+
+
+def test_fire_at_least_as_deep_as_sd(villin):
+    start = perturbed(villin, seed=3)
+    sd = steepest_descent(villin.system, start, tolerance=10.0, max_steps=800)
+    fire = fire_minimize(villin.system, start, tolerance=10.0, max_steps=800)
+    assert fire.energy <= sd.energy + 5.0
+
+
+def test_fire_invalid_params(villin):
+    with pytest.raises(ConfigurationError):
+        fire_minimize(villin.system, villin.native, dt_start=0.05, dt_max=0.01)
+
+
+def test_already_minimal_converges_immediately(villin):
+    result = steepest_descent(villin.system, villin.native, tolerance=1.0)
+    assert result.converged
+    assert result.n_steps == 0

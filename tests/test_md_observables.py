@@ -1,0 +1,110 @@
+"""Tests for trajectory observables."""
+
+import numpy as np
+import pytest
+
+from repro.md.models.villin import build_villin
+from repro.md.observables import (
+    bond_length_series,
+    end_to_end_distance,
+    fraction_native_contacts,
+    potential_energy_series,
+    radius_of_gyration,
+)
+from repro.util.errors import ConfigurationError
+
+
+def test_rg_two_particles():
+    # two unit masses +/- 1 along x: rg = 1
+    pos = np.array([[[-1.0, 0, 0], [1.0, 0, 0]]])
+    assert radius_of_gyration(pos)[0] == pytest.approx(1.0)
+
+
+def test_rg_mass_weighting():
+    pos = np.array([[[-1.0, 0, 0], [1.0, 0, 0]]])
+    # heavy first atom pulls the COM toward it
+    rg = radius_of_gyration(pos, masses=np.array([3.0, 1.0]))[0]
+    # com at -0.5; distances 0.5 and 1.5 -> rg = sqrt((3*0.25+1*2.25)/4)
+    assert rg == pytest.approx(np.sqrt(3.0 / 4.0))
+
+
+def test_rg_translation_invariant():
+    rng = np.random.default_rng(0)
+    frames = rng.normal(size=(4, 7, 3))
+    shifted = frames + np.array([10.0, -5.0, 3.0])
+    np.testing.assert_allclose(
+        radius_of_gyration(frames), radius_of_gyration(shifted), atol=1e-12
+    )
+
+
+def test_rg_single_frame_input():
+    pos = np.zeros((5, 3))
+    assert radius_of_gyration(pos).shape == (1,)
+
+
+def test_rg_mass_shape_validation():
+    with pytest.raises(ConfigurationError):
+        radius_of_gyration(np.zeros((1, 3, 3)), masses=np.ones(2))
+
+
+def test_rg_villin_native_vs_extended():
+    model = build_villin("fast")
+    ext = model.extended_state(rng=0).positions
+    rg_native = radius_of_gyration(model.native)[0]
+    rg_ext = radius_of_gyration(ext)[0]
+    assert rg_native < 0.5 * rg_ext
+
+
+def test_end_to_end_distance():
+    pos = np.zeros((2, 4, 3))
+    pos[0, -1, 0] = 3.0
+    pos[1, -1, 1] = 4.0
+    np.testing.assert_allclose(end_to_end_distance(pos), [3.0, 4.0])
+
+
+def test_fraction_native_contacts_matches_go_force():
+    model = build_villin("fast")
+    q_obs = fraction_native_contacts(
+        model.native, model.go_force.pairs, model.go_force.r0
+    )[0]
+    assert q_obs == pytest.approx(model.fraction_native(model.native))
+
+
+def test_fraction_native_contacts_empty_pairs():
+    out = fraction_native_contacts(
+        np.zeros((2, 3, 3)), np.zeros((0, 2)), np.zeros(0)
+    )
+    np.testing.assert_allclose(out, 1.0)
+
+
+def test_fraction_native_contacts_validation():
+    with pytest.raises(ConfigurationError):
+        fraction_native_contacts(
+            np.zeros((1, 3, 3)), np.array([[0, 1]]), np.zeros(2)
+        )
+
+
+def test_potential_energy_series():
+    model = build_villin("fast")
+    frames = np.stack([model.native, model.native * 1.05])
+    energies = potential_energy_series(model.system, frames)
+    assert energies.shape == (2,)
+    assert energies[1] > energies[0]  # stretched structure is higher
+
+
+def test_bond_length_series():
+    pos = np.zeros((3, 2, 3))
+    pos[:, 1, 0] = [1.0, 2.0, 3.0]
+    np.testing.assert_allclose(
+        bond_length_series(pos, 0, 1), [1.0, 2.0, 3.0]
+    )
+
+
+def test_bond_length_validation():
+    with pytest.raises(ConfigurationError):
+        bond_length_series(np.zeros((1, 2, 3)), 0, 5)
+
+
+def test_bad_frame_shape():
+    with pytest.raises(ConfigurationError):
+        radius_of_gyration(np.zeros(5))

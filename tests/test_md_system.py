@@ -1,0 +1,169 @@
+"""Tests for System/State/Topology and the neighbour-list providers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.neighborlist import AllPairs, CellList
+from repro.md.system import State, System, Topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RandomStream
+
+
+def test_topology_validates_indices():
+    with pytest.raises(ConfigurationError):
+        Topology(n_atoms=2, bonds=[[0, 5]], bond_r0=[1.0], bond_k=[1.0])
+
+
+def test_topology_validates_alignment():
+    with pytest.raises(ConfigurationError):
+        Topology(n_atoms=3, bonds=[[0, 1]], bond_r0=[1.0, 2.0], bond_k=[1.0])
+
+
+def test_topology_excluded_pairs_include_bonds_and_13():
+    topo = Topology(
+        n_atoms=3,
+        bonds=[[0, 1], [1, 2]],
+        bond_r0=[1.0, 1.0],
+        bond_k=[1.0, 1.0],
+        angles=[[0, 1, 2]],
+        angle_theta0=[1.5],
+        angle_k=[1.0],
+    )
+    assert topo.all_excluded_pairs() == {(0, 1), (1, 2), (0, 2)}
+
+
+def test_topology_rejects_nonpositive_atoms():
+    with pytest.raises(ConfigurationError):
+        Topology(n_atoms=0)
+
+
+def test_state_shape_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        State(np.zeros((3, 3)), np.zeros((2, 3)))
+
+
+def test_state_copy_is_deep():
+    s = State(np.zeros((2, 3)), np.zeros((2, 3)), time=1.0, step=10)
+    c = s.copy()
+    c.positions[0, 0] = 5.0
+    assert s.positions[0, 0] == 0.0
+    assert c.time == 1.0 and c.step == 10
+
+
+def test_system_rejects_bad_masses():
+    with pytest.raises(ConfigurationError):
+        System(masses=[1.0, -1.0])
+    with pytest.raises(ConfigurationError):
+        System(masses=[])
+
+
+def test_system_rejects_bad_dim():
+    with pytest.raises(ConfigurationError):
+        System(masses=[1.0], dim=4)
+
+
+def test_system_topology_size_mismatch_rejected():
+    topo = Topology(n_atoms=3)
+    with pytest.raises(ConfigurationError):
+        System(masses=[1.0, 1.0], topology=topo)
+
+
+def test_kinetic_energy_formula():
+    system = System(masses=[2.0, 3.0])
+    v = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 0.0]])
+    # 0.5*2*1 + 0.5*3*4 = 1 + 6
+    assert system.kinetic_energy(v) == pytest.approx(7.0)
+
+
+def test_instantaneous_temperature_consistency():
+    system = System(masses=[1.0] * 10)
+    rng = RandomStream(0)
+    v = system.maxwell_boltzmann_velocities(300.0, rng)
+    t = system.instantaneous_temperature(v)
+    assert 100 < t < 600  # single draw fluctuates, but the scale is right
+
+
+def test_all_pairs_count():
+    provider = AllPairs(5)
+    i, j = provider.pairs(np.zeros((5, 3)))
+    assert len(i) == 10
+    assert np.all(i < j)
+
+
+def test_all_pairs_exclusions_removed():
+    provider = AllPairs(4, exclusions=[(0, 1), (3, 2)])
+    i, j = provider.pairs(np.zeros((4, 3)))
+    pairs = set(zip(i.tolist(), j.tolist()))
+    assert (0, 1) not in pairs
+    assert (2, 3) not in pairs
+    assert len(pairs) == 4
+
+
+def test_all_pairs_invalid_n():
+    with pytest.raises(ConfigurationError):
+        AllPairs(0)
+
+
+def test_cell_list_matches_all_pairs_within_cutoff():
+    rng = RandomStream(1)
+    positions = rng.uniform(0, 3.0, size=(60, 3))
+    cutoff = 0.7
+    cell = CellList(cutoff=cutoff, skin=0.0)
+    ci, cj = cell.pairs(positions)
+    cell_pairs = set(zip(ci.tolist(), cj.tolist()))
+    ai, aj = AllPairs(60).pairs(positions)
+    d = np.linalg.norm(positions[aj] - positions[ai], axis=1)
+    brute = set(
+        (int(a), int(b)) for a, b, dd in zip(ai, aj, d) if dd <= cutoff
+    )
+    assert brute <= cell_pairs  # cell list must not miss any true pair
+    # and everything returned is within cutoff (skin=0)
+    for a, b in cell_pairs:
+        assert np.linalg.norm(positions[b] - positions[a]) <= cutoff + 1e-12
+
+
+def test_cell_list_respects_exclusions():
+    positions = np.array([[0.0, 0.0, 0.0], [0.1, 0.0, 0.0], [0.2, 0.0, 0.0]])
+    cell = CellList(cutoff=1.0, exclusions=[(0, 1)])
+    i, j = cell.pairs(positions)
+    pairs = set(zip(i.tolist(), j.tolist()))
+    assert (0, 1) not in pairs
+    assert (0, 2) in pairs and (1, 2) in pairs
+
+
+def test_cell_list_2d_positions():
+    rng = RandomStream(2)
+    positions = rng.uniform(0, 2.0, size=(30, 2))
+    cell = CellList(cutoff=0.5, skin=0.0)
+    i, j = cell.pairs(positions)
+    d = np.linalg.norm(positions[j] - positions[i], axis=1)
+    assert np.all(d <= 0.5 + 1e-12)
+
+
+def test_cell_list_invalid_params():
+    with pytest.raises(ConfigurationError):
+        CellList(cutoff=0.0)
+    with pytest.raises(ConfigurationError):
+        CellList(cutoff=1.0, skin=-0.1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.floats(min_value=0.3, max_value=1.5),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_cell_list_complete(n, cutoff, seed):
+    """Cell list finds every pair within the cutoff, for random clouds."""
+    rng = RandomStream(seed)
+    positions = rng.uniform(0, 2.5, size=(n, 3))
+    ci, cj = CellList(cutoff=cutoff, skin=0.0).pairs(positions)
+    got = set(zip(ci.tolist(), cj.tolist()))
+    ai, aj = AllPairs(n).pairs(positions)
+    d = np.linalg.norm(positions[aj] - positions[ai], axis=1)
+    expected = set(
+        (int(a), int(b)) for a, b, dd in zip(ai, aj, d) if dd <= cutoff
+    )
+    assert expected <= got

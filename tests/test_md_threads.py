@@ -1,0 +1,79 @@
+"""Tests for thread-level force evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.md import LangevinIntegrator, Simulation
+from repro.md.models.villin import build_villin
+from repro.md.threads import ThreadedForceField
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RandomStream
+
+
+@pytest.fixture(scope="module")
+def villin():
+    return build_villin("fast")
+
+
+def test_threaded_matches_serial_exactly(villin):
+    rng = RandomStream(0)
+    pos = villin.native + rng.normal(scale=0.05, size=villin.native.shape)
+    e_serial, f_serial = villin.system.energy_forces(pos)
+    with ThreadedForceField(villin.system.forces, n_threads=2) as threaded:
+        e_thr, f_thr = threaded.energy_forces(pos)
+    assert e_thr == pytest.approx(e_serial, rel=1e-14)
+    np.testing.assert_array_equal(f_thr, f_serial)
+
+
+def test_threaded_repeatable(villin):
+    rng = RandomStream(1)
+    pos = villin.native + rng.normal(scale=0.05, size=villin.native.shape)
+    with ThreadedForceField(villin.system.forces, n_threads=3) as threaded:
+        a = threaded.energy_forces(pos)
+        b = threaded.energy_forces(pos)
+    assert a[0] == b[0]
+    np.testing.assert_array_equal(a[1], b[1])
+
+
+def test_threaded_dynamics_match(villin):
+    """A deterministic run is identical under threaded evaluation."""
+    def run(system_forces):
+        model = build_villin("fast")
+        if system_forces == "threaded":
+            ThreadedForceField(model.system.forces, n_threads=2).attach(
+                model.system
+            )
+        state = model.native_state(rng=2, temperature=300.0)
+        sim = Simulation(
+            model.system, LangevinIntegrator(0.02, 300.0, rng=3), state
+        )
+        sim.run(200)
+        return sim.state.positions
+
+    np.testing.assert_array_equal(run("serial"), run("threaded"))
+
+
+def test_attach_replaces_forces(villin):
+    model = build_villin("fast")
+    threaded = ThreadedForceField(model.system.forces, n_threads=2)
+    threaded.attach(model.system)
+    assert model.system.forces == [threaded]
+    e, f = model.system.energy_forces(model.native)
+    assert np.isfinite(e)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ThreadedForceField([], n_threads=2)
+    with pytest.raises(ConfigurationError):
+        ThreadedForceField([object()], n_threads=0)
+
+
+def test_close_idempotent(villin):
+    threaded = ThreadedForceField(villin.system.forces)
+    threaded.energy_forces(villin.native)
+    threaded.close()
+    threaded.close()
+    # pool restarts lazily after close
+    e, _ = threaded.energy_forces(villin.native)
+    assert np.isfinite(e)

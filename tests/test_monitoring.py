@@ -1,0 +1,61 @@
+"""Tests for the monitoring dashboard."""
+
+import pytest
+
+from repro.core import Project, ProjectRunner
+from repro.core.monitoring import render_html, render_text, status_snapshot
+from repro.net import Network
+from repro.server import CopernicusServer
+from repro.worker import SMPPlatform, Worker
+
+from tests.test_core_controllers import OneShotController
+
+
+@pytest.fixture()
+def finished_runner():
+    net = Network(seed=0)
+    server = CopernicusServer("srv", net)
+    worker = Worker("w0", net, server="srv", platform=SMPPlatform(cores=2))
+    net.connect("srv", "w0")
+    worker.announce(0.0)
+    runner = ProjectRunner(net, server, [worker])
+    runner.submit(Project("demo"), OneShotController(n_commands=2))
+    runner.run()
+    return runner
+
+
+def test_snapshot_structure(finished_runner):
+    snap = status_snapshot(finished_runner)
+    assert snap["projects"][0]["project"] == "demo"
+    assert snap["projects"][0]["status"] == "complete"
+    assert snap["servers"][0]["name"] == "srv"
+    assert snap["total_bytes"] > 0
+    assert snap["messages"] > 0
+
+
+def test_snapshot_worker_liveness(finished_runner):
+    snap = status_snapshot(finished_runner)
+    assert snap["servers"][0]["workers"] == {"w0": True}
+
+
+def test_render_text_contains_key_facts(finished_runner):
+    text = render_text(status_snapshot(finished_runner))
+    assert "demo" in text
+    assert "srv" in text
+    assert "workers alive" in text
+    assert "bytes" in text
+
+
+def test_render_html_is_wellformed(finished_runner):
+    page = render_html(status_snapshot(finished_runner))
+    assert page.startswith("<!doctype html>")
+    assert "<title>Copernicus status</title>" in page
+    assert "demo" in page
+    assert page.count("<table>") == 2
+
+
+def test_render_html_escapes(finished_runner):
+    snap = status_snapshot(finished_runner)
+    snap["projects"][0]["project"] = "<script>alert(1)</script>"
+    page = render_html(snap)
+    assert "<script>alert" not in page

@@ -1,0 +1,122 @@
+"""Tests for trajectory featurisation."""
+
+import numpy as np
+import pytest
+
+from repro.md.models.villin import build_villin
+from repro.msm.cluster import KCentersClustering
+from repro.msm.featurize import (
+    ContactFeaturizer,
+    DihedralFeaturizer,
+    FeatureUnion,
+    PairwiseDistanceFeaturizer,
+    villin_featurizer,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RandomStream
+
+
+@pytest.fixture(scope="module")
+def villin():
+    return build_villin("fast")
+
+
+def test_distance_featurizer_values():
+    pairs = np.array([[0, 1], [0, 2]])
+    coords = np.array([[[0.0, 0, 0], [3.0, 0, 0], [0.0, 4.0, 0]]])
+    feat = PairwiseDistanceFeaturizer(pairs).transform(coords)
+    np.testing.assert_allclose(feat, [[3.0, 4.0]])
+
+
+def test_distance_featurizer_shape(villin):
+    pairs = villin.go_force.pairs[:10]
+    frames = np.stack([villin.native, villin.native * 1.1])
+    feat = PairwiseDistanceFeaturizer(pairs).transform(frames)
+    assert feat.shape == (2, 10)
+
+
+def test_contact_featurizer_native_is_all_ones(villin):
+    feat = ContactFeaturizer(
+        villin.go_force.pairs, villin.go_force.r0
+    ).transform(villin.native)
+    assert feat.shape == (1, len(villin.go_force.pairs))
+    assert np.all(feat > 0.95)
+
+
+def test_contact_featurizer_extended_is_near_zero(villin):
+    extended = villin.extended_state(rng=0).positions
+    feat = ContactFeaturizer(
+        villin.go_force.pairs, villin.go_force.r0
+    ).transform(extended)
+    assert feat.mean() < 0.1
+
+
+def test_contact_featurizer_monotone_in_distance():
+    featurizer = ContactFeaturizer(np.array([[0, 1]]), np.array([0.5]))
+    close = featurizer.transform(
+        np.array([[[0.0, 0, 0], [0.45, 0, 0]]])
+    )[0, 0]
+    far = featurizer.transform(
+        np.array([[[0.0, 0, 0], [0.9, 0, 0]]])
+    )[0, 0]
+    assert close > 0.9 > 0.1 > far
+
+
+def test_dihedral_featurizer_unit_circle(villin):
+    quads = villin.topology.dihedrals
+    feat = DihedralFeaturizer(quads).transform(villin.native)
+    cos_part = feat[0, 0::2]
+    sin_part = feat[0, 1::2]
+    np.testing.assert_allclose(cos_part**2 + sin_part**2, 1.0, atol=1e-12)
+
+
+def test_feature_union_concatenates(villin):
+    union = FeatureUnion(
+        [
+            PairwiseDistanceFeaturizer(villin.go_force.pairs[:5]),
+            DihedralFeaturizer(villin.topology.dihedrals[:3]),
+        ]
+    )
+    assert union.n_features == 5 + 6
+    feat = union.transform(villin.native)
+    assert feat.shape == (1, 11)
+
+
+def test_villin_featurizer_separates_folded_from_unfolded(villin):
+    featurizer = villin_featurizer(villin)
+    native_feat = featurizer.transform(villin.native)
+    ext_feat = featurizer.transform(villin.extended_state(rng=1).positions)
+    assert np.linalg.norm(native_feat - ext_feat) > 1.0
+
+
+def test_feature_space_clustering_separates_states(villin):
+    """K-centers in feature space puts folded and unfolded frames in
+    different clusters."""
+    rng = RandomStream(2)
+    folded = villin.native[None] + rng.normal(
+        scale=0.01, size=(10, villin.n_residues, 3)
+    )
+    unfolded = np.stack(
+        [villin.extended_state(rng=10 + k).positions for k in range(10)]
+    )
+    frames = np.concatenate([folded, unfolded])
+    features = villin_featurizer(villin).transform(frames)
+    result = KCentersClustering(n_clusters=2, seed=0).fit(features)
+    folded_labels = set(result.assignments[:10].tolist())
+    unfolded_labels = set(result.assignments[10:].tolist())
+    assert folded_labels.isdisjoint(unfolded_labels)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        PairwiseDistanceFeaturizer(np.zeros((0, 2)))
+    with pytest.raises(ConfigurationError):
+        ContactFeaturizer(np.array([[0, 1]]), np.array([0.5, 0.6]))
+    with pytest.raises(ConfigurationError):
+        ContactFeaturizer(np.array([[0, 1]]), np.array([0.5]), tolerance=0.0)
+    with pytest.raises(ConfigurationError):
+        DihedralFeaturizer(np.zeros((0, 4)))
+    with pytest.raises(ConfigurationError):
+        FeatureUnion([])
+    with pytest.raises(ConfigurationError):
+        PairwiseDistanceFeaturizer(np.array([[0, 1]])).transform(np.zeros(5))

@@ -1,0 +1,84 @@
+"""Tests for PCCA-style macrostate lumping."""
+
+import numpy as np
+import pytest
+
+from repro.msm.lumping import (
+    coarse_grain,
+    lump_states,
+    metastability,
+    spectral_embedding,
+)
+from repro.util.errors import EstimationError
+
+
+def block_chain(blocks=2, size=3, p_in=0.3, p_out=0.01, seed=0):
+    """A metastable chain: dense blocks, weak inter-block links."""
+    n = blocks * size
+    rng = np.random.default_rng(seed)
+    T = np.full((n, n), p_out / n)
+    for b in range(blocks):
+        sl = slice(b * size, (b + 1) * size)
+        T[sl, sl] += p_in * rng.random((size, size))
+    T /= T.sum(axis=1, keepdims=True)
+    return T
+
+
+def test_spectral_embedding_shape():
+    T = block_chain()
+    emb = spectral_embedding(T, 2)
+    assert emb.shape == (6, 1)
+
+
+def test_spectral_embedding_validation():
+    T = block_chain()
+    with pytest.raises(EstimationError):
+        spectral_embedding(T, 1)
+    with pytest.raises(EstimationError):
+        spectral_embedding(T, 100)
+
+
+def test_lump_states_recovers_blocks():
+    T = block_chain(blocks=2, size=4)
+    labels = lump_states(T, 2, seed=1)
+    # every block maps to exactly one macrostate
+    first = labels[:4]
+    second = labels[4:]
+    assert len(set(first.tolist())) == 1
+    assert len(set(second.tolist())) == 1
+    assert first[0] != second[0]
+
+
+def test_lump_states_three_blocks():
+    T = block_chain(blocks=3, size=3, p_out=0.005)
+    labels = lump_states(T, 3, seed=0)
+    groups = [set(labels[i * 3 : (i + 1) * 3].tolist()) for i in range(3)]
+    assert all(len(g) == 1 for g in groups)
+    assert len({g.pop() for g in groups}) == 3
+
+
+def test_coarse_grain_stochastic():
+    T = block_chain(blocks=2, size=3)
+    labels = lump_states(T, 2, seed=0)
+    T_macro, pops = coarse_grain(T, labels)
+    np.testing.assert_allclose(T_macro.sum(axis=1), 1.0, atol=1e-10)
+    assert pops.sum() == pytest.approx(1.0)
+
+
+def test_coarse_grain_validation():
+    T = block_chain()
+    with pytest.raises(EstimationError):
+        coarse_grain(T, np.zeros(3, dtype=int))
+
+
+def test_metastability_high_for_block_chain():
+    T = block_chain(blocks=2, size=4, p_out=0.002)
+    labels = lump_states(T, 2, seed=0)
+    assert metastability(T, labels) > 0.9
+
+
+def test_metastability_low_for_random_lumping():
+    T = block_chain(blocks=2, size=4, p_out=0.002)
+    bad_labels = np.array([0, 1, 0, 1, 0, 1, 0, 1])  # splits the blocks
+    good_labels = lump_states(T, 2, seed=0)
+    assert metastability(T, bad_labels) < metastability(T, good_labels)

@@ -1,0 +1,164 @@
+"""Tests for transition-path theory: committors, fluxes, rates, paths."""
+
+import numpy as np
+import pytest
+
+from repro.msm.analysis import stationary_distribution
+from repro.msm.tpt import (
+    backward_committor,
+    dominant_pathways,
+    forward_committor,
+    rate,
+    reactive_flux,
+    total_flux,
+)
+from repro.util.errors import EstimationError
+
+
+def linear_chain(n=4, p=0.3):
+    """Birth-death chain 0 <-> 1 <-> ... <-> n-1."""
+    T = np.zeros((n, n))
+    for i in range(n):
+        if i > 0:
+            T[i, i - 1] = p
+        if i < n - 1:
+            T[i, i + 1] = p
+        T[i, i] = 1.0 - T[i].sum()
+    return T
+
+
+def masks(n, a, b):
+    source = np.zeros(n, dtype=bool)
+    sink = np.zeros(n, dtype=bool)
+    source[a] = True
+    sink[b] = True
+    return source, sink
+
+
+def test_forward_committor_boundary_values():
+    T = linear_chain(5)
+    source, sink = masks(5, 0, 4)
+    q = forward_committor(T, source, sink)
+    assert q[0] == 0.0
+    assert q[4] == 1.0
+    assert np.all(np.diff(q) > 0)  # monotone along the chain
+
+
+def test_forward_committor_symmetric_random_walk_linear():
+    """For an unbiased walk the committor is linear in position."""
+    n = 6
+    T = linear_chain(n)
+    source, sink = masks(n, 0, n - 1)
+    q = forward_committor(T, source, sink)
+    np.testing.assert_allclose(q, np.linspace(0, 1, n), atol=1e-10)
+
+
+def test_backward_committor_complements_forward_for_reversible():
+    """For a reversible chain, q- = 1 - q+."""
+    T = linear_chain(5)
+    source, sink = masks(5, 0, 4)
+    qf = forward_committor(T, source, sink)
+    qb = backward_committor(T, source, sink)
+    np.testing.assert_allclose(qb, 1.0 - qf, atol=1e-8)
+
+
+def test_committor_validation():
+    T = linear_chain(4)
+    with pytest.raises(EstimationError):
+        forward_committor(T, np.zeros(4, dtype=bool), np.ones(4, dtype=bool))
+    overlapping = np.array([True, False, False, True])
+    with pytest.raises(EstimationError):
+        forward_committor(T, overlapping, overlapping)
+
+
+def test_reactive_flux_nonnegative_and_conserved():
+    T = linear_chain(5)
+    source, sink = masks(5, 0, 4)
+    net = reactive_flux(T, source, sink)
+    assert np.all(net >= 0)
+    # flux out of A equals flux into B
+    out_A = net[0, :].sum() - net[:, 0].sum()
+    into_B = net[:, 4].sum() - net[4, :].sum()
+    assert out_A == pytest.approx(into_B, abs=1e-12)
+
+
+def test_total_flux_positive():
+    T = linear_chain(5)
+    source, sink = masks(5, 0, 4)
+    assert total_flux(T, source, sink) > 0
+
+
+def test_rate_two_state_analytic():
+    """For a 2-state chain the A->B rate equals p_AB / lag."""
+    p, q = 0.1, 0.25
+    T = np.array([[1 - p, p], [q, 1 - q]])
+    source, sink = masks(2, 0, 1)
+    k = rate(T, source, sink, lag_time=2.0)
+    assert k == pytest.approx(p / 2.0, rel=1e-8)
+
+
+def test_rate_validation():
+    T = linear_chain(3)
+    source, sink = masks(3, 0, 2)
+    with pytest.raises(EstimationError):
+        rate(T, source, sink, lag_time=0.0)
+
+
+def test_dominant_pathways_chain_is_the_chain():
+    n = 5
+    T = linear_chain(n)
+    source, sink = masks(n, 0, n - 1)
+    paths = dominant_pathways(T, source, sink, n_paths=2)
+    assert paths, "no pathway found"
+    top_path, flux = paths[0]
+    assert top_path == [0, 1, 2, 3, 4]
+    assert flux > 0
+
+
+def test_dominant_pathways_two_channel():
+    """Two parallel channels: the wider one dominates."""
+    # states: 0=A, 1=fast channel, 2=slow channel, 3=B
+    T = np.array(
+        [
+            [0.5, 0.4, 0.1, 0.0],
+            [0.2, 0.5, 0.0, 0.3],
+            [0.2, 0.0, 0.7, 0.1],
+            [0.0, 0.3, 0.1, 0.6],
+        ]
+    )
+    source, sink = masks(4, 0, 3)
+    paths = dominant_pathways(T, source, sink, n_paths=3)
+    assert paths[0][0] == [0, 1, 3]  # the wide channel first
+    fluxes = [f for _, f in paths]
+    assert fluxes == sorted(fluxes, reverse=True)
+
+
+def test_dominant_pathways_flux_decomposition_bounded():
+    T = linear_chain(6)
+    source, sink = masks(6, 0, 5)
+    F = total_flux(T, source, sink)
+    paths = dominant_pathways(T, source, sink, n_paths=10)
+    assert sum(f for _, f in paths) <= F + 1e-12
+
+
+def test_dominant_pathways_validation():
+    T = linear_chain(3)
+    source, sink = masks(3, 0, 2)
+    with pytest.raises(EstimationError):
+        dominant_pathways(T, source, sink, n_paths=0)
+
+
+def test_tpt_on_estimated_msm():
+    """End-to-end: TPT on a transition matrix estimated from data."""
+    rng = np.random.default_rng(0)
+    T_true = linear_chain(4, p=0.25)
+    states = [0]
+    for _ in range(40000):
+        states.append(rng.choice(4, p=T_true[states[-1]]))
+    from repro.msm import MarkovStateModel
+
+    msm = MarkovStateModel(lag=1).fit([np.array(states)])
+    source, sink = masks(4, 0, 3)
+    k_est = rate(msm.transition_matrix, source, sink)
+    k_true = rate(T_true, source, sink)
+    assert k_est == pytest.approx(k_true, rel=0.25)

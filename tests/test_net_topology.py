@@ -1,0 +1,75 @@
+"""Tests for the pre-built overlay topologies."""
+
+import pytest
+
+from repro.core import Project, ProjectRunner
+from repro.net.topology import cluster, figure1, workstation
+from repro.util.errors import ConfigurationError
+
+from tests.test_core_controllers import OneShotController
+
+
+def test_workstation_shape():
+    d = workstation(n_workers=3)
+    assert len(d.workers) == 3
+    assert d.project_server.name == "server"
+    assert len(d.network.links()) == 3
+    # workers announced
+    assert set(d.project_server.worker_caps) == {"w0", "w1", "w2"}
+
+
+def test_workstation_validation():
+    with pytest.raises(ConfigurationError):
+        workstation(n_workers=0)
+
+
+def test_workstation_runs_project():
+    d = workstation(n_workers=2)
+    runner = ProjectRunner(d.network, d.project_server, d.workers)
+    project = Project("p")
+    runner.submit(project, OneShotController(n_commands=2))
+    runner.run()
+    assert project.completed == 2
+
+
+def test_cluster_has_relay_and_shared_fs():
+    d = cluster(n_nodes=2)
+    assert d.relay_servers[0].name == "head-node"
+    assert d.network.share_filesystem("head-node", "node0")
+    assert not d.network.share_filesystem("project-server", "node0")
+
+
+def test_cluster_runs_project_through_relay():
+    d = cluster(n_nodes=2)
+    runner = ProjectRunner(d.network, d.project_server, d.workers)
+    project = Project("p")
+    runner.submit(project, OneShotController(n_commands=2, n_steps=400))
+    runner.run()
+    assert project.completed == 2
+    # shared filesystem kept trajectory bytes off the head-node links
+    assert d.network.bytes_saved_by_shared_fs > 0
+
+
+def test_figure1_layout():
+    d = figure1()
+    names = {s.name for s in d.project_servers}
+    assert names == {"server-villin", "server-titin"}
+    assert len(d.relay_servers) == 4  # gateway + 3 heads
+    assert len(d.workers) == 6
+    # remote cluster link is the slow one
+    slow = d.network.link("gateway", "cluster2-head")
+    fast = d.network.link("gateway", "cluster0-head")
+    assert slow.latency > fast.latency
+
+
+def test_figure1_both_project_servers_usable():
+    d = figure1()
+    runner_a = ProjectRunner(d.network, d.project_servers[0], d.workers)
+    runner_b = ProjectRunner(d.network, d.project_servers[1], d.workers)
+    pa, pb = Project("msm_villin"), Project("free_energy")
+    runner_a.submit(pa, OneShotController(n_commands=2, n_steps=300))
+    runner_b.submit(pb, OneShotController(n_commands=2, n_steps=300))
+    runner_a.run()
+    runner_b.run()
+    assert pa.completed == 2
+    assert pb.completed == 2

@@ -1,0 +1,141 @@
+"""Hypothesis round-trip properties for every wire-format dataclass."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.command import Command
+from repro.md.engine import MDTask
+from repro.md.simulation import Checkpoint
+from repro.server.matching import WorkerCapabilities
+from repro.util.serialization import decode_message, encode_message
+
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-", min_size=1, max_size=20
+)
+
+
+@settings(max_examples=50)
+@given(
+    command_id=names,
+    project_id=names,
+    executable=st.sampled_from(["mdrun", "fepsample"]),
+    min_cores=st.integers(min_value=1, max_value=8),
+    extra_cores=st.integers(min_value=0, max_value=120),
+    priority=st.integers(min_value=-10, max_value=10),
+    origin=names,
+    with_checkpoint=st.booleans(),
+)
+def test_command_payload_roundtrip(
+    command_id, project_id, executable, min_cores, extra_cores, priority,
+    origin, with_checkpoint,
+):
+    command = Command(
+        command_id=command_id,
+        project_id=project_id,
+        executable=executable,
+        payload={"n_steps": 100},
+        min_cores=min_cores,
+        preferred_cores=min_cores + extra_cores,
+        priority=priority,
+        origin_server=origin,
+        checkpoint={"step": 5} if with_checkpoint else None,
+    )
+    wire = decode_message(encode_message(command.to_payload()))
+    assert Command.from_payload(wire) == command
+
+
+@settings(max_examples=50)
+@given(
+    model=st.sampled_from(
+        ["villin-fast", "villin-full", "muller-brown", "double-well"]
+    ),
+    n_steps=st.integers(min_value=1, max_value=10**6),
+    report=st.integers(min_value=1, max_value=1000),
+    integrator=st.sampled_from(["langevin", "nose-hoover", "verlet"]),
+    temperature=st.floats(min_value=1.0, max_value=1000.0),
+    friction=st.floats(min_value=0.01, max_value=100.0),
+    timestep=st.floats(min_value=1e-4, max_value=0.1),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    task_id=names,
+    with_positions=st.booleans(),
+)
+def test_mdtask_payload_roundtrip(
+    model, n_steps, report, integrator, temperature, friction, timestep,
+    seed, task_id, with_positions,
+):
+    task = MDTask(
+        model=model,
+        n_steps=n_steps,
+        report_interval=report,
+        integrator=integrator,
+        temperature=temperature,
+        friction=friction,
+        timestep=timestep,
+        seed=seed,
+        initial_positions=np.arange(12.0).reshape(4, 3) if with_positions else None,
+        task_id=task_id,
+    )
+    wire = decode_message(encode_message(task.to_payload()))
+    restored = MDTask.from_payload(wire)
+    assert restored.model == task.model
+    assert restored.n_steps == task.n_steps
+    assert restored.integrator == task.integrator
+    assert restored.temperature == pytest.approx(task.temperature)
+    assert restored.friction == pytest.approx(task.friction)
+    assert restored.timestep == pytest.approx(task.timestep)
+    assert restored.seed == task.seed
+    assert restored.task_id == task.task_id
+    if with_positions:
+        np.testing.assert_array_equal(
+            restored.initial_positions, task.initial_positions
+        )
+    else:
+        assert restored.initial_positions is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_atoms=st.integers(min_value=1, max_value=30),
+    time=st.floats(min_value=0, max_value=1e6),
+    step=st.integers(min_value=0, max_value=10**9),
+    thermo=st.floats(allow_nan=False, allow_infinity=False, width=32),
+    data_seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_checkpoint_payload_roundtrip(n_atoms, time, step, thermo, data_seed):
+    rng = np.random.default_rng(data_seed)
+    checkpoint = Checkpoint(
+        positions=rng.normal(size=(n_atoms, 3)),
+        velocities=rng.normal(size=(n_atoms, 3)),
+        time=time,
+        step=step,
+        thermostat_state=float(thermo),
+    )
+    wire = decode_message(encode_message(checkpoint.to_payload()))
+    restored = Checkpoint.from_payload(wire)
+    np.testing.assert_array_equal(restored.positions, checkpoint.positions)
+    np.testing.assert_array_equal(restored.velocities, checkpoint.velocities)
+    assert restored.time == pytest.approx(checkpoint.time)
+    assert restored.step == checkpoint.step
+    assert restored.thermostat_state == pytest.approx(
+        checkpoint.thermostat_state, rel=1e-6
+    )
+
+
+@settings(max_examples=50)
+@given(
+    worker=names,
+    platform=st.sampled_from(["smp", "mpi"]),
+    cores=st.integers(min_value=1, max_value=4096),
+    executables=st.lists(
+        st.sampled_from(["mdrun", "fepsample"]), max_size=2, unique=True
+    ),
+)
+def test_capabilities_payload_roundtrip(worker, platform, cores, executables):
+    caps = WorkerCapabilities(
+        worker=worker, platform=platform, cores=cores, executables=executables
+    )
+    wire = decode_message(encode_message(caps.to_payload()))
+    assert WorkerCapabilities.from_payload(wire) == caps

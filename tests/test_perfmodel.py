@@ -1,0 +1,324 @@
+"""Tests for the performance model and scheduler simulation."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    MDPerformanceModel,
+    ProjectSpec,
+    VILLIN_MODEL,
+    analytic_project_time,
+    ensemble_bandwidth,
+    parallelism_hierarchy,
+    simulate_project,
+    sweep_total_cores,
+)
+from repro.perfmodel.bandwidth import single_simulation_mpi_bandwidth
+from repro.perfmodel.scheduler_sim import (
+    analytic_result,
+    reference_time_single_core,
+)
+from repro.util.errors import ConfigurationError
+
+
+# ----------------------------------------------------------- MD perf model
+
+
+def test_efficiency_one_core_is_unity():
+    assert VILLIN_MODEL.efficiency(1) == pytest.approx(1.0)
+
+
+def test_efficiency_monotonically_decreasing():
+    effs = [VILLIN_MODEL.efficiency(k) for k in (1, 12, 24, 48, 96, 192)]
+    assert all(a > b for a, b in zip(effs, effs[1:]))
+
+
+def test_rate_monotonically_increasing_below_wall():
+    rates = [VILLIN_MODEL.rate(k) for k in (1, 12, 24, 48, 96)]
+    assert all(a < b for a, b in zip(rates, rates[1:]))
+
+
+def test_rate_saturates_at_max_cores():
+    assert VILLIN_MODEL.rate(VILLIN_MODEL.max_cores) == VILLIN_MODEL.rate(
+        VILLIN_MODEL.max_cores * 10
+    )
+
+
+def test_villin_calibration_anchors():
+    """The paper's efficiency anchors for 24- and 96-core simulations."""
+    assert VILLIN_MODEL.efficiency(24) == pytest.approx(0.68, abs=0.03)
+    assert VILLIN_MODEL.efficiency(96) == pytest.approx(0.53, abs=0.03)
+
+
+def test_hours_for():
+    model = MDPerformanceModel(rate_1core=1.0)  # 1 ns/hour
+    assert model.hours_for(10.0, 1) == pytest.approx(10.0)
+
+
+def test_model_validation():
+    with pytest.raises(ConfigurationError):
+        MDPerformanceModel(rate_1core=0.0)
+    with pytest.raises(ConfigurationError):
+        VILLIN_MODEL.rate(0)
+    with pytest.raises(ConfigurationError):
+        VILLIN_MODEL.hours_for(-1.0, 4)
+
+
+def test_rescaled_model_bigger_system_slower_per_core():
+    big = VILLIN_MODEL.rescaled(10 * VILLIN_MODEL.n_atoms)
+    assert big.rate_1core == pytest.approx(VILLIN_MODEL.rate_1core / 10)
+    # but it scales to proportionally more cores
+    assert big.max_cores == 10 * VILLIN_MODEL.max_cores
+    assert big.efficiency(96) > VILLIN_MODEL.efficiency(96)
+
+
+def test_rescaled_validation():
+    with pytest.raises(ConfigurationError):
+        VILLIN_MODEL.rescaled(0)
+
+
+# ------------------------------------------------------------- spec/analytic
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        ProjectSpec(total_cores=10, cores_per_sim=20)
+    with pytest.raises(ConfigurationError):
+        ProjectSpec(ns_per_command=0.0)
+    with pytest.raises(ConfigurationError):
+        ProjectSpec(n_generations=0)
+
+
+def test_spec_derived_quantities():
+    spec = ProjectSpec(total_cores=100, cores_per_sim=24)
+    assert spec.n_workers == 4
+    assert spec.total_ns == 225 * 3 * 50.0
+
+
+def test_reference_time_matches_paper():
+    spec = ProjectSpec(total_cores=1, cores_per_sim=1)
+    assert reference_time_single_core(spec) == pytest.approx(1.1e5, rel=0.01)
+
+
+def test_analytic_time_paper_anchor_5000_cores():
+    """Paper: the real project ran ~30 h of wallclock at ~5,000 cores."""
+    hours = analytic_project_time(ProjectSpec(total_cores=5000, cores_per_sim=24))
+    assert hours == pytest.approx(30.0, rel=0.15)
+
+
+def test_analytic_time_paper_anchor_20000_cores():
+    """Paper: 'using 20,000 cores the time to solution would have been
+    just over 10 h' at 53 % efficiency."""
+    spec = ProjectSpec(total_cores=20000, cores_per_sim=96)
+    hours = analytic_project_time(spec)
+    assert hours == pytest.approx(10.5, rel=0.1)
+    assert analytic_result(spec).efficiency == pytest.approx(0.53, abs=0.05)
+
+
+def test_time_to_solution_plateaus_beyond_command_limit():
+    """Fig. 8: beyond n_commands simultaneous simulations, more cores
+    stop helping."""
+    k = 24
+    at_limit = analytic_project_time(
+        ProjectSpec(total_cores=225 * k, cores_per_sim=k)
+    )
+    beyond = analytic_project_time(
+        ProjectSpec(total_cores=4 * 225 * k, cores_per_sim=k)
+    )
+    assert beyond == pytest.approx(at_limit, rel=0.01)
+
+
+def test_more_cores_per_sim_extends_scaling():
+    """Fig. 8: at huge core counts, bigger per-sim parallelisation wins."""
+    n = 50000
+    t24 = analytic_project_time(ProjectSpec(total_cores=n, cores_per_sim=24))
+    t96 = analytic_project_time(ProjectSpec(total_cores=n, cores_per_sim=96))
+    assert t96 < t24
+
+
+def test_fewer_cores_per_sim_more_efficient_at_small_scale():
+    """Fig. 7: below the command ceiling, small tasks are more efficient."""
+    n = 960
+    e12 = analytic_result(ProjectSpec(total_cores=n, cores_per_sim=12)).efficiency
+    e96 = analytic_result(ProjectSpec(total_cores=n, cores_per_sim=96)).efficiency
+    assert e12 > e96
+
+
+def test_efficiency_near_one_at_small_counts():
+    """Fig. 7: near-linear strong scaling at low core counts."""
+    eff = analytic_result(ProjectSpec(total_cores=12, cores_per_sim=1)).efficiency
+    assert eff > 0.9
+
+
+# ----------------------------------------------------------------- DES
+
+
+def test_des_close_to_analytic():
+    for n, k in [(2400, 24), (5000, 24), (20000, 96)]:
+        spec = ProjectSpec(total_cores=n, cores_per_sim=k)
+        des = simulate_project(spec)
+        analytic = analytic_project_time(spec)
+        assert des.hours == pytest.approx(analytic, rel=0.2)
+        assert des.hours >= analytic * 0.99  # analytic is a lower bound
+
+
+def test_des_generation_count():
+    spec = ProjectSpec(
+        total_cores=500, cores_per_sim=10, n_generations=4, n_commands=20
+    )
+    result = simulate_project(spec)
+    assert len(result.generation_hours) == 4
+    assert result.hours == pytest.approx(sum(result.generation_hours), rel=1e-6)
+
+
+def test_des_utilization_high_when_saturated():
+    spec = ProjectSpec(total_cores=1000, cores_per_sim=10, n_commands=225)
+    result = simulate_project(spec)
+    assert result.worker_utilization > 0.8
+
+
+def test_des_single_worker_serialises():
+    spec = ProjectSpec(
+        total_cores=1,
+        cores_per_sim=1,
+        n_commands=5,
+        n_generations=1,
+        ns_per_command=50.0,
+    )
+    result = simulate_project(spec)
+    expected = 5 * 50.0 / spec.md_model.rate(1) + spec.cluster_overhead_hours
+    assert result.hours == pytest.approx(expected, rel=0.01)
+
+
+def test_sweep_skips_infeasible_counts():
+    results = sweep_total_cores([1, 10, 100, 1000], cores_per_sim=24)
+    assert len(results) == 2  # 100 and 1000 only
+    assert all(r.spec.total_cores >= 24 for r in results)
+
+
+def test_sweep_efficiency_decreases_beyond_ceiling():
+    counts = [240, 2400, 24000, 240000]
+    results = sweep_total_cores(counts, cores_per_sim=24)
+    effs = [r.efficiency for r in results]
+    assert effs[-1] < effs[0]
+    # time-to-solution is non-increasing in cores
+    hours = [r.hours for r in results]
+    assert all(a >= b - 1e-9 for a, b in zip(hours, hours[1:]))
+
+
+# -------------------------------------------------------------- bandwidth
+
+
+def test_ensemble_bandwidth_paper_scale():
+    """Paper: 'the average bandwidth used for ensemble synchronization
+    typically does not exceed 0.1 MB/s' at the real run's scale."""
+    bw = ensemble_bandwidth(ProjectSpec(total_cores=5000, cores_per_sim=24))
+    assert 0.01 < bw < 0.15
+
+
+def test_ensemble_bandwidth_grows_with_cores():
+    bws = [
+        ensemble_bandwidth(ProjectSpec(total_cores=n, cores_per_sim=24))
+        for n in (240, 2400, 5400)
+    ]
+    assert bws[0] < bws[1] < bws[2]
+
+
+def test_mpi_bandwidth_paper_values():
+    """Paper: 500-2900 MB/s for 24-96 core simulations."""
+    assert single_simulation_mpi_bandwidth(24) == pytest.approx(500.0)
+    assert single_simulation_mpi_bandwidth(96) == pytest.approx(2900.0)
+    assert single_simulation_mpi_bandwidth(1) == 0.0
+
+
+def test_mpi_bandwidth_validation():
+    with pytest.raises(ConfigurationError):
+        single_simulation_mpi_bandwidth(0)
+
+
+def test_hierarchy_table():
+    levels = parallelism_hierarchy()
+    assert len(levels) == 5
+    names = [level.level for level in levels]
+    assert names[0] == "SIMD kernels"
+    assert "ensemble (SSL)" in names
+
+
+# ------------------------------------------------------- heterogeneous
+
+
+def _pools_paper():
+    """The paper's deployment: Infiniband (72 nodes) + Cray (120 nodes)."""
+    from repro.perfmodel.scheduler_sim import ResourcePool
+
+    return [
+        ResourcePool("infiniband", total_cores=72 * 24, cores_per_sim=24),
+        ResourcePool("cray", total_cores=120 * 24, cores_per_sim=24),
+    ]
+
+
+def test_heterogeneous_matches_homogeneous_when_identical():
+    from repro.perfmodel.scheduler_sim import (
+        ResourcePool,
+        analytic_heterogeneous_time,
+    )
+
+    pools = [
+        ResourcePool("a", total_cores=2400, cores_per_sim=24),
+        ResourcePool("b", total_cores=2600, cores_per_sim=24),
+    ]
+    combined = analytic_project_time(
+        ProjectSpec(total_cores=5000, cores_per_sim=24)
+    )
+    hetero = analytic_heterogeneous_time(pools)
+    assert hetero == pytest.approx(combined, rel=0.02)
+
+
+def test_heterogeneous_paper_deployment_generation_time():
+    """Paper: successive generations took 10-11 h on the two machines."""
+    from repro.perfmodel.scheduler_sim import analytic_heterogeneous_time
+
+    hours = analytic_heterogeneous_time(_pools_paper(), n_generations=10)
+    per_generation = hours / 10.0
+    assert 10.0 <= per_generation <= 12.5
+    # and the whole project lands near the paper's ~100 h
+    assert hours == pytest.approx(100.0, rel=0.2)
+
+
+def test_heterogeneous_faster_pool_helps():
+    from repro.perfmodel.scheduler_sim import (
+        ResourcePool,
+        analytic_heterogeneous_time,
+    )
+
+    slow = [ResourcePool("s", 2400, 24, rate_multiplier=1.0)]
+    boosted = slow + [ResourcePool("f", 2400, 24, rate_multiplier=2.0)]
+    assert analytic_heterogeneous_time(boosted) < analytic_heterogeneous_time(slow)
+
+
+def test_heterogeneous_fastest_first_when_saturated():
+    """With more workers than commands, only the fastest pools matter."""
+    from repro.perfmodel.scheduler_sim import (
+        ResourcePool,
+        analytic_heterogeneous_time,
+    )
+
+    fast = ResourcePool("fast", 225 * 24, 24, rate_multiplier=2.0)
+    slow = ResourcePool("slow", 225 * 24, 24, rate_multiplier=0.5)
+    both = analytic_heterogeneous_time([fast, slow])
+    fast_only = analytic_heterogeneous_time([fast])
+    assert both == pytest.approx(fast_only, rel=1e-9)
+
+
+def test_heterogeneous_validation():
+    from repro.perfmodel.scheduler_sim import (
+        ResourcePool,
+        analytic_heterogeneous_time,
+    )
+
+    with pytest.raises(ConfigurationError):
+        analytic_heterogeneous_time([])
+    with pytest.raises(ConfigurationError):
+        ResourcePool("x", total_cores=0, cores_per_sim=1)
+    with pytest.raises(ConfigurationError):
+        ResourcePool("x", total_cores=10, cores_per_sim=24)

@@ -1,0 +1,160 @@
+"""Tests for the durable project store and replay recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveMSMController,
+    Command,
+    MSMProjectConfig,
+    Project,
+    ProjectRunner,
+)
+from repro.net import Network
+from repro.server import CopernicusServer
+from repro.server.datastore import ProjectStore, replay
+from repro.worker import SMPPlatform, Worker
+from repro.worker.executable import run_executable
+from repro.md.engine import MDTask
+from repro.util.errors import ConfigurationError
+
+
+def md_command(cid, seed=0, n_steps=300):
+    task = MDTask(model="muller-brown", n_steps=n_steps, seed=seed, task_id=cid)
+    return Command(cid, "p", "mdrun", task.to_payload())
+
+
+def test_store_roundtrip(tmp_path):
+    store = ProjectStore(tmp_path)
+    command = md_command("c0")
+    result, _ = run_executable("mdrun", command.payload)
+    store.record_result("p", command, result)
+    loaded = list(store.iter_results("p"))
+    assert len(loaded) == 1
+    got_command, got_result = loaded[0]
+    assert got_command.command_id == "c0"
+    np.testing.assert_array_equal(got_result["frames"], result["frames"])
+
+
+def test_store_preserves_order(tmp_path):
+    store = ProjectStore(tmp_path)
+    for k in range(5):
+        store.record_result("p", md_command(f"c{k}"), {"k": k})
+    order = [c.command_id for c, _ in store.iter_results("p")]
+    assert order == [f"c{k}" for k in range(5)]
+    assert store.result_count("p") == 5
+
+
+def test_store_metadata(tmp_path):
+    store = ProjectStore(tmp_path)
+    store.save_metadata("p", {"model": "villin-fast", "generations": 6})
+    assert store.load_metadata("p")["model"] == "villin-fast"
+    assert store.load_metadata("unknown") == {}
+
+
+def test_store_lists_projects(tmp_path):
+    store = ProjectStore(tmp_path)
+    store.record_result("alpha", md_command("c"), {})
+    store.record_result("beta", md_command("c"), {})
+    assert store.projects() == ["alpha", "beta"]
+
+
+def test_store_rejects_bad_ids(tmp_path):
+    store = ProjectStore(tmp_path)
+    with pytest.raises(ConfigurationError):
+        store.record_result("../escape", md_command("c"), {})
+
+
+def _msm_config():
+    return MSMProjectConfig(
+        model="muller-brown",
+        n_starting_conformations=2,
+        trajectories_per_start=2,
+        steps_per_command=800,
+        report_interval=20,
+        n_clusters=10,
+        lag_frames=2,
+        n_generations=3,
+        timestep=0.01,
+        seed=11,
+    )
+
+
+def run_with_store(tmp_path, crash_after=None):
+    """Run an MSM project, recording results; optionally stop early."""
+    store = ProjectStore(tmp_path)
+    net = Network(seed=0)
+    server = CopernicusServer("srv", net)
+    worker = Worker("w0", net, server="srv", platform=SMPPlatform(cores=2))
+    net.connect("srv", "w0")
+    worker.announce(0.0)
+    controller = AdaptiveMSMController(_msm_config())
+    runner = ProjectRunner(net, server, [worker])
+    project = Project("msm")
+
+    recorded = [0]
+    original_sink_holder = {}
+
+    def recording_sink(command, result):
+        recorded[0] += 1
+        store.record_result("msm", command, result)
+        original_sink_holder["sink"](command, result)
+
+    runner.submit(project, controller)
+    # wrap the sink installed by submit
+    original_sink_holder["sink"] = server._sinks["msm"]
+    server._sinks["msm"] = recording_sink
+
+    if crash_after is None:
+        runner.run()
+    else:
+        # run worker cycles until enough results landed, then "crash"
+        for _ in range(1000):
+            if recorded[0] >= crash_after:
+                break
+            worker.work_once(now=runner.now)
+    return store, project, controller
+
+
+def test_replay_reconstructs_completed_project(tmp_path):
+    store, project, controller = run_with_store(tmp_path)
+    fresh = AdaptiveMSMController(_msm_config())
+    replayed_project, outstanding = replay(store, "msm", fresh)
+    assert outstanding == []  # everything completed
+    assert replayed_project.completed == project.completed
+    assert fresh.generation == controller.generation
+    assert len(fresh.trajectories) == len(controller.trajectories)
+
+
+def test_replay_after_crash_resumes_to_completion(tmp_path):
+    """Crash mid-project, replay into a fresh controller, finish."""
+    store, crashed_project, _ = run_with_store(tmp_path, crash_after=3)
+    assert store.result_count("msm") >= 3
+
+    fresh = AdaptiveMSMController(_msm_config())
+    replayed_project, outstanding = replay(store, "msm", fresh)
+    assert outstanding, "crash left commands outstanding"
+
+    # resume on a new deployment: requeue the outstanding commands
+    net = Network(seed=1)
+    server = CopernicusServer("srv2", net)
+    worker = Worker("w0", net, server="srv2", platform=SMPPlatform(cores=2))
+    net.connect("srv2", "w0")
+    worker.announce(0.0)
+    runner = ProjectRunner(net, server, [worker])
+
+    # adopt the replayed project into the runner manually
+    def sink(command, result):
+        runner._on_result(replayed_project, fresh, command, result)
+
+    server.host_project("msm", sink)
+    runner._projects["msm"] = replayed_project
+    runner._controllers["msm"] = fresh
+    server.submit_commands(outstanding)
+    from repro.core.project import ProjectStatus
+
+    replayed_project.status = ProjectStatus.RUNNING
+    runner.run()
+    assert fresh._complete
+    assert replayed_project.outstanding == 0
+    assert fresh.generation == _msm_config().n_generations - 1

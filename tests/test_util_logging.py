@@ -1,0 +1,73 @@
+"""Tests for structured logging."""
+
+import io
+
+from repro.util.logging import Level, Logger, LogRecord, stderr_logger
+
+
+def test_records_capture_clock():
+    times = iter([1.0, 2.0, 3.0])
+    logger = Logger(clock=lambda: next(times))
+    logger.info("a")
+    logger.info("b")
+    assert [r.time for r in logger.records] == [1.0, 2.0]
+
+
+def test_level_threshold():
+    logger = Logger(level=Level.WARNING)
+    assert logger.debug("nope") is None
+    assert logger.info("nope") is None
+    assert logger.warning("yes") is not None
+    assert logger.error("yes") is not None
+    assert len(logger.records) == 2
+
+
+def test_fields_recorded():
+    logger = Logger()
+    record = logger.info("queued", command="gen0_r1", cores=24)
+    assert record.fields == {"command": "gen0_r1", "cores": 24}
+    assert "gen0_r1" in str(record)
+
+
+def test_child_logger_shares_sink():
+    root = Logger(component="server")
+    queue_logger = root.child("queue")
+    queue_logger.info("pushed")
+    assert len(root.records) == 1
+    assert root.records[0].component == "server.queue"
+
+
+def test_filter_by_component_prefix():
+    root = Logger(component="srv")
+    root.child("queue").info("a")
+    root.child("match").info("b")
+    root.info("c")
+    assert len(root.filter(component="srv.queue")) == 1
+    assert len(root.filter(component="srv")) == 3
+
+
+def test_filter_by_level():
+    logger = Logger(level=Level.DEBUG)
+    logger.debug("d")
+    logger.error("e")
+    assert len(logger.filter(level=Level.ERROR)) == 1
+
+
+def test_stream_echo():
+    stream = io.StringIO()
+    logger = Logger(stream=stream)
+    logger.info("hello", key="value")
+    text = stream.getvalue()
+    assert "hello" in text and "key=value" in text
+
+
+def test_stderr_logger_constructs():
+    logger = stderr_logger("x", level=Level.ERROR)
+    assert logger.component == "x"
+    assert logger.level == Level.ERROR
+
+
+def test_record_str_format():
+    record = LogRecord(12.0, Level.WARNING, "net", "slow link")
+    text = str(record)
+    assert "WARNING" in text and "net" in text and "slow link" in text

@@ -1,0 +1,85 @@
+"""Tests for repro.util.rng determinism and independence."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import (
+    RandomStream,
+    ensure_stream,
+    interleave_seeds,
+    spawn_streams,
+)
+
+
+def test_same_seed_same_sequence():
+    a = RandomStream(7).normal(size=100)
+    b = RandomStream(7).normal(size=100)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_seed_different_sequence():
+    a = RandomStream(7).normal(size=100)
+    b = RandomStream(8).normal(size=100)
+    assert not np.array_equal(a, b)
+
+
+def test_spawn_independent_streams():
+    children = RandomStream(0).spawn(3)
+    draws = [c.normal(size=50) for c in children]
+    assert not np.array_equal(draws[0], draws[1])
+    assert not np.array_equal(draws[1], draws[2])
+
+
+def test_spawn_is_deterministic():
+    a = [s.uniform(size=10) for s in RandomStream(3).spawn(2)]
+    b = [s.uniform(size=10) for s in RandomStream(3).spawn(2)]
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+
+
+def test_spawn_negative_rejected():
+    with pytest.raises(ValueError):
+        RandomStream(0).spawn(-1)
+
+
+def test_spawn_streams_helper():
+    streams = spawn_streams(11, 4)
+    assert len(streams) == 4
+    assert all(isinstance(s, RandomStream) for s in streams)
+
+
+def test_ensure_stream_passthrough():
+    s = RandomStream(5)
+    assert ensure_stream(s) is s
+
+
+def test_ensure_stream_from_int():
+    a = ensure_stream(9).integers(0, 1000, size=20)
+    b = RandomStream(9).integers(0, 1000, size=20)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_integers_bounds():
+    vals = RandomStream(1).integers(0, 10, size=1000)
+    assert vals.min() >= 0 and vals.max() < 10
+
+
+def test_choice_subset():
+    pool = np.arange(50)
+    picked = RandomStream(2).choice(pool, size=5, replace=False)
+    assert len(set(picked.tolist())) == 5
+    assert set(picked.tolist()) <= set(pool.tolist())
+
+
+def test_shuffle_is_permutation():
+    x = np.arange(30)
+    RandomStream(4).shuffle(x)
+    assert sorted(x.tolist()) == list(range(30))
+
+
+def test_interleave_seeds_order_sensitive():
+    assert interleave_seeds([1, 2]) != interleave_seeds([2, 1])
+
+
+def test_interleave_seeds_deterministic():
+    assert interleave_seeds([10, 20, 30]) == interleave_seeds([10, 20, 30])

@@ -1,0 +1,60 @@
+"""Tests for process-pool command execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.command import Command
+from repro.md.engine import MDTask
+from repro.worker.executor import ParallelExecutor
+from repro.util.errors import ConfigurationError
+
+
+def md_command(cid, n_steps=400, seed=0, checkpoint=None):
+    task = MDTask(model="muller-brown", n_steps=n_steps, seed=seed, task_id=cid)
+    return Command(
+        command_id=cid,
+        project_id="p",
+        executable="mdrun",
+        payload=task.to_payload(),
+        checkpoint=checkpoint,
+    )
+
+
+def test_parallel_matches_serial():
+    commands = [md_command(f"c{k}", seed=k) for k in range(3)]
+    serial = ParallelExecutor(n_processes=1).run_commands(commands)
+    parallel = ParallelExecutor(n_processes=2).run_commands(commands)
+    for (c_a, r_a), (c_b, r_b) in zip(serial, parallel):
+        assert c_a.command_id == c_b.command_id
+        np.testing.assert_array_equal(r_a["frames"], r_b["frames"])
+        assert r_a["completed"] == r_b["completed"]
+
+
+def test_parallel_preserves_order():
+    commands = [md_command(f"c{k}", n_steps=100 * (3 - k), seed=k) for k in range(3)]
+    results = ParallelExecutor(n_processes=2).run_commands(commands)
+    assert [c.command_id for c, _ in results] == ["c0", "c1", "c2"]
+
+
+def test_parallel_resumes_checkpoints():
+    from repro.worker.executable import run_executable
+
+    base = md_command("c0", n_steps=600, seed=5)
+    partial, completed = run_executable("mdrun", base.payload, 200)
+    assert not completed
+    resumed = md_command("c0", n_steps=600, seed=5, checkpoint=partial["checkpoint"])
+    results = ParallelExecutor(n_processes=2).run_commands([resumed, md_command("c1")])
+    result = results[0][1]
+    assert result["completed"]
+    assert result["checkpoint"]["step"] == 600
+
+
+def test_single_command_skips_pool():
+    results = ParallelExecutor(n_processes=4).run_commands([md_command("only")])
+    assert len(results) == 1
+    assert results[0][1]["completed"]
+
+
+def test_invalid_pool_size():
+    with pytest.raises(ConfigurationError):
+        ParallelExecutor(n_processes=0)
