@@ -6,83 +6,56 @@ goes silent for twice the heartbeat interval, its server declares it
 dead and requeues the commands — *with* the checkpoint — so another
 worker transparently continues from where the dead one stopped.
 
+The run goes through ``repro.testing``: a seeded :class:`FaultPlan`
+crashes one worker mid-command *and* briefly partitions the other
+worker's uplink, and the :class:`Invariants` checker replays the event
+log afterwards to prove no command was lost, none completed twice and
+every checkpoint moved forward.  Re-running with the same seed
+reproduces the identical event transcript.
+
 Run:  python examples/failure_recovery.py
 """
 
-from repro.core import Command, Project, ProjectRunner
-from repro.core.controller import Controller
-from repro.md.engine import MDTask
-from repro.net import Network
-from repro.server import CopernicusServer
-from repro.worker import SMPPlatform, Worker
+from repro.testing import Invariants, run_swarm_under_faults
+
+N_STEPS = 5000
 
 
-class SwarmController(Controller):
-    """A flat swarm of MD commands; complete when all return."""
+def build_and_run(seed: int = 0) -> dict:
+    """Run the chaos scenario; returns the scenario dict (see
+    :func:`repro.testing.scenarios.run_swarm_under_faults`)."""
 
-    def __init__(self, n_commands: int, n_steps: int) -> None:
-        self.n_commands = n_commands
-        self.n_steps = n_steps
-        self.finished = []
+    def configure(plan):
+        # the first worker dies after two 1,000-step segments of
+        # whatever command it picks up first...
+        plan.crash_worker("w0", at_segment=2)
+        # ...and the second worker's uplink drops for a while, so its
+        # heartbeats and result submissions must survive retries
+        plan.partition("srv", "w1", after_index=8, until_index=14)
 
-    def on_project_start(self, project):
-        return [
-            Command(
-                command_id=f"cmd{k}",
-                project_id=project.project_id,
-                executable="mdrun",
-                payload=MDTask(
-                    model="villin-fast",
-                    n_steps=self.n_steps,
-                    report_interval=200,
-                    seed=k,
-                    task_id=f"cmd{k}",
-                ).to_payload(),
-            )
-            for k in range(self.n_commands)
-        ]
-
-    def on_command_finished(self, project, command, result):
-        self.finished.append((command.command_id, result["steps_completed"]))
-        return []
-
-    def is_complete(self, project):
-        return len(self.finished) >= self.n_commands
+    return run_swarm_under_faults(
+        configure=configure, n_commands=3, n_steps=N_STEPS, seed=seed
+    )
 
 
 def main() -> None:
-    net = Network(seed=0)
-    server = CopernicusServer("srv", net, heartbeat_interval=60.0)
-    flaky = Worker(
-        "flaky", net, server="srv", platform=SMPPlatform(cores=1),
-        segment_steps=1000,
-    )
-    steady = Worker(
-        "steady", net, server="srv", platform=SMPPlatform(cores=1),
-        segment_steps=1000,
-    )
-    for name in ("flaky", "steady"):
-        net.connect("srv", name)
-    flaky.announce(0.0)
-    steady.announce(0.0)
-
-    # the flaky worker dies after two 1,000-step segments of whatever
-    # command it picks up first
-    flaky.set_crash_hook(lambda cid, segment: segment == 2)
-
-    controller = SwarmController(n_commands=3, n_steps=5000)
-    runner = ProjectRunner(net, server, [flaky, steady], tick=90.0)
-    runner.submit(Project("swarm"), controller)
-    runner.run()
+    scenario = build_and_run(seed=0)
+    controller = scenario["controller"]
+    server = scenario["server"]
+    flaky = scenario["workers"][0]
 
     print("commands completed (steps executed by the finishing worker):")
     for cid, steps in sorted(controller.finished):
-        note = " <- resumed from a dead worker's checkpoint" if steps < 5000 else ""
+        note = " <- resumed from a dead worker's checkpoint" if steps < N_STEPS else ""
         print(f"  {cid}: {steps} steps{note}")
     print(f"\nworkers declared dead and requeued commands: "
           f"{server.requeued_after_failure}")
     print(f"flaky crashed: {flaky.crashed}; history: "
           f"{[(r.command_id, r.segments, r.completed) for r in flaky.history]}")
+    print(f"chaos: {scenario['chaos']}")
+
+    Invariants(scenario["runner"]).assert_ok()
+    print("recovery invariants: all green")
 
 
 if __name__ == "__main__":

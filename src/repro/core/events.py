@@ -19,7 +19,16 @@ class EventKind(enum.Enum):
     PROJECT_SUBMITTED = "project_submitted"
     COMMANDS_ISSUED = "commands_issued"
     COMMAND_COMPLETED = "command_completed"
+    #: A finished command's result arrived again (retry after a lost
+    #: response, duplicated message); the server dropped it.
+    DUPLICATE_RESULT_DROPPED = "duplicate_result_dropped"
+    #: A worker reported a mid-command checkpoint in a heartbeat.
+    CHECKPOINT_REPORTED = "checkpoint_reported"
     WORKER_DEAD = "worker_dead"
+    #: A worker declared dead heartbeated again.
+    WORKER_REVIVED = "worker_revived"
+    #: An in-flight command of a dead worker went back on the queue.
+    COMMAND_REQUEUED = "command_requeued"
     PROJECT_COMPLETED = "project_completed"
 
 

@@ -68,9 +68,16 @@ def render_text(snapshot: Dict) -> str:
         f"{snapshot['total_bytes']} bytes --"
     )
     for row in snapshot["traffic"]:
-        lines.append(
-            f"  {row['link']}: {row['messages']} msgs, {row['bytes']} bytes"
-        )
+        if "retries" in row:
+            lines.append(
+                f"  {row['link']}: {row['retries']} retries, "
+                f"{row['timeouts']} timeouts, {row['failures']} gave up, "
+                f"{row['backoff_seconds']:.2f}s backoff"
+            )
+        else:
+            lines.append(
+                f"  {row['link']}: {row['messages']} msgs, {row['bytes']} bytes"
+            )
     return "\n".join(lines)
 
 
@@ -96,7 +103,8 @@ def render_html(snapshot: Dict) -> str:
         )
     traffic = "".join(
         f"<tr><td>{html.escape(row['link'])}</td>"
-        f"<td>{row['messages']}</td><td>{row['bytes']}</td></tr>"
+        f"<td>{row.get('messages', row.get('retries', 0))}</td>"
+        f"<td>{row.get('bytes', '')}</td></tr>"
         for row in snapshot["traffic"]
     )
     return f"""<!doctype html>

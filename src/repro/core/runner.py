@@ -91,6 +91,7 @@ class ProjectRunner:
             EventKind.COMMANDS_ISSUED,
             project.project_id,
             count=len(initial),
+            ids=[c.command_id for c in initial],
             generation="initial",
         )
 
@@ -117,6 +118,7 @@ class ProjectRunner:
                 EventKind.COMMANDS_ISSUED,
                 project.project_id,
                 count=len(follow_ups),
+                ids=[c.command_id for c in follow_ups],
             )
 
     # -- main loop ------------------------------------------------------------
@@ -133,6 +135,12 @@ class ProjectRunner:
             If commands remain but no live worker can make progress
             (deadlock), or ``max_cycles`` is exhausted.
         """
+        # Point the overlay's servers at this runner's audit trail so
+        # failure handling (deaths, requeues, checkpoints, duplicate
+        # drops) lands in the same log the invariant checker replays.
+        for server in self._servers:
+            server.events = self.events
+            server.clock = max(server.clock, self.now)
         for _ in range(max_cycles):
             if self._all_complete():
                 return
@@ -144,13 +152,7 @@ class ProjectRunner:
                 progress += worker.work_once(now=self.now)
             self.now += self.tick
             for server in self._servers:
-                for worker_name in server.check_failures(self.now):
-                    self.events.record(
-                        self.now,
-                        EventKind.WORKER_DEAD,
-                        details_server=server.name,
-                        worker=worker_name,
-                    )
+                server.check_failures(self.now)
             self._refresh_status()
             if progress == 0:
                 if self._all_complete():

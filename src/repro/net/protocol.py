@@ -49,6 +49,9 @@ class Message:
         Wire-format body (see :mod:`repro.util.serialization`).
     hops:
         Endpoint names traversed so far (appended by the transport).
+    attempt:
+        0-based delivery attempt; > 0 marks a retransmission, so
+        receivers with side effects can deduplicate.
     """
 
     type: MessageType
@@ -56,6 +59,7 @@ class Message:
     dst: str
     payload: Dict[str, Any] = field(default_factory=dict)
     hops: List[str] = field(default_factory=list)
+    attempt: int = 0
 
     def reply(self, payload: Dict[str, Any]) -> "Message":
         """Build the response message for this request."""

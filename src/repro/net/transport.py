@@ -20,7 +20,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.auth import KeyPair, TrustStore, exchange_keys, mutual_handshake
 from repro.net.protocol import ANY_SERVER, Message, MessageType
-from repro.util.errors import CommunicationError
+from repro.util.errors import (
+    CommunicationError,
+    CommunicationTimeout,
+    TransientCommunicationError,
+)
 from repro.util.rng import RandomStream
 from repro.util.serialization import message_size
 
@@ -54,6 +58,25 @@ class Link:
         return duration
 
 
+@dataclass
+class RetryPolicy:
+    """Bounded-retry schedule with exponential backoff (virtual seconds).
+
+    Attempt *k* (0-based) that fails transiently waits
+    ``backoff_base * backoff_factor ** k`` virtual seconds before the
+    next try; after ``max_retries`` retries the transient error
+    propagates to the caller.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+
+    def backoff(self, attempt: int) -> float:
+        """Virtual seconds to wait after failed attempt *attempt*."""
+        return self.backoff_base * self.backoff_factor ** attempt
+
+
 class Endpoint:
     """A named participant on the overlay (server, worker or client).
 
@@ -67,11 +90,18 @@ class Endpoint:
         name: str,
         network: "Network",
         handler: Optional[Callable[[Message], Optional[dict]]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.name = name
         self.network = network
         self.keypair = KeyPair.generate(network.rng, owner=name)
         self.trust = TrustStore()
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Retry accounting, surfaced through ``Network.traffic_report``.
+        self.send_retries = 0
+        self.send_failures = 0
+        self.send_timeouts = 0
+        self.backoff_seconds = 0.0
         self._handler = handler
         network._register(self)
 
@@ -84,11 +114,54 @@ class Endpoint:
         return self._handler(message)
 
     def send(
-        self, dst: str, type: MessageType, payload: Optional[dict] = None
+        self,
+        dst: str,
+        type: MessageType,
+        payload: Optional[dict] = None,
+        timeout: Optional[float] = None,
     ) -> dict:
-        """Send a request and return the response payload."""
-        message = Message(type=type, src=self.name, dst=dst, payload=payload or {})
-        return self.network.deliver(message)
+        """Send a request and return the response payload.
+
+        Transient failures (dropped messages, partitioned links,
+        crashed peers — :class:`TransientCommunicationError`) are
+        retried up to ``retry_policy.max_retries`` times with
+        exponential backoff charged to the network's virtual clock.
+        Permanent routing errors raise immediately.
+
+        ``timeout`` bounds the *virtual* transfer seconds of one
+        delivery attempt; exceeding it raises
+        :class:`CommunicationTimeout` (itself transient, so it is
+        retried within the same budget).  Note that a timed-out
+        request may still have reached its destination — receivers
+        must treat retried messages idempotently.
+        """
+        attempt = 0
+        while True:
+            message = Message(
+                type=type, src=self.name, dst=dst, payload=payload or {},
+                attempt=attempt,
+            )
+            clock_before = self.network.total_transfer_seconds
+            try:
+                response = self.network.deliver(message)
+                elapsed = self.network.total_transfer_seconds - clock_before
+                if timeout is not None and elapsed > timeout:
+                    self.send_timeouts += 1
+                    self.network.timeouts_total += 1
+                    raise CommunicationTimeout(
+                        f"{self.name!r} -> {dst!r} took {elapsed:.3f}s virtual "
+                        f"(timeout {timeout:.3f}s)"
+                    )
+                return response
+            except TransientCommunicationError:
+                if attempt >= self.retry_policy.max_retries:
+                    self.send_failures += 1
+                    raise
+                wait = self.retry_policy.backoff(attempt)
+                attempt += 1
+                self.send_retries += 1
+                self.backoff_seconds += wait
+                self.network.note_backoff(wait)
 
 
 #: Wire cost of passing a data *reference* instead of the data itself
@@ -112,6 +185,16 @@ class Network:
         self.messages_delivered = 0
         #: Bytes saved by shared-filesystem data passing.
         self.bytes_saved_by_shared_fs = 0
+        #: Aggregate retry accounting (see :meth:`Endpoint.send`).
+        self.retries_total = 0
+        self.timeouts_total = 0
+        self.retry_backoff_seconds = 0.0
+
+    def note_backoff(self, seconds: float) -> None:
+        """Charge one retry backoff wait to the virtual clock."""
+        self.retries_total += 1
+        self.retry_backoff_seconds += seconds
+        self.total_transfer_seconds += seconds
 
     # -- construction ----------------------------------------------------
 
@@ -263,9 +346,11 @@ class Network:
         self._traverse(back, path[::-1])
         return response
 
-    def _deliver_any(self, message: Message) -> dict:
-        visited = {message.src}
-        frontier = list(self._adjacency[message.src])
+    def _wildcard_candidates(self, src: str) -> List[str]:
+        """Breadth-first probe order for wildcard routing (deterministic:
+        nodes appear in link-creation order, nearest hop count first)."""
+        visited = {src}
+        frontier = list(self._adjacency[src])
         order: List[str] = []
         while frontier:
             node = frontier.pop(0)
@@ -276,7 +361,10 @@ class Network:
             frontier.extend(
                 n for n in self._adjacency[node] if n not in visited
             )
-        for candidate in order:
+        return order
+
+    def _deliver_any(self, message: Message) -> dict:
+        for candidate in self._wildcard_candidates(message.src):
             probe = Message(
                 type=message.type,
                 src=message.src,
@@ -302,8 +390,13 @@ class Network:
     # -- reporting ------------------------------------------------------------
 
     def traffic_report(self) -> List[dict]:
-        """Per-link traffic summary."""
-        return [
+        """Per-link traffic summary.
+
+        Endpoints that retried, timed out or gave up on sends append
+        ``endpoint:<name>`` rows carrying their retry accounting, so a
+        chaos run's recovery work shows up next to the raw traffic.
+        """
+        report = [
             {
                 "link": f"{link.a}<->{link.b}",
                 "bytes": link.bytes_carried,
@@ -312,6 +405,18 @@ class Network:
             }
             for link in self.links()
         ]
+        for name, endpoint in self._endpoints.items():
+            if endpoint.send_retries or endpoint.send_failures or endpoint.send_timeouts:
+                report.append(
+                    {
+                        "link": f"endpoint:{name}",
+                        "retries": endpoint.send_retries,
+                        "failures": endpoint.send_failures,
+                        "timeouts": endpoint.send_timeouts,
+                        "backoff_seconds": endpoint.backoff_seconds,
+                    }
+                )
+        return report
 
     def total_bytes(self) -> int:
         """Total bytes carried across all links."""

@@ -37,24 +37,40 @@ class HeartbeatMonitor:
         self._records: Dict[str, WorkerRecord] = {}
 
     def register(self, worker: str, now: float) -> None:
-        """Start tracking a worker (e.g. at announce time)."""
-        self._records[worker] = WorkerRecord(worker=worker, last_heartbeat=now)
+        """Start tracking a worker (e.g. at announce time).
+
+        Re-announcing is a liveness signal, not a reset: an existing
+        record keeps its saved checkpoints so a worker that reconnects
+        after a network outage doesn't lose recovery state.
+        """
+        record = self._records.get(worker)
+        if record is None:
+            self._records[worker] = WorkerRecord(worker=worker, last_heartbeat=now)
+        else:
+            record.last_heartbeat = now
+            record.alive = True
 
     def beat(
         self,
         worker: str,
         now: float,
         checkpoints: Optional[Dict[str, dict]] = None,
-    ) -> None:
-        """Record a heartbeat, optionally carrying command checkpoints."""
+    ) -> bool:
+        """Record a heartbeat, optionally carrying command checkpoints.
+
+        Returns ``True`` when the beat revived a worker previously
+        declared dead (so the server can log the revival).
+        """
         record = self._records.get(worker)
         if record is None:
             self.register(worker, now)
             record = self._records[worker]
+        revived = not record.alive
         record.last_heartbeat = now
         record.alive = True
         if checkpoints:
             record.checkpoints.update(checkpoints)
+        return revived
 
     def is_alive(self, worker: str) -> bool:
         """Whether the worker is currently considered alive."""

@@ -16,9 +16,10 @@ connectivity and from whether projects were submitted to it.  A server:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.command import Command
+from repro.core.events import EventKind, EventLog
 from repro.net.protocol import ANY_SERVER, Message, MessageType
 from repro.net.transport import Endpoint, Network
 from repro.server.heartbeat import DEFAULT_INTERVAL, HeartbeatMonitor
@@ -47,6 +48,21 @@ class CopernicusServer(Endpoint):
         self._sinks: Dict[str, Callable[[Command, dict], None]] = {}
         #: Count of commands requeued after worker failures.
         self.requeued_after_failure = 0
+        #: Commands whose results already reached their sink here; a
+        #: retransmitted or duplicated result is dropped, keeping
+        #: completion exactly-once even under message duplication.
+        self.completed_ids: Set[str] = set()
+        #: Count of duplicate results dropped by the dedup barrier.
+        self.duplicates_dropped = 0
+        #: Optional audit trail (attached by :class:`ProjectRunner`).
+        self.events: Optional[EventLog] = None
+        #: Latest virtual timestamp observed in messages/failure checks,
+        #: used to stamp events that arrive without their own clock.
+        self.clock = 0.0
+
+    def _record(self, kind: EventKind, **details) -> None:
+        if self.events is not None:
+            self.events.record(self.clock, kind, **details)
 
     # -- project hosting ---------------------------------------------------
 
@@ -93,15 +109,27 @@ class CopernicusServer(Endpoint):
         caps = WorkerCapabilities.from_payload(message.payload)
         self.worker_caps[caps.worker] = caps
         self.assignments.setdefault(caps.worker, {})
-        self.monitor.register(caps.worker, float(message.payload.get("now", 0.0)))
+        now = float(message.payload.get("now", 0.0))
+        self.clock = max(self.clock, now)
+        self.monitor.register(caps.worker, now)
         return {"ok": True, "server": self.name}
 
     def _on_heartbeat(self, message: Message) -> dict:
-        self.monitor.beat(
-            message.payload["worker"],
-            float(message.payload["now"]),
-            checkpoints=message.payload.get("checkpoints"),
-        )
+        worker = message.payload["worker"]
+        now = float(message.payload["now"])
+        self.clock = max(self.clock, now)
+        checkpoints = message.payload.get("checkpoints")
+        revived = self.monitor.beat(worker, now, checkpoints=checkpoints)
+        if revived:
+            self._record(EventKind.WORKER_REVIVED, worker=worker, server=self.name)
+        for command_id, checkpoint in (checkpoints or {}).items():
+            step = checkpoint.get("step") if isinstance(checkpoint, dict) else None
+            self._record(
+                EventKind.CHECKPOINT_REPORTED,
+                worker=worker,
+                command=command_id,
+                step=step,
+            )
         return {"ok": True}
 
     def _on_workload_request(self, message: Message) -> dict:
@@ -159,6 +187,17 @@ class CopernicusServer(Endpoint):
 
     def _route_result(self, command: Command, result: dict) -> None:
         if command.project_id in self._sinks:
+            if command.command_id in self.completed_ids:
+                # a retried/duplicated COMMAND_RESULT, or a command that
+                # was falsely requeued and finished twice: exactly-once
+                self.duplicates_dropped += 1
+                self._record(
+                    EventKind.DUPLICATE_RESULT_DROPPED,
+                    command=command.command_id,
+                    server=self.name,
+                )
+                return
+            self.completed_ids.add(command.command_id)
             self._sinks[command.project_id](command, result)
             return
         origin = command.origin_server
@@ -190,8 +229,10 @@ class CopernicusServer(Endpoint):
 
         Returns the names of workers newly declared dead.
         """
+        self.clock = max(self.clock, now)
         dead = self.monitor.check(now)
         for worker in dead:
+            self._record(EventKind.WORKER_DEAD, worker=worker, server=self.name)
             in_flight = self.assignments.get(worker, {})
             for command_id, command in list(in_flight.items()):
                 checkpoint = self.monitor.checkpoint_for(worker, command_id)
@@ -199,5 +240,11 @@ class CopernicusServer(Endpoint):
                     command.checkpoint = checkpoint
                 self.queue.push(command)
                 self.requeued_after_failure += 1
+                self._record(
+                    EventKind.COMMAND_REQUEUED,
+                    worker=worker,
+                    command=command_id,
+                    has_checkpoint=checkpoint is not None,
+                )
             self.assignments[worker] = {}
         return dead

@@ -1,0 +1,34 @@
+"""Deterministic fault injection and recovery-invariant checking.
+
+The paper's core promise is that a Copernicus job survives worker and
+link failures (section 2.3).  This subpackage turns that promise into
+executable tests:
+
+* :mod:`repro.testing.faultplan` — a seeded, declarative schedule of
+  faults (drops, delays, duplications, partitions, crashes, slow
+  workers) addressed by endpoint, message type or delivery index.
+* :mod:`repro.testing.chaos` — :class:`ChaosNetwork`, a drop-in
+  overlay that injects the plan's faults during delivery.
+* :mod:`repro.testing.invariants` — replays a runner's event log and
+  asserts the recovery invariants (nothing lost, nothing doubled,
+  checkpoints monotone, requeues match crashes).
+* :mod:`repro.testing.scenarios` — canned deployments under fire.
+
+Every chaos run is reproducible from its seed; see ``TESTING.md`` at
+the repository root for the fault-plan schema and reproduction recipe.
+"""
+
+from repro.testing.chaos import ChaosNetwork
+from repro.testing.faultplan import Fault, FaultKind, FaultPlan
+from repro.testing.invariants import Invariants
+from repro.testing.scenarios import SwarmController, run_swarm_under_faults
+
+__all__ = [
+    "ChaosNetwork",
+    "Fault",
+    "FaultKind",
+    "FaultPlan",
+    "Invariants",
+    "SwarmController",
+    "run_swarm_under_faults",
+]

@@ -1,0 +1,165 @@
+"""A fault-injecting overlay network.
+
+:class:`ChaosNetwork` is a drop-in :class:`~repro.net.transport.Network`
+that consults a :class:`~repro.testing.faultplan.FaultPlan` on every
+delivery.  Faults surface exactly the way real ones would:
+
+* drops, partitions and crashed servers raise
+  :class:`~repro.util.errors.TransientCommunicationError`, which
+  :meth:`Endpoint.send` retries with backoff and eventually propagates;
+* delays charge the virtual clock (tripping per-message timeouts);
+* duplications invoke the destination handler twice, exercising
+  receiver idempotency;
+* worker crashes and slow-worker degradation are armed onto the victim
+  endpoints through their existing crash-hook / throttle knobs.
+
+Everything is deterministic: the same topology, workload and plan seed
+reproduce the identical fault sequence and event log.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.net.protocol import Message
+from repro.net.transport import Network
+from repro.testing.faultplan import FaultKind, FaultPlan
+from repro.util.errors import TransientCommunicationError
+
+
+class ChaosNetwork(Network):
+    """An overlay whose deliveries are perturbed by a fault plan."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self.plan = plan or FaultPlan(seed=seed)
+        #: Deliveries attempted so far; faults address this index.
+        self.delivery_index = 0
+        #: Drop accounting (for reports and assertions).
+        self.messages_dropped = 0
+        self.chaos_delay_seconds = 0.0
+        self._armed_endpoint_faults = 0
+        self._delivering_duplicate = False
+
+    # -- endpoint fault arming --------------------------------------------
+
+    def arm(self) -> None:
+        """Install worker-crash hooks and slow-worker throttles on the
+        victim endpoints.  Called lazily on the first delivery (so the
+        plan may be built before the topology), but may be called
+        explicitly once every endpoint is registered."""
+        relevant = [
+            f
+            for f in self.plan.faults
+            if f.kind in (FaultKind.WORKER_CRASH, FaultKind.SLOW_WORKER)
+        ]
+        if len(relevant) == self._armed_endpoint_faults:
+            return
+        plan = self.plan
+        for fault in relevant:
+            victim = self._endpoints.get(fault.dst)
+            if victim is None:
+                continue  # not registered yet; retry on the next delivery
+            if fault.kind is FaultKind.SLOW_WORKER and hasattr(victim, "throttle"):
+                victim.throttle = plan.throttle_for(fault.dst)
+            if fault.kind is FaultKind.WORKER_CRASH and hasattr(
+                victim, "set_crash_hook"
+            ):
+                name = fault.dst
+
+                def hook(command_id: str, segment: int, _worker=name) -> bool:
+                    return plan.should_crash_worker(_worker, command_id, segment)
+
+                victim.set_crash_hook(hook)
+        self._armed_endpoint_faults = sum(
+            1 for f in relevant if f.dst in self._endpoints
+        )
+
+    # -- fault-aware delivery ----------------------------------------------
+
+    def deliver(self, message: Message) -> dict:
+        """Route *message*, injecting any faults the plan schedules."""
+        self.arm()
+        index = self.delivery_index
+        self.delivery_index += 1
+
+        crashed = self.plan.server_crashed(
+            message.dst, index
+        ) or self.plan.server_crashed(message.src, index)
+        if crashed is not None:
+            self.messages_dropped += 1
+            raise TransientCommunicationError(
+                f"endpoint {crashed.dst!r} is down (server crash fault); "
+                f"{message.type.value} {message.src!r}->{message.dst!r} lost"
+            )
+
+        duplicate = False
+        if not self._delivering_duplicate:
+            for fault in self.plan.message_faults(message, index):
+                if fault.kind is FaultKind.DROP:
+                    self.messages_dropped += 1
+                    raise TransientCommunicationError(
+                        f"message {message.type.value} "
+                        f"{message.src!r}->{message.dst!r} dropped "
+                        f"(fault at delivery {index})"
+                    )
+                if fault.kind is FaultKind.DELAY:
+                    self.chaos_delay_seconds += fault.delay_seconds
+                    self.total_transfer_seconds += fault.delay_seconds
+                if fault.kind is FaultKind.DUPLICATE:
+                    duplicate = True
+
+        response = super().deliver(message)
+        if duplicate:
+            copy = Message(
+                type=message.type,
+                src=message.src,
+                dst=message.dst,
+                payload=message.payload,
+                attempt=message.attempt,
+            )
+            self._delivering_duplicate = True
+            try:
+                super().deliver(copy)
+            finally:
+                self._delivering_duplicate = False
+        return response
+
+    def _traverse(self, message: Message, path: List[str]) -> None:
+        """Account hops, failing at the first partitioned link."""
+        for hop_src, hop_dst in zip(path[:-1], path[1:]):
+            severed = self.plan.link_severed(
+                hop_src, hop_dst, self.delivery_index - 1
+            )
+            if severed is not None:
+                # hops before the cut were already accounted by the
+                # parent class on previous calls; this message dies here
+                self.messages_dropped += 1
+                raise TransientCommunicationError(
+                    f"link {hop_src}<->{hop_dst} is partitioned; "
+                    f"{message.type.value} {message.src!r}->{message.dst!r} lost"
+                )
+        super()._traverse(message, path)
+
+    def _wildcard_candidates(self, src: str) -> List[str]:
+        """Skip crashed servers when walking the overlay for a wildcard
+        destination — a down server can't accept anything."""
+        index = max(0, self.delivery_index - 1)
+        return [
+            name
+            for name in super()._wildcard_candidates(src)
+            if self.plan.server_crashed(name, index) is None
+        ]
+
+    # -- reporting ---------------------------------------------------------
+
+    def chaos_report(self) -> dict:
+        """What the plan actually did to this network."""
+        return {
+            "seed": self.plan.seed,
+            "deliveries": self.delivery_index,
+            "dropped": self.messages_dropped,
+            "chaos_delay_seconds": self.chaos_delay_seconds,
+            "faults": self.plan.describe(),
+            "firings": len(self.plan.firings),
+        }

@@ -1,0 +1,178 @@
+"""Recovery invariants, checked by replaying a runner's event log.
+
+The paper's fault-tolerance story (section 2.3) reduces to promises
+that must hold no matter which workers died or which links flapped:
+
+1. **No command is lost** — every issued command is completed, still
+   queued, or still in flight; completed projects completed *all*
+   their commands.
+2. **No command completes twice** — duplicated/retried results are
+   deduplicated before they reach the project controller.
+3. **Checkpoints are monotone** — per command, reported checkpoint
+   steps and report times never move backwards (a resumed command
+   continues, it does not restart behind its own checkpoint).
+4. **Requeue accounting matches observed crashes** — every
+   ``COMMAND_REQUEUED`` follows a ``WORKER_DEAD`` for that worker, a
+   worker is declared dead at most once per outage (deaths must be
+   separated by a revival), and the servers'
+   ``requeued_after_failure`` counters equal the logged requeues.
+
+:class:`Invariants` replays a :class:`~repro.core.events.EventLog`
+(plus end-state from the runner's servers) and returns human-readable
+violations; :meth:`Invariants.assert_ok` raises
+:class:`~repro.util.errors.InvariantViolation` listing them all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.events import EventKind, EventLog
+from repro.core.project import ProjectStatus
+from repro.util.errors import InvariantViolation
+
+
+class Invariants:
+    """Replay-based invariant checker for one :class:`ProjectRunner`."""
+
+    def __init__(self, runner) -> None:
+        self.runner = runner
+        self.events: EventLog = runner.events
+
+    # -- individual checks -------------------------------------------------
+
+    def _issued_ids(self) -> Set[str]:
+        issued: Set[str] = set()
+        for record in self.events.filter(kind=EventKind.COMMANDS_ISSUED):
+            issued.update(record.details.get("ids", []))
+        return issued
+
+    def _completed_ids(self) -> List[str]:
+        return [
+            record.details.get("command")
+            for record in self.events.filter(kind=EventKind.COMMAND_COMPLETED)
+        ]
+
+    def check_no_lost_commands(self) -> List[str]:
+        """Invariant 1: issued == completed + queued + in-flight."""
+        issued = self._issued_ids()
+        completed = set(self._completed_ids())
+        queued: Set[str] = set()
+        in_flight: Set[str] = set()
+        for server in self.runner._servers:
+            queued.update(c.command_id for c in server.queue.commands())
+            for cmds in server.assignments.values():
+                in_flight.update(cmds)
+        violations = []
+        lost = issued - completed - queued - in_flight
+        if lost:
+            violations.append(
+                f"commands lost (issued but neither completed, queued nor "
+                f"in flight): {sorted(lost)}"
+            )
+        phantom = completed - issued
+        if phantom:
+            violations.append(
+                f"commands completed that were never issued: {sorted(phantom)}"
+            )
+        for pid, project in self.runner._projects.items():
+            if (
+                project.status is ProjectStatus.COMPLETE
+                and project.completed > project.issued
+            ):
+                violations.append(
+                    f"project {pid!r} recorded more completions "
+                    f"({project.completed}) than issues ({project.issued})"
+                )
+        return violations
+
+    def check_no_double_completion(self) -> List[str]:
+        """Invariant 2: each command completes at most once."""
+        seen: Dict[str, int] = {}
+        for command_id in self._completed_ids():
+            seen[command_id] = seen.get(command_id, 0) + 1
+        return [
+            f"command {command_id!r} completed {n} times"
+            for command_id, n in sorted(seen.items())
+            if n > 1
+        ]
+
+    def check_checkpoint_monotonicity(self) -> List[str]:
+        """Invariant 3: per-command checkpoint steps/times never regress."""
+        violations = []
+        last: Dict[str, tuple] = {}
+        for record in self.events.filter(kind=EventKind.CHECKPOINT_REPORTED):
+            command = record.details.get("command")
+            step = record.details.get("step")
+            if command is None or step is None:
+                continue
+            prev = last.get(command)
+            if prev is not None:
+                prev_time, prev_step = prev
+                if record.time < prev_time or step < prev_step:
+                    violations.append(
+                        f"checkpoint regression for {command!r}: "
+                        f"(t={prev_time}, step={prev_step}) -> "
+                        f"(t={record.time}, step={step})"
+                    )
+            last[command] = (record.time, step)
+        return violations
+
+    def check_requeue_accounting(self) -> List[str]:
+        """Invariant 4: requeues <-> observed crashes, deaths <-> outages."""
+        violations = []
+        requeued = self.events.filter(kind=EventKind.COMMAND_REQUEUED)
+        counter_total = sum(
+            server.requeued_after_failure for server in self.runner._servers
+        )
+        if counter_total != len(requeued):
+            violations.append(
+                f"servers count {counter_total} requeues after failure but the "
+                f"event log records {len(requeued)}"
+            )
+        # replay death/revival interleaving per worker
+        declared_dead: Dict[str, bool] = {}
+        for record in self.events.all():
+            worker: Optional[str] = record.details.get("worker")
+            if record.kind is EventKind.WORKER_DEAD:
+                if declared_dead.get(worker):
+                    violations.append(
+                        f"worker {worker!r} declared dead twice in one outage "
+                        f"(t={record.time})"
+                    )
+                declared_dead[worker] = True
+            elif record.kind is EventKind.WORKER_REVIVED:
+                if not declared_dead.get(worker):
+                    violations.append(
+                        f"worker {worker!r} revived without a preceding death "
+                        f"(t={record.time})"
+                    )
+                declared_dead[worker] = False
+            elif record.kind is EventKind.COMMAND_REQUEUED:
+                if not declared_dead.get(worker):
+                    violations.append(
+                        f"command {record.details.get('command')!r} requeued "
+                        f"from {worker!r} which was not declared dead "
+                        f"(t={record.time})"
+                    )
+        return violations
+
+    # -- entry points ------------------------------------------------------
+
+    def check(self) -> List[str]:
+        """All violations across every invariant (empty = green)."""
+        return (
+            self.check_no_lost_commands()
+            + self.check_no_double_completion()
+            + self.check_checkpoint_monotonicity()
+            + self.check_requeue_accounting()
+        )
+
+    def assert_ok(self) -> None:
+        """Raise :class:`InvariantViolation` if any invariant fails."""
+        violations = self.check()
+        if violations:
+            raise InvariantViolation(
+                "recovery invariants violated:\n  - "
+                + "\n  - ".join(violations)
+            )

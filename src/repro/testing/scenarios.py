@@ -1,0 +1,127 @@
+"""Canned chaos scenarios: a small Copernicus deployment under fire.
+
+:func:`run_swarm_under_faults` builds the same deployment as
+``examples/failure_recovery.py`` — one server, a swarm of short MD
+commands, a couple of workers — but over a
+:class:`~repro.testing.chaos.ChaosNetwork`, runs it to completion and
+returns everything a test needs to assert recovery: the runner (with
+its event log), the server, the workers and the chaos report.
+
+Reproducibility contract: the returned
+:meth:`~repro.core.events.EventLog.to_text` transcript is a pure
+function of the arguments, so asserting transcript equality across two
+runs with the same seed *is* the determinism test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.command import Command
+from repro.core.controller import Controller
+from repro.core.project import Project
+from repro.core.runner import ProjectRunner
+from repro.md.engine import MDTask
+from repro.server.server import CopernicusServer
+from repro.testing.chaos import ChaosNetwork
+from repro.testing.faultplan import FaultPlan
+from repro.worker.platform import SMPPlatform
+from repro.worker.worker import Worker
+
+
+class SwarmController(Controller):
+    """A flat swarm of MD commands; complete when all have returned."""
+
+    def __init__(self, n_commands: int, n_steps: int) -> None:
+        self.n_commands = n_commands
+        self.n_steps = n_steps
+        self.finished: List[tuple] = []
+
+    def on_project_start(self, project):
+        return [
+            Command(
+                command_id=f"cmd{k}",
+                project_id=project.project_id,
+                executable="mdrun",
+                payload=MDTask(
+                    model="villin-fast",
+                    n_steps=self.n_steps,
+                    report_interval=200,
+                    seed=k,
+                    task_id=f"cmd{k}",
+                ).to_payload(),
+            )
+            for k in range(self.n_commands)
+        ]
+
+    def on_command_finished(self, project, command, result):
+        self.finished.append((command.command_id, result["steps_completed"]))
+        return []
+
+    def is_complete(self, project):
+        return len(self.finished) >= self.n_commands
+
+
+def run_swarm_under_faults(
+    plan: Optional[FaultPlan] = None,
+    configure: Optional[Callable[[FaultPlan], None]] = None,
+    n_commands: int = 3,
+    n_steps: int = 5000,
+    n_workers: int = 2,
+    segment_steps: int = 1000,
+    heartbeat_interval: float = 60.0,
+    tick: float = 90.0,
+    max_cycles: int = 10000,
+    seed: int = 0,
+) -> dict:
+    """Run the failure-recovery swarm under a fault plan.
+
+    Parameters
+    ----------
+    plan:
+        The fault schedule (default: a fresh plan seeded with *seed* —
+        i.e. no faults unless *configure* adds some).
+    configure:
+        Callback receiving the plan before the run, for adding faults
+        that reference the scenario's endpoint names (``srv``,
+        ``w0`` ... ``w{n-1}``).
+    seed:
+        Seeds the network and (when *plan* is ``None``) the plan.
+
+    Returns a dict with ``runner``, ``server``, ``workers``,
+    ``controller``, ``network``, ``transcript`` and ``chaos`` keys.
+    """
+    network = ChaosNetwork(plan=plan or FaultPlan(seed=seed), seed=seed)
+    if configure is not None:
+        configure(network.plan)
+    server = CopernicusServer(
+        "srv", network, heartbeat_interval=heartbeat_interval
+    )
+    workers = [
+        Worker(
+            f"w{k}",
+            network,
+            server="srv",
+            platform=SMPPlatform(cores=1),
+            segment_steps=segment_steps,
+        )
+        for k in range(n_workers)
+    ]
+    for worker in workers:
+        network.connect("srv", worker.name)
+    for worker in workers:
+        worker.announce(0.0)
+
+    controller = SwarmController(n_commands=n_commands, n_steps=n_steps)
+    runner = ProjectRunner(network, server, workers, tick=tick)
+    runner.submit(Project("swarm"), controller)
+    runner.run(max_cycles=max_cycles)
+    return {
+        "runner": runner,
+        "server": server,
+        "workers": workers,
+        "controller": controller,
+        "network": network,
+        "transcript": runner.events.to_text(),
+        "chaos": network.chaos_report(),
+    }

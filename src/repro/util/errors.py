@@ -17,8 +17,23 @@ class CommunicationError(ReproError):
     """A network operation failed (unreachable peer, broken route...)."""
 
 
+class TransientCommunicationError(CommunicationError):
+    """A network failure that may succeed on retry (drop, partition,
+    crashed peer).  :meth:`repro.net.transport.Endpoint.send` retries
+    these with exponential backoff; permanent routing errors (unknown
+    endpoint, no handler, untrusted key) are raised immediately."""
+
+
+class CommunicationTimeout(TransientCommunicationError):
+    """A delivery exceeded its per-message timeout on the virtual clock."""
+
+
 class AuthenticationError(CommunicationError):
     """A peer presented an untrusted or mismatching key."""
+
+
+class InvariantViolation(ReproError):
+    """A recovery invariant failed when replaying a run's event log."""
 
 
 class SchedulingError(ReproError):

@@ -14,14 +14,14 @@ server.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.command import Command
 from repro.net.protocol import Message, MessageType
 from repro.net.transport import Endpoint, Network
 from repro.worker.executable import ExecutableRegistry, default_registry
 from repro.worker.platform import SMPPlatform
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, TransientCommunicationError
 
 
 @dataclass
@@ -67,8 +67,14 @@ class Worker(Endpoint):
         self.executables = executables or default_registry()
         self.segment_steps = segment_steps
         self.crashed = False
+        #: Degradation factor in (0, 1]: fraction of ``segment_steps``
+        #: actually executed per segment (chaos "slow worker" fault).
+        self.throttle = 1.0
         #: Executed-command log (for tests and reports).
         self.history: List[ExecutionRecord] = []
+        #: Results that could not reach the server (partition/crash);
+        #: resubmitted at the start of the next work cycle.
+        self._pending_results: List[Tuple[Command, dict]] = []
         #: Crash trigger: called before each segment; return True to die.
         self._crash_hook: Optional[Callable[[str, int], bool]] = None
 
@@ -112,21 +118,39 @@ class Worker(Endpoint):
     def heartbeat(
         self, now: float, checkpoints: Optional[Dict[str, dict]] = None
     ) -> Optional[dict]:
-        """Send a liveness signal (suppressed when crashed)."""
+        """Send a liveness signal (suppressed when crashed).
+
+        A heartbeat lost to a transient fault (partition, crashed
+        server) is simply skipped — the worker keeps executing and
+        retries liveness on the next cycle, exactly like a real node
+        behind a flaky uplink.
+        """
         if self.crashed:
             return None
         body = {"worker": self.name, "now": now}
         if checkpoints:
             body["checkpoints"] = checkpoints
-        return self.send(self.server, MessageType.HEARTBEAT, body)
+        try:
+            return self.send(self.server, MessageType.HEARTBEAT, body)
+        except TransientCommunicationError:
+            return None
 
     def request_workload(self) -> List[Command]:
-        """Ask the server for commands matching this worker."""
+        """Ask the server for commands matching this worker.
+
+        Returns an empty workload when the server is transiently
+        unreachable (the worker idles this cycle and polls again).
+        """
         if self.crashed:
             return []
-        response = self.send(
-            self.server, MessageType.WORKLOAD_REQUEST, self.capabilities_payload()
-        )
+        try:
+            response = self.send(
+                self.server,
+                MessageType.WORKLOAD_REQUEST,
+                self.capabilities_payload(),
+            )
+        except TransientCommunicationError:
+            return []
         return [Command.from_payload(p) for p in response.get("commands", [])]
 
     def run_command(self, command: Command, now: float = 0.0) -> Optional[dict]:
@@ -151,7 +175,9 @@ class Worker(Endpoint):
                 self.crashed = True
                 return None
             result, completed = self.executables.run(
-                command.executable, payload, abort_after_steps=self.segment_steps
+                command.executable,
+                payload,
+                abort_after_steps=max(1, int(self.segment_steps * self.throttle)),
             )
             record.segments += 1
             total_result = self._merge_segment(total_result, result)
@@ -196,26 +222,49 @@ class Worker(Endpoint):
         return merged
 
     def submit_result(self, command: Command, result: dict) -> Optional[dict]:
-        """Return a finished command's output to the server."""
+        """Return a finished command's output to the server.
+
+        If the server is transiently unreachable the result is parked
+        and resubmitted on the next work cycle — finished work is never
+        thrown away just because the uplink flapped.  (The server
+        deduplicates, so a result that *did* arrive before the response
+        was lost completes the command exactly once.)
+        """
         if self.crashed:
             return None
-        return self.send(
-            self.server,
-            MessageType.COMMAND_RESULT,
-            {
-                "worker": self.name,
-                "command": command.to_payload(),
-                "result": result,
-            },
-        )
+        try:
+            return self.send(
+                self.server,
+                MessageType.COMMAND_RESULT,
+                {
+                    "worker": self.name,
+                    "command": command.to_payload(),
+                    "result": result,
+                },
+            )
+        except TransientCommunicationError:
+            self._pending_results.append((command, result))
+            return None
+
+    def flush_pending_results(self) -> int:
+        """Resubmit parked results; returns how many got through."""
+        if self.crashed or not self._pending_results:
+            return 0
+        pending, self._pending_results = self._pending_results, []
+        delivered = 0
+        for command, result in pending:
+            # submit_result re-parks into _pending_results on failure
+            if self.submit_result(command, result) is not None:
+                delivered += 1
+        return delivered
 
     def work_once(self, now: float = 0.0) -> int:
         """One poll cycle: fetch a workload and run it to completion.
 
         Returns the number of commands completed this cycle.
         """
+        done = self.flush_pending_results()
         commands = self.request_workload()
-        done = 0
         for command in commands:
             result = self.run_command(command, now=now)
             if result is None:

@@ -1,0 +1,333 @@
+"""Fault-plan and chaos-network mechanics, plus Endpoint.send retries.
+
+Every test here is seeded: the same plan seed must inject the same
+faults, and production retry/timeout code must absorb exactly the
+faults the plan schedules.
+"""
+
+import pytest
+
+from repro.net.protocol import ANY_SERVER, Message, MessageType
+from repro.net.transport import Endpoint, RetryPolicy
+from repro.testing import ChaosNetwork, FaultKind, FaultPlan
+from repro.util.errors import (
+    CommunicationError,
+    CommunicationTimeout,
+    ConfigurationError,
+    TransientCommunicationError,
+)
+
+
+def echo_handler(message):
+    return {"echo": message.payload}
+
+
+def make_pair(plan=None, seed=0, retry_policy=None):
+    """a - b chaos overlay with an echoing, invocation-counting b."""
+    net = ChaosNetwork(plan=plan, seed=seed)
+    calls = []
+
+    def handler(message):
+        calls.append(message.type)
+        return {"echo": message.payload}
+
+    Endpoint("a", net, handler=echo_handler, retry_policy=retry_policy)
+    Endpoint("b", net, handler=handler)
+    net.connect("a", "b")
+    return net, calls
+
+
+# ------------------------------------------------------------- fault plan
+
+
+def test_fault_plan_rejects_bad_probability():
+    plan = FaultPlan(seed=0)
+    with pytest.raises(ConfigurationError):
+        plan.drop(probability=1.5)
+
+
+def test_fault_plan_rejects_bad_slow_factor():
+    plan = FaultPlan(seed=0)
+    with pytest.raises(ConfigurationError):
+        plan.slow_worker("w", factor=0.0)
+
+
+def test_fault_window_and_count():
+    plan = FaultPlan(seed=0)
+    fault = plan.drop(after_index=2, until_index=5, count=2)
+    assert not fault.active_at(1)
+    assert fault.active_at(2)
+    assert fault.active_at(4)
+    assert not fault.active_at(5)
+    fault.fired = 2
+    assert not fault.active_at(3)  # count exhausted
+
+
+def test_fault_describe_is_schema_stable():
+    plan = FaultPlan(seed=0)
+    plan.drop(message_type=MessageType.HEARTBEAT, probability=0.5)
+    plan.partition("a", "b", after_index=3, until_index=9)
+    described = plan.describe()
+    assert described[0]["kind"] == "drop"
+    assert described[0]["message_type"] == "heartbeat"
+    assert described[0]["probability"] == 0.5
+    assert described[1]["link"] == ("a", "b")
+    assert described[1]["until_index"] == 9
+
+
+def test_probabilistic_faults_reproducible_per_seed():
+    def firing_pattern(seed):
+        plan = FaultPlan(seed=seed)
+        fault = plan.drop(probability=0.5)
+        message = Message(MessageType.HEARTBEAT, src="a", dst="b")
+        return [
+            bool(plan.message_faults(message, i)) for i in range(40)
+        ], fault.fired
+
+    pattern_a, fired_a = firing_pattern(123)
+    pattern_b, fired_b = firing_pattern(123)
+    assert pattern_a == pattern_b
+    assert fired_a == fired_b
+    assert 0 < fired_a < 40  # actually probabilistic
+    pattern_c, _ = firing_pattern(456)
+    assert pattern_a != pattern_c  # seed matters
+
+
+# ------------------------------------------------------- drops and retries
+
+
+def test_transient_drop_survived_by_retries():
+    plan = FaultPlan(seed=0)
+    plan.drop(message_type=MessageType.PROJECT_STATUS, count=2)
+    net, calls = make_pair(plan=plan)
+    a = net.endpoint("a")
+    response = a.send("b", MessageType.PROJECT_STATUS, {"q": 1})
+    assert response == {"echo": {"q": 1}}
+    assert a.send_retries == 2
+    assert a.send_failures == 0
+    assert net.messages_dropped == 2
+    assert net.retries_total == 2
+    assert net.retry_backoff_seconds > 0
+
+
+def test_retry_budget_exhausted_raises_communication_error():
+    plan = FaultPlan(seed=0)
+    plan.drop(message_type=MessageType.PROJECT_STATUS)  # permanent
+    net, calls = make_pair(plan=plan)
+    a = net.endpoint("a")
+    with pytest.raises(CommunicationError):
+        a.send("b", MessageType.PROJECT_STATUS, {})
+    assert a.send_retries == a.retry_policy.max_retries
+    assert a.send_failures == 1
+    assert calls == []  # nothing ever got through
+
+
+def test_retry_backoff_is_exponential_on_virtual_clock():
+    policy = RetryPolicy(max_retries=3, backoff_base=1.0, backoff_factor=2.0)
+    plan = FaultPlan(seed=0)
+    plan.drop(message_type=MessageType.PROJECT_STATUS)
+    net, _ = make_pair(plan=plan, retry_policy=policy)
+    a = net.endpoint("a")
+    with pytest.raises(CommunicationError):
+        a.send("b", MessageType.PROJECT_STATUS, {})
+    assert a.backoff_seconds == pytest.approx(1.0 + 2.0 + 4.0)
+    assert net.retry_backoff_seconds == pytest.approx(7.0)
+
+
+def test_permanent_routing_errors_not_retried():
+    net = ChaosNetwork(seed=0)
+    Endpoint("a", net, handler=echo_handler)
+    a = net.endpoint("a")
+    with pytest.raises(CommunicationError):
+        a.send("ghost", MessageType.PROJECT_STATUS, {})
+    assert a.send_retries == 0  # unknown endpoint is permanent
+
+
+def test_retries_surface_in_traffic_report():
+    plan = FaultPlan(seed=0)
+    plan.drop(message_type=MessageType.PROJECT_STATUS, count=1)
+    net, _ = make_pair(plan=plan)
+    net.endpoint("a").send("b", MessageType.PROJECT_STATUS, {})
+    rows = {row["link"]: row for row in net.traffic_report()}
+    assert "endpoint:a" in rows
+    assert rows["endpoint:a"]["retries"] == 1
+    assert rows["endpoint:a"]["backoff_seconds"] > 0
+    # quiet endpoints add no rows
+    assert "endpoint:b" not in rows
+
+
+def test_retransmissions_carry_attempt_number():
+    plan = FaultPlan(seed=0)
+    plan.drop(message_type=MessageType.PROJECT_STATUS, count=1)
+    net = ChaosNetwork(plan=plan)
+    attempts = []
+
+    def recorder(message):
+        attempts.append(message.attempt)
+        return {}
+
+    Endpoint("a", net, handler=echo_handler)
+    Endpoint("b", net, handler=recorder)
+    net.connect("a", "b")
+    net.endpoint("a").send("b", MessageType.PROJECT_STATUS, {})
+    assert attempts == [1]  # attempt 0 was dropped before the handler
+
+
+# ------------------------------------------------------- delays / timeouts
+
+
+def test_delay_fault_charges_virtual_clock():
+    plan = FaultPlan(seed=0)
+    plan.delay(30.0, message_type=MessageType.PROJECT_STATUS, count=1)
+    net, _ = make_pair(plan=plan)
+    before = net.total_transfer_seconds
+    net.endpoint("a").send("b", MessageType.PROJECT_STATUS, {})
+    assert net.total_transfer_seconds - before > 30.0
+    assert net.chaos_delay_seconds == pytest.approx(30.0)
+
+
+def test_timeout_trips_and_retry_succeeds():
+    plan = FaultPlan(seed=0)
+    plan.delay(30.0, message_type=MessageType.PROJECT_STATUS, count=1)
+    net, calls = make_pair(plan=plan)
+    a = net.endpoint("a")
+    response = a.send("b", MessageType.PROJECT_STATUS, {"q": 2}, timeout=5.0)
+    assert response == {"echo": {"q": 2}}
+    assert a.send_timeouts == 1
+    assert net.timeouts_total == 1
+    # the timed-out attempt DID reach the handler: receivers must dedup
+    assert len(calls) == 2
+
+
+def test_timeout_gives_up_after_budget():
+    plan = FaultPlan(seed=0)
+    plan.delay(30.0, message_type=MessageType.PROJECT_STATUS)  # every attempt
+    net, _ = make_pair(plan=plan)
+    a = net.endpoint("a")
+    with pytest.raises(CommunicationTimeout):
+        a.send("b", MessageType.PROJECT_STATUS, {}, timeout=5.0)
+    assert a.send_timeouts == a.retry_policy.max_retries + 1
+
+
+# ------------------------------------------------------------ duplication
+
+
+def test_duplicate_fault_invokes_handler_twice():
+    plan = FaultPlan(seed=0)
+    plan.duplicate(message_type=MessageType.PROJECT_STATUS, count=1)
+    net, calls = make_pair(plan=plan)
+    response = net.endpoint("a").send("b", MessageType.PROJECT_STATUS, {"q": 3})
+    assert response == {"echo": {"q": 3}}
+    assert len(calls) == 2  # original + duplicate
+    assert net.messages_delivered == 2
+
+
+# -------------------------------------------------------------- partitions
+
+
+def test_partition_window_heals():
+    plan = FaultPlan(seed=0)
+    plan.partition("a", "b", after_index=0, until_index=2)
+    # no retries: observe the raw partition
+    net, _ = make_pair(plan=plan, retry_policy=RetryPolicy(max_retries=0))
+    a = net.endpoint("a")
+    with pytest.raises(TransientCommunicationError):
+        a.send("b", MessageType.PROJECT_STATUS, {})
+    with pytest.raises(TransientCommunicationError):
+        a.send("b", MessageType.PROJECT_STATUS, {})
+    # window [0, 2) has passed: traffic flows again
+    assert a.send("b", MessageType.PROJECT_STATUS, {"q": 4}) == {
+        "echo": {"q": 4}
+    }
+
+
+def test_permanent_partition_defeats_retry_budget():
+    plan = FaultPlan(seed=0)
+    plan.partition("a", "b")
+    net, calls = make_pair(plan=plan)
+    a = net.endpoint("a")
+    with pytest.raises(CommunicationError):
+        a.send("b", MessageType.PROJECT_STATUS, {})
+    assert a.send_retries == a.retry_policy.max_retries
+    assert calls == []
+
+
+def test_partition_only_severs_named_link():
+    plan = FaultPlan(seed=0)
+    plan.partition("a", "b")
+    net = ChaosNetwork(plan=plan)
+    for name in "abc":
+        Endpoint(name, net, handler=echo_handler)
+    net.connect("a", "b")
+    net.connect("a", "c")
+    assert net.endpoint("a").send("c", MessageType.PROJECT_STATUS, {}) == {
+        "echo": {}
+    }
+
+
+# ------------------------------------------------------------ server crash
+
+
+def test_server_crash_rejects_traffic_then_reboots():
+    plan = FaultPlan(seed=0)
+    plan.crash_server("b", after_index=1, until_index=3)
+    net, calls = make_pair(plan=plan, retry_policy=RetryPolicy(max_retries=0))
+    a = net.endpoint("a")
+    assert a.send("b", MessageType.PROJECT_STATUS, {}) == {"echo": {}}
+    with pytest.raises(TransientCommunicationError):
+        a.send("b", MessageType.PROJECT_STATUS, {})
+    with pytest.raises(TransientCommunicationError):
+        a.send("b", MessageType.PROJECT_STATUS, {})
+    assert a.send("b", MessageType.PROJECT_STATUS, {}) == {"echo": {}}
+    assert len(calls) == 2
+
+
+def test_wildcard_skips_crashed_server():
+    plan = FaultPlan(seed=0)
+    plan.crash_server("b")
+    net = ChaosNetwork(plan=plan)
+
+    def acceptor(name):
+        return lambda message: {"accepted_by": name}
+
+    Endpoint("a", net, handler=lambda m: None)
+    Endpoint("b", net, handler=acceptor("b"))
+    Endpoint("c", net, handler=acceptor("c"))
+    net.connect("a", "b")
+    net.connect("b", "c")
+    response = net.endpoint("a").send(ANY_SERVER, MessageType.COMMAND_FETCH, {})
+    assert response == {"accepted_by": "c"}
+
+
+# ------------------------------------------------------------- slow worker
+
+
+def test_slow_worker_fault_arms_throttle():
+    class FakeWorker(Endpoint):
+        def __init__(self, name, network):
+            super().__init__(name, network, handler=lambda m: {})
+            self.throttle = 1.0
+
+        def set_crash_hook(self, hook):
+            self._hook = hook
+
+    plan = FaultPlan(seed=0)
+    plan.slow_worker("w", factor=0.25)
+    net = ChaosNetwork(plan=plan)
+    Endpoint("srv", net, handler=echo_handler)
+    w = FakeWorker("w", net)
+    net.connect("srv", "w")
+    net.arm()
+    assert w.throttle == 0.25
+
+
+def test_chaos_report_structure():
+    plan = FaultPlan(seed=42)
+    plan.drop(count=1)
+    net, _ = make_pair(plan=plan)
+    net.endpoint("a").send("b", MessageType.PROJECT_STATUS, {})
+    report = net.chaos_report()
+    assert report["seed"] == 42
+    assert report["dropped"] == 1
+    assert report["firings"] == 1
+    assert report["faults"][0]["kind"] == FaultKind.DROP.value

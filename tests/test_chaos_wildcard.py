@@ -1,0 +1,118 @@
+"""Wildcard (ANY_SERVER) routing: visit order, accounting, failure.
+
+The paper routes workload requests "to the first server with available
+commands"; these tests pin down the breadth-first walk that implements
+it — deterministic visit order, traffic accounted even for probes the
+endpoint rejects, and a CommunicationError when nobody accepts.
+"""
+
+import pytest
+
+from repro.net import Endpoint, Network
+from repro.net.protocol import ANY_SERVER, MessageType
+from repro.testing import ChaosNetwork, FaultPlan
+from repro.util.errors import CommunicationError
+
+
+def build_diamond(net):
+    """a - {b, c} - d: two equal-length branches plus a far node."""
+    for name in "abcd":
+        Endpoint(name, net, handler=lambda m: None)
+    net.connect("a", "b")
+    net.connect("a", "c")
+    net.connect("b", "d")
+    net.connect("c", "d")
+    return net
+
+
+def test_bfs_candidate_order_is_deterministic():
+    net = build_diamond(Network(seed=0))
+    # link-creation order fixes the BFS: both direct neighbours (in
+    # connect order), then the far node exactly once
+    assert net._wildcard_candidates("a") == ["b", "c", "d"]
+    assert net._wildcard_candidates("d") == ["b", "c", "a"]
+
+
+def test_bfs_probe_order_matches_candidates():
+    net = Network(seed=0)
+    probes = []
+
+    def refuser(name):
+        def handler(message):
+            probes.append(name)
+            return None
+
+        return handler
+
+    Endpoint("a", net, handler=refuser("a"))
+    Endpoint("b", net, handler=refuser("b"))
+    Endpoint("c", net, handler=refuser("c"))
+    Endpoint("d", net, handler=lambda m: {"accepted_by": "d"})
+    net.connect("a", "b")
+    net.connect("a", "c")
+    net.connect("b", "d")
+    response = net.endpoint("a").send(ANY_SERVER, MessageType.COMMAND_FETCH, {})
+    assert response == {"accepted_by": "d"}
+    assert probes == ["b", "c"]  # walked in BFS order, d accepted
+
+
+def test_rejected_probes_still_account_traffic():
+    net = Network(seed=0)
+    Endpoint("a", net, handler=lambda m: None)
+    Endpoint("b", net, handler=lambda m: None)  # will reject
+    Endpoint("c", net, handler=lambda m: {"ok": True})
+    net.connect("a", "b")
+    net.connect("b", "c")
+    net.endpoint("a").send(ANY_SERVER, MessageType.COMMAND_FETCH, {"probe": 1})
+    # the rejected probe to b crossed a<->b: it must be accounted
+    ab = net.link("a", "b")
+    assert ab.messages_carried >= 2  # b's probe + c's probe passing through
+    assert ab.bytes_carried > 0
+    # the accepted probe's response came back over both links
+    bc = net.link("b", "c")
+    assert bc.messages_carried == 2  # probe out + response back
+
+
+def test_wildcard_no_acceptor_raises_after_full_walk():
+    net = Network(seed=0)
+    probes = []
+
+    def refuser(name):
+        def handler(message):
+            probes.append(name)
+            return None
+
+        return handler
+
+    Endpoint("a", net, handler=refuser("a"))
+    Endpoint("b", net, handler=refuser("b"))
+    Endpoint("c", net, handler=refuser("c"))
+    net.connect("a", "b")
+    net.connect("b", "c")
+    with pytest.raises(CommunicationError):
+        net.endpoint("a").send(ANY_SERVER, MessageType.COMMAND_FETCH, {})
+    assert probes == ["b", "c"]  # every reachable endpoint was offered it
+
+
+def test_wildcard_from_isolated_endpoint_raises():
+    net = Network(seed=0)
+    Endpoint("a", net, handler=lambda m: None)
+    with pytest.raises(CommunicationError):
+        net.endpoint("a").send(ANY_SERVER, MessageType.COMMAND_FETCH, {})
+
+
+def test_chaos_wildcard_walk_is_seed_reproducible():
+    def walk(seed):
+        plan = FaultPlan(seed=seed)
+        plan.crash_server("b")
+        net = build_diamond(ChaosNetwork(plan=plan, seed=seed))
+        # make one endpoint accept so the walk terminates
+        net.endpoint("d")._handler = lambda m: {"accepted_by": "d"}
+        response = net.endpoint("a").send(
+            ANY_SERVER, MessageType.COMMAND_FETCH, {}
+        )
+        return response, net.total_bytes()
+
+    assert walk(7) == walk(7)
+    response, _ = walk(7)
+    assert response == {"accepted_by": "d"}  # crashed b was skipped

@@ -1,0 +1,86 @@
+"""Regression tests for re-announce / revive-after-dead semantics.
+
+``HeartbeatMonitor.register`` used to replace the whole
+``WorkerRecord`` on every announce, so a worker that reconnected after
+an outage silently lost the checkpoints its server had saved for it —
+exactly the state needed to recover its commands.
+"""
+
+from repro.net.protocol import MessageType
+from repro.server.heartbeat import HeartbeatMonitor
+from repro.server.server import CopernicusServer
+from repro.testing import ChaosNetwork, FaultPlan
+from repro.net.transport import Endpoint
+
+
+def test_register_preserves_existing_checkpoints():
+    mon = HeartbeatMonitor(interval=60.0)
+    mon.register("w", now=0.0)
+    mon.beat("w", now=10.0, checkpoints={"cmd0": {"step": 1000}})
+    # the worker re-announces (e.g. after reconnecting)
+    mon.register("w", now=20.0)
+    assert mon.checkpoint_for("w", "cmd0") == {"step": 1000}
+    assert mon.is_alive("w")
+
+
+def test_register_refreshes_liveness_of_dead_worker():
+    mon = HeartbeatMonitor(interval=60.0)
+    mon.register("w", now=0.0)
+    assert mon.check(now=500.0) == ["w"]
+    assert not mon.is_alive("w")
+    mon.register("w", now=510.0)
+    assert mon.is_alive("w")
+    # fresh timestamp: not immediately re-declared dead
+    assert mon.check(now=520.0) == []
+
+
+def test_beat_reports_revival_exactly_once():
+    mon = HeartbeatMonitor(interval=60.0)
+    mon.register("w", now=0.0)
+    assert mon.beat("w", now=10.0) is False  # already alive
+    assert mon.check(now=500.0) == ["w"]
+    assert mon.beat("w", now=510.0) is True  # revived
+    assert mon.beat("w", now=520.0) is False  # still alive
+
+
+def test_dead_reported_at_most_once_per_outage():
+    mon = HeartbeatMonitor(interval=60.0)
+    mon.register("w", now=0.0)
+    assert mon.check(now=500.0) == ["w"]
+    assert mon.check(now=600.0) == []  # same outage: not re-reported
+    mon.beat("w", now=610.0)
+    assert mon.check(now=2000.0) == ["w"]  # new outage: reported again
+
+
+def test_reannounce_after_outage_keeps_checkpoints_at_server_level():
+    """Full protocol path: announce, checkpointed heartbeat, outage,
+    re-announce — the saved checkpoint must survive for recovery."""
+    net = ChaosNetwork(plan=FaultPlan(seed=0), seed=0)
+    server = CopernicusServer("srv", net, heartbeat_interval=60.0)
+    worker = Endpoint("w", net, handler=lambda m: None)
+    net.connect("srv", "w")
+
+    worker.send(
+        "srv",
+        MessageType.WORKER_ANNOUNCE,
+        {"worker": "w", "platform": "smp", "cores": 1,
+         "executables": ["mdrun"], "now": 0.0},
+    )
+    worker.send(
+        "srv",
+        MessageType.HEARTBEAT,
+        {"worker": "w", "now": 10.0,
+         "checkpoints": {"cmd0": {"step": 3000}}},
+    )
+    assert server.check_failures(now=500.0) == ["w"]
+    # the worker reconnects and re-announces
+    worker.send(
+        "srv",
+        MessageType.WORKER_ANNOUNCE,
+        {"worker": "w", "platform": "smp", "cores": 1,
+         "executables": ["mdrun"], "now": 510.0},
+    )
+    assert server.monitor.is_alive("w")
+    assert server.monitor.checkpoint_for("w", "cmd0") == {"step": 3000}
+    # same outage ended by the re-announce: no duplicate death report
+    assert server.check_failures(now=520.0) == []

@@ -1,0 +1,133 @@
+"""Seeded property-based tests for the wire format (stdlib random only).
+
+Complements ``test_payload_properties.py`` (which covers the typed
+dataclasses with hypothesis): here we fuzz *arbitrary* nested payloads
+— dicts with unicode keys, floats, ints, lists, booleans, ``None`` —
+through ``encode_message``/``decode_message`` and check that
+``message_size`` grows monotonically as payloads grow.  Pure stdlib
+``random.Random`` with fixed seeds, so failures replay exactly.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.util.errors import CommunicationError
+from repro.util.serialization import decode_message, encode_message, message_size
+
+KEY_ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyz0123456789_-"
+    "äöüßéèñ中文字日本語кирилл😀λπ"
+)
+
+
+def random_key(rng: random.Random) -> str:
+    return "".join(
+        rng.choice(KEY_ALPHABET) for _ in range(rng.randint(1, 12))
+    )
+
+
+def random_scalar(rng: random.Random):
+    kind = rng.randrange(6)
+    if kind == 0:
+        return rng.randint(-(10 ** 12), 10 ** 12)
+    if kind == 1:
+        # exponent range keeps floats repr-round-trippable but wild
+        return rng.uniform(-1.0, 1.0) * 10 ** rng.randint(-30, 30)
+    if kind == 2:
+        return random_key(rng)
+    if kind == 3:
+        return rng.random() < 0.5
+    if kind == 4:
+        return None
+    return rng.choice([0, -1, 1.5e-300, 1.5e300, "", "\x00", "\\n\"'"])
+
+
+def random_payload(rng: random.Random, depth: int = 0):
+    if depth >= 3 or rng.random() < 0.4:
+        return random_scalar(rng)
+    if rng.random() < 0.5:
+        return {
+            random_key(rng): random_payload(rng, depth + 1)
+            for _ in range(rng.randint(0, 5))
+        }
+    return [random_payload(rng, depth + 1) for _ in range(rng.randint(0, 5))]
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_roundtrip_random_nested_payloads(seed):
+    rng = random.Random(seed)
+    for _ in range(50):
+        payload = {random_key(rng): random_payload(rng) for _ in range(3)}
+        decoded = decode_message(encode_message(payload))
+        assert decoded == payload
+
+
+def test_roundtrip_unicode_keys_and_values():
+    payload = {
+        "中文字": {"ключ": "значение", "emoji😀": ["λ", "π", "日本語"]},
+        "nested": {"ß": {"é": [1, 2.5, None, True]}},
+    }
+    assert decode_message(encode_message(payload)) == payload
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_roundtrip_floats_exactly(seed):
+    rng = random.Random(1000 + seed)
+    floats = [
+        rng.uniform(-1.0, 1.0) * 10 ** rng.randint(-300, 300)
+        for _ in range(100)
+    ]
+    decoded = decode_message(encode_message({"xs": floats}))
+    assert decoded["xs"] == floats
+    assert all(
+        math.isclose(a, b, rel_tol=0.0, abs_tol=0.0)
+        for a, b in zip(decoded["xs"], floats)
+    )
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_message_size_monotone_under_added_keys(seed):
+    """Adding a key to a dict never shrinks the wire size."""
+    rng = random.Random(2000 + seed)
+    payload = {}
+    last = message_size(payload)
+    for _ in range(30):
+        key = random_key(rng)
+        while key in payload:  # a collision would *replace*, not add
+            key += rng.choice(KEY_ALPHABET)
+        payload[key] = random_payload(rng)
+        size = message_size(payload)
+        assert size >= last
+        last = size
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_message_size_monotone_under_growing_lists(seed):
+    rng = random.Random(3000 + seed)
+    items = []
+    last = message_size({"items": items})
+    for _ in range(30):
+        items.append(random_payload(rng))
+        size = message_size({"items": items})
+        assert size >= last
+        last = size
+
+
+def test_message_size_monotone_under_nesting():
+    payload = {"x": 1}
+    last = message_size(payload)
+    for _ in range(10):
+        payload = {"wrap": payload}
+        size = message_size(payload)
+        assert size > last
+        last = size
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_non_string_keys_always_rejected(seed):
+    rng = random.Random(4000 + seed)
+    bad_key = rng.choice([1, 2.5, None, True, (1, 2)])
+    with pytest.raises(CommunicationError):
+        encode_message({bad_key: "x"})
