@@ -30,6 +30,14 @@ class EventKind(enum.Enum):
     #: An in-flight command of a dead worker went back on the queue.
     COMMAND_REQUEUED = "command_requeued"
     PROJECT_COMPLETED = "project_completed"
+    #: A relay's overlay-wide command fetch failed transiently; the
+    #: worker idles this cycle instead of receiving peer work.
+    PEER_FETCH_FAILED = "peer_fetch_failed"
+    #: A restarted project server rebuilt its state from the journal.
+    SERVER_RECOVERED = "server_recovered"
+    #: An outstanding command was requeued during journal recovery
+    #: (distinct from COMMAND_REQUEUED, which requires a worker death).
+    COMMAND_RESTORED = "command_restored"
 
 
 @dataclass(frozen=True)

@@ -18,8 +18,13 @@ from repro.core.controller import Controller
 from repro.core.events import EventKind, EventLog
 from repro.core.project import Project, ProjectStatus
 from repro.net.transport import Network
+from repro.server.datastore import replay_results
 from repro.server.server import CopernicusServer
-from repro.util.errors import SchedulingError
+from repro.util.errors import (
+    ConfigurationError,
+    JournalCorruptionError,
+    SchedulingError,
+)
 from repro.worker.worker import Worker
 
 
@@ -94,6 +99,98 @@ class ProjectRunner:
             ids=[c.command_id for c in initial],
             generation="initial",
         )
+
+    def resume(self, project_id: str, controller: Controller) -> Project:
+        """Restart a journaled project after a project-server crash.
+
+        The project server must have a journal attached
+        (:meth:`~repro.server.server.CopernicusServer.attach_journal`)
+        whose directory survived the crash.  The journal's snapshot+log
+        is replayed through the *fresh* ``controller`` (controllers are
+        deterministic, so this reconstructs the exact pre-crash state),
+        the exactly-once barrier is reseeded from the journaled
+        completions, and every outstanding command — issued, leased or
+        requeued before the crash but never completed — goes back on
+        the queue, resuming from its last journaled checkpoint when one
+        was reported.  Afterwards :meth:`run` continues the project to
+        completion as if the crash had not happened.
+
+        Returns the reconstructed :class:`Project`.
+        """
+        if project_id in self._projects:
+            raise SchedulingError(
+                f"project {project_id!r} already submitted"
+            )
+        server_journal = self.project_server.journal
+        if server_journal is None:
+            raise ConfigurationError(
+                f"server {self.project_server.name!r} has no journal "
+                f"attached; nothing to resume from"
+            )
+        state = server_journal.project(project_id).recover()
+        project, outstanding, completed_ids = replay_results(
+            project_id, state.results, controller
+        )
+        # determinism cross-check: every command the journal saw issued
+        # must be explained by the fresh controller's re-issue
+        replayed_ids = completed_ids | {c.command_id for c in outstanding}
+        unexplained = state.issued_ids - replayed_ids
+        if unexplained:
+            raise JournalCorruptionError(
+                f"journal for {project_id!r} holds issued commands the "
+                f"fresh controller did not re-issue (controller not "
+                f"deterministic?): {sorted(unexplained)[:5]}"
+            )
+        for command in outstanding:
+            checkpoint = state.checkpoints.get(command.command_id)
+            if checkpoint is not None:
+                command.checkpoint = checkpoint
+        self._projects[project_id] = project
+        self._controllers[project_id] = controller
+
+        def sink(command: Command, result: dict) -> None:
+            self._on_result(project, controller, command, result)
+
+        self.project_server.host_project(project_id, sink)
+        self.project_server.restore_commands(
+            project_id, outstanding, completed_ids
+        )
+        self.events.record(
+            self.now,
+            EventKind.SERVER_RECOVERED,
+            project_id,
+            server=self.project_server.name,
+            replayed=len(state.results),
+            restored=len(outstanding),
+            issued=project.issued,
+        )
+        self.events.record(
+            self.now,
+            EventKind.COMMANDS_ISSUED,
+            project_id,
+            count=len(replayed_ids),
+            ids=sorted(replayed_ids),
+            generation="recovered",
+        )
+        for command, _result in state.results:
+            self.events.record(
+                self.now,
+                EventKind.COMMAND_COMPLETED,
+                project_id,
+                command=command.command_id,
+                replayed=True,
+            )
+        for command in outstanding:
+            self.events.record(
+                self.now,
+                EventKind.COMMAND_RESTORED,
+                project_id,
+                command=command.command_id,
+                has_checkpoint=command.checkpoint is not None,
+            )
+        project.status = ProjectStatus.RUNNING
+        self._refresh_status()  # already-complete projects finish here
+        return project
 
     def _on_result(
         self,

@@ -24,6 +24,7 @@ from repro.util.errors import (
     CommunicationError,
     CommunicationTimeout,
     TransientCommunicationError,
+    WildcardUnclaimedError,
 )
 from repro.util.rng import RandomStream
 from repro.util.serialization import message_size
@@ -383,7 +384,7 @@ class Network:
                 )
                 self._traverse(back, path[::-1])
                 return response
-        raise CommunicationError(
+        raise WildcardUnclaimedError(
             f"no endpoint accepted wildcard {message.type} from {message.src!r}"
         )
 

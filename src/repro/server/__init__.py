@@ -4,7 +4,13 @@ from repro.server.queue import CommandQueue
 from repro.server.matching import WorkerCapabilities, build_workload
 from repro.server.heartbeat import HeartbeatMonitor
 from repro.server.server import CopernicusServer
-from repro.server.datastore import ProjectStore, replay
+from repro.server.datastore import ProjectStore, replay, replay_results
+from repro.server.wal import (
+    JournalState,
+    ProjectJournal,
+    ServerJournal,
+    WriteAheadLog,
+)
 
 __all__ = [
     "CommandQueue",
@@ -14,4 +20,9 @@ __all__ = [
     "CopernicusServer",
     "ProjectStore",
     "replay",
+    "replay_results",
+    "JournalState",
+    "ProjectJournal",
+    "ServerJournal",
+    "WriteAheadLog",
 ]

@@ -6,15 +6,21 @@ command's (command, result) pair to disk in completion order.  After a
 restart, :func:`replay` feeds the log back through a *fresh* controller
 instance: because controllers are deterministic given their seed and
 the event order, this reconstructs the exact pre-crash state — and
-returns the commands that were issued but never completed, ready to be
-requeued.
+returns the commands that were issued but never completed (ready to be
+requeued) plus the ids of the completed ones (to reseed the server's
+exactly-once barrier).
+
+For journaled, snapshot-compacted server state see
+:mod:`repro.server.wal`; this module remains the simple result archive
+(one file per result) used by analyses and the replay tests.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
 
 from repro.core.command import Command
 from repro.core.controller import Controller
@@ -23,12 +29,24 @@ from repro.util.errors import ConfigurationError
 from repro.util.serialization import decode_message, encode_message
 
 
+def _fsync_path(path: Path) -> None:
+    """fsync a file or directory by path (making renames durable)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class ProjectStore:
     """Append-only result log per project, under one root directory."""
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Next sequence number per project (monotone; never reused even
+        #: after deletions, so concurrent readers can't see collisions).
+        self._cursors: Dict[str, int] = {}
 
     def _project_dir(self, project_id: str) -> Path:
         if not project_id or "/" in project_id:
@@ -37,21 +55,50 @@ class ProjectStore:
         (path / "results").mkdir(parents=True, exist_ok=True)
         return path
 
+    def _results_dir(self, project_id: str) -> Path:
+        return self._project_dir(project_id) / "results"
+
+    def _next_sequence(self, project_id: str) -> int:
+        """Monotonic per-project cursor, seeded once from the directory.
+
+        A crash can leave ``.NNNNNN.tmp`` files behind; they are swept
+        here (first touch after a restart) so they can never be counted
+        or collide with a fresh append.
+        """
+        cursor = self._cursors.get(project_id)
+        if cursor is None:
+            directory = self._results_dir(project_id)
+            for stale in directory.glob(".*.tmp"):
+                stale.unlink()
+            sequences = [
+                int(p.stem)
+                for p in directory.glob("*.bin")
+                if p.stem.isdigit()
+            ]
+            cursor = max(sequences) + 1 if sequences else 0
+        self._cursors[project_id] = cursor + 1
+        return cursor
+
     # -- writing -----------------------------------------------------------
 
     def record_result(
         self, project_id: str, command: Command, result: dict
     ) -> Path:
-        """Append one completed command (atomic via rename)."""
-        directory = self._project_dir(project_id) / "results"
-        sequence = len(list(directory.glob("*.bin")))
+        """Append one completed command (atomic and durable via
+        write-to-temp, fsync, rename, directory fsync)."""
+        directory = self._results_dir(project_id)
+        sequence = self._next_sequence(project_id)
         blob = encode_message(
             {"command": command.to_payload(), "result": result}
         )
         final = directory / f"{sequence:06d}.bin"
         temp = directory / f".{sequence:06d}.tmp"
-        temp.write_bytes(blob)
+        with open(temp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
         temp.rename(final)
+        _fsync_path(directory)
         return final
 
     def save_metadata(self, project_id: str, metadata: dict) -> None:
@@ -72,37 +119,62 @@ class ProjectStore:
         self, project_id: str
     ) -> Iterator[Tuple[Command, dict]]:
         """Yield (command, result) pairs in completion order."""
-        directory = self._project_dir(project_id) / "results"
+        directory = self._results_dir(project_id)
         for path in sorted(directory.glob("*.bin")):
             payload = decode_message(path.read_bytes())
             yield Command.from_payload(payload["command"]), payload["result"]
 
     def result_count(self, project_id: str) -> int:
         """Completed commands on record."""
-        return len(list((self._project_dir(project_id) / "results").glob("*.bin")))
+        return len(list(self._results_dir(project_id).glob("*.bin")))
 
     def projects(self) -> List[str]:
         """Project ids present in the store."""
         return sorted(p.name for p in self.root.iterdir() if p.is_dir())
 
 
-def replay(
-    store: ProjectStore, project_id: str, controller: Controller
-) -> Tuple[Project, List[Command]]:
-    """Rebuild a project's state from the log through a fresh controller.
+def replay_results(
+    project_id: str,
+    results: Iterable[Tuple[Command, dict]],
+    controller: Controller,
+) -> Tuple[Project, List[Command], Set[str]]:
+    """Feed an ordered result history through a fresh controller.
 
-    Returns ``(project, outstanding_commands)``: the reconstructed
-    project plus every command the controller issued that has no
-    recorded result — exactly what must be requeued to resume.
+    The shared core of :func:`replay` and
+    :meth:`repro.core.runner.ProjectRunner.resume`: deterministic
+    controllers re-issue the same commands in the same order, so
+    replaying the recorded results reconstructs the pre-crash project
+    state exactly.
+
+    Returns ``(project, outstanding_commands, completed_ids)``.
     """
     project = Project(project_id)
     issued = {c.command_id: c for c in controller.on_project_start(project)}
     project.record_issue(list(issued.values()))
-    for command, result in store.iter_results(project_id):
+    completed_ids: Set[str] = set()
+    for command, result in results:
         project.record_result(command, result)
         follow_ups = controller.on_command_finished(project, command, result)
         issued.pop(command.command_id, None)
+        completed_ids.add(command.command_id)
         for follow_up in follow_ups:
             issued[follow_up.command_id] = follow_up
         project.record_issue(follow_ups)
-    return project, list(issued.values())
+    return project, list(issued.values()), completed_ids
+
+
+def replay(
+    store: ProjectStore, project_id: str, controller: Controller
+) -> Tuple[Project, List[Command], Set[str]]:
+    """Rebuild a project's state from the log through a fresh controller.
+
+    Returns ``(project, outstanding_commands, completed_ids)``: the
+    reconstructed project, every command the controller issued that has
+    no recorded result (exactly what must be requeued to resume), and
+    the ids of the completed commands — the restarted server must seed
+    its exactly-once dedup barrier from the latter so a late or
+    duplicated result arriving after recovery is still dropped.
+    """
+    return replay_results(
+        project_id, store.iter_results(project_id), controller
+    )

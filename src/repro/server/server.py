@@ -25,7 +25,12 @@ from repro.net.transport import Endpoint, Network
 from repro.server.heartbeat import DEFAULT_INTERVAL, HeartbeatMonitor
 from repro.server.matching import WorkerCapabilities, build_workload
 from repro.server.queue import CommandQueue
-from repro.util.errors import SchedulingError
+from repro.server.wal import ServerJournal
+from repro.util.errors import (
+    SchedulingError,
+    TransientCommunicationError,
+    WildcardUnclaimedError,
+)
 
 
 class CopernicusServer(Endpoint):
@@ -59,10 +64,27 @@ class CopernicusServer(Endpoint):
         #: Latest virtual timestamp observed in messages/failure checks,
         #: used to stamp events that arrive without their own clock.
         self.clock = 0.0
+        #: Optional durable journal (see :meth:`attach_journal`).  When
+        #: set, every state transition of a hosted project — issue,
+        #: lease, checkpoint, result, requeue — is journaled *before*
+        #: it is acknowledged, so a restarted server can resume.
+        self.journal: Optional[ServerJournal] = None
 
     def _record(self, kind: EventKind, **details) -> None:
         if self.events is not None:
             self.events.record(self.clock, kind, **details)
+
+    # -- durability --------------------------------------------------------
+
+    def attach_journal(self, journal: ServerJournal) -> None:
+        """Make this server journal its hosted projects' transitions."""
+        self.journal = journal
+
+    def _journal_for(self, project_id: str):
+        """The project's journal, or None when not journaling/hosting."""
+        if self.journal is None or project_id not in self._sinks:
+            return None
+        return self.journal.project(project_id)
 
     # -- project hosting ---------------------------------------------------
 
@@ -73,7 +95,40 @@ class CopernicusServer(Endpoint):
         self._sinks[project_id] = sink
 
     def submit_commands(self, commands: List[Command]) -> None:
-        """Queue commands for a project hosted here (stamps origin)."""
+        """Queue commands for a project hosted here (stamps origin).
+
+        With a journal attached the issuance is durable before any
+        command becomes visible to workers: a server that crashes right
+        after this call requeues them on recovery.
+        """
+        for command in commands:
+            if not command.origin_server:
+                command.origin_server = self.name
+        if self.journal is not None:
+            by_project: Dict[str, List[Command]] = {}
+            for command in commands:
+                by_project.setdefault(command.project_id, []).append(command)
+            for project_id, group in by_project.items():
+                journal = self._journal_for(project_id)
+                if journal is not None:
+                    journal.record_issued(group)
+        for command in commands:
+            self.queue.push(command)
+
+    def restore_commands(
+        self,
+        project_id: str,
+        commands: List[Command],
+        completed_ids: Set[str],
+    ) -> None:
+        """Re-adopt a recovered project's state after a server restart.
+
+        Seeds the exactly-once barrier with the journaled completions
+        (so a late duplicate of a pre-crash result is still dropped)
+        and requeues the outstanding commands *without* re-journaling
+        them as issued — their issuance is already on disk.
+        """
+        self.completed_ids.update(completed_ids)
         for command in commands:
             if not command.origin_server:
                 command.origin_server = self.name
@@ -123,6 +178,13 @@ class CopernicusServer(Endpoint):
         if revived:
             self._record(EventKind.WORKER_REVIVED, worker=worker, server=self.name)
         for command_id, checkpoint in (checkpoints or {}).items():
+            command = self.assignments.get(worker, {}).get(command_id)
+            if command is not None and isinstance(checkpoint, dict):
+                journal = self._journal_for(command.project_id)
+                if journal is not None:
+                    # durable before the ack: a restarted server requeues
+                    # this command from the acknowledged checkpoint
+                    journal.record_checkpoint(worker, command_id, checkpoint)
             step = checkpoint.get("step") if isinstance(checkpoint, dict) else None
             self._record(
                 EventKind.CHECKPOINT_REPORTED,
@@ -137,6 +199,17 @@ class CopernicusServer(Endpoint):
         workload = build_workload(self.queue, caps)
         if not workload:
             workload = self._fetch_from_peers(caps)
+        if self.journal is not None:
+            leases: Dict[str, List[str]] = {}
+            for command, _ in workload:
+                leases.setdefault(command.project_id, []).append(
+                    command.command_id
+                )
+            for project_id, command_ids in leases.items():
+                journal = self._journal_for(project_id)
+                if journal is not None:
+                    # lease is durable before the workload response
+                    journal.record_assigned(caps.worker, command_ids)
         assigned = self.assignments.setdefault(caps.worker, {})
         out_commands, out_cores = [], []
         for command, cores in workload:
@@ -148,12 +221,27 @@ class CopernicusServer(Endpoint):
     def _fetch_from_peers(
         self, caps: WorkerCapabilities
     ) -> List[Tuple[Command, int]]:
-        """Ask the overlay for commands when the local queue is empty."""
+        """Ask the overlay for commands when the local queue is empty.
+
+        "No server has work" (the wildcard walked the whole overlay
+        unclaimed) is an expected, quiet outcome.  Transient transport
+        failures are recorded as ``PEER_FETCH_FAILED`` and the worker
+        idles this cycle.  Permanent errors (unknown endpoints, broken
+        trust) indicate a misconfigured overlay and propagate.
+        """
         try:
             response = self.send(
                 ANY_SERVER, MessageType.COMMAND_FETCH, caps.to_payload()
             )
-        except Exception:
+        except WildcardUnclaimedError:
+            return []
+        except TransientCommunicationError as exc:
+            self._record(
+                EventKind.PEER_FETCH_FAILED,
+                server=self.name,
+                worker=caps.worker,
+                error=type(exc).__name__,
+            )
             return []
         return [
             (Command.from_payload(p), int(c))
@@ -174,9 +262,14 @@ class CopernicusServer(Endpoint):
         worker = message.payload["worker"]
         command = Command.from_payload(message.payload["command"])
         result = message.payload["result"]
+        # route FIRST: if forwarding to the origin fails transiently the
+        # error propagates to the worker (which parks and resubmits)
+        # while the assignment and checkpoint stay intact — clearing
+        # them before a failed forward would drop the result with no
+        # requeue path left.
+        self._route_result(command, result)
         self.assignments.get(worker, {}).pop(command.command_id, None)
         self.monitor.clear_checkpoint(worker, command.command_id)
-        self._route_result(command, result)
         return {"ok": True}
 
     def _on_result_forward(self, message: Message) -> dict:
@@ -197,6 +290,11 @@ class CopernicusServer(Endpoint):
                     server=self.name,
                 )
                 return
+            journal = self._journal_for(command.project_id)
+            if journal is not None:
+                # durable before the sink applies it: a crash after this
+                # point replays the result instead of losing it
+                journal.record_result(command, result)
             self.completed_ids.add(command.command_id)
             self._sinks[command.project_id](command, result)
             return
@@ -234,6 +332,16 @@ class CopernicusServer(Endpoint):
         for worker in dead:
             self._record(EventKind.WORKER_DEAD, worker=worker, server=self.name)
             in_flight = self.assignments.get(worker, {})
+            if self.journal is not None and in_flight:
+                requeues: Dict[str, List[str]] = {}
+                for command_id, command in in_flight.items():
+                    requeues.setdefault(command.project_id, []).append(
+                        command_id
+                    )
+                for project_id, command_ids in requeues.items():
+                    journal = self._journal_for(project_id)
+                    if journal is not None:
+                        journal.record_requeued(worker, command_ids)
             for command_id, command in list(in_flight.items()):
                 checkpoint = self.monitor.checkpoint_for(worker, command_id)
                 if checkpoint is not None:

@@ -1,0 +1,595 @@
+"""Crash-consistent project journal: write-ahead log + snapshots.
+
+The paper's operational promise is that a Copernicus project is one
+long-lived job that survives the loss of *any* component — including
+the project server itself.  This module provides the durable half of
+that promise:
+
+* :class:`WriteAheadLog` — an append-only log of length-prefixed,
+  CRC-checksummed records, fsync'd before the caller proceeds, split
+  into rotating segment files.  Recovery tolerates a torn tail (a
+  record cut short by the crash) by truncating back to the last fully
+  written record; corruption anywhere else raises
+  :class:`~repro.util.errors.JournalCorruptionError`.
+* :class:`ProjectJournal` — typed state transitions for one project
+  (commands issued, leased to a worker, checkpoint reported, result
+  applied, requeued after a failure), journaled *before* they are
+  acknowledged, plus periodic snapshot compaction: the full mirrored
+  state is written atomically and the covered log segments deleted.
+* :class:`ServerJournal` — the per-server root directory handing out
+  one :class:`ProjectJournal` per hosted project.
+
+Recovery (:meth:`ProjectJournal.recover`) returns the ordered result
+history, the exactly-once barrier (completed command ids), the lease
+table and the last checkpoint per command — everything
+:meth:`repro.core.runner.ProjectRunner.resume` needs to rebuild queue
+and controller state and continue the project.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.command import Command
+from repro.util.errors import ConfigurationError, JournalCorruptionError
+from repro.util.serialization import decode_message, encode_message
+
+#: Magic + format version written at the head of every segment file.
+SEGMENT_MAGIC = b"CPWAL001"
+
+#: Per-record header: payload length and CRC32 of the payload bytes.
+_RECORD_HEADER = struct.Struct(">II")
+
+
+def _fsync_path(path: Path) -> None:
+    """fsync a file or directory by path (directory fsync makes renames
+    and unlinks durable on POSIX filesystems)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _sweep_temp_files(directory: Path) -> int:
+    """Delete leftover ``*.tmp`` files from interrupted atomic writes."""
+    removed = 0
+    for stale in directory.glob("*.tmp"):
+        stale.unlink()
+        removed += 1
+    for stale in directory.glob(".*.tmp"):
+        stale.unlink()
+        removed += 1
+    return removed
+
+
+class WriteAheadLog:
+    """Append-only, checksummed, fsync'd record log with segment rotation.
+
+    Parameters
+    ----------
+    directory:
+        Where segment files (``wal-<n>.log``) live; created if missing.
+    segment_bytes:
+        Rotate to a fresh segment once the current one exceeds this size.
+    fsync:
+        Whether to fsync after every append (disable only in tests that
+        measure something else).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        segment_bytes: int = 1 << 20,
+        fsync: bool = True,
+    ) -> None:
+        if segment_bytes < len(SEGMENT_MAGIC) + _RECORD_HEADER.size:
+            raise ConfigurationError(
+                f"segment_bytes too small: {segment_bytes}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_bytes = int(segment_bytes)
+        self.fsync = bool(fsync)
+        self._handle = None
+        #: Records appended or recovered so far (next record's sequence).
+        self.next_seq = 0
+        _sweep_temp_files(self.directory)
+        existing = self.segments()
+        #: Index of the next segment file to create (monotone across
+        #: compactions so old and new segments can never collide).
+        self._next_index = (
+            self._segment_index(existing[-1]) + 1 if existing else 0
+        )
+        self._repair_tail()
+
+    # -- segment bookkeeping ----------------------------------------------
+
+    def segments(self) -> List[Path]:
+        """Segment files in log order."""
+        return sorted(self.directory.glob("wal-*.log"))
+
+    @staticmethod
+    def _segment_index(path: Path) -> int:
+        return int(path.stem.split("-", 1)[1])
+
+    def _open_for_append(self) -> None:
+        if self._handle is not None:
+            return
+        segments = self.segments()
+        if segments and segments[-1].stat().st_size < self.segment_bytes:
+            self._handle = open(segments[-1], "ab")
+        else:
+            self._start_segment()
+
+    def _start_segment(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+        path = self.directory / f"wal-{self._next_index:08d}.log"
+        self._next_index += 1
+        self._handle = open(path, "ab")
+        self._handle.write(SEGMENT_MAGIC)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+            _fsync_path(self.directory)
+
+    def close(self) -> None:
+        """Close the append handle (the log can be reopened later)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: dict) -> int:
+        """Durably append one record; returns its sequence number.
+
+        The record is on disk (written, flushed, fsync'd) when this
+        returns — the caller may then acknowledge the transition it
+        describes.
+        """
+        seq = self.next_seq
+        payload = encode_message(dict(record, seq=seq))
+        self._open_for_append()
+        if self._handle.tell() + _RECORD_HEADER.size + len(payload) > (
+            self.segment_bytes
+        ) and self._handle.tell() > len(SEGMENT_MAGIC):
+            self._start_segment()
+        self._handle.write(
+            _RECORD_HEADER.pack(len(payload), zlib.crc32(payload))
+        )
+        self._handle.write(payload)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.next_seq = seq + 1
+        return seq
+
+    def truncate_all(self) -> None:
+        """Delete every segment (after a snapshot made them redundant).
+
+        Segment numbering keeps increasing, so a snapshot racing an old
+        directory listing can never confuse old and new segments.
+        """
+        self.close()
+        for path in self.segments():
+            path.unlink()
+        if self.fsync:
+            _fsync_path(self.directory)
+
+    # -- reading / recovery ------------------------------------------------
+
+    def _repair_tail(self) -> None:
+        """Scan existing segments, truncating a torn tail in the last one.
+
+        Also establishes ``next_seq`` from the surviving records so
+        appends after a restart continue the sequence.
+        """
+        last = 0
+        count = 0
+        for record in self._scan(repair=True):
+            last = int(record.get("seq", last))
+            count += 1
+        self.next_seq = last + 1 if count else 0
+
+    def records(self) -> Iterator[dict]:
+        """Yield every surviving record in order (tail already repaired)."""
+        return self._scan(repair=True)
+
+    def _scan(self, repair: bool) -> Iterator[dict]:
+        segments = self.segments()
+        for position, path in enumerate(segments):
+            is_last = position == len(segments) - 1
+            blob = path.read_bytes()
+            offset = len(SEGMENT_MAGIC)
+            if blob[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+                if is_last and repair:
+                    # a segment created but not fully headered
+                    self._truncate_segment(path, 0, remove_empty=True)
+                    return
+                raise JournalCorruptionError(
+                    f"{path.name}: bad segment magic"
+                )
+            while offset < len(blob):
+                record, end = self._read_record(blob, offset)
+                if record is None:
+                    if not (is_last and repair):
+                        raise JournalCorruptionError(
+                            f"{path.name}: corrupt record at offset {offset} "
+                            f"in a non-final segment"
+                        )
+                    self._truncate_segment(path, offset)
+                    return
+                yield record
+                offset = end
+
+    @staticmethod
+    def _read_record(blob: bytes, offset: int) -> Tuple[Optional[dict], int]:
+        """Decode one record; ``(None, offset)`` marks a torn/corrupt one."""
+        header_end = offset + _RECORD_HEADER.size
+        if header_end > len(blob):
+            return None, offset
+        length, crc = _RECORD_HEADER.unpack(blob[offset:header_end])
+        end = header_end + length
+        if end > len(blob):
+            return None, offset
+        payload = blob[header_end:end]
+        if zlib.crc32(payload) != crc:
+            return None, offset
+        try:
+            record = decode_message(payload)
+        except Exception:
+            return None, offset
+        if not isinstance(record, dict):
+            return None, offset
+        return record, end
+
+    def _truncate_segment(
+        self, path: Path, offset: int, remove_empty: bool = False
+    ) -> None:
+        """Physically cut a torn tail so future appends start clean."""
+        if remove_empty or offset <= len(SEGMENT_MAGIC):
+            # nothing valid in this segment at all: drop the file
+            path.unlink(missing_ok=True)
+        else:
+            with open(path, "rb+") as handle:
+                handle.truncate(offset)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+        if self.fsync:
+            _fsync_path(self.directory)
+
+
+# ---------------------------------------------------------------------------
+# typed project journal + snapshots
+# ---------------------------------------------------------------------------
+
+#: Snapshot format version (bumped on incompatible layout changes).
+SNAPSHOT_VERSION = 1
+
+
+@dataclass
+class JournalState:
+    """The recovered (or live-mirrored) durable state of one project."""
+
+    #: Ordered (command, result) history, the controller replay input.
+    results: List[Tuple[Command, dict]] = field(default_factory=list)
+    #: Exactly-once barrier: ids of commands whose result was applied.
+    completed_ids: Set[str] = field(default_factory=set)
+    #: Every command id ever journaled as issued.
+    issued_ids: Set[str] = field(default_factory=set)
+    #: Latest reported checkpoint per in-flight command id.
+    checkpoints: Dict[str, dict] = field(default_factory=dict)
+    #: Open leases: worker -> command ids assigned and not yet resolved.
+    leases: Dict[str, Set[str]] = field(default_factory=dict)
+    #: Requeue transitions journaled (for reports/assertions).
+    requeues: int = 0
+
+    def lease_holder(self, command_id: str) -> Optional[str]:
+        """The worker currently leasing *command_id*, if any."""
+        for worker, ids in self.leases.items():
+            if command_id in ids:
+                return worker
+        return None
+
+    def _release(self, command_id: str) -> None:
+        for ids in self.leases.values():
+            ids.discard(command_id)
+
+    def apply(self, record: dict) -> None:
+        """Fold one journal record into the mirrored state."""
+        kind = record.get("type")
+        if kind == "issued":
+            self.issued_ids.update(record["command_ids"])
+        elif kind == "assigned":
+            self.leases.setdefault(record["worker"], set()).update(
+                record["command_ids"]
+            )
+        elif kind == "checkpoint":
+            self.checkpoints[record["command"]] = record["checkpoint"]
+        elif kind == "result":
+            command = Command.from_payload(record["command"])
+            if command.command_id in self.completed_ids:
+                return  # replaying an idempotent duplicate
+            self.results.append((command, record["result"]))
+            self.completed_ids.add(command.command_id)
+            self.issued_ids.add(command.command_id)
+            self.checkpoints.pop(command.command_id, None)
+            self._release(command.command_id)
+        elif kind == "requeued":
+            ids = set(record["command_ids"])
+            self.leases.setdefault(record["worker"], set()).difference_update(
+                ids
+            )
+            self.requeues += len(ids)
+        else:
+            raise JournalCorruptionError(
+                f"unknown journal record type {kind!r}"
+            )
+
+    # -- snapshot (de)serialisation ---------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "version": SNAPSHOT_VERSION,
+            "results": [
+                {"command": c.to_payload(), "result": r}
+                for c, r in self.results
+            ],
+            "completed_ids": sorted(self.completed_ids),
+            "issued_ids": sorted(self.issued_ids),
+            "checkpoints": dict(self.checkpoints),
+            "leases": {w: sorted(ids) for w, ids in self.leases.items()},
+            "requeues": int(self.requeues),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JournalState":
+        if payload.get("version") != SNAPSHOT_VERSION:
+            raise JournalCorruptionError(
+                f"unsupported snapshot version {payload.get('version')!r}"
+            )
+        return cls(
+            results=[
+                (Command.from_payload(e["command"]), e["result"])
+                for e in payload["results"]
+            ],
+            completed_ids=set(payload["completed_ids"]),
+            issued_ids=set(payload["issued_ids"]),
+            checkpoints=dict(payload["checkpoints"]),
+            leases={w: set(ids) for w, ids in payload["leases"].items()},
+            requeues=int(payload.get("requeues", 0)),
+        )
+
+
+class ProjectJournal:
+    """Durable, typed state transitions for one project.
+
+    Every ``record_*`` call appends to the write-ahead log (fsync'd)
+    *before* returning, so the caller can acknowledge the transition
+    knowing a restart will see it.  A full in-memory mirror of the
+    durable state is maintained; every ``snapshot_every`` applied
+    results it is written out atomically and the log compacted away.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        segment_bytes: int = 1 << 20,
+        snapshot_every: Optional[int] = 8,
+        fsync: bool = True,
+    ) -> None:
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ConfigurationError(
+                f"snapshot_every must be >= 1 or None, got {snapshot_every}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.snapshot_every = snapshot_every
+        self.fsync = bool(fsync)
+        _sweep_temp_files(self.directory)
+        self.wal = WriteAheadLog(
+            self.directory / "wal", segment_bytes=segment_bytes, fsync=fsync
+        )
+        #: Live mirror of the durable state (== recover() at all times).
+        self.state, snapshot_seq = self._load()
+        # a compaction empties the log; new records must keep sequencing
+        # past the snapshot or recovery would skip them
+        self.wal.next_seq = max(self.wal.next_seq, snapshot_seq + 1)
+        self._results_at_last_snapshot = self._snapshot_result_count()
+        #: Snapshots written by this process (for reports/tests).
+        self.snapshots_written = 0
+
+    # -- snapshot files ----------------------------------------------------
+
+    def _snapshot_paths(self) -> List[Path]:
+        return sorted(self.directory.glob("snapshot-*.bin"))
+
+    def _snapshot_result_count(self) -> int:
+        paths = self._snapshot_paths()
+        if not paths:
+            return 0
+        return int(paths[-1].stem.split("-", 1)[1])
+
+    def _load(self) -> Tuple[JournalState, int]:
+        """Newest snapshot + surviving log records -> mirrored state.
+
+        Returns ``(state, snapshot_seq)`` where ``snapshot_seq`` is the
+        last journal sequence number the snapshot covers (-1 if none).
+        """
+        state = JournalState()
+        paths = self._snapshot_paths()
+        snapshot_seq = -1
+        if paths:
+            try:
+                payload = decode_message(paths[-1].read_bytes())
+            except Exception as exc:
+                raise JournalCorruptionError(
+                    f"snapshot {paths[-1].name} unreadable: {exc}"
+                ) from exc
+            snapshot_seq = int(payload.get("last_seq", -1))
+            state = JournalState.from_payload(payload)
+        for record in self.wal.records():
+            if int(record.get("seq", -1)) <= snapshot_seq:
+                continue  # already folded into the snapshot
+            state.apply(record)
+        return state, snapshot_seq
+
+    def recover(self) -> JournalState:
+        """Re-read snapshot + log from disk (what a restart would see)."""
+        return self._load()[0]
+
+    def snapshot(self) -> Path:
+        """Write the mirrored state atomically and compact the log."""
+        n = len(self.state.results)
+        payload = dict(self.state.to_payload(), last_seq=self.wal.next_seq - 1)
+        blob = encode_message(payload)
+        final = self.directory / f"snapshot-{n:08d}.bin"
+        temp = self.directory / f".snapshot-{n:08d}.tmp"
+        with open(temp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        temp.rename(final)
+        if self.fsync:
+            _fsync_path(self.directory)
+        # the snapshot now covers everything: drop old snapshots + log
+        for path in self._snapshot_paths():
+            if path != final:
+                path.unlink()
+        self.wal.truncate_all()
+        self._results_at_last_snapshot = n
+        self.snapshots_written += 1
+        return final
+
+    def _maybe_snapshot(self) -> None:
+        if self.snapshot_every is None:
+            return
+        applied = len(self.state.results)
+        if applied - self._results_at_last_snapshot >= self.snapshot_every:
+            self.snapshot()
+
+    # -- journaled transitions --------------------------------------------
+
+    @property
+    def results_applied(self) -> int:
+        """Results durably applied so far."""
+        return len(self.state.results)
+
+    def _append(self, record: dict) -> None:
+        self.wal.append(record)
+        self.state.apply(record)
+
+    def record_issued(self, commands: List[Command]) -> None:
+        """Commands entered the queue (journal before acknowledging)."""
+        if not commands:
+            return
+        self._append(
+            {
+                "type": "issued",
+                "command_ids": [c.command_id for c in commands],
+                "commands": [c.to_payload() for c in commands],
+            }
+        )
+
+    def record_assigned(self, worker: str, command_ids: List[str]) -> None:
+        """Commands leased to *worker* (journal before the workload ack)."""
+        if not command_ids:
+            return
+        self._append(
+            {
+                "type": "assigned",
+                "worker": worker,
+                "command_ids": list(command_ids),
+            }
+        )
+
+    def record_checkpoint(
+        self, worker: str, command_id: str, checkpoint: dict
+    ) -> None:
+        """A heartbeat carried a fresh checkpoint for a leased command."""
+        self._append(
+            {
+                "type": "checkpoint",
+                "worker": worker,
+                "command": command_id,
+                "checkpoint": checkpoint,
+            }
+        )
+
+    def record_result(self, command: Command, result: dict) -> None:
+        """A result is about to be applied to the project (journal first)."""
+        self._append(
+            {
+                "type": "result",
+                "command": command.to_payload(),
+                "result": result,
+            }
+        )
+        self._maybe_snapshot()
+
+    def record_requeued(self, worker: str, command_ids: List[str]) -> None:
+        """Leased commands of a dead worker went back on the queue."""
+        if not command_ids:
+            return
+        self._append(
+            {
+                "type": "requeued",
+                "worker": worker,
+                "command_ids": list(command_ids),
+            }
+        )
+
+    def close(self) -> None:
+        """Release the log's append handle."""
+        self.wal.close()
+
+
+class ServerJournal:
+    """Per-server journal root: one :class:`ProjectJournal` per project."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        segment_bytes: int = 1 << 20,
+        snapshot_every: Optional[int] = 8,
+        fsync: bool = True,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.segment_bytes = int(segment_bytes)
+        self.snapshot_every = snapshot_every
+        self.fsync = bool(fsync)
+        self._journals: Dict[str, ProjectJournal] = {}
+
+    def project(self, project_id: str) -> ProjectJournal:
+        """The (lazily opened) journal for *project_id*."""
+        if not project_id or "/" in project_id or project_id.startswith("."):
+            raise ConfigurationError(f"bad project id {project_id!r}")
+        journal = self._journals.get(project_id)
+        if journal is None:
+            journal = ProjectJournal(
+                self.root / project_id,
+                segment_bytes=self.segment_bytes,
+                snapshot_every=self.snapshot_every,
+                fsync=self.fsync,
+            )
+            self._journals[project_id] = journal
+        return journal
+
+    def project_ids(self) -> List[str]:
+        """Projects with journals on disk."""
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    def close(self) -> None:
+        """Close every open project journal."""
+        for journal in self._journals.values():
+            journal.close()

@@ -11,8 +11,11 @@ executable tests:
   overlay that injects the plan's faults during delivery.
 * :mod:`repro.testing.invariants` — replays a runner's event log and
   asserts the recovery invariants (nothing lost, nothing doubled,
-  checkpoints monotone, requeues match crashes).
-* :mod:`repro.testing.scenarios` — canned deployments under fire.
+  checkpoints monotone, requeues match crashes, recovery accounting
+  exact across server restarts).
+* :mod:`repro.testing.scenarios` — canned deployments under fire,
+  including :func:`run_swarm_with_server_restart`, which kills the
+  journaled project server mid-project and resumes it from disk.
 
 Every chaos run is reproducible from its seed; see ``TESTING.md`` at
 the repository root for the fault-plan schema and reproduction recipe.
@@ -21,7 +24,11 @@ the repository root for the fault-plan schema and reproduction recipe.
 from repro.testing.chaos import ChaosNetwork
 from repro.testing.faultplan import Fault, FaultKind, FaultPlan
 from repro.testing.invariants import Invariants
-from repro.testing.scenarios import SwarmController, run_swarm_under_faults
+from repro.testing.scenarios import (
+    SwarmController,
+    run_swarm_under_faults,
+    run_swarm_with_server_restart,
+)
 
 __all__ = [
     "ChaosNetwork",
@@ -31,4 +38,5 @@ __all__ = [
     "Invariants",
     "SwarmController",
     "run_swarm_under_faults",
+    "run_swarm_with_server_restart",
 ]

@@ -43,6 +43,12 @@ class FaultKind(enum.Enum):
     SERVER_CRASH = "server_crash"
     #: A worker executes only ``factor`` of its segment steps per pass.
     SLOW_WORKER = "slow_worker"
+    #: The project server process dies (losing all in-memory state)
+    #: after ``after_results`` results were durably applied, then
+    #: restarts from its on-disk journal.  Consumed by the
+    #: server-restart scenario, not by :class:`ChaosNetwork`: a process
+    #: death is a deployment-level event, not a message-level one.
+    SERVER_RESTART = "server_restart"
 
 
 @dataclass
@@ -85,6 +91,9 @@ class Fault:
     factor: float = 1.0
     command_id: Optional[str] = None
     at_segment: Optional[int] = None
+    #: For :attr:`FaultKind.SERVER_RESTART`: kill the server once this
+    #: many results have been durably applied to its journal.
+    after_results: Optional[int] = None
     #: Firings so far (mutated by the plan).
     fired: int = 0
 
@@ -116,12 +125,15 @@ class Fault:
         for key in (
             "src", "dst", "message_type", "link", "after_index",
             "until_index", "probability", "count", "delay_seconds",
-            "factor", "command_id", "at_segment",
+            "factor", "command_id", "at_segment", "after_results",
         ):
             value = getattr(self, key)
             if key == "message_type" and value is not None:
                 value = value.value
-            if value not in (None, 0, 1.0) or key == "after_index":
+            if key == "after_results":
+                if value is not None:  # 1 is a meaningful threshold here
+                    out[key] = value
+            elif value not in (None, 0, 1.0) or key == "after_index":
                 out[key] = value
         return out
 
@@ -221,6 +233,23 @@ class FaultPlan:
             )
         )
 
+    def restart_server(self, server: str, after_results: int = 1) -> Fault:
+        """Kill the project server *server* (total in-memory state loss)
+        once *after_results* results are durably journaled, then restart
+        it from disk.  Consumed by
+        :func:`repro.testing.scenarios.run_swarm_with_server_restart`."""
+        if after_results < 1:
+            raise ConfigurationError(
+                f"after_results must be >= 1, got {after_results}"
+            )
+        return self.add(
+            Fault(
+                kind=FaultKind.SERVER_RESTART,
+                dst=server,
+                after_results=after_results,
+            )
+        )
+
     def slow_worker(self, worker: str, factor: float) -> Fault:
         """Throttle *worker* to *factor* of its segment steps."""
         if not 0.0 < factor <= 1.0:
@@ -295,6 +324,13 @@ class FaultPlan:
             fault.fired += 1
             return True
         return False
+
+    def server_restart_point(self, name: str) -> Optional[Fault]:
+        """The restart rule (if any) scheduled for server *name*."""
+        for fault in self.faults:
+            if fault.kind is FaultKind.SERVER_RESTART and fault.dst == name:
+                return fault
+        return None
 
     def throttle_for(self, worker: str) -> float:
         """Combined slow-worker factor for *worker* (1.0 = unimpaired)."""

@@ -16,6 +16,11 @@ that must hold no matter which workers died or which links flapped:
    worker is declared dead at most once per outage (deaths must be
    separated by a revival), and the servers'
    ``requeued_after_failure`` counters equal the logged requeues.
+5. **Recovery accounting is exact** — after a journal-based server
+   restart (``SERVER_RECOVERED``), every command the recovery re-issued
+   is either replayed-complete or restored to the queue (nothing lost,
+   nothing invented across the restart boundary), and commands are
+   only restored as part of a recovery.
 
 :class:`Invariants` replays a :class:`~repro.core.events.EventLog`
 (plus end-state from the runner's servers) and returns human-readable
@@ -157,6 +162,64 @@ class Invariants:
                     )
         return violations
 
+    def check_recovery_accounting(self) -> List[str]:
+        """Invariant 5: journal recovery neither loses nor invents work."""
+        violations = []
+        recovered_projects: Set[str] = set()
+        for record in self.events.all():
+            pid = record.project_id
+            if record.kind is EventKind.SERVER_RECOVERED:
+                recovered_projects.add(pid)
+            elif record.kind is EventKind.COMMAND_RESTORED:
+                if pid not in recovered_projects:
+                    violations.append(
+                        f"command {record.details.get('command')!r} restored "
+                        f"for {pid!r} without a preceding server recovery "
+                        f"(t={record.time})"
+                    )
+        for record in self.events.filter(kind=EventKind.SERVER_RECOVERED):
+            pid = record.project_id
+            replayed = record.details.get("replayed", 0)
+            restored = record.details.get("restored", 0)
+            reissued = sum(
+                r.details.get("count", 0)
+                for r in self.events.filter(
+                    kind=EventKind.COMMANDS_ISSUED, project_id=pid
+                )
+                if r.details.get("generation") == "recovered"
+            )
+            if replayed + restored != reissued:
+                violations.append(
+                    f"recovery of {pid!r} re-issued {reissued} commands but "
+                    f"accounts for {replayed} replayed + {restored} restored"
+                )
+            restored_events = [
+                r
+                for r in self.events.filter(
+                    kind=EventKind.COMMAND_RESTORED, project_id=pid
+                )
+            ]
+            if len(restored_events) != restored:
+                violations.append(
+                    f"recovery of {pid!r} reports {restored} restored "
+                    f"commands but {len(restored_events)} restore events "
+                    f"were logged"
+                )
+            replayed_events = [
+                r
+                for r in self.events.filter(
+                    kind=EventKind.COMMAND_COMPLETED, project_id=pid
+                )
+                if r.details.get("replayed")
+            ]
+            if len(replayed_events) != replayed:
+                violations.append(
+                    f"recovery of {pid!r} reports {replayed} replayed "
+                    f"results but {len(replayed_events)} replayed "
+                    f"completions were logged"
+                )
+        return violations
+
     # -- entry points ------------------------------------------------------
 
     def check(self) -> List[str]:
@@ -166,6 +229,7 @@ class Invariants:
             + self.check_no_double_completion()
             + self.check_checkpoint_monotonicity()
             + self.check_requeue_accounting()
+            + self.check_recovery_accounting()
         )
 
     def assert_ok(self) -> None:

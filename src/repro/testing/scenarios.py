@@ -7,6 +7,13 @@ commands, a couple of workers — but over a
 returns everything a test needs to assert recovery: the runner (with
 its event log), the server, the workers and the chaos report.
 
+:func:`run_swarm_with_server_restart` goes further: it kills the
+*project server* mid-project (total in-memory state loss — queue,
+leases, dedup barrier, controller), restarts it from its on-disk
+journal (:mod:`repro.server.wal`) on a fresh overlay, and runs the
+project to completion — the paper's claim that the single long-lived
+job survives the loss of any component, including the orchestrator.
+
 Reproducibility contract: the returned
 :meth:`~repro.core.events.EventLog.to_text` transcript is a pure
 function of the arguments, so asserting transcript equality across two
@@ -15,6 +22,7 @@ runs with the same seed *is* the determinism test.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, List, Optional
 
 from repro.core.command import Command
@@ -23,8 +31,10 @@ from repro.core.project import Project
 from repro.core.runner import ProjectRunner
 from repro.md.engine import MDTask
 from repro.server.server import CopernicusServer
+from repro.server.wal import ServerJournal
 from repro.testing.chaos import ChaosNetwork
 from repro.testing.faultplan import FaultPlan
+from repro.util.errors import SchedulingError
 from repro.worker.platform import SMPPlatform
 from repro.worker.worker import Worker
 
@@ -124,4 +134,164 @@ def run_swarm_under_faults(
         "network": network,
         "transcript": runner.events.to_text(),
         "chaos": network.chaos_report(),
+    }
+
+
+def _build_swarm_deployment(
+    seed: int,
+    plan: FaultPlan,
+    journal_root: Path,
+    n_workers: int,
+    segment_steps: int,
+    heartbeat_interval: float,
+    tick: float,
+    segment_bytes: int,
+    snapshot_every: Optional[int],
+) -> dict:
+    """One server (journaled) + workers on a fresh chaos overlay."""
+    network = ChaosNetwork(plan=plan, seed=seed)
+    server = CopernicusServer(
+        "srv", network, heartbeat_interval=heartbeat_interval
+    )
+    server.attach_journal(
+        ServerJournal(
+            journal_root,
+            segment_bytes=segment_bytes,
+            snapshot_every=snapshot_every,
+        )
+    )
+    workers = [
+        Worker(
+            f"w{k}",
+            network,
+            server="srv",
+            platform=SMPPlatform(cores=1),
+            segment_steps=segment_steps,
+        )
+        for k in range(n_workers)
+    ]
+    for worker in workers:
+        network.connect("srv", worker.name)
+    for worker in workers:
+        worker.announce(0.0)
+    return {"network": network, "server": server, "workers": workers}
+
+
+def run_swarm_with_server_restart(
+    journal_root: str | Path,
+    plan: Optional[FaultPlan] = None,
+    configure: Optional[Callable[[FaultPlan], None]] = None,
+    crash_after_results: Optional[int] = None,
+    mutate_journal: Optional[Callable[[Path], None]] = None,
+    n_commands: int = 3,
+    n_steps: int = 3000,
+    n_workers: int = 2,
+    segment_steps: int = 1000,
+    heartbeat_interval: float = 60.0,
+    tick: float = 90.0,
+    max_cycles: int = 10000,
+    seed: int = 0,
+    segment_bytes: int = 1 << 16,
+    snapshot_every: Optional[int] = 2,
+) -> dict:
+    """Kill the project server mid-project; restart it from its journal.
+
+    Phase 1 builds the failure-recovery swarm with a
+    :class:`~repro.server.wal.ServerJournal` under *journal_root* and
+    drives worker cycles until ``crash_after_results`` results are
+    durably applied (default: the plan's
+    :meth:`~repro.testing.faultplan.FaultPlan.restart_server` rule, or
+    1).  Then the whole deployment — server, queue, leases, dedup
+    barrier, controller, workers — is discarded, exactly what a host
+    loss looks like.
+
+    Phase 2 builds a *fresh* deployment with the same endpoint names
+    over a new overlay, resumes the project from the surviving journal
+    directory via :meth:`~repro.core.runner.ProjectRunner.resume`, and
+    runs it to completion.
+
+    ``mutate_journal`` (called with the journal root between the
+    phases) lets tests corrupt or truncate the on-disk state the way a
+    mid-write crash would.
+
+    Returns a dict with the phase-2 ``runner``/``server``/``workers``/
+    ``controller``/``network``/``project``/``transcript``/``chaos``
+    keys (so recovery assertions read like the other scenarios') plus
+    ``pre`` holding the phase-1 runner, server, transcript and the
+    number of results applied before the kill.
+    """
+    journal_root = Path(journal_root)
+    plan = plan or FaultPlan(seed=seed)
+    if configure is not None:
+        configure(plan)
+    restart_rule = plan.server_restart_point("srv")
+    if crash_after_results is None:
+        crash_after_results = (
+            restart_rule.after_results if restart_rule is not None else 1
+        )
+
+    # ---- phase 1: run until the crash point, then lose everything ------
+    pre = _build_swarm_deployment(
+        seed, plan, journal_root, n_workers, segment_steps,
+        heartbeat_interval, tick, segment_bytes, snapshot_every,
+    )
+    controller = SwarmController(n_commands=n_commands, n_steps=n_steps)
+    runner = ProjectRunner(pre["network"], pre["server"], pre["workers"], tick=tick)
+    pre["server"].events = runner.events
+    runner.submit(Project("swarm"), controller)
+    journal = pre["server"].journal.project("swarm")
+    killed = False
+    for _ in range(max_cycles):
+        for worker in pre["workers"]:
+            if worker.crashed:
+                continue
+            worker.heartbeat(runner.now)
+            worker.work_once(now=runner.now)
+        runner.now += tick
+        for server in runner._servers:
+            server.check_failures(runner.now)
+        if journal.results_applied >= crash_after_results:
+            killed = True
+            break
+    if not killed:
+        raise SchedulingError(
+            f"project finished before {crash_after_results} results could "
+            f"trigger the server kill; lower crash_after_results"
+        )
+    if restart_rule is not None:
+        restart_rule.fired += 1
+        plan.firings.append((pre["network"].delivery_index, restart_rule))
+    pre["server"].journal.close()  # the "crash": nothing unflushed survives
+    pre_summary = {
+        "runner": runner,
+        "server": pre["server"],
+        "transcript": runner.events.to_text(),
+        "results_applied": journal.results_applied,
+    }
+
+    if mutate_journal is not None:
+        mutate_journal(journal_root)
+
+    # ---- phase 2: fresh deployment, resume from the journal ------------
+    post = _build_swarm_deployment(
+        seed + 1, FaultPlan(seed=seed + 1), journal_root, n_workers,
+        segment_steps, heartbeat_interval, tick, segment_bytes,
+        snapshot_every,
+    )
+    fresh_controller = SwarmController(n_commands=n_commands, n_steps=n_steps)
+    restarted = ProjectRunner(
+        post["network"], post["server"], post["workers"], tick=tick
+    )
+    project = restarted.resume("swarm", fresh_controller)
+    restarted.run(max_cycles=max_cycles)
+    return {
+        "pre": pre_summary,
+        "runner": restarted,
+        "server": post["server"],
+        "workers": post["workers"],
+        "controller": fresh_controller,
+        "network": post["network"],
+        "project": project,
+        "transcript": restarted.events.to_text(),
+        "chaos": post["network"].chaos_report(),
     }

@@ -32,6 +32,24 @@ class AuthenticationError(CommunicationError):
     """A peer presented an untrusted or mismatching key."""
 
 
+class WildcardUnclaimedError(CommunicationError):
+    """A wildcard (:data:`~repro.net.protocol.ANY_SERVER`) message
+    walked the whole reachable overlay and no endpoint accepted it.
+    For a ``COMMAND_FETCH`` this simply means "no server has work" —
+    an expected outcome, not a transport failure, so it is neither
+    transient nor retried."""
+
+
+class PersistenceError(ReproError):
+    """Durable state (journal, snapshot, result log) could not be
+    written or read back."""
+
+
+class JournalCorruptionError(PersistenceError):
+    """A write-ahead journal or snapshot failed its integrity checks
+    somewhere other than the torn tail (which is repaired silently)."""
+
+
 class InvariantViolation(ReproError):
     """A recovery invariant failed when replaying a run's event log."""
 

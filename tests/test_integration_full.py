@@ -141,10 +141,11 @@ def test_msm_science_consistent(scenario):
 def test_store_replay_matches_live_run(scenario):
     _, live_controller, live_project = scenario["msm"]
     fresh = AdaptiveMSMController(msm_config())
-    replayed_project, outstanding = replay(
+    replayed_project, outstanding, completed_ids = replay(
         scenario["store"], "msm_villin", fresh
     )
     assert outstanding == []
+    assert len(completed_ids) == live_project.completed
     assert replayed_project.completed == live_project.completed
     assert fresh.generation == live_controller.generation
     # replay reproduces the clustering decisions exactly (same seeds)

@@ -321,3 +321,116 @@ def test_command_payload_roundtrip():
     c.checkpoint = {"step": 7}
     restored = Command.from_payload(c.to_payload())
     assert restored == c
+
+
+# ------------------------------------------------- result-loss window fix
+
+
+def test_result_forward_failure_keeps_assignment_for_retry():
+    """A transient failure forwarding a result to the origin must leave
+    the lease and checkpoint intact: the worker parks the result and
+    resubmits, and until then the requeue path still exists."""
+    net, origin, relay = make_deployment()
+    got = []
+    origin.host_project("p", lambda c, r: got.append(c.command_id))
+    command = cmd("c6")
+    command.origin_server = "origin"
+    relay.assignments["w"] = {"c6": command}
+    relay.monitor.beat("w", 0.0, checkpoints={"c6": {"step": 50}})
+
+    from repro.net.protocol import Message, MessageType
+    from repro.util.errors import TransientCommunicationError
+
+    original_send = relay.send
+    fail_once = {"n": 0}
+
+    def flaky_send(dst, type, payload=None, timeout=None):
+        if fail_once["n"] == 0:
+            fail_once["n"] += 1
+            raise TransientCommunicationError("uplink flapped")
+        return original_send(dst, type, payload, timeout)
+
+    relay.send = flaky_send
+    message = Message(
+        MessageType.COMMAND_RESULT,
+        src="w",
+        dst="relay",
+        payload={
+            "worker": "w",
+            "command": command.to_payload(),
+            "result": {"ok": 1},
+        },
+    )
+    with pytest.raises(TransientCommunicationError):
+        relay.handle(message)
+    assert "c6" in relay.assignments["w"]
+    assert relay.monitor.checkpoint_for("w", "c6") == {"step": 50}
+    assert got == []
+
+    relay.handle(message)  # the worker's resubmission
+    assert got == ["c6"]
+    assert "c6" not in relay.assignments["w"]
+    assert relay.monitor.checkpoint_for("w", "c6") is None
+
+
+# ----------------------------------------------- peer-fetch error triage
+
+
+def test_unclaimed_wildcard_fetch_is_quiet():
+    """Nobody on the overlay has work: an expected outcome, not a
+    failure — no event, no exception, the worker just idles."""
+    from repro.core.events import EventKind, EventLog
+    from repro.net.protocol import Message, MessageType
+
+    net, origin, relay = make_deployment()
+    relay.events = EventLog()
+    caps = WorkerCapabilities("w", "smp", 1, ["mdrun"]).to_payload()
+    response = relay.handle(
+        Message(MessageType.WORKLOAD_REQUEST, src="w", dst="relay", payload=caps)
+    )
+    assert response == {"commands": [], "cores": []}
+    assert relay.events.filter(kind=EventKind.PEER_FETCH_FAILED) == []
+
+
+def test_transient_peer_failure_records_event_and_idles():
+    from repro.core.events import EventKind, EventLog
+    from repro.net.protocol import Message, MessageType
+    from repro.util.errors import TransientCommunicationError
+
+    net, origin, relay = make_deployment()
+    relay.events = EventLog()
+
+    def failing_send(dst, type, payload=None, timeout=None):
+        raise TransientCommunicationError("peer flapped")
+
+    relay.send = failing_send
+    caps = WorkerCapabilities("w", "smp", 1, ["mdrun"]).to_payload()
+    response = relay.handle(
+        Message(MessageType.WORKLOAD_REQUEST, src="w", dst="relay", payload=caps)
+    )
+    assert response == {"commands": [], "cores": []}
+    failures = relay.events.filter(kind=EventKind.PEER_FETCH_FAILED)
+    assert len(failures) == 1
+    assert failures[0].details["worker"] == "w"
+    assert failures[0].details["error"] == "TransientCommunicationError"
+
+
+def test_permanent_peer_error_propagates():
+    """Misconfigured overlays (unknown endpoints, broken trust) must
+    surface, not be swallowed as an empty workload."""
+    from repro.net.protocol import Message, MessageType
+    from repro.util.errors import CommunicationError
+
+    net, origin, relay = make_deployment()
+
+    def broken_send(dst, type, payload=None, timeout=None):
+        raise CommunicationError("trust store rejects peer")
+
+    relay.send = broken_send
+    caps = WorkerCapabilities("w", "smp", 1, ["mdrun"]).to_payload()
+    with pytest.raises(CommunicationError):
+        relay.handle(
+            Message(
+                MessageType.WORKLOAD_REQUEST, src="w", dst="relay", payload=caps
+            )
+        )

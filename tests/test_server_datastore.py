@@ -119,8 +119,9 @@ def run_with_store(tmp_path, crash_after=None):
 def test_replay_reconstructs_completed_project(tmp_path):
     store, project, controller = run_with_store(tmp_path)
     fresh = AdaptiveMSMController(_msm_config())
-    replayed_project, outstanding = replay(store, "msm", fresh)
+    replayed_project, outstanding, completed_ids = replay(store, "msm", fresh)
     assert outstanding == []  # everything completed
+    assert len(completed_ids) == replayed_project.completed
     assert replayed_project.completed == project.completed
     assert fresh.generation == controller.generation
     assert len(fresh.trajectories) == len(controller.trajectories)
@@ -132,8 +133,9 @@ def test_replay_after_crash_resumes_to_completion(tmp_path):
     assert store.result_count("msm") >= 3
 
     fresh = AdaptiveMSMController(_msm_config())
-    replayed_project, outstanding = replay(store, "msm", fresh)
+    replayed_project, outstanding, completed_ids = replay(store, "msm", fresh)
     assert outstanding, "crash left commands outstanding"
+    assert completed_ids.isdisjoint(c.command_id for c in outstanding)
 
     # resume on a new deployment: requeue the outstanding commands
     net = Network(seed=1)
@@ -150,6 +152,8 @@ def test_replay_after_crash_resumes_to_completion(tmp_path):
     server.host_project("msm", sink)
     runner._projects["msm"] = replayed_project
     runner._controllers["msm"] = fresh
+    # reseed the exactly-once barrier so late duplicates stay dropped
+    server.completed_ids.update(completed_ids)
     server.submit_commands(outstanding)
     from repro.core.project import ProjectStatus
 
@@ -158,3 +162,34 @@ def test_replay_after_crash_resumes_to_completion(tmp_path):
     assert fresh._complete
     assert replayed_project.outstanding == 0
     assert fresh.generation == _msm_config().n_generations - 1
+
+
+def test_store_sequence_survives_restart_and_sweeps_tmp(tmp_path):
+    """A crash mid-append leaves a `.NNNNNN.tmp` behind; a restarted
+    store sweeps it and keeps appending in order."""
+    store = ProjectStore(tmp_path)
+    for k in range(3):
+        store.record_result("p", md_command(f"c{k}"), {"k": k})
+    (tmp_path / "p" / "results" / ".000099.tmp").write_bytes(b"junk")
+
+    fresh = ProjectStore(tmp_path)
+    fresh.record_result("p", md_command("c3"), {"k": 3})
+    leftovers = list((tmp_path / "p" / "results").glob(".*.tmp"))
+    assert leftovers == []
+    order = [c.command_id for c, _ in fresh.iter_results("p")]
+    assert order == ["c0", "c1", "c2", "c3"]
+
+
+def test_store_sequence_never_reuses_after_deletion(tmp_path):
+    """The cursor is max(existing)+1, not a glob count: deleting an old
+    result must not make a fresh append collide with a later one."""
+    store = ProjectStore(tmp_path)
+    for k in range(3):
+        store.record_result("p", md_command(f"c{k}"), {"k": k})
+    (tmp_path / "p" / "results" / "000001.bin").unlink()
+
+    fresh = ProjectStore(tmp_path)
+    path = fresh.record_result("p", md_command("c3"), {"k": 3})
+    assert path.name == "000003.bin"
+    order = [c.command_id for c, _ in fresh.iter_results("p")]
+    assert order == ["c0", "c2", "c3"]

@@ -1,0 +1,292 @@
+"""Seeded property tests for the write-ahead journal (crash shapes).
+
+The WAL's crash-consistency contract, exercised byte by byte:
+
+* **Torn tail** — a crash mid-append leaves the final record cut
+  short at an arbitrary byte.  Reopening must recover every earlier
+  record, repair the file and accept fresh appends, for *every*
+  possible cut offset of the final record.
+* **Mid-log corruption** is a different animal: flipped bits in a
+  non-final segment mean the disk is lying, and recovery must refuse
+  (raise ``JournalCorruptionError``) rather than silently drop data.
+* **Segment rotation / compaction** never reuses segment numbers, and
+  snapshot + remaining log always recovers to exactly the live
+  mirrored state.
+
+Pure stdlib ``random.Random`` with fixed seeds, so failures replay.
+"""
+
+import random
+
+import pytest
+
+from repro.core.command import Command
+from repro.server.wal import (
+    SEGMENT_MAGIC,
+    JournalState,
+    ProjectJournal,
+    WriteAheadLog,
+)
+from repro.util.errors import ConfigurationError, JournalCorruptionError
+
+HEADER_SIZE = 8  # length (4B) + crc32 (4B), see wal._RECORD_HEADER
+
+
+def command(k):
+    return Command(f"c{k}", "p", "mdrun", {"k": k})
+
+
+# ------------------------------------------------------------- torn tails
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_torn_tail_at_every_byte_recovers_last_full_record(tmp_path, seed):
+    """Truncate the final record at *every* byte offset: recovery must
+    land on the last fully written record and stay appendable."""
+    rng = random.Random(seed)
+    log = WriteAheadLog(tmp_path / "src", fsync=False)
+    sizes = []
+    for k in range(6):
+        log.append({"type": "op", "k": k, "pad": "x" * rng.randint(0, 30)})
+        sizes.append(log.segments()[-1].stat().st_size)
+    log.close()
+    segment = log.segments()[-1]
+    pristine = segment.read_bytes()
+    assert sizes[-1] == len(pristine)
+
+    tail_start = sizes[-2]  # first byte of the final record's header
+    for cut in range(tail_start, len(pristine)):
+        scratch = tmp_path / f"cut{cut}"
+        scratch.mkdir()
+        (scratch / segment.name).write_bytes(pristine[:cut])
+        reopened = WriteAheadLog(scratch, fsync=False)
+        assert [r["k"] for r in reopened.records()] == list(range(5))
+        assert reopened.next_seq == 5
+        # the torn bytes are physically gone; appends continue the log
+        reopened.append({"type": "op", "k": 99})
+        assert [r["k"] for r in reopened.records()] == [0, 1, 2, 3, 4, 99]
+        reopened.close()
+
+    # sanity: the untruncated log still holds all six
+    assert [
+        r["k"] for r in WriteAheadLog(tmp_path / "src", fsync=False).records()
+    ] == list(range(6))
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_bit_flip_in_final_record_payload_truncates_it(tmp_path, seed):
+    rng = random.Random(seed)
+    log = WriteAheadLog(tmp_path, fsync=False)
+    sizes = []
+    for k in range(4):
+        log.append({"type": "op", "k": k, "pad": "y" * 20})
+        sizes.append(log.segments()[-1].stat().st_size)
+    log.close()
+    segment = log.segments()[-1]
+    blob = bytearray(segment.read_bytes())
+    # flip one payload byte of the final record (skip its header so the
+    # corruption is a CRC mismatch, not a bogus length)
+    victim = rng.randrange(sizes[-2] + HEADER_SIZE, sizes[-1])
+    blob[victim] ^= 0xFF
+    segment.write_bytes(bytes(blob))
+    reopened = WriteAheadLog(tmp_path, fsync=False)
+    assert [r["k"] for r in reopened.records()] == [0, 1, 2]
+    assert reopened.next_seq == 3
+    reopened.close()
+
+
+def test_headerless_trailing_segment_is_dropped(tmp_path):
+    log = WriteAheadLog(tmp_path, fsync=False)
+    log.append({"type": "op", "k": 0})
+    log.close()
+    # a crash after creating the next segment but before its magic
+    (tmp_path / "wal-00000001.log").write_bytes(SEGMENT_MAGIC[:3])
+    reopened = WriteAheadLog(tmp_path, fsync=False)
+    assert [r["k"] for r in reopened.records()] == [0]
+    assert len(reopened.segments()) == 1
+    reopened.close()
+
+
+# ----------------------------------------------------- mid-log corruption
+
+
+def _multi_segment_log(tmp_path, n=30):
+    log = WriteAheadLog(tmp_path, segment_bytes=256, fsync=False)
+    for k in range(n):
+        log.append({"type": "op", "k": k, "pad": "z" * 24})
+    log.close()
+    assert len(log.segments()) >= 3
+    return log
+
+
+def test_corrupt_record_in_non_final_segment_refuses_to_load(tmp_path):
+    log = _multi_segment_log(tmp_path)
+    first = log.segments()[0]
+    blob = bytearray(first.read_bytes())
+    blob[len(SEGMENT_MAGIC) + HEADER_SIZE + 2] ^= 0xFF
+    first.write_bytes(bytes(blob))
+    with pytest.raises(JournalCorruptionError):
+        WriteAheadLog(tmp_path, segment_bytes=256, fsync=False)
+
+
+def test_bad_magic_in_non_final_segment_refuses_to_load(tmp_path):
+    log = _multi_segment_log(tmp_path)
+    first = log.segments()[0]
+    blob = bytearray(first.read_bytes())
+    blob[0] ^= 0xFF
+    first.write_bytes(bytes(blob))
+    with pytest.raises(JournalCorruptionError):
+        WriteAheadLog(tmp_path, segment_bytes=256, fsync=False)
+
+
+# ------------------------------------------------- rotation and compaction
+
+
+def test_rotation_preserves_order_and_numbering_is_monotone(tmp_path):
+    log = _multi_segment_log(tmp_path)
+    reopened = WriteAheadLog(tmp_path, segment_bytes=256, fsync=False)
+    assert [r["k"] for r in reopened.records()] == list(range(30))
+    old_indices = [
+        WriteAheadLog._segment_index(p) for p in reopened.segments()
+    ]
+    assert old_indices == sorted(old_indices)
+    reopened.truncate_all()
+    assert reopened.segments() == []
+    reopened.append({"type": "op", "k": 100})
+    new_index = WriteAheadLog._segment_index(reopened.segments()[0])
+    assert new_index > max(old_indices)  # compaction never reuses numbers
+    reopened.close()
+
+
+def test_segment_bytes_must_fit_a_header(tmp_path):
+    with pytest.raises(ConfigurationError):
+        WriteAheadLog(tmp_path, segment_bytes=4)
+
+
+# ------------------------------------------------------- project journal
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_recover_always_equals_live_mirror(tmp_path, seed):
+    """Whatever the snapshot cadence, what a restart reads from disk is
+    exactly the state the writer was mirroring in memory."""
+    rng = random.Random(seed)
+    journal = ProjectJournal(
+        tmp_path,
+        segment_bytes=1 << 12,
+        snapshot_every=rng.choice([1, 2, 3, None]),
+        fsync=False,
+    )
+    for k in range(10):
+        cmd = command(k)
+        journal.record_issued([cmd])
+        worker = f"w{k % 2}"
+        journal.record_assigned(worker, [cmd.command_id])
+        if rng.random() < 0.5:
+            journal.record_checkpoint(
+                worker, cmd.command_id, {"step": k * 100}
+            )
+        if rng.random() < 0.3:
+            journal.record_requeued(worker, [cmd.command_id])
+            journal.record_assigned(worker, [cmd.command_id])
+        journal.record_result(cmd, {"value": k})
+    recovered = journal.recover()
+    live = journal.state
+    assert [c.command_id for c, _ in recovered.results] == [
+        c.command_id for c, _ in live.results
+    ]
+    assert [r for _, r in recovered.results] == [r for _, r in live.results]
+    assert recovered.completed_ids == live.completed_ids
+    assert recovered.issued_ids == live.issued_ids
+    assert recovered.checkpoints == live.checkpoints
+    assert recovered.leases == live.leases
+    assert recovered.requeues == live.requeues
+    journal.close()
+
+
+def test_sequence_continues_past_snapshot_after_reopen(tmp_path):
+    """Post-compaction appends must sequence past the snapshot, or a
+    later recovery would skip them as already-covered."""
+    journal = ProjectJournal(tmp_path, snapshot_every=2, fsync=False)
+    journal.record_result(command(0), {"k": 0})
+    journal.record_result(command(1), {"k": 1})
+    assert journal.snapshots_written == 1
+    assert journal.wal.segments() == []  # compacted away
+    journal.close()
+
+    reopened = ProjectJournal(tmp_path, snapshot_every=2, fsync=False)
+    reopened.record_result(command(9), {"k": 9})
+    reopened.close()
+
+    final = ProjectJournal(tmp_path, snapshot_every=2, fsync=False)
+    assert [c.command_id for c, _ in final.recover().results] == [
+        "c0", "c1", "c9",
+    ]
+    final.close()
+
+
+def test_torn_tail_behind_a_snapshot_loses_only_the_torn_record(tmp_path):
+    journal = ProjectJournal(tmp_path, snapshot_every=2, fsync=False)
+    for k in range(3):  # snapshot covers c0+c1; c2 lives in the log
+        journal.record_result(command(k), {"k": k})
+    journal.close()
+    segments = sorted((tmp_path / "wal").glob("wal-*.log"))
+    assert segments
+    blob = segments[-1].read_bytes()
+    segments[-1].write_bytes(blob[: len(blob) - 3])
+    recovered = ProjectJournal(
+        tmp_path, snapshot_every=2, fsync=False
+    ).recover()
+    assert [c.command_id for c, _ in recovered.results] == ["c0", "c1"]
+
+
+def test_interrupted_snapshot_temp_file_is_swept(tmp_path):
+    journal = ProjectJournal(tmp_path, snapshot_every=None, fsync=False)
+    journal.record_result(command(0), {"k": 0})
+    journal.close()
+    (tmp_path / ".snapshot-00000007.tmp").write_bytes(b"half-written junk")
+    reopened = ProjectJournal(tmp_path, snapshot_every=None, fsync=False)
+    assert not list(tmp_path.glob(".*.tmp"))
+    assert len(reopened.recover().results) == 1
+    reopened.close()
+
+
+def test_duplicate_result_records_apply_idempotently(tmp_path):
+    journal = ProjectJournal(tmp_path, snapshot_every=None, fsync=False)
+    journal.record_result(command(0), {"k": 0})
+    journal.record_result(command(0), {"k": 0})  # retried transition
+    assert journal.results_applied == 1
+    assert len(journal.recover().results) == 1
+    journal.close()
+
+
+def test_journal_state_payload_roundtrip():
+    state = JournalState()
+    state.apply({"type": "issued", "command_ids": ["c0", "c1"]})
+    state.apply({"type": "assigned", "worker": "w0", "command_ids": ["c0"]})
+    state.apply(
+        {
+            "type": "checkpoint",
+            "worker": "w0",
+            "command": "c0",
+            "checkpoint": {"step": 100},
+        }
+    )
+    state.apply(
+        {
+            "type": "result",
+            "command": command(1).to_payload(),
+            "result": {"k": 1},
+        }
+    )
+    clone = JournalState.from_payload(state.to_payload())
+    assert clone.completed_ids == state.completed_ids
+    assert clone.issued_ids == state.issued_ids
+    assert clone.checkpoints == state.checkpoints
+    assert clone.leases == state.leases
+    assert clone.lease_holder("c0") == "w0"
+
+
+def test_unknown_record_type_is_corruption():
+    with pytest.raises(JournalCorruptionError):
+        JournalState().apply({"type": "mystery"})
