@@ -38,6 +38,22 @@ class EventKind(enum.Enum):
     #: An outstanding command was requeued during journal recovery
     #: (distinct from COMMAND_REQUEUED, which requires a worker death).
     COMMAND_RESTORED = "command_restored"
+    #: A non-empty workload left the server for a worker.
+    WORKLOAD_ASSIGNED = "workload_assigned"
+    #: A leased command blew past its deadline while its worker kept
+    #: heartbeating — alive but not delivering.
+    STRAGGLER_DETECTED = "straggler_detected"
+    #: A straggler's command was re-queued for speculative execution
+    #: from its last checkpoint while the original keeps running.
+    SPECULATION_STARTED = "speculation_started"
+    #: The slower copy of a speculated command finished after the race
+    #: was already won; its result was dropped by the dedup barrier.
+    SPECULATION_LOST = "speculation_lost"
+    #: A worker's health score crossed the quarantine threshold; it
+    #: receives no workload until the cooldown expires.
+    WORKER_QUARANTINED = "worker_quarantined"
+    #: A quarantined worker's cooldown expired; re-admitted on probation.
+    WORKER_READMITTED = "worker_readmitted"
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,18 @@ def status_snapshot(runner) -> Dict:
                     if cmds
                 },
                 "requeued_after_failure": server.requeued_after_failure,
+                "health": server.health.describe(),
+                "speculation": {
+                    "stragglers_detected": server.stragglers_detected,
+                    "started": server.speculations_started,
+                    "won": server.speculations_won,
+                    "lost": server.speculations_lost,
+                    "workloads_denied": server.workloads_denied,
+                },
+                "breakers": [
+                    breaker.describe()
+                    for breaker in server.peer_breakers.values()
+                ],
             }
         )
     return {
@@ -63,6 +75,20 @@ def render_text(snapshot: Dict) -> str:
         )
         for worker, commands in server["in_flight"].items():
             lines.append(f"    {worker} running: {', '.join(commands)}")
+        spec = server.get("speculation", {})
+        if any(spec.values()):
+            lines.append(
+                f"    liveness: {spec.get('stragglers_detected', 0)} "
+                f"stragglers, {spec.get('started', 0)} speculations "
+                f"({spec.get('won', 0)} won, {spec.get('lost', 0)} lost), "
+                f"{spec.get('workloads_denied', 0)} workloads denied"
+            )
+        for worker, health in server.get("health", {}).items():
+            if health["state"] != "healthy" or health["failures"]:
+                lines.append(
+                    f"    {worker} health: {health['score']:.2f} "
+                    f"({health['state']}, {health['quarantines']} quarantines)"
+                )
     lines.append(
         f"-- overlay: {snapshot['messages']} messages, "
         f"{snapshot['total_bytes']} bytes --"
@@ -73,6 +99,11 @@ def render_text(snapshot: Dict) -> str:
                 f"  {row['link']}: {row['retries']} retries, "
                 f"{row['timeouts']} timeouts, {row['failures']} gave up, "
                 f"{row['backoff_seconds']:.2f}s backoff"
+            )
+        elif "state" in row:
+            lines.append(
+                f"  {row['link']}: {row['state']}, {row['opens']} opens, "
+                f"{row['closes']} closes, {row['skips']} skips"
             )
         else:
             lines.append(

@@ -245,11 +245,14 @@ class ProjectRunner:
             for worker in self.workers:
                 if worker.crashed:
                     continue
-                worker.heartbeat(self.now)
-                progress += worker.work_once(now=self.now)
+                # each worker beats/polls at its own jittered offset
+                # within the cycle, not in lockstep at the boundary
+                worker_now = self.now + worker.poll_offset
+                worker.heartbeat(worker_now)
+                progress += worker.work_once(now=worker_now)
             self.now += self.tick
             for server in self._servers:
-                server.check_failures(self.now)
+                server.check_liveness(self.now)
             self._refresh_status()
             if progress == 0:
                 if self._all_complete():

@@ -16,12 +16,16 @@ reproduces that substrate in-process:
 """
 
 from repro.net.auth import KeyPair, TrustStore
+from repro.net.circuit import BreakerPolicy, BreakerState, CircuitBreaker
 from repro.net.protocol import Message, MessageType
 from repro.net.transport import Endpoint, Link, Network
 
 __all__ = [
     "KeyPair",
     "TrustStore",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
     "Message",
     "MessageType",
     "Endpoint",

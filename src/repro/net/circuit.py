@@ -1,0 +1,146 @@
+"""Per-peer circuit breakers for overlay traffic.
+
+A peer that keeps failing transiently (partitioned relay, rebooting
+head node) should not stall every wildcard walk that probes it: after
+``failure_threshold`` consecutive transient failures the breaker
+*opens* and the peer is skipped for a cooldown measured on the virtual
+clock.  When the cooldown expires the breaker goes *half-open* and
+admits a limited number of probe requests; if they succeed it closes
+again, if any fails it re-opens with an escalating cooldown.
+
+The breaker deliberately knows nothing about transports — callers ask
+:meth:`CircuitBreaker.allow` before contacting the peer and report the
+outcome with :meth:`record_success` / :meth:`record_failure`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+class BreakerState(enum.Enum):
+    """The classic three-state circuit-breaker automaton."""
+
+    #: Traffic flows; consecutive failures are counted.
+    CLOSED = "closed"
+    #: The peer is skipped until the cooldown expires.
+    OPEN = "open"
+    #: A limited number of probes test whether the peer recovered.
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tuning knobs for one :class:`CircuitBreaker`.
+
+    Attributes
+    ----------
+    failure_threshold:
+        Consecutive transient failures that open a closed breaker.
+    cooldown_seconds:
+        Virtual seconds an opened breaker stays open before probing.
+    cooldown_backoff:
+        Multiplier applied to the cooldown every time a half-open
+        probe fails (the peer is still sick).
+    max_cooldown_seconds:
+        Cap on the escalated cooldown.
+    half_open_probes:
+        Successful probes required to close a half-open breaker.
+    """
+
+    failure_threshold: int = 3
+    cooldown_seconds: float = 300.0
+    cooldown_backoff: float = 2.0
+    max_cooldown_seconds: float = 3600.0
+    half_open_probes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if self.cooldown_seconds <= 0:
+            raise ConfigurationError("cooldown_seconds must be positive")
+        if self.cooldown_backoff < 1.0:
+            raise ConfigurationError("cooldown_backoff must be >= 1")
+        if self.half_open_probes < 1:
+            raise ConfigurationError("half_open_probes must be >= 1")
+
+
+class CircuitBreaker:
+    """Failure-rate gate for one peer, clocked on virtual time."""
+
+    def __init__(self, peer: str, policy: BreakerPolicy = None) -> None:
+        self.peer = peer
+        self.policy = policy or BreakerPolicy()
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._open_until = 0.0
+        self._current_cooldown = self.policy.cooldown_seconds
+        #: Lifetime accounting (surfaced through traffic reports).
+        self.opens = 0
+        self.closes = 0
+        self.skips = 0
+
+    def allow(self, now: float) -> bool:
+        """Whether the caller may contact the peer at virtual time *now*.
+
+        An open breaker whose cooldown has expired transitions to
+        half-open and admits the call as a probe.  Disallowed calls are
+        counted in :attr:`skips`.
+        """
+        if self.state is BreakerState.OPEN:
+            if now >= self._open_until:
+                self.state = BreakerState.HALF_OPEN
+                self._probe_successes = 0
+            else:
+                self.skips += 1
+                return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        """Report that a permitted call succeeded."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.policy.half_open_probes:
+                self.state = BreakerState.CLOSED
+                self._current_cooldown = self.policy.cooldown_seconds
+                self.closes += 1
+        self._consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        """Report that a permitted call failed transiently."""
+        if self.state is BreakerState.HALF_OPEN:
+            # the peer is still sick: re-open with an escalated cooldown
+            self._current_cooldown = min(
+                self._current_cooldown * self.policy.cooldown_backoff,
+                self.policy.max_cooldown_seconds,
+            )
+            self._trip(now)
+            return
+        self._consecutive_failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self.state = BreakerState.OPEN
+        self._open_until = now + self._current_cooldown
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self.opens += 1
+
+    def describe(self) -> dict:
+        """Schema-stable summary for monitoring and reports."""
+        return {
+            "peer": self.peer,
+            "state": self.state.value,
+            "opens": self.opens,
+            "closes": self.closes,
+            "skips": self.skips,
+            "open_until": self._open_until,
+        }

@@ -39,9 +39,39 @@ class Deployment:
         return self.project_servers[0]
 
     def announce_all(self, now: float = 0.0) -> None:
-        """Announce every worker to its server."""
+        """Announce every worker to its server.
+
+        Each worker announces at ``now + poll_offset`` — with jitter
+        applied (see :func:`apply_poll_jitter`) the fleet arrives
+        staggered instead of stampeding the server at the same instant.
+        """
         for worker in self.workers:
-            worker.announce(now)
+            worker.announce(now + worker.poll_offset)
+
+
+def apply_poll_jitter(
+    net: Network,
+    workers: List[Worker],
+    heartbeat_interval: float,
+    poll_jitter: float,
+) -> None:
+    """Give every worker a seeded offset for its heartbeat/poll schedule.
+
+    Real fleets never beat in lockstep; with every worker announcing at
+    ``now=0.0`` and polling on the same cycle boundary, the thundering
+    herd both hammers the server and hides liveness-ordering bugs.
+    Offsets are drawn from the *network's* seeded stream, so a
+    deployment is still a pure function of its seed.
+    """
+    if poll_jitter < 0.0 or poll_jitter >= 1.0:
+        raise ConfigurationError(
+            f"poll_jitter must be in [0, 1), got {poll_jitter}"
+        )
+    if poll_jitter == 0.0:
+        return
+    span = poll_jitter * heartbeat_interval
+    for worker in workers:
+        worker.poll_offset = float(net.rng.uniform(0.0, span))
 
 
 def workstation(
@@ -49,6 +79,7 @@ def workstation(
     cores_per_worker: int = 2,
     seed: int = 0,
     heartbeat_interval: float = 120.0,
+    poll_jitter: float = 0.1,
 ) -> Deployment:
     """A single server with directly attached workers."""
     if n_workers < 1:
@@ -63,6 +94,7 @@ def workstation(
         )
         net.connect("server", f"w{k}", latency=LATENCY_LOCAL)
         workers.append(worker)
+    apply_poll_jitter(net, workers, heartbeat_interval, poll_jitter)
     deployment = Deployment(net, [server], [], workers)
     deployment.announce_all()
     return deployment
@@ -74,6 +106,7 @@ def cluster(
     seed: int = 0,
     heartbeat_interval: float = 120.0,
     shared_filesystem: bool = True,
+    poll_jitter: float = 0.1,
 ) -> Deployment:
     """A project server plus a cluster behind a head-node relay.
 
@@ -101,6 +134,7 @@ def cluster(
         net.attach_filesystem(
             "cluster-fs", ["head-node"] + [f"node{k}" for k in range(n_nodes)]
         )
+    apply_poll_jitter(net, workers, heartbeat_interval, poll_jitter)
     deployment = Deployment(net, [project], [head], workers)
     deployment.announce_all()
     return deployment
@@ -111,6 +145,7 @@ def figure1(
     cores_per_worker: int = 2,
     seed: int = 0,
     heartbeat_interval: float = 120.0,
+    poll_jitter: float = 0.1,
 ) -> Deployment:
     """The paper's Fig. 1: two project servers, a gateway, three clusters.
 
@@ -146,6 +181,7 @@ def figure1(
             workers.append(worker)
             names.append(name)
         net.attach_filesystem(f"cluster{c}-fs", [f"cluster{c}-head"] + names)
+    apply_poll_jitter(net, workers, heartbeat_interval, poll_jitter)
     deployment = Deployment(net, [villin, titin], relays, workers)
     deployment.announce_all()
     return deployment

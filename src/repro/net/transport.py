@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.auth import KeyPair, TrustStore, exchange_keys, mutual_handshake
+from repro.net.circuit import BreakerPolicy, CircuitBreaker
 from repro.net.protocol import ANY_SERVER, Message, MessageType
 from repro.util.errors import (
     CommunicationError,
@@ -92,6 +93,7 @@ class Endpoint:
         network: "Network",
         handler: Optional[Callable[[Message], Optional[dict]]] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
     ) -> None:
         self.name = name
         self.network = network
@@ -103,8 +105,23 @@ class Endpoint:
         self.send_failures = 0
         self.send_timeouts = 0
         self.backoff_seconds = 0.0
+        #: Latest virtual timestamp this endpoint has observed; the
+        #: time base for its circuit breakers (servers advance it from
+        #: message/liveness-check timestamps).
+        self.clock = 0.0
+        #: Per-peer circuit breakers, created lazily on wildcard walks.
+        self.breaker_policy = breaker_policy or BreakerPolicy()
+        self.peer_breakers: Dict[str, CircuitBreaker] = {}
         self._handler = handler
         network._register(self)
+
+    def breaker_for(self, peer: str) -> CircuitBreaker:
+        """This endpoint's circuit breaker toward *peer* (lazily built)."""
+        breaker = self.peer_breakers.get(peer)
+        if breaker is None:
+            breaker = CircuitBreaker(peer, self.breaker_policy)
+            self.peer_breakers[peer] = breaker
+        return breaker
 
     def handle(self, message: Message) -> Optional[dict]:
         """Process an inbound request; override or pass ``handler=``."""
@@ -364,17 +381,43 @@ class Network:
             )
         return order
 
+    def _candidate_fault(self, probe: Message, candidate: str) -> None:
+        """Hook: raise to fail one wildcard probe (chaos injection)."""
+
     def _deliver_any(self, message: Message) -> dict:
+        """Walk the wildcard candidates, tolerating sick peers.
+
+        A candidate that fails transiently (partitioned path, injected
+        fault) no longer aborts the whole walk: its failure feeds the
+        *sender's* circuit breaker toward that peer and the walk moves
+        on.  While a breaker is open its peer is skipped outright —
+        one flaky relay stops stalling every workload request.  If the
+        walk ends with no acceptor, a transient failure seen along the
+        way propagates (so ``Endpoint.send`` retries); otherwise the
+        walk was genuinely unclaimed.
+        """
+        sender = self.endpoint(message.src)
+        last_transient: Optional[TransientCommunicationError] = None
         for candidate in self._wildcard_candidates(message.src):
+            breaker = sender.breaker_for(candidate)
+            if not breaker.allow(sender.clock):
+                continue
             probe = Message(
                 type=message.type,
                 src=message.src,
                 dst=candidate,
                 payload=message.payload,
             )
-            path = self.shortest_path(message.src, candidate)
-            self._traverse(probe, path)
-            response = self.endpoint(candidate).handle(probe)
+            try:
+                path = self.shortest_path(message.src, candidate)
+                self._candidate_fault(probe, candidate)
+                self._traverse(probe, path)
+                response = self.endpoint(candidate).handle(probe)
+            except TransientCommunicationError as exc:
+                breaker.record_failure(sender.clock)
+                last_transient = exc
+                continue
+            breaker.record_success(sender.clock)
             if response is not None:
                 back = Message(
                     type=MessageType.RESPONSE,
@@ -384,6 +427,8 @@ class Network:
                 )
                 self._traverse(back, path[::-1])
                 return response
+        if last_transient is not None:
+            raise last_transient
         raise WildcardUnclaimedError(
             f"no endpoint accepted wildcard {message.type} from {message.src!r}"
         )
@@ -417,6 +462,17 @@ class Network:
                         "backoff_seconds": endpoint.backoff_seconds,
                     }
                 )
+            for peer, breaker in sorted(endpoint.peer_breakers.items()):
+                if breaker.opens or breaker.skips:
+                    report.append(
+                        {
+                            "link": f"breaker:{name}->{peer}",
+                            "state": breaker.state.value,
+                            "opens": breaker.opens,
+                            "closes": breaker.closes,
+                            "skips": breaker.skips,
+                        }
+                    )
         return report
 
     def total_bytes(self) -> int:

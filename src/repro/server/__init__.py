@@ -3,6 +3,18 @@
 from repro.server.queue import CommandQueue
 from repro.server.matching import WorkerCapabilities, build_workload
 from repro.server.heartbeat import HeartbeatMonitor
+from repro.server.health import (
+    HealthPolicy,
+    HealthRegistry,
+    HealthState,
+    WorkerHealth,
+)
+from repro.server.lease import (
+    Lease,
+    LeasePolicy,
+    LeaseTracker,
+    estimate_command_seconds,
+)
 from repro.server.server import CopernicusServer
 from repro.server.datastore import ProjectStore, replay, replay_results
 from repro.server.wal import (
@@ -17,6 +29,14 @@ __all__ = [
     "WorkerCapabilities",
     "build_workload",
     "HeartbeatMonitor",
+    "HealthPolicy",
+    "HealthRegistry",
+    "HealthState",
+    "WorkerHealth",
+    "Lease",
+    "LeasePolicy",
+    "LeaseTracker",
+    "estimate_command_seconds",
     "CopernicusServer",
     "ProjectStore",
     "replay",

@@ -36,19 +36,24 @@ class HeartbeatMonitor:
         self.interval = float(interval)
         self._records: Dict[str, WorkerRecord] = {}
 
-    def register(self, worker: str, now: float) -> None:
+    def register(self, worker: str, now: float) -> bool:
         """Start tracking a worker (e.g. at announce time).
 
         Re-announcing is a liveness signal, not a reset: an existing
         record keeps its saved checkpoints so a worker that reconnects
         after a network outage doesn't lose recovery state.
+
+        Returns ``True`` when the announce revived a worker previously
+        declared dead (so the server can log the flap).
         """
         record = self._records.get(worker)
         if record is None:
             self._records[worker] = WorkerRecord(worker=worker, last_heartbeat=now)
-        else:
-            record.last_heartbeat = now
-            record.alive = True
+            return False
+        revived = not record.alive
+        record.last_heartbeat = now
+        record.alive = True
+        return revived
 
     def beat(
         self,
@@ -88,6 +93,16 @@ class HeartbeatMonitor:
         """Forget a command's checkpoint (after completion)."""
         record = self._records.get(worker)
         if record is not None:
+            record.checkpoints.pop(command_id, None)
+
+    def clear_command(self, command_id: str) -> None:
+        """Forget a finished command's checkpoints on *every* worker.
+
+        Under speculative re-execution more than one worker may hold a
+        checkpoint for the same command; once it completes anywhere,
+        all of them are dead recovery state.
+        """
+        for record in self._records.values():
             record.checkpoints.pop(command_id, None)
 
     def check(self, now: float) -> List[str]:

@@ -10,7 +10,7 @@ resource requirements of the commands".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.command import Command
 from repro.server.queue import CommandQueue
@@ -61,7 +61,9 @@ def can_run(command: Command, caps: WorkerCapabilities) -> bool:
 
 
 def build_workload(
-    queue: CommandQueue, caps: WorkerCapabilities
+    queue: CommandQueue,
+    caps: WorkerCapabilities,
+    max_commands: Optional[int] = None,
 ) -> List[Tuple[Command, int]]:
     """Pop commands for a worker, packing its cores greedily.
 
@@ -70,6 +72,10 @@ def build_workload(
     worker fills up; packing stops when no queued command fits in the
     remaining cores.
 
+    ``max_commands`` caps the workload size regardless of free cores —
+    the health layer's probation sizing for workers that have been
+    crashing, flapping or straggling.
+
     Returns
     -------
     List of ``(command, cores_assigned)``.
@@ -77,6 +83,8 @@ def build_workload(
     workload: List[Tuple[Command, int]] = []
     free = caps.cores
     while free > 0:
+        if max_commands is not None and len(workload) >= max_commands:
+            break
         command = queue.pop_matching(
             lambda c: c.executable in caps.executables and c.min_cores <= free
         )

@@ -22,7 +22,9 @@ from repro.core.command import Command
 from repro.core.events import EventKind, EventLog
 from repro.net.protocol import ANY_SERVER, Message, MessageType
 from repro.net.transport import Endpoint, Network
+from repro.server.health import HealthPolicy, HealthRegistry
 from repro.server.heartbeat import DEFAULT_INTERVAL, HeartbeatMonitor
+from repro.server.lease import LeasePolicy, LeaseTracker
 from repro.server.matching import WorkerCapabilities, build_workload
 from repro.server.queue import CommandQueue
 from repro.server.wal import ServerJournal
@@ -41,10 +43,32 @@ class CopernicusServer(Endpoint):
         name: str,
         network: Network,
         heartbeat_interval: float = DEFAULT_INTERVAL,
+        lease_policy: Optional[LeasePolicy] = None,
+        health_policy: Optional[HealthPolicy] = None,
     ) -> None:
         super().__init__(name, network)
         self.queue = CommandQueue()
         self.monitor = HeartbeatMonitor(heartbeat_interval)
+        #: Deadline derivation for issued commands.  The default floor
+        #: is two death-detection windows, so a worker is never called
+        #: a straggler faster than it could be declared dead.
+        self.lease_policy = lease_policy or LeasePolicy(
+            min_seconds=max(240.0, 4.0 * heartbeat_interval)
+        )
+        #: Outstanding (worker, command) leases with deadlines.
+        self.leases = LeaseTracker()
+        #: Per-worker EWMA health scores, probation and quarantine.
+        self.health = HealthRegistry(health_policy)
+        #: Commands under speculative re-execution: {command_id: the
+        #: straggling worker whose late result loses the race}.
+        self.speculated: Dict[str, str] = {}
+        #: Liveness accounting.
+        self.stragglers_detected = 0
+        self.speculations_started = 0
+        self.speculations_won = 0
+        self.speculations_lost = 0
+        #: Workload requests refused because the worker is quarantined.
+        self.workloads_denied = 0
         #: Worker capabilities by worker name (workers attached here).
         self.worker_caps: Dict[str, WorkerCapabilities] = {}
         #: In-flight commands per worker: {worker: {command_id: Command}}.
@@ -166,7 +190,13 @@ class CopernicusServer(Endpoint):
         self.assignments.setdefault(caps.worker, {})
         now = float(message.payload.get("now", 0.0))
         self.clock = max(self.clock, now)
-        self.monitor.register(caps.worker, now)
+        revived = self.monitor.register(caps.worker, now)
+        if revived:
+            # a re-announce after a declared death is a flap: record
+            # the revival (so requeue accounting stays consistent) and
+            # penalize the worker's health score
+            self._record(EventKind.WORKER_REVIVED, worker=caps.worker, server=self.name)
+            self._observe_failure(caps.worker, "flap")
         return {"ok": True, "server": self.name}
 
     def _on_heartbeat(self, message: Message) -> dict:
@@ -177,6 +207,7 @@ class CopernicusServer(Endpoint):
         revived = self.monitor.beat(worker, now, checkpoints=checkpoints)
         if revived:
             self._record(EventKind.WORKER_REVIVED, worker=worker, server=self.name)
+            self._observe_failure(worker, "flap")
         for command_id, checkpoint in (checkpoints or {}).items():
             command = self.assignments.get(worker, {}).get(command_id)
             if command is not None and isinstance(checkpoint, dict):
@@ -196,9 +227,24 @@ class CopernicusServer(Endpoint):
 
     def _on_workload_request(self, message: Message) -> dict:
         caps = WorkerCapabilities.from_payload(message.payload)
-        workload = build_workload(self.queue, caps)
+        now = float(message.payload.get("now", self.clock))
+        self.clock = max(self.clock, now)
+        allowed, max_commands, transition = self.health.admit(
+            caps.worker, self.clock
+        )
+        if transition == "readmitted":
+            self._record(
+                EventKind.WORKER_READMITTED,
+                worker=caps.worker,
+                server=self.name,
+                score=round(self.health.score(caps.worker), 4),
+            )
+        if not allowed:
+            self.workloads_denied += 1
+            return {"commands": [], "cores": []}
+        workload = build_workload(self.queue, caps, max_commands=max_commands)
         if not workload:
-            workload = self._fetch_from_peers(caps)
+            workload = self._fetch_from_peers(caps, max_commands=max_commands)
         if self.journal is not None:
             leases: Dict[str, List[str]] = {}
             for command, _ in workload:
@@ -214,12 +260,25 @@ class CopernicusServer(Endpoint):
         out_commands, out_cores = [], []
         for command, cores in workload:
             assigned[command.command_id] = command
+            self.leases.grant(
+                caps.worker,
+                command,
+                self.clock,
+                self.lease_policy.deadline_for(command, cores, self.clock),
+            )
             out_commands.append(command.to_payload())
             out_cores.append(cores)
+        if workload:
+            self._record(
+                EventKind.WORKLOAD_ASSIGNED,
+                worker=caps.worker,
+                server=self.name,
+                commands=[c.command_id for c, _ in workload],
+            )
         return {"commands": out_commands, "cores": out_cores}
 
     def _fetch_from_peers(
-        self, caps: WorkerCapabilities
+        self, caps: WorkerCapabilities, max_commands: Optional[int] = None
     ) -> List[Tuple[Command, int]]:
         """Ask the overlay for commands when the local queue is empty.
 
@@ -227,11 +286,19 @@ class CopernicusServer(Endpoint):
         unclaimed) is an expected, quiet outcome.  Transient transport
         failures are recorded as ``PEER_FETCH_FAILED`` and the worker
         idles this cycle.  Permanent errors (unknown endpoints, broken
-        trust) indicate a misconfigured overlay and propagate.
+        trust) indicate a misconfigured overlay and propagate.  A peer
+        that keeps failing transiently trips this server's circuit
+        breaker toward it and is skipped (see
+        :meth:`~repro.net.transport.Network._deliver_any`).
         """
+        payload = caps.to_payload()
+        if max_commands is not None:
+            # probation sizing travels with the fetch so a peer's queue
+            # respects the health cap too
+            payload["max_commands"] = max_commands
         try:
             response = self.send(
-                ANY_SERVER, MessageType.COMMAND_FETCH, caps.to_payload()
+                ANY_SERVER, MessageType.COMMAND_FETCH, payload
             )
         except WildcardUnclaimedError:
             return []
@@ -250,7 +317,8 @@ class CopernicusServer(Endpoint):
 
     def _on_command_fetch(self, message: Message) -> Optional[dict]:
         caps = WorkerCapabilities.from_payload(message.payload)
-        workload = build_workload(self.queue, caps)
+        max_commands = message.payload.get("max_commands")
+        workload = build_workload(self.queue, caps, max_commands=max_commands)
         if not workload:
             return None  # keep walking the overlay
         return {
@@ -267,18 +335,54 @@ class CopernicusServer(Endpoint):
         # while the assignment and checkpoint stay intact — clearing
         # them before a failed forward would drop the result with no
         # requeue path left.
-        self._route_result(command, result)
+        outcome = self._route_result(command, result)
         self.assignments.get(worker, {}).pop(command.command_id, None)
-        self.monitor.clear_checkpoint(worker, command.command_id)
+        self.leases.clear(worker, command.command_id)
+        # the command is finished from this server's perspective either
+        # way — evict every worker's checkpoint for it
+        self.monitor.clear_command(command.command_id)
+        if outcome == "duplicate":
+            straggler = self.speculated.get(command.command_id)
+            if straggler is not None:
+                # the slower copy of a speculated command came home
+                # after the race was decided: journal the loss, drop
+                # the result (the dedup barrier already did), and ding
+                # only the worker that actually straggled
+                self.speculations_lost += 1
+                self._record(
+                    EventKind.SPECULATION_LOST,
+                    command=command.command_id,
+                    worker=worker,
+                    server=self.name,
+                )
+                del self.speculated[command.command_id]
+                if worker == straggler:
+                    self._observe_failure(worker, "speculation_loss")
+        else:
+            self.health.observe_success(worker, self.clock)
+            straggler = self.speculated.get(command.command_id)
+            if straggler is not None and worker != straggler:
+                # the speculative copy beat the straggler home; keep the
+                # entry so the straggler's late copy is recognized (and
+                # journaled) as the race's loser when it arrives
+                self.speculations_won += 1
+        # the worker's ack carries no duplicate flag — the race outcome
+        # is the server's business (and the ack shape is a wire contract)
         return {"ok": True}
 
     def _on_result_forward(self, message: Message) -> dict:
         command = Command.from_payload(message.payload["command"])
         result = message.payload["result"]
-        self._route_result(command, result)
-        return {"ok": True}
+        outcome = self._route_result(command, result)
+        return {"ok": True, "duplicate": outcome == "duplicate"}
 
-    def _route_result(self, command: Command, result: dict) -> None:
+    def _route_result(self, command: Command, result: dict) -> str:
+        """Deliver a result to its sink (or forward toward the origin).
+
+        Returns ``"completed"`` when the sink consumed it,
+        ``"duplicate"`` when the dedup barrier dropped it (here or at
+        the origin), or ``"forwarded"`` otherwise.
+        """
         if command.project_id in self._sinks:
             if command.command_id in self.completed_ids:
                 # a retried/duplicated COMMAND_RESULT, or a command that
@@ -289,7 +393,7 @@ class CopernicusServer(Endpoint):
                     command=command.command_id,
                     server=self.name,
                 )
-                return
+                return "duplicate"
             journal = self._journal_for(command.project_id)
             if journal is not None:
                 # durable before the sink applies it: a crash after this
@@ -297,17 +401,18 @@ class CopernicusServer(Endpoint):
                 journal.record_result(command, result)
             self.completed_ids.add(command.command_id)
             self._sinks[command.project_id](command, result)
-            return
+            return "completed"
         origin = command.origin_server
         if not origin or origin == self.name:
             raise SchedulingError(
                 f"no sink for project {command.project_id!r} on {self.name!r}"
             )
-        self.send(
+        response = self.send(
             origin,
             MessageType.RESULT_FORWARD,
             {"command": command.to_payload(), "result": result},
         )
+        return "duplicate" if response.get("duplicate") else "forwarded"
 
     def _on_project_status(self, message: Message) -> dict:
         return {
@@ -320,10 +425,34 @@ class CopernicusServer(Endpoint):
             },
         }
 
-    # -- failure handling --------------------------------------------------
+    # -- failure & liveness handling ---------------------------------------
 
-    def check_failures(self, now: float) -> List[str]:
-        """Detect dead workers; requeue their commands from checkpoints.
+    def _observe_failure(self, worker: str, kind: str) -> None:
+        """Fold a failure into the worker's health; record transitions."""
+        transition = self.health.observe_failure(worker, kind, self.clock)
+        if transition == "quarantined":
+            record = self.health.record_for(worker)
+            self._record(
+                EventKind.WORKER_QUARANTINED,
+                worker=worker,
+                server=self.name,
+                cause=kind,
+                score=round(record.score, 4),
+                until=record.quarantined_until,
+            )
+
+    def check_liveness(self, now: float) -> List[str]:
+        """One liveness sweep: dead workers *and* stragglers.
+
+        Dead workers (no heartbeat within the death window) get their
+        in-flight commands requeued from the last checkpoint, exactly
+        as before.  Stragglers — workers that heartbeat happily but
+        hold a lease past its perfmodel-derived deadline — keep
+        running, while a speculative copy of the command (resuming
+        from the straggler's last reported checkpoint) is queued for
+        another worker.  The exactly-once dedup barrier decides the
+        race: the first result wins, the loser's is dropped and
+        journaled as ``SPECULATION_LOST``.
 
         Returns the names of workers newly declared dead.
         """
@@ -331,10 +460,19 @@ class CopernicusServer(Endpoint):
         dead = self.monitor.check(now)
         for worker in dead:
             self._record(EventKind.WORKER_DEAD, worker=worker, server=self.name)
+            self._observe_failure(worker, "crash")
+            self.leases.clear_worker(worker)
             in_flight = self.assignments.get(worker, {})
-            if self.journal is not None and in_flight:
+            # a command whose result already reached the barrier (e.g.
+            # the worker died right after delivering) must not requeue
+            requeue = {
+                command_id: command
+                for command_id, command in in_flight.items()
+                if command_id not in self.completed_ids
+            }
+            if self.journal is not None and requeue:
                 requeues: Dict[str, List[str]] = {}
-                for command_id, command in in_flight.items():
+                for command_id, command in requeue.items():
                     requeues.setdefault(command.project_id, []).append(
                         command_id
                     )
@@ -342,10 +480,11 @@ class CopernicusServer(Endpoint):
                     journal = self._journal_for(project_id)
                     if journal is not None:
                         journal.record_requeued(worker, command_ids)
-            for command_id, command in list(in_flight.items()):
+            for command_id, command in requeue.items():
                 checkpoint = self.monitor.checkpoint_for(worker, command_id)
                 if checkpoint is not None:
                     command.checkpoint = checkpoint
+                self.monitor.clear_checkpoint(worker, command_id)
                 self.queue.push(command)
                 self.requeued_after_failure += 1
                 self._record(
@@ -355,4 +494,49 @@ class CopernicusServer(Endpoint):
                     has_checkpoint=checkpoint is not None,
                 )
             self.assignments[worker] = {}
+        self._check_stragglers(now)
         return dead
+
+    #: Backwards-compatible alias: the failure check grew into a full
+    #: liveness sweep (PR 3) but callers predate the rename.
+    def check_failures(self, now: float) -> List[str]:
+        """Alias for :meth:`check_liveness`."""
+        return self.check_liveness(now)
+
+    def _check_stragglers(self, now: float) -> None:
+        """Speculatively re-queue commands whose leases are overdue."""
+        for lease in self.leases.overdue(now):
+            worker = lease.worker
+            command_id = lease.command.command_id
+            if not self.monitor.is_alive(worker):
+                continue  # the dead path owns this lease
+            command = self.assignments.get(worker, {}).get(command_id)
+            if command is None or command_id in self.completed_ids:
+                self.leases.clear(worker, command_id)
+                continue
+            lease.speculated = True
+            self.stragglers_detected += 1
+            self._record(
+                EventKind.STRAGGLER_DETECTED,
+                worker=worker,
+                command=command_id,
+                server=self.name,
+                deadline=lease.deadline,
+            )
+            self._observe_failure(worker, "straggler")
+            # clone the command from the straggler's latest checkpoint;
+            # the original keeps running — first result home wins
+            clone = Command.from_payload(command.to_payload())
+            checkpoint = self.monitor.checkpoint_for(worker, command_id)
+            if checkpoint is not None:
+                clone.checkpoint = checkpoint
+            self.speculated[command_id] = worker
+            self.speculations_started += 1
+            self.queue.push(clone)
+            self._record(
+                EventKind.SPECULATION_STARTED,
+                command=command_id,
+                worker=worker,
+                server=self.name,
+                has_checkpoint=checkpoint is not None,
+            )

@@ -6,16 +6,22 @@ executable tests:
 
 * :mod:`repro.testing.faultplan` — a seeded, declarative schedule of
   faults (drops, delays, duplications, partitions, crashes, slow
-  workers) addressed by endpoint, message type or delivery index.
+  workers, stragglers, flapping workers, sick peers) addressed by
+  endpoint, message type or delivery index.
 * :mod:`repro.testing.chaos` — :class:`ChaosNetwork`, a drop-in
   overlay that injects the plan's faults during delivery.
 * :mod:`repro.testing.invariants` — replays a runner's event log and
   asserts the recovery invariants (nothing lost, nothing doubled,
   checkpoints monotone, requeues match crashes, recovery accounting
-  exact across server restarts).
-* :mod:`repro.testing.scenarios` — canned deployments under fire,
-  including :func:`run_swarm_with_server_restart`, which kills the
-  journaled project server mid-project and resumes it from disk.
+  exact across server restarts, speculation exactly-once, quarantine
+  respected, breaker accounting consistent).
+* :mod:`repro.testing.scenarios` — canned deployments under fire:
+  :func:`run_swarm_with_server_restart` kills the journaled project
+  server mid-project and resumes it from disk; the liveness trio
+  (:func:`run_swarm_with_straggler`,
+  :func:`run_swarm_with_flapping_worker`,
+  :func:`run_relay_with_sick_peer`) degrades workers and peers without
+  killing them.
 
 Every chaos run is reproducible from its seed; see ``TESTING.md`` at
 the repository root for the fault-plan schema and reproduction recipe.
@@ -26,8 +32,11 @@ from repro.testing.faultplan import Fault, FaultKind, FaultPlan
 from repro.testing.invariants import Invariants
 from repro.testing.scenarios import (
     SwarmController,
+    run_relay_with_sick_peer,
     run_swarm_under_faults,
+    run_swarm_with_flapping_worker,
     run_swarm_with_server_restart,
+    run_swarm_with_straggler,
 )
 
 __all__ = [
@@ -37,6 +46,9 @@ __all__ = [
     "FaultPlan",
     "Invariants",
     "SwarmController",
+    "run_relay_with_sick_peer",
     "run_swarm_under_faults",
+    "run_swarm_with_flapping_worker",
     "run_swarm_with_server_restart",
+    "run_swarm_with_straggler",
 ]

@@ -10,8 +10,13 @@ delivery.  Faults surface exactly the way real ones would:
 * delays charge the virtual clock (tripping per-message timeouts);
 * duplications invoke the destination handler twice, exercising
   receiver idempotency;
-* worker crashes and slow-worker degradation are armed onto the victim
-  endpoints through their existing crash-hook / throttle knobs.
+* worker crashes, slow-worker degradation and stragglers are armed onto
+  the victim endpoints through their existing crash-hook / throttle /
+  pacing knobs;
+* flapping workers have all their traffic dropped during seeded
+  down-phases (the server sees death/revival cycles);
+* sick peers fail wildcard probes transiently, feeding the prober's
+  per-peer circuit breaker.
 
 Everything is deterministic: the same topology, workload and plan seed
 reproduce the identical fault sequence and event log.
@@ -51,7 +56,11 @@ class ChaosNetwork(Network):
         relevant = [
             f
             for f in self.plan.faults
-            if f.kind in (FaultKind.WORKER_CRASH, FaultKind.SLOW_WORKER)
+            if f.kind in (
+                FaultKind.WORKER_CRASH,
+                FaultKind.SLOW_WORKER,
+                FaultKind.STRAGGLER,
+            )
         ]
         if len(relevant) == self._armed_endpoint_faults:
             return
@@ -62,6 +71,9 @@ class ChaosNetwork(Network):
                 continue  # not registered yet; retry on the next delivery
             if fault.kind is FaultKind.SLOW_WORKER and hasattr(victim, "throttle"):
                 victim.throttle = plan.throttle_for(fault.dst)
+            if fault.kind is FaultKind.STRAGGLER and hasattr(victim, "throttle"):
+                victim.throttle = fault.factor
+                victim.segments_per_cycle = fault.segments_per_cycle
             if fault.kind is FaultKind.WORKER_CRASH and hasattr(
                 victim, "set_crash_hook"
             ):
@@ -90,6 +102,16 @@ class ChaosNetwork(Network):
             self.messages_dropped += 1
             raise TransientCommunicationError(
                 f"endpoint {crashed.dst!r} is down (server crash fault); "
+                f"{message.type.value} {message.src!r}->{message.dst!r} lost"
+            )
+
+        flapping = self.plan.worker_flapping(
+            message.dst, index
+        ) or self.plan.worker_flapping(message.src, index)
+        if flapping is not None:
+            self.messages_dropped += 1
+            raise TransientCommunicationError(
+                f"worker {flapping.dst!r} link is in a flap down-phase; "
                 f"{message.type.value} {message.src!r}->{message.dst!r} lost"
             )
 
@@ -140,6 +162,18 @@ class ChaosNetwork(Network):
                     f"{message.type.value} {message.src!r}->{message.dst!r} lost"
                 )
         super()._traverse(message, path)
+
+    def _candidate_fault(self, probe: Message, candidate: str) -> None:
+        """Fail a wildcard probe to a sick peer with a transient error
+        (the wildcard walk records the failure on the prober's circuit
+        breaker and keeps walking)."""
+        sick = self.plan.peer_sick(candidate, max(0, self.delivery_index - 1))
+        if sick is not None:
+            self.messages_dropped += 1
+            raise TransientCommunicationError(
+                f"peer {candidate!r} is sick; wildcard probe "
+                f"{probe.type.value} from {probe.src!r} failed"
+            )
 
     def _wildcard_candidates(self, src: str) -> List[str]:
         """Skip crashed servers when walking the overlay for a wildcard

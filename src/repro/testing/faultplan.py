@@ -49,6 +49,20 @@ class FaultKind(enum.Enum):
     #: server-restart scenario, not by :class:`ChaosNetwork`: a process
     #: death is a deployment-level event, not a message-level one.
     SERVER_RESTART = "server_restart"
+    #: A worker keeps heartbeating but makes glacial progress: its
+    #: segment throughput is throttled by ``factor`` *and* it executes
+    #: only ``segments_per_cycle`` segments per work cycle, so commands
+    #: take many cycles of virtual time.  Trips lease deadlines, not
+    #: death detection.
+    STRAGGLER = "straggler"
+    #: A worker's connectivity oscillates: all its traffic (both
+    #: directions) is dropped for ``down_deliveries`` out of every
+    #: ``up_deliveries + down_deliveries`` deliveries.  The server sees
+    #: repeated dead/revived cycles — flaps — feeding health scoring.
+    FLAPPING_WORKER = "flapping_worker"
+    #: A peer server answers wildcard probes with transient failures
+    #: while active — exercising the prober's circuit breaker.
+    SICK_PEER = "sick_peer"
 
 
 @dataclass
@@ -94,6 +108,13 @@ class Fault:
     #: For :attr:`FaultKind.SERVER_RESTART`: kill the server once this
     #: many results have been durably applied to its journal.
     after_results: Optional[int] = None
+    #: For :attr:`FaultKind.STRAGGLER`: segments the victim executes
+    #: per work cycle (making command execution take virtual time).
+    segments_per_cycle: Optional[int] = None
+    #: For :attr:`FaultKind.FLAPPING_WORKER`: deliveries up, then down,
+    #: repeating over the activation window.
+    up_deliveries: int = 0
+    down_deliveries: int = 0
     #: Firings so far (mutated by the plan).
     fired: int = 0
 
@@ -126,11 +147,12 @@ class Fault:
             "src", "dst", "message_type", "link", "after_index",
             "until_index", "probability", "count", "delay_seconds",
             "factor", "command_id", "at_segment", "after_results",
+            "segments_per_cycle", "up_deliveries", "down_deliveries",
         ):
             value = getattr(self, key)
             if key == "message_type" and value is not None:
                 value = value.value
-            if key == "after_results":
+            if key in ("after_results", "segments_per_cycle"):
                 if value is not None:  # 1 is a meaningful threshold here
                     out[key] = value
             elif value not in (None, 0, 1.0) or key == "after_index":
@@ -260,6 +282,79 @@ class FaultPlan:
             Fault(kind=FaultKind.SLOW_WORKER, dst=worker, factor=factor)
         )
 
+    def straggler(
+        self,
+        worker: str,
+        factor: float = 0.1,
+        segments_per_cycle: int = 1,
+    ) -> Fault:
+        """Make *worker* a straggler: alive and heartbeating, but doing
+        only ``factor`` of its segment steps and ``segments_per_cycle``
+        segments per work cycle — commands now span many virtual-time
+        ticks, eventually blowing their lease deadlines."""
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(
+                f"straggler factor must be in (0, 1], got {factor}"
+            )
+        if segments_per_cycle < 1:
+            raise ConfigurationError(
+                f"segments_per_cycle must be >= 1, got {segments_per_cycle}"
+            )
+        return self.add(
+            Fault(
+                kind=FaultKind.STRAGGLER,
+                dst=worker,
+                factor=factor,
+                segments_per_cycle=segments_per_cycle,
+            )
+        )
+
+    def flapping_worker(
+        self,
+        worker: str,
+        up_deliveries: int,
+        down_deliveries: int,
+        after_index: int = 0,
+        until_index: Optional[int] = None,
+    ) -> Fault:
+        """Oscillate *worker*'s connectivity: within the activation
+        window, traffic flows for ``up_deliveries`` deliveries, then is
+        dropped for ``down_deliveries``, repeating."""
+        if up_deliveries < 1 or down_deliveries < 1:
+            raise ConfigurationError(
+                "up_deliveries and down_deliveries must be >= 1"
+            )
+        return self.add(
+            Fault(
+                kind=FaultKind.FLAPPING_WORKER,
+                dst=worker,
+                up_deliveries=up_deliveries,
+                down_deliveries=down_deliveries,
+                after_index=after_index,
+                until_index=until_index,
+            )
+        )
+
+    def sick_peer(
+        self,
+        peer: str,
+        after_index: int = 0,
+        until_index: Optional[int] = None,
+        probability: float = 1.0,
+    ) -> Fault:
+        """Make wildcard probes to server *peer* fail transiently while
+        the window is active (the prober's circuit breaker should open
+        and skip it)."""
+        return self.add(
+            Fault(
+                kind=FaultKind.SICK_PEER,
+                dst=peer,
+                after_index=after_index,
+                until_index=until_index,
+                probability=probability,
+            )
+        )
+
     # -- consultation ------------------------------------------------------
 
     def _fires(self, fault: Fault, index: int) -> bool:
@@ -339,6 +434,42 @@ class FaultPlan:
             if fault.kind is FaultKind.SLOW_WORKER and fault.dst == worker:
                 factor *= fault.factor
         return factor
+
+    def straggler_for(self, worker: str) -> Optional[Fault]:
+        """The straggler rule (if any) degrading *worker*."""
+        for fault in self.faults:
+            if fault.kind is FaultKind.STRAGGLER and fault.dst == worker:
+                return fault
+        return None
+
+    def worker_flapping(self, name: str, index: int) -> Optional[Fault]:
+        """The flapping rule (if any) holding *name*'s link down at *index*.
+
+        Like :meth:`server_crashed`, a flap phase is state rather than a
+        consumable firing: within the activation window the worker is up
+        for ``up_deliveries`` deliveries, then down for
+        ``down_deliveries``, repeating.
+        """
+        for fault in self.faults:
+            if fault.kind is not FaultKind.FLAPPING_WORKER or fault.dst != name:
+                continue
+            if index < fault.after_index:
+                continue
+            if fault.until_index is not None and index >= fault.until_index:
+                continue
+            period = fault.up_deliveries + fault.down_deliveries
+            phase = (index - fault.after_index) % period
+            if phase >= fault.up_deliveries:
+                return fault
+        return None
+
+    def peer_sick(self, name: str, index: int) -> Optional[Fault]:
+        """The sick-peer rule (if any) failing a probe to *name* at *index*."""
+        for fault in self.faults:
+            if fault.kind is FaultKind.SICK_PEER and fault.dst == name:
+                if fault.active_at(index) and self._fires(fault, index):
+                    return fault
+        return None
 
     def describe(self) -> List[dict]:
         """Summaries of every rule (reporting / reproduction notes)."""

@@ -21,6 +21,18 @@ that must hold no matter which workers died or which links flapped:
    is either replayed-complete or restored to the queue (nothing lost,
    nothing invented across the restart boundary), and commands are
    only restored as part of a recovery.
+6. **Speculation is exactly-once** — a ``SPECULATION_LOST`` implies a
+   prior ``SPECULATION_STARTED`` *and* a prior completion of the same
+   command (the race was decided before the loss was journaled), a
+   speculated command still completes at most once, and the servers'
+   speculation counters match the logged events.
+7. **Quarantine is respected** — between a worker's
+   ``WORKER_QUARANTINED`` and its ``WORKER_READMITTED`` the same server
+   assigns it no workload, and readmissions only follow quarantines.
+8. **Breaker accounting is consistent** — every peer circuit breaker's
+   open/close/skip counters describe a realisable automaton history
+   (skips require an open, a closed breaker has closed as often as it
+   opened).
 
 :class:`Invariants` replays a :class:`~repro.core.events.EventLog`
 (plus end-state from the runner's servers) and returns human-readable
@@ -34,6 +46,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.core.events import EventKind, EventLog
 from repro.core.project import ProjectStatus
+from repro.net.circuit import BreakerState
 from repro.util.errors import InvariantViolation
 
 
@@ -103,15 +116,30 @@ class Invariants:
         ]
 
     def check_checkpoint_monotonicity(self) -> List[str]:
-        """Invariant 3: per-command checkpoint steps/times never regress."""
+        """Invariant 3: per-command checkpoint steps/times never regress.
+
+        A speculated command legitimately has two workers reporting
+        checkpoints concurrently (the straggler and its speculative
+        copy), so commands named in ``SPECULATION_STARTED`` events are
+        tracked per ``(command, worker)`` stream instead of globally.
+        """
         violations = []
-        last: Dict[str, tuple] = {}
+        speculated = {
+            record.details.get("command")
+            for record in self.events.filter(kind=EventKind.SPECULATION_STARTED)
+        }
+        last: Dict[tuple, tuple] = {}
         for record in self.events.filter(kind=EventKind.CHECKPOINT_REPORTED):
             command = record.details.get("command")
             step = record.details.get("step")
             if command is None or step is None:
                 continue
-            prev = last.get(command)
+            key = (
+                (command, record.details.get("worker"))
+                if command in speculated
+                else (command, None)
+            )
+            prev = last.get(key)
             if prev is not None:
                 prev_time, prev_step = prev
                 if record.time < prev_time or step < prev_step:
@@ -120,7 +148,7 @@ class Invariants:
                         f"(t={prev_time}, step={prev_step}) -> "
                         f"(t={record.time}, step={step})"
                     )
-            last[command] = (record.time, step)
+            last[key] = (record.time, step)
         return violations
 
     def check_requeue_accounting(self) -> List[str]:
@@ -220,6 +248,124 @@ class Invariants:
                 )
         return violations
 
+    def check_speculation_exactly_once(self) -> List[str]:
+        """Invariant 6: speculative re-execution never double-completes."""
+        violations = []
+        started: Set[str] = set()
+        completed: Dict[str, int] = {}
+        lost: Dict[str, int] = {}
+        for record in self.events.all():
+            command = record.details.get("command")
+            if record.kind is EventKind.SPECULATION_STARTED:
+                started.add(command)
+            elif record.kind is EventKind.COMMAND_COMPLETED:
+                completed[command] = completed.get(command, 0) + 1
+            elif record.kind is EventKind.SPECULATION_LOST:
+                lost[command] = lost.get(command, 0) + 1
+                if command not in started:
+                    violations.append(
+                        f"speculation lost for {command!r} without a "
+                        f"preceding speculation start (t={record.time})"
+                    )
+                if completed.get(command, 0) < 1:
+                    violations.append(
+                        f"speculation lost for {command!r} before any copy "
+                        f"completed — the race was not decided "
+                        f"(t={record.time})"
+                    )
+        for command in sorted(started):
+            if completed.get(command, 0) > 1:
+                violations.append(
+                    f"speculated command {command!r} completed "
+                    f"{completed[command]} times"
+                )
+            if lost.get(command, 0) > 1:
+                violations.append(
+                    f"speculated command {command!r} journaled "
+                    f"{lost[command]} losses (at most one copy can lose)"
+                )
+        counter_lost = sum(
+            getattr(server, "speculations_lost", 0)
+            for server in self.runner._servers
+        )
+        event_lost = sum(lost.values())
+        if counter_lost != event_lost:
+            violations.append(
+                f"servers count {counter_lost} speculation losses but the "
+                f"event log records {event_lost}"
+            )
+        counter_started = sum(
+            getattr(server, "speculations_started", 0)
+            for server in self.runner._servers
+        )
+        if counter_started != len(
+            self.events.filter(kind=EventKind.SPECULATION_STARTED)
+        ):
+            violations.append(
+                f"servers count {counter_started} speculations started but "
+                f"the event log disagrees"
+            )
+        return violations
+
+    def check_quarantine_respected(self) -> List[str]:
+        """Invariant 7: quarantined workers receive no workload."""
+        violations = []
+        quarantined: Set[tuple] = set()
+        ever_quarantined: Set[tuple] = set()
+        for record in self.events.all():
+            worker = record.details.get("worker")
+            server = record.details.get("server")
+            key = (server, worker)
+            if record.kind is EventKind.WORKER_QUARANTINED:
+                quarantined.add(key)
+                ever_quarantined.add(key)
+            elif record.kind is EventKind.WORKER_READMITTED:
+                if key not in ever_quarantined:
+                    violations.append(
+                        f"worker {worker!r} readmitted by {server!r} without "
+                        f"a preceding quarantine (t={record.time})"
+                    )
+                quarantined.discard(key)
+            elif record.kind is EventKind.WORKLOAD_ASSIGNED:
+                if key in quarantined:
+                    violations.append(
+                        f"server {server!r} assigned workload to quarantined "
+                        f"worker {worker!r} (t={record.time})"
+                    )
+        return violations
+
+    def check_breaker_accounting(self) -> List[str]:
+        """Invariant 8: circuit-breaker counters form a valid history."""
+        violations = []
+        network = getattr(self.runner, "network", None)
+        endpoints = getattr(network, "endpoints", None)
+        if endpoints is None:
+            return violations
+        for name in network.endpoints():
+            endpoint = network.endpoint(name)
+            for peer, breaker in getattr(endpoint, "peer_breakers", {}).items():
+                label = f"breaker {name!r}->{peer!r}"
+                if breaker.skips > 0 and breaker.opens == 0:
+                    violations.append(
+                        f"{label} skipped {breaker.skips} calls but never "
+                        f"opened"
+                    )
+                if breaker.closes > breaker.opens:
+                    violations.append(
+                        f"{label} closed {breaker.closes} times but only "
+                        f"opened {breaker.opens}"
+                    )
+                if (
+                    breaker.state is BreakerState.CLOSED
+                    and breaker.closes != breaker.opens
+                ):
+                    violations.append(
+                        f"{label} ended closed with {breaker.opens} opens "
+                        f"but {breaker.closes} closes (a re-closed breaker "
+                        f"must balance its opens)"
+                    )
+        return violations
+
     # -- entry points ------------------------------------------------------
 
     def check(self) -> List[str]:
@@ -230,6 +376,9 @@ class Invariants:
             + self.check_checkpoint_monotonicity()
             + self.check_requeue_accounting()
             + self.check_recovery_accounting()
+            + self.check_speculation_exactly_once()
+            + self.check_quarantine_respected()
+            + self.check_breaker_accounting()
         )
 
     def assert_ok(self) -> None:

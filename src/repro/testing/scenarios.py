@@ -14,6 +14,15 @@ journal (:mod:`repro.server.wal`) on a fresh overlay, and runs the
 project to completion — the paper's claim that the single long-lived
 job survives the loss of any component, including the orchestrator.
 
+The liveness scenarios exercise degradation rather than death:
+:func:`run_swarm_with_straggler` pins one worker at a glacial pace so
+its lease deadline blows and a speculative copy races it home;
+:func:`run_swarm_with_flapping_worker` oscillates a worker's link until
+health scoring quarantines it, then watches the timed re-admission; and
+:func:`run_relay_with_sick_peer` makes a relay's wildcard peer fail
+probes until the relay's circuit breaker opens, skips it, and re-closes
+through half-open probes once the peer recovers.
+
 Reproducibility contract: the returned
 :meth:`~repro.core.events.EventLog.to_text` transcript is a pure
 function of the arguments, so asserting transcript equality across two
@@ -30,6 +39,9 @@ from repro.core.controller import Controller
 from repro.core.project import Project
 from repro.core.runner import ProjectRunner
 from repro.md.engine import MDTask
+from repro.net.circuit import BreakerPolicy
+from repro.server.health import HealthPolicy
+from repro.server.lease import LeasePolicy
 from repro.server.server import CopernicusServer
 from repro.server.wal import ServerJournal
 from repro.testing.chaos import ChaosNetwork
@@ -294,4 +306,256 @@ def run_swarm_with_server_restart(
         "project": project,
         "transcript": restarted.events.to_text(),
         "chaos": post["network"].chaos_report(),
+    }
+
+
+def run_swarm_with_straggler(
+    n_commands: int = 3,
+    n_steps: int = 3000,
+    n_workers: int = 3,
+    straggler_factor: float = 0.1,
+    segment_steps: int = 1000,
+    heartbeat_interval: float = 60.0,
+    tick: float = 90.0,
+    max_cycles: int = 10000,
+    max_drain_cycles: int = 200,
+    seed: int = 0,
+) -> dict:
+    """One worker is 10x slow but heartbeats happily; speculation wins.
+
+    Worker ``w0`` is armed as a :attr:`FaultKind.STRAGGLER`: it runs
+    ``straggler_factor`` of its segment steps, one segment per cycle,
+    so its command spans dozens of virtual-time ticks while its
+    heartbeats stay perfectly healthy — invisible to death detection.
+    The server's lease policy (tuned so perfmodel deadlines land within
+    a few ticks) flags the overdue lease, queues a speculative copy
+    from the straggler's last checkpoint, and a healthy worker races it
+    home.  The project completes in bounded virtual time.
+
+    After the project completes, the straggler is drained — cycled
+    (with everyone still heartbeating) until its parked command
+    finishes — so the losing result comes home and is journaled as
+    ``SPECULATION_LOST`` while the dedup barrier drops it.
+    """
+    network = ChaosNetwork(plan=FaultPlan(seed=seed), seed=seed)
+    network.plan.straggler(
+        "w0", factor=straggler_factor, segments_per_cycle=1
+    )
+    server = CopernicusServer(
+        "srv",
+        network,
+        heartbeat_interval=heartbeat_interval,
+        # shrink the hours->virtual-seconds calibration so a healthy
+        # command's deadline lands within ~2 ticks of its grant
+        lease_policy=LeasePolicy(
+            slack=2.0, min_seconds=tick, hours_to_seconds=300.0
+        ),
+    )
+    workers = [
+        Worker(
+            f"w{k}",
+            network,
+            server="srv",
+            platform=SMPPlatform(cores=1),
+            segment_steps=segment_steps,
+        )
+        for k in range(n_workers)
+    ]
+    for worker in workers:
+        network.connect("srv", worker.name)
+    for worker in workers:
+        worker.announce(0.0)
+
+    controller = SwarmController(n_commands=n_commands, n_steps=n_steps)
+    runner = ProjectRunner(network, server, workers, tick=tick)
+    runner.submit(Project("swarm"), controller)
+    runner.run(max_cycles=max_cycles)
+    completed_at = runner.now
+
+    # drain: the straggler is still grinding its doomed copy; keep the
+    # fleet heartbeating and cycle it until the late result lands
+    straggler = workers[0]
+    drain_cycles = 0
+    for _ in range(max_drain_cycles):
+        if straggler._active is None and not straggler._backlog:
+            break
+        for worker in workers:
+            if not worker.crashed:
+                worker.heartbeat(runner.now)
+        straggler.work_once(now=runner.now)
+        runner.now += tick
+        for srv in runner._servers:
+            srv.check_liveness(runner.now)
+        drain_cycles += 1
+    else:
+        raise SchedulingError(
+            f"straggler still mid-command after {max_drain_cycles} "
+            f"drain cycles"
+        )
+    return {
+        "runner": runner,
+        "server": server,
+        "workers": workers,
+        "straggler": straggler,
+        "controller": controller,
+        "network": network,
+        "completed_at": completed_at,
+        "drain_cycles": drain_cycles,
+        "transcript": runner.events.to_text(),
+        "chaos": network.chaos_report(),
+    }
+
+
+def run_swarm_with_flapping_worker(
+    n_commands: int = 10,
+    n_steps: int = 4000,
+    n_workers: int = 3,
+    up_deliveries: int = 30,
+    down_deliveries: int = 40,
+    flap_after_index: int = 0,
+    segment_steps: int = 1000,
+    heartbeat_interval: float = 60.0,
+    tick: float = 90.0,
+    quarantine_seconds: float = 270.0,
+    max_cycles: int = 10000,
+    seed: int = 0,
+) -> dict:
+    """A worker's link flaps until health scoring quarantines it.
+
+    Worker ``w0``'s connectivity oscillates (one
+    :attr:`FaultKind.FLAPPING_WORKER` down-phase long enough to be
+    declared dead, then the link stays up): the server sees a death —
+    requeueing its in-flight work — then a revival, and the combined
+    crash+flap penalties push the worker's EWMA health score through
+    the quarantine threshold.  While quarantined, its workload requests
+    are denied; once the timed cooldown expires it is re-admitted on
+    probation (one command at a time) and earns its way back to
+    healthy by delivering.
+
+    The healthy workers are paced (one segment per cycle) so the
+    project outlives the whole quarantine/re-admission arc.
+    """
+    network = ChaosNetwork(plan=FaultPlan(seed=seed), seed=seed)
+    network.plan.flapping_worker(
+        "w0",
+        up_deliveries=up_deliveries,
+        down_deliveries=down_deliveries,
+        after_index=flap_after_index,
+        until_index=flap_after_index + up_deliveries + down_deliveries,
+    )
+    server = CopernicusServer(
+        "srv",
+        network,
+        heartbeat_interval=heartbeat_interval,
+        # keep lease deadlines out of the way: this scenario is about
+        # health scoring, not stragglers
+        lease_policy=LeasePolicy(min_seconds=100000.0),
+        # one death+revival flap is enough to quarantine, and the
+        # cooldown expires within a few ticks
+        health_policy=HealthPolicy(
+            alpha=0.5,
+            quarantine_seconds=quarantine_seconds,
+        ),
+    )
+    workers = [
+        Worker(
+            f"w{k}",
+            network,
+            server="srv",
+            platform=SMPPlatform(cores=1),
+            segment_steps=segment_steps,
+            # pace the healthy workers so the run is long enough for
+            # the quarantine to expire; the flapper stays unpaced so a
+            # revival never interleaves checkpoints with a requeued copy
+            segments_per_cycle=None if k == 0 else 1,
+        )
+        for k in range(n_workers)
+    ]
+    for worker in workers:
+        network.connect("srv", worker.name)
+    for worker in workers:
+        worker.announce(0.0)
+
+    controller = SwarmController(n_commands=n_commands, n_steps=n_steps)
+    runner = ProjectRunner(network, server, workers, tick=tick)
+    runner.submit(Project("swarm"), controller)
+    runner.run(max_cycles=max_cycles)
+    return {
+        "runner": runner,
+        "server": server,
+        "workers": workers,
+        "flapper": workers[0],
+        "controller": controller,
+        "network": network,
+        "transcript": runner.events.to_text(),
+        "chaos": network.chaos_report(),
+    }
+
+
+def run_relay_with_sick_peer(
+    n_commands: int = 8,
+    n_steps: int = 3000,
+    sick_until_index: int = 20,
+    segment_steps: int = 1000,
+    heartbeat_interval: float = 60.0,
+    tick: float = 90.0,
+    cooldown_seconds: float = 200.0,
+    max_cycles: int = 10000,
+    seed: int = 0,
+) -> dict:
+    """A relay's sick wildcard peer trips its circuit breaker.
+
+    Topology: project server ``srv`` holds the queue, worker ``w0``
+    hangs off relay ``relay``, and a third server ``sick`` is linked to
+    the relay *first* — so every wildcard fetch probes it before
+    reaching ``srv``.  A :attr:`FaultKind.SICK_PEER` fault makes those
+    probes fail transiently until ``sick_until_index``: the relay's
+    per-peer breaker counts the failures, opens, and skips the peer
+    (fetches keep succeeding via ``srv``).  When the cooldown expires
+    the breaker goes half-open, the now-healthy peer answers its
+    probes, and the breaker re-closes — all visible in the returned
+    breaker counters.
+    """
+    network = ChaosNetwork(plan=FaultPlan(seed=seed), seed=seed)
+    network.plan.sick_peer("sick", until_index=sick_until_index)
+    srv = CopernicusServer(
+        "srv", network, heartbeat_interval=heartbeat_interval
+    )
+    relay = CopernicusServer(
+        "relay", network, heartbeat_interval=heartbeat_interval
+    )
+    sick = CopernicusServer(
+        "sick", network, heartbeat_interval=heartbeat_interval
+    )
+    # a short cooldown so the open -> half-open -> closed arc completes
+    # within the project's lifetime
+    relay.breaker_policy = BreakerPolicy(cooldown_seconds=cooldown_seconds)
+    # link order pins the BFS probe order: sick first, then srv
+    network.connect("relay", "sick")
+    network.connect("relay", "srv")
+    worker = Worker(
+        "w0",
+        network,
+        server="relay",
+        platform=SMPPlatform(cores=1),
+        segment_steps=segment_steps,
+    )
+    network.connect("relay", "w0")
+    worker.announce(0.0)
+
+    controller = SwarmController(n_commands=n_commands, n_steps=n_steps)
+    runner = ProjectRunner(network, srv, [worker], tick=tick)
+    runner.submit(Project("swarm"), controller)
+    runner.run(max_cycles=max_cycles)
+    return {
+        "runner": runner,
+        "server": srv,
+        "relay": relay,
+        "sick": sick,
+        "workers": [worker],
+        "breaker": relay.breaker_for("sick"),
+        "controller": controller,
+        "network": network,
+        "transcript": runner.events.to_text(),
+        "chaos": network.chaos_report(),
     }

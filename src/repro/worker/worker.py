@@ -33,6 +33,16 @@ class ExecutionRecord:
     completed: bool = False
 
 
+@dataclass
+class _ActiveCommand:
+    """A command mid-execution, parked between paced work cycles."""
+
+    command: Command
+    payload: dict
+    record: ExecutionRecord
+    accumulated: Optional[dict] = None
+
+
 class Worker(Endpoint):
     """A worker attached to a server.
 
@@ -48,6 +58,16 @@ class Worker(Endpoint):
         Installed executables (default: all built-ins).
     segment_steps:
         MD steps between checkpoint heartbeats while executing.
+    segments_per_cycle:
+        When set, at most this many segments execute per
+        :meth:`work_once` call; the command parks and resumes next
+        cycle.  This makes execution take *virtual time* — the pacing
+        knob behind the chaos ``STRAGGLER`` fault (``None`` = run every
+        command to completion within one cycle, the historic behavior).
+    pending_results_limit:
+        Cap on parked undeliverable results; beyond it the oldest is
+        dropped (and counted) — a long partition must not grow worker
+        memory without bound.
     """
 
     def __init__(
@@ -58,23 +78,42 @@ class Worker(Endpoint):
         platform=None,
         executables: Optional[ExecutableRegistry] = None,
         segment_steps: int = 2000,
+        segments_per_cycle: Optional[int] = None,
+        pending_results_limit: int = 64,
     ) -> None:
         super().__init__(name, network)
         if segment_steps < 1:
             raise ConfigurationError("segment_steps must be >= 1")
+        if segments_per_cycle is not None and segments_per_cycle < 1:
+            raise ConfigurationError("segments_per_cycle must be >= 1")
+        if pending_results_limit < 1:
+            raise ConfigurationError("pending_results_limit must be >= 1")
         self.server = server
         self.platform = platform or SMPPlatform(cores=1)
         self.executables = executables or default_registry()
         self.segment_steps = segment_steps
+        self.segments_per_cycle = segments_per_cycle
         self.crashed = False
         #: Degradation factor in (0, 1]: fraction of ``segment_steps``
         #: actually executed per segment (chaos "slow worker" fault).
         self.throttle = 1.0
+        #: Seconds this worker's heartbeat/poll schedule is offset from
+        #: the deployment's cycle boundary (seeded jitter; breaks the
+        #: thundering herd of every worker beating in lockstep).
+        self.poll_offset = 0.0
         #: Executed-command log (for tests and reports).
         self.history: List[ExecutionRecord] = []
         #: Results that could not reach the server (partition/crash);
-        #: resubmitted at the start of the next work cycle.
+        #: resubmitted at the start of the next work cycle.  Bounded by
+        #: ``pending_results_limit`` and deduplicated by command id.
         self._pending_results: List[Tuple[Command, dict]] = []
+        self.pending_results_limit = pending_results_limit
+        #: Parked results dropped because the bound was hit.
+        self.pending_results_dropped = 0
+        #: The command currently mid-execution under pacing, if any.
+        self._active: Optional[_ActiveCommand] = None
+        #: Commands fetched but not yet started (pacing backlog).
+        self._backlog: List[Command] = []
         #: Crash trigger: called before each segment; return True to die.
         self._crash_hook: Optional[Callable[[str, int], bool]] = None
 
@@ -135,19 +174,23 @@ class Worker(Endpoint):
         except TransientCommunicationError:
             return None
 
-    def request_workload(self) -> List[Command]:
+    def request_workload(self, now: float = 0.0) -> List[Command]:
         """Ask the server for commands matching this worker.
 
         Returns an empty workload when the server is transiently
         unreachable (the worker idles this cycle and polls again).
+        The request carries the worker's clock so the server can gate
+        quarantined workers against virtual time.
         """
         if self.crashed:
             return []
+        payload = self.capabilities_payload()
+        payload["now"] = now
         try:
             response = self.send(
                 self.server,
                 MessageType.WORKLOAD_REQUEST,
-                self.capabilities_payload(),
+                payload,
             )
         except TransientCommunicationError:
             return []
@@ -158,36 +201,54 @@ class Worker(Endpoint):
 
         Returns the final result payload, or ``None`` if the worker
         crashed mid-command (the server will detect it by heartbeat
-        timeout and requeue from the last checkpoint).
+        timeout and requeue from the last checkpoint) — or, under
+        pacing (``segments_per_cycle``), if the command parked to
+        resume on the next work cycle.
         """
         record = ExecutionRecord(command_id=command.command_id)
         self.history.append(record)
         payload = dict(command.payload)
         if command.checkpoint is not None:
             payload["checkpoint"] = command.checkpoint
-        total_result: Optional[dict] = None
+        active = _ActiveCommand(command=command, payload=payload, record=record)
+        return self._execute(active, now)
 
+    def _execute(self, active: _ActiveCommand, now: float) -> Optional[dict]:
+        """Run (or resume) one command until done, crash, or budget."""
+        command, record = active.command, active.record
+        executed = 0
         while True:
             if self.crashed or (
                 self._crash_hook
                 and self._crash_hook(command.command_id, record.segments)
             ):
                 self.crashed = True
+                self._active = None
+                return None
+            if (
+                self.segments_per_cycle is not None
+                and executed >= self.segments_per_cycle
+            ):
+                # budget exhausted: park; the latest checkpoint was
+                # already heartbeated, so the server can still recover
+                self._active = active
                 return None
             result, completed = self.executables.run(
                 command.executable,
-                payload,
+                active.payload,
                 abort_after_steps=max(1, int(self.segment_steps * self.throttle)),
             )
             record.segments += 1
-            total_result = self._merge_segment(total_result, result)
+            executed += 1
+            active.accumulated = self._merge_segment(active.accumulated, result)
             if completed:
                 record.completed = True
+                self._active = None
                 self.heartbeat(now)
-                return total_result
+                return active.accumulated
             # continue from the returned checkpoint, heartbeating it so
             # the server can recover the command if this worker dies
-            payload["checkpoint"] = result["checkpoint"]
+            active.payload["checkpoint"] = result["checkpoint"]
             self.heartbeat(
                 now, checkpoints={command.command_id: result["checkpoint"]}
             )
@@ -243,8 +304,27 @@ class Worker(Endpoint):
                 },
             )
         except TransientCommunicationError:
-            self._pending_results.append((command, result))
+            self._park_result(command, result)
             return None
+
+    def _park_result(self, command: Command, result: dict) -> None:
+        """Park an undeliverable result, deduplicated and bounded.
+
+        A result re-parked for a command already waiting replaces the
+        old entry (one delivery is enough — the server dedups anyway);
+        when the bound is hit the oldest parked result is dropped and
+        counted, trading that command's redelivery for bounded memory
+        (the server's liveness sweep requeues it if it never arrives).
+        """
+        self._pending_results = [
+            entry
+            for entry in self._pending_results
+            if entry[0].command_id != command.command_id
+        ]
+        self._pending_results.append((command, result))
+        while len(self._pending_results) > self.pending_results_limit:
+            self._pending_results.pop(0)
+            self.pending_results_dropped += 1
 
     def flush_pending_results(self) -> int:
         """Resubmit parked results; returns how many got through."""
@@ -259,16 +339,32 @@ class Worker(Endpoint):
         return delivered
 
     def work_once(self, now: float = 0.0) -> int:
-        """One poll cycle: fetch a workload and run it to completion.
+        """One poll cycle: resume parked work, fetch and run commands.
+
+        Without pacing every fetched command runs to completion within
+        the cycle.  With ``segments_per_cycle`` set, a command that
+        exhausts its segment budget parks in :attr:`_active` and
+        resumes next cycle — only when both the active slot and the
+        backlog are empty does the worker poll for a new workload.
 
         Returns the number of commands completed this cycle.
         """
         done = self.flush_pending_results()
-        commands = self.request_workload()
-        for command in commands:
-            result = self.run_command(command, now=now)
+        if self.crashed:
+            return done
+        if self._active is None and not self._backlog:
+            self._backlog.extend(self.request_workload(now=now))
+        while True:
+            if self._active is not None:
+                command = self._active.command
+                result = self._execute(self._active, now)
+            elif self._backlog:
+                command = self._backlog.pop(0)
+                result = self.run_command(command, now=now)
+            else:
+                break
             if result is None:
-                break  # crashed
+                break  # crashed mid-command, or parked until next cycle
             response = self.submit_result(command, result)
             if response is not None:
                 done += 1

@@ -9,6 +9,7 @@ import pytest
 
 from repro.core.events import EventKind, EventLog
 from repro.core.project import Project, ProjectStatus
+from repro.net.circuit import BreakerPolicy, CircuitBreaker
 from repro.testing import Invariants
 from repro.util.errors import InvariantViolation
 
@@ -31,10 +32,12 @@ class FakeServer:
 class FakeRunner:
     """Just enough runner surface for the checker."""
 
-    def __init__(self, events=None, servers=None, projects=None):
+    def __init__(self, events=None, servers=None, projects=None, network=None):
         self.events = events or EventLog()
         self._servers = servers if servers is not None else [FakeServer()]
         self._projects = projects or {}
+        if network is not None:
+            self.network = network
 
 
 def issue(log, ids, t=0.0):
@@ -162,6 +165,113 @@ def test_overcomplete_project_detected():
     runner = FakeRunner(projects={"p": project})
     violations = Invariants(runner).check()
     assert any("more completions" in v for v in violations)
+
+
+def test_speculated_double_completion_detected():
+    log = EventLog()
+    issue(log, ["c0"])
+    log.record(0.0, EventKind.SPECULATION_STARTED, command="c0", worker="w0")
+    complete(log, "c0", t=1.0)
+    complete(log, "c0", t=2.0)
+    violations = Invariants(FakeRunner(events=log)).check()
+    assert any("speculated command 'c0' completed 2 times" in v for v in violations)
+
+
+def test_speculation_lost_without_start_detected():
+    log = EventLog()
+    issue(log, ["c0"])
+    complete(log, "c0", t=1.0)
+    log.record(2.0, EventKind.SPECULATION_LOST, command="c0", worker="w0")
+    server = FakeServer()
+    server.speculations_lost = 1
+    violations = Invariants(FakeRunner(events=log, servers=[server])).check()
+    assert any("without a preceding speculation start" in v for v in violations)
+
+
+def test_speculation_lost_before_completion_detected():
+    log = EventLog()
+    issue(log, ["c0"])
+    log.record(0.0, EventKind.SPECULATION_STARTED, command="c0", worker="w0")
+    log.record(1.0, EventKind.SPECULATION_LOST, command="c0", worker="w0")
+    server = FakeServer()
+    server.speculations_started = 1
+    server.speculations_lost = 1
+
+    class Cmd:
+        command_id = "c0"
+
+    server.queue = FakeQueue([Cmd()])
+    violations = Invariants(FakeRunner(events=log, servers=[server])).check()
+    assert any("race was not decided" in v for v in violations)
+
+
+def test_speculation_counter_mismatch_detected():
+    log = EventLog()
+    issue(log, ["c0"])
+    log.record(0.0, EventKind.SPECULATION_STARTED, command="c0", worker="w0")
+    complete(log, "c0", t=1.0)
+    log.record(2.0, EventKind.SPECULATION_LOST, command="c0", worker="w0")
+    server = FakeServer()
+    server.speculations_started = 1
+    server.speculations_lost = 0  # the event log says 1
+    violations = Invariants(FakeRunner(events=log, servers=[server])).check()
+    assert any("speculation losses" in v for v in violations)
+
+
+def test_workload_to_quarantined_worker_detected():
+    log = EventLog()
+    log.record(0.0, EventKind.WORKER_QUARANTINED, worker="w0", server="srv")
+    log.record(1.0, EventKind.WORKLOAD_ASSIGNED, worker="w0", server="srv")
+    violations = Invariants(FakeRunner(events=log)).check()
+    assert any("assigned workload to quarantined" in v for v in violations)
+
+
+def test_workload_after_readmission_is_legal():
+    log = EventLog()
+    log.record(0.0, EventKind.WORKER_QUARANTINED, worker="w0", server="srv")
+    log.record(5.0, EventKind.WORKER_READMITTED, worker="w0", server="srv")
+    log.record(6.0, EventKind.WORKLOAD_ASSIGNED, worker="w0", server="srv")
+    assert Invariants(FakeRunner(events=log)).check() == []
+
+
+def test_readmission_without_quarantine_detected():
+    log = EventLog()
+    log.record(0.0, EventKind.WORKER_READMITTED, worker="w0", server="srv")
+    violations = Invariants(FakeRunner(events=log)).check()
+    assert any("without a preceding quarantine" in v for v in violations)
+
+
+class FakeBreakerEndpoint:
+    def __init__(self, breaker):
+        self.peer_breakers = {breaker.peer: breaker}
+
+
+class FakeBreakerNetwork:
+    def __init__(self, endpoint):
+        self._endpoint = endpoint
+
+    def endpoints(self):
+        return ["srv"]
+
+    def endpoint(self, name):
+        return self._endpoint
+
+
+def test_breaker_skips_without_open_detected():
+    breaker = CircuitBreaker("sick", BreakerPolicy())
+    breaker.skips = 3  # a doctored history: skipped without ever opening
+    network = FakeBreakerNetwork(FakeBreakerEndpoint(breaker))
+    violations = Invariants(FakeRunner(network=network)).check()
+    assert any("skipped 3 calls but never opened" in v for v in violations)
+
+
+def test_breaker_closed_with_unbalanced_opens_detected():
+    breaker = CircuitBreaker("sick", BreakerPolicy())
+    breaker.opens = 2
+    breaker.closes = 1  # ended CLOSED without balancing its opens
+    network = FakeBreakerNetwork(FakeBreakerEndpoint(breaker))
+    violations = Invariants(FakeRunner(network=network)).check()
+    assert any("must balance its opens" in v for v in violations)
 
 
 def test_assert_ok_raises_with_every_violation_listed():
