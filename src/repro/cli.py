@@ -9,7 +9,11 @@ module is its reproduction-scale analogue:
 * ``python -m repro demo-fep`` — run the BAR free-energy project to
   its error target;
 * ``python -m repro scaling`` — print the Fig. 7/8/9 rows for chosen
-  core counts.
+  core counts;
+* ``python -m repro obs {metrics,trace,timeline}`` — run a canned
+  chaos scenario and export its observability artifacts: a Prometheus
+  metrics dump, a Perfetto-loadable Chrome trace, or a per-command
+  lifecycle timeline report.
 """
 
 from __future__ import annotations
@@ -68,6 +72,43 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     umbrella.add_argument("--windows", type=int, default=11)
     umbrella.add_argument("--samples", type=int, default=2000)
+
+    obs = sub.add_parser(
+        "obs", help="run a scenario and export observability artifacts"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    def _obs_common(p):
+        p.add_argument(
+            "--scenario",
+            choices=["swarm", "straggler", "flapping", "sick-peer"],
+            default="swarm",
+            help="canned chaos scenario to run (default: swarm)",
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--out", default=None,
+            help="write the artifact to this file (default: stdout)",
+        )
+
+    metrics = obs_sub.add_parser(
+        "metrics", help="dump the run's metrics registry"
+    )
+    _obs_common(metrics)
+    metrics.add_argument(
+        "--format", choices=["prometheus", "jsonl"], default="prometheus",
+        help="Prometheus text exposition or JSON lines",
+    )
+
+    trace = obs_sub.add_parser(
+        "trace", help="export the run's spans as Chrome trace JSON"
+    )
+    _obs_common(trace)
+
+    timeline = obs_sub.add_parser(
+        "timeline", help="per-command lifecycle timeline report"
+    )
+    _obs_common(timeline)
     return parser
 
 
@@ -281,6 +322,83 @@ def cmd_demo_umbrella(args, out) -> int:
     return 0
 
 
+def _run_obs_scenario(args) -> dict:
+    """Run the chosen canned chaos scenario deterministically.
+
+    Every scenario returns the shared :class:`~repro.obs.Observability`
+    hub under the ``"obs"`` key, plus the runner for timeline builds.
+    """
+    from repro.testing import scenarios
+
+    runners = {
+        "swarm": scenarios.run_swarm_under_faults,
+        "straggler": scenarios.run_swarm_with_straggler,
+        "flapping": scenarios.run_swarm_with_flapping_worker,
+        "sick-peer": scenarios.run_relay_with_sick_peer,
+    }
+    return runners[args.scenario](seed=args.seed)
+
+
+def _emit(text: str, args, out) -> None:
+    """Write *text* to ``--out`` when given, else to the CLI stream."""
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        print(text, file=out, end="" if text.endswith("\n") else "\n")
+
+
+def cmd_obs(args, out) -> int:
+    """``obs``: export metrics, traces or timelines from a canned run.
+
+    ``repro obs metrics`` dumps the deployment's shared metrics
+    registry, either as Prometheus text exposition (default; feed it to
+    ``promtool`` or re-parse it with
+    :func:`repro.obs.metrics.parse_prometheus_text`) or as JSON lines.
+
+    ``repro obs trace`` exports every span the run recorded as Chrome
+    trace-event JSON — load the file in Perfetto or ``chrome://tracing``
+    to see each command's issue → queue → execute → transfer → apply
+    arc laid out per component.  The export is validated before it is
+    written; malformed traces fail the command with a nonzero exit.
+
+    ``repro obs timeline`` prints the per-command lifecycle report:
+    queue / compute / transfer / controller phase breakdown, critical
+    path and utilization, reconstructed from the run's event log and
+    spans.
+
+    All three share ``--scenario`` (which canned chaos scenario to run)
+    and ``--seed``; the same seed reproduces the identical artifact.
+    """
+    scenario = _run_obs_scenario(args)
+    obs = scenario["obs"]
+    if args.obs_command == "metrics":
+        if args.format == "prometheus":
+            _emit(obs.export_prometheus(), args, out)
+        else:
+            _emit(obs.export_json_lines(), args, out)
+        return 0
+    if args.obs_command == "trace":
+        import json
+
+        from repro.obs.trace import to_chrome_trace, validate_chrome_trace
+
+        trace = to_chrome_trace(obs.tracer)
+        problems = validate_chrome_trace(trace)
+        if problems:
+            for problem in problems:
+                print(f"trace validation: {problem}", file=sys.stderr)
+            return 1
+        _emit(json.dumps(trace, indent=2) + "\n", args, out)
+        return 0
+    # timeline
+    from repro.obs.timeline import timeline_report_for
+
+    report = timeline_report_for(scenario["runner"])
+    _emit(report.render_text() + "\n", args, out)
+    return 0
+
+
 _COMMANDS = {
     "info": cmd_info,
     "demo-msm": cmd_demo_msm,
@@ -288,6 +406,7 @@ _COMMANDS = {
     "scaling": cmd_scaling,
     "demo-recovery": cmd_demo_recovery,
     "demo-umbrella": cmd_demo_umbrella,
+    "obs": cmd_obs,
 }
 
 

@@ -40,6 +40,11 @@ class Command:
     checkpoint:
         Resume payload attached when a failed worker's command is
         requeued.
+    trace:
+        Distributed-tracing context (``trace_id``/``span_id``) stamped
+        by the issuing server so the worker's execution spans join the
+        command's trace.  Telemetry only — never consulted by matching
+        or execution logic.
     """
 
     command_id: str
@@ -51,6 +56,7 @@ class Command:
     priority: int = 0
     origin_server: str = ""
     checkpoint: Optional[Dict] = None
+    trace: Optional[Dict] = None
 
     def to_payload(self) -> Dict:
         """Wire-format dict."""
@@ -66,6 +72,8 @@ class Command:
         }
         if self.checkpoint is not None:
             out["checkpoint"] = self.checkpoint
+        if self.trace is not None:
+            out["trace"] = self.trace
         return out
 
     @classmethod
@@ -81,4 +89,5 @@ class Command:
             priority=int(payload.get("priority", 0)),
             origin_server=payload.get("origin_server", ""),
             checkpoint=payload.get("checkpoint"),
+            trace=payload.get("trace"),
         )

@@ -4,6 +4,15 @@ Copernicus users watch their runs through a web interface; this module
 produces the same view — project progress, per-server queues, worker
 liveness, overlay traffic — as a structured snapshot, a terminal
 rendering and a self-contained HTML page.
+
+Since the observability layer landed (:mod:`repro.obs`) the snapshot is
+built on two sources: live component state (queues, assignments,
+health) read through the runner's *public* accessors, and the
+deployment's shared metrics registry (``runner.network.obs.metrics``),
+whose counters provide the numeric series (requeues, speculations,
+duplicates) the dashboards render.  Snapshot time also refreshes the
+point-in-time gauges (queue depth, workers alive) so a metrics dump
+taken alongside the dashboard agrees with it.
 """
 
 from __future__ import annotations
@@ -12,11 +21,57 @@ import html
 from typing import Dict, List
 
 
+def _servers_of(runner) -> List:
+    """The runner's servers via the public accessor (with a fallback
+    for test doubles that only set the private list)."""
+    servers = getattr(runner, "servers", None)
+    if servers is None:
+        servers = runner._servers
+    return list(servers)
+
+
+def _series(obs, name: str, default, **labels) -> float:
+    """One numeric series from the registry; *default* (the component's
+    own attribute) covers registry-less runners and unseen label sets."""
+    if obs is None:
+        return default
+    return obs.metrics.value(name, default=float(default), **labels)
+
+
+def _refresh_gauges(runner) -> None:
+    """Write point-in-time gauges into the shared registry, if any."""
+    obs = getattr(getattr(runner, "network", None), "obs", None)
+    if obs is None:
+        return
+    for server in _servers_of(runner):
+        workers = server.monitor.workers()
+        obs.metrics.set_gauge(
+            "repro_server_queue_depth",
+            len(server.queue),
+            help="Commands currently queued.",
+            server=server.name,
+        )
+        obs.metrics.set_gauge(
+            "repro_server_workers_alive",
+            sum(1 for w in workers if server.monitor.is_alive(w)),
+            help="Workers currently considered alive.",
+            server=server.name,
+        )
+        obs.metrics.set_gauge(
+            "repro_server_commands_in_flight",
+            sum(len(cmds) for cmds in server.assignments.values()),
+            help="Commands currently assigned to workers.",
+            server=server.name,
+        )
+
+
 def status_snapshot(runner) -> Dict:
     """A structured snapshot of a :class:`~repro.core.runner.ProjectRunner`."""
     network = runner.network
+    _refresh_gauges(runner)
+    obs = getattr(network, "obs", None)
     servers = []
-    for server in runner._servers:
+    for server in _servers_of(runner):
         servers.append(
             {
                 "name": server.name,
@@ -31,14 +86,59 @@ def status_snapshot(runner) -> Dict:
                     for w, cmds in server.assignments.items()
                     if cmds
                 },
-                "requeued_after_failure": server.requeued_after_failure,
+                "requeued_after_failure": int(
+                    _series(
+                        obs,
+                        "repro_server_requeues_total",
+                        server.requeued_after_failure,
+                        server=server.name,
+                    )
+                ),
                 "health": server.health.describe(),
                 "speculation": {
-                    "stragglers_detected": server.stragglers_detected,
-                    "started": server.speculations_started,
-                    "won": server.speculations_won,
-                    "lost": server.speculations_lost,
-                    "workloads_denied": server.workloads_denied,
+                    "stragglers_detected": int(
+                        _series(
+                            obs,
+                            "repro_server_stragglers_total",
+                            server.stragglers_detected,
+                            server=server.name,
+                        )
+                    ),
+                    "started": int(
+                        _series(
+                            obs,
+                            "repro_server_speculations_total",
+                            server.speculations_started,
+                            server=server.name,
+                            outcome="started",
+                        )
+                    ),
+                    "won": int(
+                        _series(
+                            obs,
+                            "repro_server_speculations_total",
+                            server.speculations_won,
+                            server=server.name,
+                            outcome="won",
+                        )
+                    ),
+                    "lost": int(
+                        _series(
+                            obs,
+                            "repro_server_speculations_total",
+                            server.speculations_lost,
+                            server=server.name,
+                            outcome="lost",
+                        )
+                    ),
+                    "workloads_denied": int(
+                        _series(
+                            obs,
+                            "repro_server_workloads_denied_total",
+                            server.workloads_denied,
+                            server=server.name,
+                        )
+                    ),
                 },
                 "breakers": [
                     breaker.describe()
@@ -46,7 +146,7 @@ def status_snapshot(runner) -> Dict:
                 ],
             }
         )
-    return {
+    snapshot = {
         "now": runner.now,
         "projects": runner.status(),
         "servers": servers,
@@ -54,6 +154,9 @@ def status_snapshot(runner) -> Dict:
         "total_bytes": network.total_bytes(),
         "messages": network.messages_delivered,
     }
+    if obs is not None:
+        snapshot["metrics"] = obs.metrics.snapshot()
+    return snapshot
 
 
 def render_text(snapshot: Dict) -> str:
@@ -109,6 +212,12 @@ def render_text(snapshot: Dict) -> str:
             lines.append(
                 f"  {row['link']}: {row['messages']} msgs, {row['bytes']} bytes"
             )
+    metrics = snapshot.get("metrics")
+    if metrics:
+        lines.append(
+            f"-- metrics: {len(metrics)} series "
+            f"(`repro obs metrics` for the full dump) --"
+        )
     return "\n".join(lines)
 
 

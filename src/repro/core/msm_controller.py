@@ -248,7 +248,25 @@ class AdaptiveMSMController(Controller):
                 commands.append(
                     self._new_command(project, conf, 0, parent=None, start_cluster=None)
                 )
+        self._observe_generation(project, len(commands))
         return commands
+
+    def _observe_generation(self, project: Project, n_commands: int) -> None:
+        """Export generation progress to the bound observability hub."""
+        if self.obs is None:
+            return
+        self.obs.metrics.set_gauge(
+            "repro_msm_generation",
+            self.generation,
+            help="Current adaptive-sampling generation.",
+            project=project.project_id,
+        )
+        self.obs.metrics.inc(
+            "repro_msm_commands_total",
+            amount=n_commands,
+            help="Simulation commands spawned by the MSM controller.",
+            project=project.project_id,
+        )
 
     def on_command_finished(
         self, project: Project, command: Command, result: Dict
@@ -270,11 +288,38 @@ class AdaptiveMSMController(Controller):
         # generation boundary
         summary = self._cluster_and_summarise()
         self.history.append(summary)
+        if self.obs is not None:
+            self.obs.metrics.inc(
+                "repro_msm_clusterings_total",
+                help="Generation-boundary clustering passes.",
+                project=project.project_id,
+            )
+            self.obs.metrics.set_gauge(
+                "repro_msm_states",
+                summary["n_states"],
+                help="Microstates in the latest clustering.",
+                project=project.project_id,
+            )
+            self.obs.metrics.set_gauge(
+                "repro_msm_pool_frames",
+                summary["n_pool_frames"],
+                help="Pooled frames fed to the latest clustering.",
+                project=project.project_id,
+            )
+            if "min_center_rmsd" in summary:
+                self.obs.metrics.set_gauge(
+                    "repro_msm_min_center_rmsd",
+                    summary["min_center_rmsd"],
+                    help="Best cluster-center RMSD to native (nm).",
+                    project=project.project_id,
+                )
         if self.generation + 1 >= self.config.n_generations:
             self._complete = True
             return []
         self.generation += 1
-        return self._spawn_next_generation(project, summary)
+        follow_ups = self._spawn_next_generation(project, summary)
+        self._observe_generation(project, len(follow_ups))
+        return follow_ups
 
     def _check_stop(self, traj: TrajectoryRecord) -> bool:
         if self.config.stop_rmsd is None or self.native is None:

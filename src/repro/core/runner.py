@@ -69,6 +69,28 @@ class ProjectRunner:
             if isinstance(endpoint, CopernicusServer):
                 self._servers.append(endpoint)
 
+    # -- public accessors ----------------------------------------------------
+
+    @property
+    def servers(self) -> List[CopernicusServer]:
+        """Every server on the overlay (monitoring/invariant checkers
+        read this instead of reaching into private state)."""
+        return list(self._servers)
+
+    @property
+    def projects(self) -> List[Project]:
+        """Every submitted project, in submission order."""
+        return list(self._projects.values())
+
+    def project(self, project_id: str) -> Project:
+        """One submitted project by id (raises KeyError when unknown)."""
+        return self._projects[project_id]
+
+    @property
+    def obs(self):
+        """The deployment's observability hub (shared via the network)."""
+        return self.network.obs
+
     # -- submission ----------------------------------------------------------
 
     def submit(self, project: Project, controller: Controller) -> None:
@@ -79,6 +101,7 @@ class ProjectRunner:
             )
         self._projects[project.project_id] = project
         self._controllers[project.project_id] = controller
+        controller.bind_obs(self.network.obs)
 
         def sink(command: Command, result: dict) -> None:
             self._on_result(project, controller, command, result)
@@ -147,6 +170,7 @@ class ProjectRunner:
                 command.checkpoint = checkpoint
         self._projects[project_id] = project
         self._controllers[project_id] = controller
+        controller.bind_obs(self.network.obs)
 
         def sink(command: Command, result: dict) -> None:
             self._on_result(project, controller, command, result)
@@ -207,15 +231,38 @@ class ProjectRunner:
             command=command.command_id,
         )
         follow_ups = controller.on_command_finished(project, command, result)
+        ctx = command.trace or {}
+        self.network.obs.tracer.record(
+            "controller.update",
+            self.now,
+            self.now,
+            ctx.get("trace_id") or "",
+            component="controller",
+            parent_id=ctx.get("span_id"),
+            command=command.command_id,
+            follow_ups=len(follow_ups or ()),
+        )
+        self.network.obs.metrics.inc(
+            "repro_controller_results_total",
+            help="Results folded into projects by controllers.",
+            project=project.project_id,
+        )
         if follow_ups:
             project.record_issue(follow_ups)
             self.project_server.submit_commands(follow_ups)
+            self.network.obs.metrics.inc(
+                "repro_controller_follow_ups_total",
+                amount=len(follow_ups),
+                help="Follow-up commands issued by controllers.",
+                project=project.project_id,
+            )
             self.events.record(
                 self.now,
                 EventKind.COMMANDS_ISSUED,
                 project.project_id,
                 count=len(follow_ups),
                 ids=[c.command_id for c in follow_ups],
+                trigger=command.command_id,
             )
 
     # -- main loop ------------------------------------------------------------

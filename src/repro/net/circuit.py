@@ -83,6 +83,15 @@ class CircuitBreaker:
         self.opens = 0
         self.closes = 0
         self.skips = 0
+        #: Optional ``(breaker, new_state) -> None`` callback fired on
+        #: every state transition; the transport uses it to feed the
+        #: metrics registry without the breaker knowing about metrics.
+        self.observer = None
+
+    def _transition(self, state: BreakerState) -> None:
+        self.state = state
+        if self.observer is not None:
+            self.observer(self, state)
 
     def allow(self, now: float) -> bool:
         """Whether the caller may contact the peer at virtual time *now*.
@@ -93,8 +102,8 @@ class CircuitBreaker:
         """
         if self.state is BreakerState.OPEN:
             if now >= self._open_until:
-                self.state = BreakerState.HALF_OPEN
                 self._probe_successes = 0
+                self._transition(BreakerState.HALF_OPEN)
             else:
                 self.skips += 1
                 return False
@@ -105,9 +114,9 @@ class CircuitBreaker:
         if self.state is BreakerState.HALF_OPEN:
             self._probe_successes += 1
             if self._probe_successes >= self.policy.half_open_probes:
-                self.state = BreakerState.CLOSED
                 self._current_cooldown = self.policy.cooldown_seconds
                 self.closes += 1
+                self._transition(BreakerState.CLOSED)
         self._consecutive_failures = 0
 
     def record_failure(self, now: float) -> None:
@@ -128,11 +137,11 @@ class CircuitBreaker:
             self._trip(now)
 
     def _trip(self, now: float) -> None:
-        self.state = BreakerState.OPEN
         self._open_until = now + self._current_cooldown
         self._consecutive_failures = 0
         self._probe_successes = 0
         self.opens += 1
+        self._transition(BreakerState.OPEN)
 
     def describe(self) -> dict:
         """Schema-stable summary for monitoring and reports."""

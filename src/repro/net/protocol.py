@@ -47,6 +47,11 @@ class Message:
         commands" (the paper's routing mode for workload requests).
     payload:
         Wire-format body (see :mod:`repro.util.serialization`).
+    headers:
+        Out-of-band metadata riding with the request — notably the
+        distributed-tracing context (:mod:`repro.obs.trace` writes
+        ``trace_id``/``span_id`` here), kept separate from the payload
+        so handlers never confuse telemetry with application data.
     hops:
         Endpoint names traversed so far (appended by the transport).
     attempt:
@@ -58,16 +63,22 @@ class Message:
     src: str
     dst: str
     payload: Dict[str, Any] = field(default_factory=dict)
+    headers: Dict[str, Any] = field(default_factory=dict)
     hops: List[str] = field(default_factory=list)
     attempt: int = 0
 
     def reply(self, payload: Dict[str, Any]) -> "Message":
-        """Build the response message for this request."""
+        """Build the response message for this request.
+
+        The request's headers travel back so a trace context survives
+        the round trip.
+        """
         return Message(
             type=MessageType.RESPONSE,
             src=self.dst,
             dst=self.src,
             payload=payload,
+            headers=dict(self.headers),
         )
 
 

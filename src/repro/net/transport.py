@@ -19,8 +19,9 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.auth import KeyPair, TrustStore, exchange_keys, mutual_handshake
-from repro.net.circuit import BreakerPolicy, CircuitBreaker
+from repro.net.circuit import BreakerPolicy, BreakerState, CircuitBreaker
 from repro.net.protocol import ANY_SERVER, Message, MessageType
+from repro.obs import Observability
 from repro.util.errors import (
     CommunicationError,
     CommunicationTimeout,
@@ -97,6 +98,8 @@ class Endpoint:
     ) -> None:
         self.name = name
         self.network = network
+        #: The deployment's shared observability hub (metrics + tracer).
+        self.obs = network.obs
         self.keypair = KeyPair.generate(network.rng, owner=name)
         self.trust = TrustStore()
         self.retry_policy = retry_policy or RetryPolicy()
@@ -120,8 +123,21 @@ class Endpoint:
         breaker = self.peer_breakers.get(peer)
         if breaker is None:
             breaker = CircuitBreaker(peer, self.breaker_policy)
+            breaker.observer = self._on_breaker_transition
             self.peer_breakers[peer] = breaker
         return breaker
+
+    def _on_breaker_transition(
+        self, breaker: CircuitBreaker, state: BreakerState
+    ) -> None:
+        """Fold breaker state changes into the metrics registry."""
+        self.obs.metrics.inc(
+            "repro_net_breaker_transitions_total",
+            help="Circuit-breaker state transitions per endpoint/peer.",
+            endpoint=self.name,
+            peer=breaker.peer,
+            to=state.value,
+        )
 
     def handle(self, message: Message) -> Optional[dict]:
         """Process an inbound request; override or pass ``handler=``."""
@@ -137,6 +153,7 @@ class Endpoint:
         type: MessageType,
         payload: Optional[dict] = None,
         timeout: Optional[float] = None,
+        headers: Optional[dict] = None,
     ) -> dict:
         """Send a request and return the response payload.
 
@@ -152,11 +169,16 @@ class Endpoint:
         retried within the same budget).  Note that a timed-out
         request may still have reached its destination — receivers
         must treat retried messages idempotently.
+
+        ``headers`` carries out-of-band metadata (e.g. a trace
+        context); retransmissions re-send the same headers.
         """
         attempt = 0
+        metrics = self.obs.metrics
         while True:
             message = Message(
                 type=type, src=self.name, dst=dst, payload=payload or {},
+                headers=dict(headers) if headers else {},
                 attempt=attempt,
             )
             clock_before = self.network.total_transfer_seconds
@@ -166,6 +188,11 @@ class Endpoint:
                 if timeout is not None and elapsed > timeout:
                     self.send_timeouts += 1
                     self.network.timeouts_total += 1
+                    metrics.inc(
+                        "repro_net_send_timeouts_total",
+                        help="Per-message virtual-time timeouts by sender.",
+                        endpoint=self.name,
+                    )
                     raise CommunicationTimeout(
                         f"{self.name!r} -> {dst!r} took {elapsed:.3f}s virtual "
                         f"(timeout {timeout:.3f}s)"
@@ -174,11 +201,21 @@ class Endpoint:
             except TransientCommunicationError:
                 if attempt >= self.retry_policy.max_retries:
                     self.send_failures += 1
+                    metrics.inc(
+                        "repro_net_send_failures_total",
+                        help="Sends abandoned after exhausting retries.",
+                        endpoint=self.name,
+                    )
                     raise
                 wait = self.retry_policy.backoff(attempt)
                 attempt += 1
                 self.send_retries += 1
                 self.backoff_seconds += wait
+                metrics.inc(
+                    "repro_net_send_retries_total",
+                    help="Transient-failure retries by sender.",
+                    endpoint=self.name,
+                )
                 self.network.note_backoff(wait)
 
 
@@ -192,6 +229,9 @@ class Network:
 
     def __init__(self, seed: int = 0) -> None:
         self.rng = RandomStream(seed)
+        #: The deployment-wide observability hub; every endpoint built
+        #: on this network shares it (``endpoint.obs``).
+        self.obs = Observability()
         self._endpoints: Dict[str, Endpoint] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self._adjacency: Dict[str, List[str]] = {}
@@ -213,6 +253,11 @@ class Network:
         self.retries_total += 1
         self.retry_backoff_seconds += seconds
         self.total_transfer_seconds += seconds
+        self.obs.metrics.inc(
+            "repro_net_backoff_seconds_total",
+            amount=seconds,
+            help="Virtual seconds charged to retry backoff waits.",
+        )
 
     # -- construction ----------------------------------------------------
 
@@ -330,12 +375,25 @@ class Network:
             if size > SHARED_FS_REF_BYTES:
                 self.bytes_saved_by_shared_fs += size - SHARED_FS_REF_BYTES
                 size = SHARED_FS_REF_BYTES
+        transfer_seconds = 0.0
         for hop_src, hop_dst in zip(path[:-1], path[1:]):
             ep_s, ep_d = self.endpoint(hop_src), self.endpoint(hop_dst)
             mutual_handshake(ep_s.keypair, ep_s.trust, ep_d.keypair, ep_d.trust)
             duration = self.link(hop_src, hop_dst).record(size)
             self.total_transfer_seconds += duration
+            transfer_seconds += duration
             message.hops.append(hop_dst)
+        if len(path) >= 2:
+            self.obs.metrics.inc(
+                "repro_net_bytes_total",
+                amount=size * (len(path) - 1),
+                help="Bytes carried across overlay links.",
+            )
+            self.obs.metrics.observe(
+                "repro_net_transfer_seconds",
+                transfer_seconds,
+                help="Virtual seconds per message traversal.",
+            )
 
     # -- delivery ------------------------------------------------------------
 
@@ -347,6 +405,11 @@ class Network:
         accepts (returns non-``None``).
         """
         self.messages_delivered += 1
+        self.obs.metrics.inc(
+            "repro_net_messages_total",
+            help="Messages delivered over the overlay, by request kind.",
+            type=message.type.value,
+        )
         if message.dst == ANY_SERVER:
             return self._deliver_any(message)
         path = self.shortest_path(message.src, message.dst)
@@ -407,6 +470,7 @@ class Network:
                 src=message.src,
                 dst=candidate,
                 payload=message.payload,
+                headers=dict(message.headers),
             )
             try:
                 path = self.shortest_path(message.src, candidate)
@@ -415,6 +479,12 @@ class Network:
                 response = self.endpoint(candidate).handle(probe)
             except TransientCommunicationError as exc:
                 breaker.record_failure(sender.clock)
+                self.obs.metrics.inc(
+                    "repro_net_wildcard_probe_failures_total",
+                    help="Wildcard-walk probes that failed transiently.",
+                    endpoint=message.src,
+                    peer=candidate,
+                )
                 last_transient = exc
                 continue
             breaker.record_success(sender.clock)

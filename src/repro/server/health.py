@@ -103,6 +103,36 @@ class HealthRegistry:
         #: Lifetime accounting (surfaced through monitoring).
         self.quarantines = 0
         self.readmissions = 0
+        self._metrics = None
+        self._server = ""
+
+    def bind_metrics(self, registry, server: str) -> None:
+        """Export health scores/transitions to *registry* as *server*.
+
+        Optional: an unbound registry works identically, minus telemetry.
+        """
+        self._metrics = registry
+        self._server = server
+
+    def _export(self, record: WorkerHealth) -> None:
+        if self._metrics is None:
+            return
+        self._metrics.set_gauge(
+            "repro_server_worker_health_score",
+            round(record.score, 6),
+            help="EWMA health score per worker (1.0 = perfect).",
+            server=self._server,
+            worker=record.worker,
+        )
+
+    def _count_transition(self, transition: str) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(
+                "repro_server_health_transitions_total",
+                help="Worker health-state transitions, by kind.",
+                server=self._server,
+                transition=transition,
+            )
 
     def record_for(self, worker: str) -> WorkerHealth:
         """The worker's record (created healthy on first sight)."""
@@ -135,12 +165,14 @@ class HealthRegistry:
         record = self.record_for(worker)
         record.successes += 1
         record.score = self._ewma(record.score, 1.0)
+        self._export(record)
         if (
             record.state is HealthState.PROBATION
             and record.score >= self.policy.probation_threshold
         ):
             record.state = HealthState.HEALTHY
             record.quarantine_count = 0
+            self._count_transition("recovered")
             return "recovered"
         return None
 
@@ -153,6 +185,7 @@ class HealthRegistry:
         record = self.record_for(worker)
         record.failures[kind] = record.failures.get(kind, 0) + 1
         record.score = self._ewma(record.score, FAILURE_OUTCOMES.get(kind, 0.0))
+        self._export(record)
         if (
             record.state is not HealthState.QUARANTINED
             and record.score < self.policy.quarantine_threshold
@@ -166,12 +199,14 @@ class HealthRegistry:
             record.quarantined_until = now + cooldown
             record.quarantine_count += 1
             self.quarantines += 1
+            self._count_transition("quarantined")
             return "quarantined"
         if (
             record.state is HealthState.HEALTHY
             and record.score < self.policy.probation_threshold
         ):
             record.state = HealthState.PROBATION
+            self._count_transition("probation")
             return "probation"
         return None
 
@@ -197,6 +232,8 @@ class HealthRegistry:
             # successes can lift the worker back over the probation bar
             record.score = max(record.score, self.policy.quarantine_threshold)
             self.readmissions += 1
+            self._count_transition("readmitted")
+            self._export(record)
             return True, self.policy.probation_commands, "readmitted"
         return True, self.policy.probation_commands, None
 

@@ -118,6 +118,29 @@ class LeaseTracker:
 
     def __init__(self) -> None:
         self._leases: Dict[Tuple[str, str], Lease] = {}
+        self._metrics = None
+        self._metric_labels: Dict[str, str] = {}
+
+    def bind_metrics(self, registry, server: str) -> None:
+        """Report lease activity to *registry*, labelled by *server*.
+
+        Optional: an unbound tracker works identically, minus telemetry.
+        """
+        self._metrics = registry
+        self._metric_labels = {"server": server}
+
+    def _count(self, name: str, help: str) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(name, help=help, **self._metric_labels)
+
+    def _set_outstanding(self) -> None:
+        if self._metrics is not None:
+            self._metrics.set_gauge(
+                "repro_server_leases_outstanding",
+                len(self._leases),
+                help="Currently outstanding (worker, command) leases.",
+                **self._metric_labels,
+            )
 
     def grant(
         self, worker: str, command: Command, now: float, deadline: float
@@ -127,6 +150,11 @@ class LeaseTracker:
             worker=worker, command=command, granted_at=now, deadline=deadline
         )
         self._leases[(worker, command.command_id)] = lease
+        self._count(
+            "repro_server_leases_granted_total",
+            "Leases granted to workers.",
+        )
+        self._set_outstanding()
         return lease
 
     def get(self, worker: str, command_id: str) -> Optional[Lease]:
@@ -135,7 +163,14 @@ class LeaseTracker:
 
     def clear(self, worker: str, command_id: str) -> Optional[Lease]:
         """Drop one lease (result arrived, or command requeued)."""
-        return self._leases.pop((worker, command_id), None)
+        lease = self._leases.pop((worker, command_id), None)
+        if lease is not None:
+            self._count(
+                "repro_server_leases_cleared_total",
+                "Leases cleared (result arrived or command requeued).",
+            )
+            self._set_outstanding()
+        return lease
 
     def clear_worker(self, worker: str) -> List[Lease]:
         """Drop every lease held by *worker* (declared dead)."""
@@ -144,6 +179,8 @@ class LeaseTracker:
             key: lease for key, lease in self._leases.items()
             if key[0] != worker
         }
+        if gone:
+            self._set_outstanding()
         return gone
 
     def clear_command(self, command_id: str) -> List[Lease]:
@@ -153,15 +190,23 @@ class LeaseTracker:
             key: lease for key, lease in self._leases.items()
             if key[1] != command_id
         }
+        if gone:
+            self._set_outstanding()
         return gone
 
     def overdue(self, now: float) -> List[Lease]:
         """Leases past their deadline and not yet speculated."""
-        return [
+        overdue = [
             lease
             for lease in self._leases.values()
             if not lease.speculated and now > lease.deadline
         ]
+        for _ in overdue:
+            self._count(
+                "repro_server_leases_overdue_total",
+                "Leases found past their deadline by liveness sweeps.",
+            )
+        return overdue
 
     def active(self) -> List[Lease]:
         """Every outstanding lease."""

@@ -22,6 +22,7 @@ from repro.core.command import Command
 from repro.core.events import EventKind, EventLog
 from repro.net.protocol import ANY_SERVER, Message, MessageType
 from repro.net.transport import Endpoint, Network
+from repro.obs.trace import SpanContext, trace_id_for
 from repro.server.health import HealthPolicy, HealthRegistry
 from repro.server.heartbeat import DEFAULT_INTERVAL, HeartbeatMonitor
 from repro.server.lease import LeasePolicy, LeaseTracker
@@ -93,10 +94,27 @@ class CopernicusServer(Endpoint):
         #: lease, checkpoint, result, requeue — is journaled *before*
         #: it is acknowledged, so a restarted server can resume.
         self.journal: Optional[ServerJournal] = None
+        #: Virtual enqueue time per queued command (feeds the
+        #: ``queue.wait`` spans and the queue-wait histogram).
+        self._queued_at: Dict[str, float] = {}
+        self.leases.bind_metrics(self.obs.metrics, self.name)
+        self.health.bind_metrics(self.obs.metrics, self.name)
 
     def _record(self, kind: EventKind, **details) -> None:
         if self.events is not None:
             self.events.record(self.clock, kind, **details)
+
+    def _count(self, name: str, amount: float = 1.0, help: str = "", **labels) -> None:
+        """Increment a server-labelled counter on the shared registry."""
+        self.obs.metrics.inc(name, amount, help=help, server=self.name, **labels)
+
+    def _trace_ctx(self, command: Command) -> Dict:
+        """The command's trace context, minted deterministically if absent."""
+        if not command.trace or not command.trace.get("trace_id"):
+            command.trace = {
+                "trace_id": trace_id_for(command.project_id, command.command_id)
+            }
+        return command.trace
 
     # -- durability --------------------------------------------------------
 
@@ -137,7 +155,23 @@ class CopernicusServer(Endpoint):
                 if journal is not None:
                     journal.record_issued(group)
         for command in commands:
+            trace_id = trace_id_for(command.project_id, command.command_id)
+            issue = self.obs.tracer.record(
+                "command.issue",
+                self.clock,
+                self.clock,
+                trace_id,
+                component=self.name,
+                command=command.command_id,
+            )
+            command.trace = {"trace_id": trace_id, "span_id": issue.span_id}
+            self._queued_at[command.command_id] = self.clock
             self.queue.push(command)
+        self._count(
+            "repro_server_commands_submitted_total",
+            amount=len(commands),
+            help="Commands submitted to this server by hosted controllers.",
+        )
 
     def restore_commands(
         self,
@@ -156,7 +190,14 @@ class CopernicusServer(Endpoint):
         for command in commands:
             if not command.origin_server:
                 command.origin_server = self.name
+            self._trace_ctx(command)
+            self._queued_at[command.command_id] = self.clock
             self.queue.push(command)
+        self._count(
+            "repro_server_commands_restored_total",
+            amount=len(commands),
+            help="Commands requeued from the journal after a restart.",
+        )
 
     def hosts(self, project_id: str) -> bool:
         """Whether this server is the origin of *project_id*."""
@@ -223,6 +264,23 @@ class CopernicusServer(Endpoint):
                 command=command_id,
                 step=step,
             )
+            self._count(
+                "repro_server_checkpoints_total",
+                help="Checkpoints acknowledged from worker heartbeats.",
+            )
+            if command is not None:
+                ctx = self._trace_ctx(command)
+                self.obs.tracer.record(
+                    "checkpoint.ack",
+                    now,
+                    now,
+                    ctx["trace_id"],
+                    component=self.name,
+                    parent_id=ctx.get("span_id"),
+                    command=command_id,
+                    worker=worker,
+                    step=step,
+                )
         return {"ok": True}
 
     def _on_workload_request(self, message: Message) -> dict:
@@ -241,6 +299,10 @@ class CopernicusServer(Endpoint):
             )
         if not allowed:
             self.workloads_denied += 1
+            self._count(
+                "repro_server_workloads_denied_total",
+                help="Workload requests refused (worker quarantined).",
+            )
             return {"commands": [], "cores": []}
         workload = build_workload(self.queue, caps, max_commands=max_commands)
         if not workload:
@@ -260,11 +322,26 @@ class CopernicusServer(Endpoint):
         out_commands, out_cores = [], []
         for command, cores in workload:
             assigned[command.command_id] = command
-            self.leases.grant(
-                caps.worker,
-                command,
+            deadline = self.lease_policy.deadline_for(command, cores, self.clock)
+            self.leases.grant(caps.worker, command, self.clock, deadline)
+            ctx = self._trace_ctx(command)
+            queued_at = self._queued_at.pop(command.command_id, self.clock)
+            self.obs.tracer.record(
+                "queue.wait",
+                queued_at,
                 self.clock,
-                self.lease_policy.deadline_for(command, cores, self.clock),
+                ctx["trace_id"],
+                component=self.name,
+                parent_id=ctx.get("span_id"),
+                command=command.command_id,
+                worker=caps.worker,
+                deadline=deadline,
+            )
+            self.obs.metrics.observe(
+                "repro_server_queue_wait_seconds",
+                self.clock - queued_at,
+                help="Virtual seconds commands waited in the queue.",
+                server=self.name,
             )
             out_commands.append(command.to_payload())
             out_cores.append(cores)
@@ -274,6 +351,15 @@ class CopernicusServer(Endpoint):
                 worker=caps.worker,
                 server=self.name,
                 commands=[c.command_id for c, _ in workload],
+            )
+            self._count(
+                "repro_server_workloads_assigned_total",
+                help="Workloads handed to workers.",
+            )
+            self._count(
+                "repro_server_commands_assigned_total",
+                amount=len(workload),
+                help="Commands handed to workers inside workloads.",
             )
         return {"commands": out_commands, "cores": out_cores}
 
@@ -336,6 +422,22 @@ class CopernicusServer(Endpoint):
         # them before a failed forward would drop the result with no
         # requeue path left.
         outcome = self._route_result(command, result)
+        ctx = SpanContext.extract(message.headers)
+        if ctx is not None:
+            # the worker stamped its execution-end time so the span
+            # covers the result's journey home (incl. parked retries)
+            exec_end = float(message.headers.get("exec_end", self.clock))
+            self.obs.tracer.record(
+                "result.transfer",
+                exec_end,
+                max(self.clock, exec_end),
+                ctx.trace_id,
+                component=self.name,
+                parent_id=ctx.span_id or None,
+                command=command.command_id,
+                worker=worker,
+                outcome=outcome,
+            )
         self.assignments.get(worker, {}).pop(command.command_id, None)
         self.leases.clear(worker, command.command_id)
         # the command is finished from this server's perspective either
@@ -349,6 +451,11 @@ class CopernicusServer(Endpoint):
                 # the result (the dedup barrier already did), and ding
                 # only the worker that actually straggled
                 self.speculations_lost += 1
+                self._count(
+                    "repro_server_speculations_total",
+                    help="Speculative re-executions by race outcome.",
+                    outcome="lost",
+                )
                 self._record(
                     EventKind.SPECULATION_LOST,
                     command=command.command_id,
@@ -366,6 +473,11 @@ class CopernicusServer(Endpoint):
                 # entry so the straggler's late copy is recognized (and
                 # journaled) as the race's loser when it arrives
                 self.speculations_won += 1
+                self._count(
+                    "repro_server_speculations_total",
+                    help="Speculative re-executions by race outcome.",
+                    outcome="won",
+                )
         # the worker's ack carries no duplicate flag — the race outcome
         # is the server's business (and the ack shape is a wire contract)
         return {"ok": True}
@@ -383,15 +495,34 @@ class CopernicusServer(Endpoint):
         ``"duplicate"`` when the dedup barrier dropped it (here or at
         the origin), or ``"forwarded"`` otherwise.
         """
+        ctx = self._trace_ctx(command)
         if command.project_id in self._sinks:
             if command.command_id in self.completed_ids:
                 # a retried/duplicated COMMAND_RESULT, or a command that
                 # was falsely requeued and finished twice: exactly-once
                 self.duplicates_dropped += 1
+                self._count(
+                    "repro_server_duplicates_dropped_total",
+                    help="Results dropped by the exactly-once dedup barrier.",
+                )
+                self._count(
+                    "repro_server_results_total",
+                    help="Results routed, by outcome.",
+                    outcome="duplicate",
+                )
                 self._record(
                     EventKind.DUPLICATE_RESULT_DROPPED,
                     command=command.command_id,
                     server=self.name,
+                )
+                self.obs.tracer.record(
+                    "result.duplicate",
+                    self.clock,
+                    self.clock,
+                    ctx["trace_id"],
+                    component=self.name,
+                    parent_id=ctx.get("span_id"),
+                    command=command.command_id,
                 )
                 return "duplicate"
             journal = self._journal_for(command.project_id)
@@ -401,16 +532,37 @@ class CopernicusServer(Endpoint):
                 journal.record_result(command, result)
             self.completed_ids.add(command.command_id)
             self._sinks[command.project_id](command, result)
+            self._count(
+                "repro_server_results_total",
+                help="Results routed, by outcome.",
+                outcome="completed",
+            )
+            self.obs.tracer.record(
+                "result.apply",
+                self.clock,
+                self.clock,
+                ctx["trace_id"],
+                component=self.name,
+                parent_id=ctx.get("span_id"),
+                command=command.command_id,
+            )
             return "completed"
         origin = command.origin_server
         if not origin or origin == self.name:
             raise SchedulingError(
                 f"no sink for project {command.project_id!r} on {self.name!r}"
             )
+        # no explicit trace headers: the forwarded command's payload
+        # already carries its trace context end to end
         response = self.send(
             origin,
             MessageType.RESULT_FORWARD,
             {"command": command.to_payload(), "result": result},
+        )
+        self._count(
+            "repro_server_results_total",
+            help="Results routed, by outcome.",
+            outcome="forwarded",
         )
         return "duplicate" if response.get("duplicate") else "forwarded"
 
@@ -430,7 +582,16 @@ class CopernicusServer(Endpoint):
     def _observe_failure(self, worker: str, kind: str) -> None:
         """Fold a failure into the worker's health; record transitions."""
         transition = self.health.observe_failure(worker, kind, self.clock)
+        self._count(
+            "repro_server_worker_failures_total",
+            help="Worker failures folded into health scores, by kind.",
+            kind=kind,
+        )
         if transition == "quarantined":
+            self._count(
+                "repro_server_quarantines_total",
+                help="Workers quarantined by the health policy.",
+            )
             record = self.health.record_for(worker)
             self._record(
                 EventKind.WORKER_QUARANTINED,
@@ -459,6 +620,10 @@ class CopernicusServer(Endpoint):
         self.clock = max(self.clock, now)
         dead = self.monitor.check(now)
         for worker in dead:
+            self._count(
+                "repro_server_workers_dead_total",
+                help="Workers declared dead after missed heartbeats.",
+            )
             self._record(EventKind.WORKER_DEAD, worker=worker, server=self.name)
             self._observe_failure(worker, "crash")
             self.leases.clear_worker(worker)
@@ -485,8 +650,13 @@ class CopernicusServer(Endpoint):
                 if checkpoint is not None:
                     command.checkpoint = checkpoint
                 self.monitor.clear_checkpoint(worker, command_id)
+                self._queued_at[command_id] = self.clock
                 self.queue.push(command)
                 self.requeued_after_failure += 1
+                self._count(
+                    "repro_server_requeues_total",
+                    help="Commands requeued after worker deaths.",
+                )
                 self._record(
                     EventKind.COMMAND_REQUEUED,
                     worker=worker,
@@ -516,6 +686,10 @@ class CopernicusServer(Endpoint):
                 continue
             lease.speculated = True
             self.stragglers_detected += 1
+            self._count(
+                "repro_server_stragglers_total",
+                help="Leases overdue on live workers (stragglers).",
+            )
             self._record(
                 EventKind.STRAGGLER_DETECTED,
                 worker=worker,
@@ -532,6 +706,12 @@ class CopernicusServer(Endpoint):
                 clone.checkpoint = checkpoint
             self.speculated[command_id] = worker
             self.speculations_started += 1
+            self._count(
+                "repro_server_speculations_total",
+                help="Speculative re-executions by race outcome.",
+                outcome="started",
+            )
+            self._queued_at[command_id] = now
             self.queue.push(clone)
             self._record(
                 EventKind.SPECULATION_STARTED,

@@ -46,6 +46,18 @@ class ChaosNetwork(Network):
         self._armed_endpoint_faults = 0
         self._delivering_duplicate = False
 
+    def _count_fault(self, kind: str) -> None:
+        """Labelled fault-injection counter on the shared registry.
+
+        The invariant checker (``check_fault_accounting``) compares
+        these against the network's own drop/delay totals.
+        """
+        self.obs.metrics.inc(
+            "chaos_faults_total",
+            help="Fault injections fired by the chaos harness, by kind.",
+            kind=kind,
+        )
+
     # -- endpoint fault arming --------------------------------------------
 
     def arm(self) -> None:
@@ -100,6 +112,11 @@ class ChaosNetwork(Network):
         ) or self.plan.server_crashed(message.src, index)
         if crashed is not None:
             self.messages_dropped += 1
+            self._count_fault("server_crash")
+            self.obs.metrics.inc(
+                "chaos_messages_dropped_total",
+                help="Messages lost to injected faults.",
+            )
             raise TransientCommunicationError(
                 f"endpoint {crashed.dst!r} is down (server crash fault); "
                 f"{message.type.value} {message.src!r}->{message.dst!r} lost"
@@ -110,6 +127,11 @@ class ChaosNetwork(Network):
         ) or self.plan.worker_flapping(message.src, index)
         if flapping is not None:
             self.messages_dropped += 1
+            self._count_fault("flapping_worker")
+            self.obs.metrics.inc(
+                "chaos_messages_dropped_total",
+                help="Messages lost to injected faults.",
+            )
             raise TransientCommunicationError(
                 f"worker {flapping.dst!r} link is in a flap down-phase; "
                 f"{message.type.value} {message.src!r}->{message.dst!r} lost"
@@ -120,6 +142,11 @@ class ChaosNetwork(Network):
             for fault in self.plan.message_faults(message, index):
                 if fault.kind is FaultKind.DROP:
                     self.messages_dropped += 1
+                    self._count_fault("drop")
+                    self.obs.metrics.inc(
+                        "chaos_messages_dropped_total",
+                        help="Messages lost to injected faults.",
+                    )
                     raise TransientCommunicationError(
                         f"message {message.type.value} "
                         f"{message.src!r}->{message.dst!r} dropped "
@@ -128,16 +155,26 @@ class ChaosNetwork(Network):
                 if fault.kind is FaultKind.DELAY:
                     self.chaos_delay_seconds += fault.delay_seconds
                     self.total_transfer_seconds += fault.delay_seconds
+                    self._count_fault("delay")
+                    self.obs.metrics.inc(
+                        "chaos_delay_seconds_total",
+                        amount=fault.delay_seconds,
+                        help="Virtual seconds added by injected delays.",
+                    )
                 if fault.kind is FaultKind.DUPLICATE:
                     duplicate = True
+                    self._count_fault("duplicate")
 
         response = super().deliver(message)
         if duplicate:
+            # headers travel with the duplicate too: a duplicated result
+            # must carry the same trace context as the original
             copy = Message(
                 type=message.type,
                 src=message.src,
                 dst=message.dst,
                 payload=message.payload,
+                headers=dict(message.headers),
                 attempt=message.attempt,
             )
             self._delivering_duplicate = True
@@ -157,6 +194,11 @@ class ChaosNetwork(Network):
                 # hops before the cut were already accounted by the
                 # parent class on previous calls; this message dies here
                 self.messages_dropped += 1
+                self._count_fault("partition")
+                self.obs.metrics.inc(
+                    "chaos_messages_dropped_total",
+                    help="Messages lost to injected faults.",
+                )
                 raise TransientCommunicationError(
                     f"link {hop_src}<->{hop_dst} is partitioned; "
                     f"{message.type.value} {message.src!r}->{message.dst!r} lost"
@@ -170,6 +212,11 @@ class ChaosNetwork(Network):
         sick = self.plan.peer_sick(candidate, max(0, self.delivery_index - 1))
         if sick is not None:
             self.messages_dropped += 1
+            self._count_fault("sick_peer")
+            self.obs.metrics.inc(
+                "chaos_messages_dropped_total",
+                help="Messages lost to injected faults.",
+            )
             raise TransientCommunicationError(
                 f"peer {candidate!r} is sick; wildcard probe "
                 f"{probe.type.value} from {probe.src!r} failed"

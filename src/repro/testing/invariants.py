@@ -33,6 +33,12 @@ that must hold no matter which workers died or which links flapped:
    open/close/skip counters describe a realisable automaton history
    (skips require an open, a closed breaker has closed as often as it
    opened).
+9. **Fault accounting matches observations** — the chaos harness's
+   labelled fault counters in the shared metrics registry
+   (``chaos_faults_total``, ``chaos_messages_dropped_total``,
+   ``chaos_delay_seconds_total``) agree with the network's own
+   drop/delay totals: every injected fault was observed, none were
+   invented.
 
 :class:`Invariants` replays a :class:`~repro.core.events.EventLog`
 (plus end-state from the runner's servers) and returns human-readable
@@ -57,6 +63,15 @@ class Invariants:
         self.runner = runner
         self.events: EventLog = runner.events
 
+    @property
+    def _servers(self) -> list:
+        """The runner's servers via the public accessor, falling back
+        to the private list for bare test doubles."""
+        servers = getattr(self.runner, "servers", None)
+        if servers is None:
+            servers = self.runner._servers
+        return list(servers)
+
     # -- individual checks -------------------------------------------------
 
     def _issued_ids(self) -> Set[str]:
@@ -77,7 +92,7 @@ class Invariants:
         completed = set(self._completed_ids())
         queued: Set[str] = set()
         in_flight: Set[str] = set()
-        for server in self.runner._servers:
+        for server in self._servers:
             queued.update(c.command_id for c in server.queue.commands())
             for cmds in server.assignments.values():
                 in_flight.update(cmds)
@@ -156,7 +171,7 @@ class Invariants:
         violations = []
         requeued = self.events.filter(kind=EventKind.COMMAND_REQUEUED)
         counter_total = sum(
-            server.requeued_after_failure for server in self.runner._servers
+            server.requeued_after_failure for server in self._servers
         )
         if counter_total != len(requeued):
             violations.append(
@@ -286,7 +301,7 @@ class Invariants:
                 )
         counter_lost = sum(
             getattr(server, "speculations_lost", 0)
-            for server in self.runner._servers
+            for server in self._servers
         )
         event_lost = sum(lost.values())
         if counter_lost != event_lost:
@@ -296,7 +311,7 @@ class Invariants:
             )
         counter_started = sum(
             getattr(server, "speculations_started", 0)
-            for server in self.runner._servers
+            for server in self._servers
         )
         if counter_started != len(
             self.events.filter(kind=EventKind.SPECULATION_STARTED)
@@ -366,6 +381,48 @@ class Invariants:
                     )
         return violations
 
+    def check_fault_accounting(self) -> List[str]:
+        """Invariant 9: chaos fault counters match network observations.
+
+        Applies only when the runner's network is a
+        :class:`~repro.testing.chaos.ChaosNetwork` exporting its
+        injections to the shared metrics registry; plain networks (and
+        bare test doubles) have nothing to cross-check.
+        """
+        violations = []
+        network = getattr(self.runner, "network", None)
+        obs = getattr(network, "obs", None)
+        if obs is None or not hasattr(network, "messages_dropped"):
+            return violations
+        metrics = obs.metrics
+        counted_dropped = metrics.total("chaos_messages_dropped_total")
+        if counted_dropped != network.messages_dropped:
+            violations.append(
+                f"chaos metrics count {counted_dropped:.0f} dropped messages "
+                f"but the network observed {network.messages_dropped}"
+            )
+        counted_delay = metrics.total("chaos_delay_seconds_total")
+        observed_delay = getattr(network, "chaos_delay_seconds", 0.0)
+        if abs(counted_delay - observed_delay) > 1e-9:
+            violations.append(
+                f"chaos metrics count {counted_delay}s of injected delay but "
+                f"the network observed {observed_delay}s"
+            )
+        fault_kinds_dropping = (
+            "server_crash", "flapping_worker", "drop", "partition", "sick_peer"
+        )
+        dropping_faults = sum(
+            metrics.value("chaos_faults_total", kind=kind)
+            for kind in fault_kinds_dropping
+        )
+        if dropping_faults != counted_dropped:
+            violations.append(
+                f"chaos fault counters record {dropping_faults:.0f} "
+                f"drop-class injections but {counted_dropped:.0f} messages "
+                f"were counted dropped"
+            )
+        return violations
+
     # -- entry points ------------------------------------------------------
 
     def check(self) -> List[str]:
@@ -379,6 +436,7 @@ class Invariants:
             + self.check_speculation_exactly_once()
             + self.check_quarantine_respected()
             + self.check_breaker_accounting()
+            + self.check_fault_accounting()
         )
 
     def assert_ok(self) -> None:

@@ -144,6 +144,7 @@ def run_swarm_under_faults(
         "workers": workers,
         "controller": controller,
         "network": network,
+        "obs": network.obs,
         "transcript": runner.events.to_text(),
         "chaos": network.chaos_report(),
     }
@@ -260,7 +261,7 @@ def run_swarm_with_server_restart(
             worker.heartbeat(runner.now)
             worker.work_once(now=runner.now)
         runner.now += tick
-        for server in runner._servers:
+        for server in runner.servers:
             server.check_failures(runner.now)
         if journal.results_applied >= crash_after_results:
             killed = True
@@ -304,6 +305,7 @@ def run_swarm_with_server_restart(
         "controller": fresh_controller,
         "network": post["network"],
         "project": project,
+        "obs": post["network"].obs,
         "transcript": restarted.events.to_text(),
         "chaos": post["network"].chaos_report(),
     }
@@ -384,7 +386,7 @@ def run_swarm_with_straggler(
                 worker.heartbeat(runner.now)
         straggler.work_once(now=runner.now)
         runner.now += tick
-        for srv in runner._servers:
+        for srv in runner.servers:
             srv.check_liveness(runner.now)
         drain_cycles += 1
     else:
@@ -401,6 +403,7 @@ def run_swarm_with_straggler(
         "network": network,
         "completed_at": completed_at,
         "drain_cycles": drain_cycles,
+        "obs": network.obs,
         "transcript": runner.events.to_text(),
         "chaos": network.chaos_report(),
     }
@@ -487,6 +490,7 @@ def run_swarm_with_flapping_worker(
         "flapper": workers[0],
         "controller": controller,
         "network": network,
+        "obs": network.obs,
         "transcript": runner.events.to_text(),
         "chaos": network.chaos_report(),
     }
@@ -556,6 +560,7 @@ def run_relay_with_sick_peer(
         "breaker": relay.breaker_for("sick"),
         "controller": controller,
         "network": network,
+        "obs": network.obs,
         "transcript": runner.events.to_text(),
         "chaos": network.chaos_report(),
     }

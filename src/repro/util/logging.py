@@ -25,20 +25,33 @@ class Level(enum.IntEnum):
 
 @dataclass(frozen=True)
 class LogRecord:
-    """One structured log entry."""
+    """One structured log entry.
+
+    ``trace_id``/``span_id`` tie the record to a distributed trace
+    (:mod:`repro.obs.trace`), so a log line can be cross-referenced
+    with the span that was active when it was emitted.
+    """
 
     time: float
     level: Level
     component: str
     message: str
     fields: Dict = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
 
     def __str__(self) -> str:
         extras = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        trace = ""
+        if self.trace_id:
+            trace = f" trace={self.trace_id}"
+            if self.span_id:
+                trace += f" span={self.span_id}"
         return (
             f"[t={self.time:10.1f}] {self.level.name:7s} "
             f"{self.component}: {self.message}"
             + (f" ({extras})" if extras else "")
+            + trace
         )
 
 
@@ -82,8 +95,19 @@ class Logger:
         logger._parent = self
         return logger
 
-    def log(self, level: Level, message: str, **fields) -> Optional[LogRecord]:
-        """Record a message if it clears the threshold."""
+    def log(
+        self,
+        level: Level,
+        message: str,
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        **fields,
+    ) -> Optional[LogRecord]:
+        """Record a message if it clears the threshold.
+
+        ``trace_id``/``span_id`` attach the active tracing context
+        (see :mod:`repro.obs.trace`) without polluting ``fields``.
+        """
         if level < self.level:
             return None
         record = LogRecord(
@@ -92,6 +116,8 @@ class Logger:
             component=self.component,
             message=message,
             fields=fields,
+            trace_id=trace_id,
+            span_id=span_id,
         )
         sink = self
         while sink._parent is not None:

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.command import Command
 from repro.net.protocol import Message, MessageType
 from repro.net.transport import Endpoint, Network
+from repro.obs.trace import Span, trace_id_for
 from repro.worker.executable import ExecutableRegistry, default_registry
 from repro.worker.platform import SMPPlatform
 from repro.util.errors import ConfigurationError, TransientCommunicationError
@@ -41,6 +42,8 @@ class _ActiveCommand:
     payload: dict
     record: ExecutionRecord
     accumulated: Optional[dict] = None
+    #: The open ``worker.execute`` span covering this execution.
+    span: Optional[Span] = None
 
 
 class Worker(Endpoint):
@@ -116,6 +119,13 @@ class Worker(Endpoint):
         self._backlog: List[Command] = []
         #: Crash trigger: called before each segment; return True to die.
         self._crash_hook: Optional[Callable[[str, int], bool]] = None
+        #: Finished ``worker.execute`` spans by command id, kept until
+        #: the result is delivered so retries re-send the same context.
+        self._exec_spans: Dict[str, Span] = {}
+
+    def _count(self, name: str, amount: float = 1.0, help: str = "") -> None:
+        """Increment a worker-labelled counter on the shared registry."""
+        self.obs.metrics.inc(name, amount, help=help, worker=self.name)
 
     # -- endpoint ------------------------------------------------------------
 
@@ -210,7 +220,19 @@ class Worker(Endpoint):
         payload = dict(command.payload)
         if command.checkpoint is not None:
             payload["checkpoint"] = command.checkpoint
-        active = _ActiveCommand(command=command, payload=payload, record=record)
+        ctx = command.trace or {}
+        span = self.obs.tracer.begin(
+            "worker.execute",
+            now,
+            ctx.get("trace_id")
+            or trace_id_for(command.project_id, command.command_id),
+            component=self.name,
+            parent_id=ctx.get("span_id"),
+            command=command.command_id,
+        )
+        active = _ActiveCommand(
+            command=command, payload=payload, record=record, span=span
+        )
         return self._execute(active, now)
 
     def _execute(self, active: _ActiveCommand, now: float) -> Optional[dict]:
@@ -224,6 +246,17 @@ class Worker(Endpoint):
             ):
                 self.crashed = True
                 self._active = None
+                self._count(
+                    "repro_worker_crashes_total",
+                    help="Worker deaths (mid-command node loss).",
+                )
+                if active.span is not None:
+                    self.obs.tracer.end(
+                        active.span,
+                        now,
+                        crashed=True,
+                        segments=record.segments,
+                    )
                 return None
             if (
                 self.segments_per_cycle is not None
@@ -240,10 +273,26 @@ class Worker(Endpoint):
             )
             record.segments += 1
             executed += 1
+            self._count(
+                "repro_worker_segments_total",
+                help="Checkpointed execution segments run.",
+            )
             active.accumulated = self._merge_segment(active.accumulated, result)
             if completed:
                 record.completed = True
                 self._active = None
+                self._count(
+                    "repro_worker_commands_completed_total",
+                    help="Commands executed to completion.",
+                )
+                if active.span is not None:
+                    self.obs.tracer.end(
+                        active.span,
+                        now,
+                        completed=True,
+                        segments=record.segments,
+                    )
+                    self._exec_spans[command.command_id] = active.span
                 self.heartbeat(now)
                 return active.accumulated
             # continue from the returned checkpoint, heartbeating it so
@@ -293,8 +342,16 @@ class Worker(Endpoint):
         """
         if self.crashed:
             return None
+        headers: dict = {}
+        span = self._exec_spans.get(command.command_id)
+        if span is not None:
+            # the execution span's context + end time ride in headers so
+            # the server can stitch a result.transfer span onto the trace
+            span.context().inject(headers)
+            if span.finished:
+                headers["exec_end"] = span.end
         try:
-            return self.send(
+            response = self.send(
                 self.server,
                 MessageType.COMMAND_RESULT,
                 {
@@ -302,10 +359,17 @@ class Worker(Endpoint):
                     "command": command.to_payload(),
                     "result": result,
                 },
+                headers=headers,
             )
         except TransientCommunicationError:
             self._park_result(command, result)
             return None
+        self._exec_spans.pop(command.command_id, None)
+        self._count(
+            "repro_worker_results_delivered_total",
+            help="Results that reached the server.",
+        )
+        return response
 
     def _park_result(self, command: Command, result: dict) -> None:
         """Park an undeliverable result, deduplicated and bounded.
@@ -322,9 +386,17 @@ class Worker(Endpoint):
             if entry[0].command_id != command.command_id
         ]
         self._pending_results.append((command, result))
+        self._count(
+            "repro_worker_results_parked_total",
+            help="Results parked because the server was unreachable.",
+        )
         while len(self._pending_results) > self.pending_results_limit:
             self._pending_results.pop(0)
             self.pending_results_dropped += 1
+            self._count(
+                "repro_worker_results_dropped_total",
+                help="Parked results dropped at the memory bound.",
+            )
 
     def flush_pending_results(self) -> int:
         """Resubmit parked results; returns how many got through."""

@@ -74,3 +74,45 @@ def test_demo_umbrella_runs():
     code, text = run_cli(["demo-umbrella", "--windows", "9", "--samples", "800"])
     assert code == 0
     assert "WHAM basin dF" in text
+
+
+def test_obs_metrics_prometheus_dump():
+    code, text = run_cli(["obs", "metrics", "--scenario", "swarm"])
+    assert code == 0
+    assert "# TYPE repro_net_messages_total counter" in text
+    assert "repro_server_commands_submitted_total" in text
+
+
+def test_obs_metrics_jsonl(tmp_path):
+    import json
+
+    path = tmp_path / "metrics.jsonl"
+    code, text = run_cli(
+        ["obs", "metrics", "--format", "jsonl", "--out", str(path)]
+    )
+    assert code == 0
+    lines = path.read_text().strip().splitlines()
+    assert all(json.loads(line)["name"] for line in lines)
+
+
+def test_obs_trace_validates_and_writes(tmp_path):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    path = tmp_path / "trace.json"
+    code, _ = run_cli(
+        ["obs", "trace", "--scenario", "straggler", "--out", str(path)]
+    )
+    assert code == 0
+    trace = json.loads(path.read_text())
+    assert validate_chrome_trace(trace) == []
+    assert any(e["name"] == "worker.execute" for e in trace["traceEvents"])
+
+
+def test_obs_timeline_report():
+    code, text = run_cli(["obs", "timeline", "--scenario", "straggler"])
+    assert code == 0
+    assert "command lifecycle timeline" in text
+    assert "critical path" in text
+    assert "[speculated]" in text
