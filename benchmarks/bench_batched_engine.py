@@ -1,0 +1,143 @@
+"""Batched ensemble kernel vs the serial engine (BENCH_batched.json).
+
+Measures steps/second propagating R villin-fast replicas at
+R ∈ {1, 8, 64} two ways — R serial :meth:`MDEngine.run` calls, and one
+:meth:`MDEngine.run_batched` call — verifying per-replica bit-identity
+along the way, and writes the results to ``BENCH_batched.json``.
+
+Run as a script (CI's ``bench`` job)::
+
+    PYTHONPATH=src python benchmarks/bench_batched_engine.py
+
+Exits nonzero if the R=64 batched speedup falls below the regression
+threshold (default 3.0; override with ``--min-speedup``).  The paper's
+economics live in exactly this regime: thousands of short ensemble
+members in flight, where per-command dispatch overhead — not
+arithmetic — dominates the serial engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.md.engine import BatchedMDTask, MDEngine, MDTask
+
+MODEL = "villin-fast"
+REPLICA_COUNTS = (1, 8, 64)
+N_STEPS = 300
+REPORT_INTERVAL = 100
+DEFAULT_MIN_SPEEDUP = 3.0
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batched.json"
+
+
+def _tasks(n_replicas: int) -> list:
+    return [
+        MDTask(
+            model=MODEL,
+            n_steps=N_STEPS,
+            report_interval=REPORT_INTERVAL,
+            seed=100 + r,
+            task_id=f"bench/r{r}",
+        )
+        for r in range(n_replicas)
+    ]
+
+
+def measure(n_replicas: int) -> dict:
+    """Serial vs batched steps/sec for one replica count."""
+    engine = MDEngine()
+    total_steps = n_replicas * N_STEPS
+
+    start = time.perf_counter()
+    serial = [engine.run(task) for task in _tasks(n_replicas)]
+    serial_seconds = time.perf_counter() - start
+
+    btask = BatchedMDTask.from_tasks(_tasks(n_replicas), batch_id="bench")
+    start = time.perf_counter()
+    batched = engine.run_batched(btask)
+    batched_seconds = time.perf_counter() - start
+
+    for serial_result, batched_result in zip(serial, batched.results):
+        if not np.array_equal(serial_result.frames, batched_result.frames):
+            raise AssertionError(
+                f"batched frames diverge from serial for "
+                f"{serial_result.task_id} at R={n_replicas}"
+            )
+
+    serial_rate = total_steps / serial_seconds
+    batched_rate = total_steps / batched_seconds
+    return {
+        "n_replicas": n_replicas,
+        "n_steps": N_STEPS,
+        "serial_seconds": serial_seconds,
+        "batched_seconds": batched_seconds,
+        "serial_steps_per_sec": serial_rate,
+        "batched_steps_per_sec": batched_rate,
+        "speedup": batched_rate / serial_rate,
+    }
+
+
+def run_benchmark() -> dict:
+    """All replica counts; returns the BENCH_batched.json document."""
+    rows = [measure(n) for n in REPLICA_COUNTS]
+    return {
+        "benchmark": "batched_engine",
+        "model": MODEL,
+        "n_steps": N_STEPS,
+        "report_interval": REPORT_INTERVAL,
+        "results": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help="fail if the largest-R batched speedup is below this",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=RESULT_PATH, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    document = run_benchmark()
+    args.out.write_text(json.dumps(document, indent=2) + "\n")
+    for row in document["results"]:
+        print(
+            f"R={row['n_replicas']:>3}  "
+            f"serial {row['serial_steps_per_sec']:>9.0f} steps/s  "
+            f"batched {row['batched_steps_per_sec']:>9.0f} steps/s  "
+            f"speedup {row['speedup']:.2f}x"
+        )
+    print(f"wrote {args.out}")
+
+    top = document["results"][-1]
+    if top["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: R={top['n_replicas']} speedup {top['speedup']:.2f}x "
+            f"< required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_batched_speedup_r64(tmp_path):
+    """Benchmark entry for the pytest-driven bench suite."""
+    document = run_benchmark()
+    (tmp_path / "BENCH_batched.json").write_text(json.dumps(document))
+    top = document["results"][-1]
+    assert top["n_replicas"] == max(REPLICA_COUNTS)
+    assert top["speedup"] >= DEFAULT_MIN_SPEEDUP
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,9 +40,9 @@ def build_and_run(seed: int = 0) -> dict:
 
 def main() -> None:
     scenario = build_and_run(seed=0)
-    controller = scenario["controller"]
-    server = scenario["server"]
-    flaky = scenario["workers"][0]
+    controller = scenario.controller
+    server = scenario.server
+    flaky = scenario.workers[0]
 
     print("commands completed (steps executed by the finishing worker):")
     for cid, steps in sorted(controller.finished):
@@ -52,9 +52,9 @@ def main() -> None:
           f"{server.requeued_after_failure}")
     print(f"flaky crashed: {flaky.crashed}; history: "
           f"{[(r.command_id, r.segments, r.completed) for r in flaky.history]}")
-    print(f"chaos: {scenario['chaos']}")
+    print(f"chaos: {scenario.chaos}")
 
-    Invariants(scenario["runner"]).assert_ok()
+    Invariants(scenario.runner).assert_ok()
     print("recovery invariants: all green")
 
 

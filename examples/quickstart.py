@@ -1,35 +1,44 @@
-"""Quickstart: adaptive MSM folding of CG villin on a simulated deployment.
+"""Quickstart: the ``repro.api`` facade, from one ensemble to adaptive MSM.
 
-Builds the smallest useful Copernicus setup — one project server, one
-worker — submits an adaptive MSM project on the coarse-grained villin
-model, runs it to completion and prints the blind native-state
-prediction (the paper's headline analysis).
+Everything here goes through :mod:`repro.api` — no Network / server /
+worker plumbing.  First a batched ensemble of independent villin
+replicas (the paper's bread-and-butter workload), then the headline
+analysis: an adaptive MSM folding project with a blind native-state
+prediction.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import (
-    AdaptiveMSMController,
-    MSMProjectConfig,
-    Project,
-    ProjectRunner,
-)
-from repro.net import Network
-from repro.server import CopernicusServer
-from repro.worker import SMPPlatform, Worker
+from repro.api import Ensemble, Project, run
+from repro.core import AdaptiveMSMController, MSMProjectConfig
 
 
 def main() -> None:
-    # --- deployment: one server, one 2-core worker -----------------------
-    net = Network(seed=0)
-    server = CopernicusServer("project-server", net)
-    worker = Worker(
-        "w0", net, server="project-server", platform=SMPPlatform(cores=2)
+    # --- 1. a batched ensemble in one call -------------------------------
+    # Eight replicas of coarse-grained villin, differing only in seed.
+    # The deployment coalesces them into batched kernel calls
+    # automatically; results are bit-identical to running each serially.
+    ensemble = Ensemble(
+        model="villin-fast",
+        n_replicas=8,
+        steps=2000,
+        report_interval=200,
+        seed=0,
+        name="swarm",
     )
-    net.connect("project-server", "w0")
-    worker.announce(0.0)
+    outcome = run(ensemble, name="ensemble_demo")
+    print(f"ensemble project: {outcome.status}")
+    for task, result in zip(ensemble.tasks(), outcome.ensemble_results(ensemble)):
+        print(
+            f"  {task.task_id}: {result.steps_completed} steps, "
+            f"final U = {result.final_potential_energy:.2f}"
+        )
+    coalesced = outcome.obs.metrics.value(
+        "repro_worker_commands_coalesced_total", worker="w0"
+    )
+    print(f"commands coalesced into batched kernel calls: {coalesced:.0f}")
 
-    # --- the adaptive MSM project (tiny scale; see DESIGN.md for the
+    # --- 2. the adaptive MSM project (tiny scale; see DESIGN.md for the
     #     mapping to the paper's 9 starts x 25 trajectories x 50 ns) -----
     config = MSMProjectConfig(
         model="villin-fast",
@@ -44,13 +53,9 @@ def main() -> None:
         seed=0,
     )
     controller = AdaptiveMSMController(config)
-    runner = ProjectRunner(net, server, [worker])
-    runner.submit(Project("msm_villin"), controller)
-
-    print("running adaptive project ...")
-    runner.run()
-    for status in runner.status():
-        print("status:", status)
+    print("\nrunning adaptive project ...")
+    msm_outcome = Project("msm_villin", controller=controller).run(cores=2)
+    print(f"adaptive project: {msm_outcome.status}")
 
     # --- analysis ---------------------------------------------------------
     per_gen = controller.min_rmsd_per_generation()
@@ -66,6 +71,7 @@ def main() -> None:
         f"(equilibrium population {prediction['equilibrium_population']:.2f}), "
         f"mean RMSD to true native {prediction['rmsd_mean']:.3f} nm"
     )
+    net = msm_outcome.network
     print(f"overlay traffic: {net.total_bytes()} bytes, "
           f"{net.messages_delivered} messages")
 

@@ -1,0 +1,324 @@
+"""The public API: one documented way in to the whole framework.
+
+Everything a paper-style workload needs — declaring an ensemble of
+replicas, standing up a simulated Copernicus deployment, running a
+project to completion and reading the results — previously required
+importing from half a dozen subpackages (``repro.net``,
+``repro.server``, ``repro.worker``, ``repro.core``) and wiring them by
+hand.  This module is the facade over that construction:
+
+>>> from repro.api import Ensemble, run
+>>> outcome = run(Ensemble(model="villin-fast", n_replicas=8, steps=2000))
+>>> outcome.md_results()["ensemble/r0"].steps_completed
+2000
+
+Three entry points:
+
+``Ensemble``
+    A declarative replica set: *R* independent trajectories of one
+    registered model, one seed stream apart.  Compiles to ``mdrun``
+    commands — which the deployment's workers coalesce into batched
+    kernel calls (:mod:`repro.worker.coalesce`) whenever their
+    ``batch_capacity`` allows.
+``Project``
+    A named unit of work: one or more ensembles (run under a built-in
+    flat controller) *or* any custom
+    :class:`~repro.core.controller.Controller` (e.g. the adaptive MSM
+    controller).  :meth:`Project.run` builds the deployment, drives it
+    to completion and returns a :class:`RunOutcome`.
+``run()``
+    One-call convenience wrapping both.
+
+The single-process simulation entry point is
+:meth:`repro.md.simulation.Simulation.configure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.command import Command
+from repro.core.controller import Controller
+from repro.core.project import Project as _CoreProject
+from repro.core.runner import ProjectRunner
+from repro.md.engine import MDResult, MDTask, resolve_model
+from repro.net.transport import Network
+from repro.server.server import CopernicusServer
+from repro.util.errors import ConfigurationError
+from repro.worker.platform import SMPPlatform
+from repro.worker.worker import Worker
+
+__all__ = ["Ensemble", "Project", "RunOutcome", "run"]
+
+#: Upper bound on auto-selected worker batch capacity (one kernel call
+#: propagating more replicas than this stops paying for itself).
+MAX_AUTO_BATCH = 64
+
+
+@dataclass
+class Ensemble:
+    """R independent replicas of one model, declared in one place.
+
+    Replica *r* gets seed ``seed + r`` and task id ``{name}/r{r}``;
+    everything else is shared, which makes the replicas batch-compatible
+    (:data:`repro.md.engine.BATCH_COMPATIBLE_FIELDS`) — a deployment
+    with coalescing workers propagates them in one kernel call.
+    """
+
+    model: str
+    n_replicas: int = 1
+    steps: int = 1000
+    report_interval: int = 100
+    integrator: str = "langevin"
+    temperature: float = 300.0
+    friction: float = 1.0
+    timestep: float = 0.02
+    seed: int = 0
+    model_params: Dict = field(default_factory=dict)
+    name: str = "ensemble"
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1:
+            raise ConfigurationError("n_replicas must be >= 1")
+        if self.steps < 1:
+            raise ConfigurationError("steps must be >= 1")
+        # Fail at declaration time, not when a worker unpacks the task.
+        resolve_model(self.model, self.model_params)
+
+    def tasks(self) -> List[MDTask]:
+        """The per-replica :class:`~repro.md.engine.MDTask` specs."""
+        return [
+            MDTask(
+                model=self.model,
+                n_steps=self.steps,
+                report_interval=self.report_interval,
+                integrator=self.integrator,
+                temperature=self.temperature,
+                friction=self.friction,
+                timestep=self.timestep,
+                seed=self.seed + r,
+                model_params=dict(self.model_params),
+                task_id=f"{self.name}/r{r}",
+            )
+            for r in range(self.n_replicas)
+        ]
+
+    def commands(self, project_id: str) -> List[Command]:
+        """Compile to queueable ``mdrun`` commands."""
+        return [
+            Command(
+                command_id=task.task_id,
+                project_id=project_id,
+                executable="mdrun",
+                payload=task.to_payload(),
+            )
+            for task in self.tasks()
+        ]
+
+
+class _EnsembleController(Controller):
+    """Flat controller: issue every ensemble command, wait for all."""
+
+    def __init__(self, ensembles: Sequence[Ensemble]) -> None:
+        self.ensembles = list(ensembles)
+        self.results: Dict[str, dict] = {}
+        self._expected = sum(e.n_replicas for e in self.ensembles)
+
+    def on_project_start(self, project):
+        return [
+            command
+            for ensemble in self.ensembles
+            for command in ensemble.commands(project.project_id)
+        ]
+
+    def on_command_finished(self, project, command, result):
+        self.results[command.command_id] = result
+        return []
+
+    def is_complete(self, project):
+        return len(self.results) >= self._expected
+
+
+@dataclass
+class RunOutcome:
+    """Everything :meth:`Project.run` produced.
+
+    The deployment objects (runner, server, workers, network) are the
+    live instances, so anything the layered API exposes — event logs,
+    observability, journals — remains reachable from here.
+    """
+
+    project: _CoreProject
+    controller: Controller
+    runner: ProjectRunner
+    server: CopernicusServer
+    workers: List[Worker]
+    network: Network
+
+    @property
+    def status(self) -> str:
+        """Final project lifecycle state (``complete``, ``failed``...)."""
+        return self.project.status.value
+
+    @property
+    def obs(self):
+        """The deployment's observability hub (metrics + tracer)."""
+        return self.network.obs
+
+    @property
+    def transcript(self) -> str:
+        """Deterministic event-log transcript of the whole run."""
+        return self.runner.events.to_text()
+
+    def md_results(self) -> Dict[str, MDResult]:
+        """Completed MD results keyed by command id.
+
+        Non-MD command results (e.g. free-energy windows) are skipped;
+        read ``project.results_log`` for the raw payloads.
+        """
+        out: Dict[str, MDResult] = {}
+        for command_id, payload in self.project.results_log:
+            if isinstance(payload, dict) and "frames" in payload:
+                out[command_id] = MDResult.from_payload(payload)
+        return out
+
+    def ensemble_results(self, ensemble: Ensemble) -> List[MDResult]:
+        """One ensemble's results, in replica order."""
+        by_id = self.md_results()
+        return [by_id[task.task_id] for task in ensemble.tasks()]
+
+
+class Project:
+    """A named unit of work and the one-stop way to run it.
+
+    Parameters
+    ----------
+    name:
+        Project id (appears in journals, traces and transcripts).
+    ensembles:
+        Ensembles to run under the built-in flat controller.
+    controller:
+        A custom controller instead (adaptive MSM, free energy, ...).
+        Mutually exclusive with *ensembles*.
+    """
+
+    def __init__(
+        self,
+        name: str = "project",
+        *,
+        ensembles: Optional[Sequence[Ensemble]] = None,
+        controller: Optional[Controller] = None,
+    ) -> None:
+        if controller is not None and ensembles:
+            raise ConfigurationError(
+                "pass ensembles or a custom controller, not both"
+            )
+        self.name = name
+        self.ensembles: List[Ensemble] = list(ensembles or [])
+        self.controller = controller
+
+    def add_ensemble(self, ensemble: Ensemble) -> "Project":
+        """Append an ensemble (chainable)."""
+        if self.controller is not None:
+            raise ConfigurationError(
+                "this project runs a custom controller; it takes no ensembles"
+            )
+        self.ensembles.append(ensemble)
+        return self
+
+    def _auto_batch_capacity(self) -> int:
+        if not self.ensembles:
+            return 1
+        return min(
+            MAX_AUTO_BATCH, max(e.n_replicas for e in self.ensembles)
+        )
+
+    def run(
+        self,
+        *,
+        n_workers: int = 1,
+        cores: int = 1,
+        batch_capacity: Optional[int] = None,
+        seed: int = 0,
+        tick: float = 60.0,
+        segment_steps: int = 2000,
+        max_cycles: int = 100000,
+    ) -> RunOutcome:
+        """Build a deployment, run the project to completion.
+
+        Parameters
+        ----------
+        n_workers / cores:
+            Fleet shape: workers on the overlay, cores each.
+        batch_capacity:
+            Commands each worker may coalesce into one batched kernel
+            call.  Default (``None``) adapts: the largest ensemble's
+            replica count, capped at :data:`MAX_AUTO_BATCH` (custom
+            controllers default to 1).
+        seed:
+            Seeds the simulated network.
+        tick / segment_steps / max_cycles:
+            Runner cadence, checkpoint granularity, cycle budget.
+        """
+        if n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1")
+        controller = self.controller
+        if controller is None:
+            if not self.ensembles:
+                raise ConfigurationError(
+                    "project has no ensembles and no controller"
+                )
+            controller = _EnsembleController(self.ensembles)
+        if batch_capacity is None:
+            batch_capacity = self._auto_batch_capacity()
+
+        network = Network(seed=seed)
+        server = CopernicusServer("srv", network)
+        workers = [
+            Worker(
+                f"w{k}",
+                network,
+                server="srv",
+                platform=SMPPlatform(cores=cores),
+                segment_steps=segment_steps,
+                batch_capacity=batch_capacity,
+            )
+            for k in range(n_workers)
+        ]
+        for worker in workers:
+            network.connect("srv", worker.name)
+        for worker in workers:
+            worker.announce(0.0)
+
+        runner = ProjectRunner(network, server, workers, tick=tick)
+        core_project = _CoreProject(self.name)
+        runner.submit(core_project, controller)
+        runner.run(max_cycles=max_cycles)
+        return RunOutcome(
+            project=core_project,
+            controller=controller,
+            runner=runner,
+            server=server,
+            workers=workers,
+            network=network,
+        )
+
+
+def run(
+    ensembles: Union[Ensemble, Sequence[Ensemble], None] = None,
+    *,
+    name: str = "project",
+    controller: Optional[Controller] = None,
+    **deployment,
+) -> RunOutcome:
+    """Run ensembles (or a custom controller) in one call.
+
+    ``run(Ensemble(...))``, ``run([e1, e2])`` or
+    ``run(controller=AdaptiveMSMController(config))``; keyword
+    arguments are forwarded to :meth:`Project.run`.
+    """
+    if isinstance(ensembles, Ensemble):
+        ensembles = [ensembles]
+    project = Project(name, ensembles=ensembles, controller=controller)
+    return project.run(**deployment)

@@ -371,7 +371,7 @@ def cmd_obs(args, out) -> int:
     and ``--seed``; the same seed reproduces the identical artifact.
     """
     scenario = _run_obs_scenario(args)
-    obs = scenario["obs"]
+    obs = scenario.obs
     if args.obs_command == "metrics":
         if args.format == "prometheus":
             _emit(obs.export_prometheus(), args, out)
@@ -394,7 +394,7 @@ def cmd_obs(args, out) -> int:
     # timeline
     from repro.obs.timeline import timeline_report_for
 
-    report = timeline_report_for(scenario["runner"])
+    report = timeline_report_for(scenario.runner)
     _emit(report.render_text() + "\n", args, out)
     return 0
 

@@ -1,0 +1,64 @@
+"""Deprecation shims for pre-``repro.api`` entry points.
+
+Every legacy name or call path that survived the API redesign funnels
+its :class:`DeprecationWarning` through :func:`warn_deprecated` here,
+and the legacy *imports* live here too — so CI can run the tier-1
+suite with ``-W error::DeprecationWarning`` while whitelisting exactly
+one module, proving that no *internal* code still uses a shim.
+
+Legacy call sites keep working three ways:
+
+- ``from repro.compat import CopernicusServer, Worker, ...`` — the old
+  scattered construction names re-exported with a warning (build
+  deployments through :mod:`repro.api` instead);
+- ``CopernicusServer.check_failures`` — renamed to ``check_liveness``
+  in the liveness PR; the alias warns and forwards;
+- ``repro.md.engine._build_*_task`` — replaced by the model registry
+  (``resolve_model``); module ``__getattr__`` shims warn and adapt.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any
+
+#: Legacy construction entry points re-exported (with a warning) for
+#: callers that predate the repro.api facade: name -> (module, attr).
+_LEGACY_EXPORTS = {
+    "Network": ("repro.net.transport", "Network"),
+    "CopernicusServer": ("repro.server.server", "CopernicusServer"),
+    "Worker": ("repro.worker.worker", "Worker"),
+    "ParallelExecutor": ("repro.worker.executor", "ParallelExecutor"),
+    "ProjectRunner": ("repro.core.runner", "ProjectRunner"),
+    "Project": ("repro.core.project", "Project"),
+    "MDEngine": ("repro.md.engine", "MDEngine"),
+    "MDTask": ("repro.md.engine", "MDTask"),
+    "Simulation": ("repro.md.simulation", "Simulation"),
+}
+
+
+def warn_deprecated(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the project-standard deprecation warning for a shim.
+
+    *stacklevel* defaults to 3 so the warning is attributed to the
+    legacy call site (caller -> shim -> here), where it is actionable.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LEGACY_EXPORTS:
+        module_name, attr = _LEGACY_EXPORTS[name]
+        warn_deprecated(
+            f"repro.compat.{name}",
+            f"the repro.api facade (or {module_name}.{attr} directly)",
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

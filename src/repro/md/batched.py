@@ -1,0 +1,463 @@
+"""Batched ensemble propagation: R replicas of one model per kernel call.
+
+The paper's economics are ensemble throughput — thousands of short
+villin trajectories in flight at once (sections 3.1, 4) — but a serial
+:class:`~repro.md.simulation.Simulation` pays the full Python/numpy
+dispatch overhead per replica per step.  This module stacks R
+independent replicas of the *same* :class:`~repro.md.system.System`
+into ``(R, N, dim)`` arrays so that overhead is amortised across the
+whole ensemble:
+
+- :class:`BatchedSystem` wraps one shared system and evaluates all
+  force terms through their ``compute_batch`` paths (with per-replica
+  loop fallback, see :mod:`repro.md.forcefield.base`);
+- :class:`BatchedLangevinIntegrator` / :class:`BatchedVelocityVerletIntegrator`
+  advance the whole stack with vectorised arithmetic while drawing
+  noise from *per-replica* RNG streams, so every replica's trajectory
+  is bit-identical to the serial integrator seeded the same way;
+- :class:`BatchedSimulation` adds per-replica trajectories,
+  checkpoints, step targets and an early-exit mask: finished or folded
+  replicas are compacted out of the working arrays and stop consuming
+  work.
+
+Bit-identity is a hard contract, not an aspiration: checkpoints
+(positions, velocities, clock, RNG state) taken from a batched run are
+byte-for-byte those of R serial runs with the same seeds, which is what
+lets the distribution stack coalesce commands transparently (results
+split back per command).  The property suite in
+``tests/test_batched_identity.py`` enforces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.md.forcefield.base import composite_energy_forces_batch
+from repro.md.integrators import LangevinIntegrator, VelocityVerletIntegrator
+from repro.md.simulation import Checkpoint
+from repro.md.system import State, System
+from repro.md.trajectory import Trajectory
+from repro.util.errors import ConfigurationError, SimulationError
+from repro.util.rng import RandomStream, ensure_stream
+from repro.util.units import KB
+
+
+@dataclass
+class BatchedState:
+    """Dynamic state of R stacked replicas.
+
+    ``positions`` / ``velocities`` are ``(R, N, dim)``; ``times`` and
+    ``steps`` are per-replica clocks (replicas resumed from different
+    checkpoints need not agree).
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    times: np.ndarray
+    steps: np.ndarray
+
+    @classmethod
+    def from_states(cls, states: Sequence[State]) -> "BatchedState":
+        """Stack per-replica serial states into one batch."""
+        if not states:
+            raise ConfigurationError("need at least one replica state")
+        shape = states[0].positions.shape
+        for state in states:
+            if state.positions.shape != shape:
+                raise ConfigurationError(
+                    "all replica states must share one geometry"
+                )
+        return cls(
+            positions=np.ascontiguousarray(
+                np.stack([s.positions for s in states])
+            ),
+            velocities=np.ascontiguousarray(
+                np.stack([s.velocities for s in states])
+            ),
+            times=np.array([s.time for s in states], dtype=float),
+            steps=np.array([s.step for s in states], dtype=np.int64),
+        )
+
+    @property
+    def n_replicas(self) -> int:
+        """Number of stacked replicas."""
+        return self.positions.shape[0]
+
+    def replica_state(self, replica: int) -> State:
+        """Serial :class:`~repro.md.system.State` view of one replica."""
+        return State(
+            self.positions[replica].copy(),
+            self.velocities[replica].copy(),
+            time=float(self.times[replica]),
+            step=int(self.steps[replica]),
+        )
+
+
+class BatchedSystem:
+    """R replicas of one :class:`~repro.md.system.System` as a unit.
+
+    Shares masses, topology and force terms with the underlying system
+    (they are identical across replicas — that is what makes commands
+    coalescible) and evaluates forces batch-wise.
+    """
+
+    def __init__(self, system: System, n_replicas: int) -> None:
+        if n_replicas < 1:
+            raise ConfigurationError(
+                f"n_replicas must be >= 1, got {n_replicas}"
+            )
+        self.system = system
+        self.n_replicas = int(n_replicas)
+
+    @property
+    def masses(self) -> np.ndarray:
+        """Per-atom masses, shared by every replica."""
+        return self.system.masses
+
+    @property
+    def n_atoms(self) -> int:
+        """Atoms per replica."""
+        return self.system.n_atoms
+
+    @property
+    def dim(self) -> int:
+        """Spatial dimensionality."""
+        return self.system.dim
+
+    def energy_forces(self, positions: np.ndarray):
+        """Per-replica ``(energies, forces)`` over an ``(R, N, dim)`` stack."""
+        return composite_energy_forces_batch(self.system.forces, positions)
+
+
+class _BatchedIntegratorBase:
+    """Shared timestep plumbing for batched integrators."""
+
+    def __init__(self, timestep: float) -> None:
+        if timestep <= 0:
+            raise ConfigurationError(
+                f"timestep must be positive, got {timestep}"
+            )
+        self.timestep = float(timestep)
+
+    def initial_forces(
+        self, system: BatchedSystem, positions: np.ndarray
+    ) -> np.ndarray:
+        """Forces at the current positions (primes the step loop)."""
+        return system.energy_forces(positions)[1]
+
+
+class BatchedVelocityVerletIntegrator(_BatchedIntegratorBase):
+    """Batched symplectic NVE integrator (no thermostat).
+
+    Arithmetic mirrors
+    :class:`~repro.md.integrators.VelocityVerletIntegrator` elementwise
+    over the replica axis, so each replica is bit-identical to a serial
+    run.
+    """
+
+    def step(
+        self,
+        system: BatchedSystem,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        forces: np.ndarray,
+        replica_ids: np.ndarray,
+    ) -> np.ndarray:
+        """Advance the (possibly compacted) stack one step in place."""
+        dt = self.timestep
+        inv_m = 1.0 / system.masses[None, :, None]
+        velocities += 0.5 * dt * forces * inv_m
+        positions += dt * velocities
+        _, new_forces = system.energy_forces(positions)
+        velocities += 0.5 * dt * new_forces * inv_m
+        return new_forces
+
+
+class BatchedLangevinIntegrator(_BatchedIntegratorBase):
+    """Batched BAOAB Langevin dynamics with per-replica noise streams.
+
+    Each replica owns its own :class:`~repro.util.rng.RandomStream`
+    seeded exactly as the serial :class:`~repro.md.integrators.
+    LangevinIntegrator` would be, and noise is drawn replica-by-replica
+    in ascending replica order — a finished replica stops drawing, just
+    as its serial counterpart would stop running.  All other arithmetic
+    is vectorised elementwise, so trajectories and checkpointed RNG
+    states are bit-identical to R serial runs.
+    """
+
+    def __init__(
+        self,
+        timestep: float,
+        temperature: float,
+        friction: float = 1.0,
+        rngs: Sequence[int | RandomStream] = (),
+    ) -> None:
+        super().__init__(timestep)
+        if temperature < 0:
+            raise ConfigurationError(
+                f"temperature must be >= 0, got {temperature}"
+            )
+        if friction <= 0:
+            raise ConfigurationError(
+                f"friction must be positive, got {friction}"
+            )
+        self.temperature = float(temperature)
+        self.friction = float(friction)
+        self.rngs = [ensure_stream(rng) for rng in rngs]
+        self._decay = np.exp(-friction * self.timestep)
+        self._noise_scale = np.sqrt(1.0 - self._decay * self._decay)
+
+    def rng_state_of(self, replica: int) -> dict:
+        """Serialisable noise-generator state for one replica."""
+        return self.rngs[replica].generator.bit_generator.state
+
+    def set_rng_state_of(self, replica: int, state: dict) -> None:
+        """Restore one replica's noise-generator state."""
+        self.rngs[replica].generator.bit_generator.state = state
+
+    def step(
+        self,
+        system: BatchedSystem,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        forces: np.ndarray,
+        replica_ids: np.ndarray,
+    ) -> np.ndarray:
+        """Advance the (possibly compacted) stack one step in place.
+
+        *replica_ids* maps rows of the compacted arrays back to their
+        original replica index so each row draws from its own stream.
+        """
+        dt = self.timestep
+        inv_m = 1.0 / system.masses[None, :, None]
+        kt = KB * self.temperature
+        # B: half kick
+        velocities += 0.5 * dt * forces * inv_m
+        # A: half drift
+        positions += 0.5 * dt * velocities
+        # O: Ornstein-Uhlenbeck exact solve, per-replica noise streams
+        sigma = np.sqrt(kt / system.masses)[None, :, None]
+        noise = np.empty_like(velocities)
+        shape = velocities.shape[1:]
+        for row, replica in enumerate(replica_ids):
+            noise[row] = self.rngs[replica].generator.standard_normal(shape)
+        velocities *= self._decay
+        velocities += self._noise_scale * sigma * noise
+        # A: half drift
+        positions += 0.5 * dt * velocities
+        # B: half kick with new forces
+        _, new_forces = system.energy_forces(positions)
+        velocities += 0.5 * dt * new_forces * inv_m
+        return new_forces
+
+
+def make_batched_integrator(
+    name: str,
+    timestep: float,
+    temperature: float,
+    friction: float,
+    seeds: Sequence[int],
+) -> Optional[_BatchedIntegratorBase]:
+    """Batched integrator for *name*, or ``None`` if only serial exists.
+
+    Seeds follow the engine convention for the serial path (the
+    Langevin noise stream of task ``seed`` is ``seed + 1``), so a
+    caller handing the same task seeds to both paths gets bit-identical
+    dynamics.  Integrators without a batched form (Nosé–Hoover) return
+    ``None`` and the engine falls back to a per-replica serial loop.
+    """
+    if name == "langevin":
+        return BatchedLangevinIntegrator(
+            timestep,
+            temperature,
+            friction=friction,
+            rngs=[seed + 1 for seed in seeds],
+        )
+    if name == "verlet":
+        return BatchedVelocityVerletIntegrator(timestep)
+    return None
+
+
+class BatchedSimulation:
+    """Drives a replica stack, with per-replica reporting and restart.
+
+    The batched analogue of :class:`~repro.md.simulation.Simulation`:
+    owns a shared system, a batched integrator and the stacked state,
+    records one :class:`~repro.md.trajectory.Trajectory` per replica at
+    the shared report interval, and cuts/restores per-replica
+    :class:`~repro.md.simulation.Checkpoint` objects that are
+    bit-identical to serial ones.
+
+    Early exit: replicas are *active* until they are explicitly
+    :meth:`deactivate`-d or the optional ``stop_condition(replica,
+    positions) -> bool`` fires at a report point (e.g. "folded: Q >
+    0.8").  Inactive replicas are compacted out of the working arrays,
+    so a mostly-finished ensemble costs only its stragglers.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        integrator: _BatchedIntegratorBase,
+        states: Sequence[State],
+        report_interval: int = 0,
+        stop_condition: Optional[Callable[[int, np.ndarray], bool]] = None,
+    ) -> None:
+        if report_interval < 0:
+            raise ConfigurationError("report_interval must be >= 0")
+        self.batch = BatchedState.from_states(states)
+        if self.batch.positions.shape[1:] != (system.n_atoms, system.dim):
+            raise ConfigurationError(
+                f"replica shape {self.batch.positions.shape[1:]} does not "
+                f"match system ({system.n_atoms}, {system.dim})"
+            )
+        self.system = BatchedSystem(system, self.batch.n_replicas)
+        self.integrator = integrator
+        self.report_interval = int(report_interval)
+        self.trajectories = [
+            Trajectory() for _ in range(self.batch.n_replicas)
+        ]
+        self.active = np.ones(self.batch.n_replicas, dtype=bool)
+        self.stop_condition = stop_condition
+        self._forces: Optional[np.ndarray] = None
+
+    @property
+    def n_replicas(self) -> int:
+        """Number of stacked replicas."""
+        return self.batch.n_replicas
+
+    @property
+    def steps(self) -> np.ndarray:
+        """Per-replica step counters (do not mutate)."""
+        return self.batch.steps
+
+    def deactivate(self, replica: int) -> None:
+        """Early-exit *replica*: it stops consuming propagation work."""
+        self.active[replica] = False
+
+    def _prime(self) -> None:
+        if self._forces is not None:
+            return
+        self._forces = self.integrator.initial_forces(
+            self.system, self.batch.positions
+        )
+        if self.report_interval:
+            # Serial parity: a replica that never runs (deactivated
+            # before priming, e.g. restored already at its target)
+            # records no initial frame, exactly like an engine run
+            # that skips Simulation.run entirely.
+            for replica in range(self.n_replicas):
+                if self.active[replica] and len(self.trajectories[replica]) == 0:
+                    self.trajectories[replica].append(
+                        self.batch.positions[replica],
+                        self.batch.times[replica],
+                    )
+
+    def run_to(self, stop_steps: np.ndarray) -> None:
+        """Advance every active replica to its per-replica stop step.
+
+        Replicas past their stop step (or inactive) are compacted out;
+        the remainder step together in spans, so the vectorised kernels
+        always see a dense stack.  Raises
+        :class:`~repro.util.errors.SimulationError` on non-finite
+        coordinates, like the serial driver.
+        """
+        stop = np.asarray(stop_steps, dtype=np.int64)
+        if stop.shape != (self.n_replicas,):
+            raise ConfigurationError(
+                f"stop_steps must have shape ({self.n_replicas},)"
+            )
+        self._prime()
+        interval = self.report_interval
+        while True:
+            idx = np.flatnonzero(self.active & (self.batch.steps < stop))
+            if idx.size == 0:
+                return
+            # Largest span every compacted replica can take together.
+            span = int(np.min(stop[idx] - self.batch.steps[idx]))
+            positions = self.batch.positions[idx]
+            velocities = self.batch.velocities[idx]
+            forces = self._forces[idx]
+            steps = self.batch.steps[idx]
+            times = self.batch.times[idx]
+            for _ in range(span):
+                forces = self.integrator.step(
+                    self.system, positions, velocities, forces, idx
+                )
+                steps += 1
+                times += self.integrator.timestep
+                if interval:
+                    due = np.flatnonzero(steps % interval == 0)
+                    for row in due:
+                        if not np.all(np.isfinite(positions[row])):
+                            raise SimulationError(
+                                f"non-finite coordinates in replica "
+                                f"{int(idx[row])} at step {int(steps[row])}; "
+                                "reduce the timestep"
+                            )
+                        self.trajectories[int(idx[row])].append(
+                            positions[row], times[row]
+                        )
+            self.batch.positions[idx] = positions
+            self.batch.velocities[idx] = velocities
+            self._forces[idx] = forces
+            self.batch.steps[idx] = steps
+            self.batch.times[idx] = times
+            if self.stop_condition is not None:
+                for row, replica in enumerate(idx):
+                    if self.stop_condition(int(replica), positions[row]):
+                        self.active[replica] = False
+
+    def run(self, n_steps: int) -> None:
+        """Advance every active replica by *n_steps* further steps."""
+        if n_steps < 0:
+            raise ConfigurationError(
+                f"n_steps must be >= 0, got {n_steps}"
+            )
+        self.run_to(self.batch.steps + n_steps)
+
+    # -- energies -----------------------------------------------------------
+
+    def potential_energies(self) -> np.ndarray:
+        """Per-replica potential energies (kJ/mol)."""
+        return self.system.energy_forces(self.batch.positions)[0]
+
+    # -- checkpointing ------------------------------------------------------
+
+    def checkpoint(self, replica: int) -> Checkpoint:
+        """Serial-identical checkpoint of one replica."""
+        rng_state = None
+        getter = getattr(self.integrator, "rng_state_of", None)
+        if getter is not None:
+            rng_state = dict(getter(replica))
+        return Checkpoint(
+            positions=self.batch.positions[replica].copy(),
+            velocities=self.batch.velocities[replica].copy(),
+            time=float(self.batch.times[replica]),
+            step=int(self.batch.steps[replica]),
+            thermostat_state=0.0,
+            rng_state=rng_state,
+        )
+
+    def checkpoints(self) -> List[Checkpoint]:
+        """Checkpoints for every replica, in replica order."""
+        return [self.checkpoint(r) for r in range(self.n_replicas)]
+
+    def restore(self, replica: int, checkpoint: Checkpoint) -> None:
+        """Resume one replica from a (possibly serial) checkpoint."""
+        expected = (self.system.n_atoms, self.system.dim)
+        if checkpoint.positions.shape != expected:
+            raise ConfigurationError(
+                "checkpoint geometry does not match this system"
+            )
+        self.batch.positions[replica] = checkpoint.positions
+        self.batch.velocities[replica] = checkpoint.velocities
+        self.batch.times[replica] = checkpoint.time
+        self.batch.steps[replica] = checkpoint.step
+        setter = getattr(self.integrator, "set_rng_state_of", None)
+        if checkpoint.rng_state is not None and setter is not None:
+            setter(replica, checkpoint.rng_state)
+        self._forces = None

@@ -14,15 +14,12 @@ from __future__ import annotations
 
 import time as _walltime
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.md.integrators import (
-    LangevinIntegrator,
-    NoseHooverIntegrator,
-    VelocityVerletIntegrator,
-)
+from repro.md.batched import BatchedSimulation, make_batched_integrator
+from repro.md.integrators import make_integrator
 from repro.md.models.doublewell import double_well_initial_state, double_well_system
 from repro.md.models.muller_brown import (
     muller_brown_initial_state,
@@ -31,7 +28,7 @@ from repro.md.models.muller_brown import (
 from repro.md.models.villin import build_villin
 from repro.md.simulation import Checkpoint, Simulation
 from repro.md.system import State, System
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, UnknownModelError
 from repro.util.rng import RandomStream
 
 
@@ -162,71 +159,364 @@ class MDResult:
         )
 
 
-def _build_villin_task(task: MDTask):
-    variant = task.model.split("-", 1)[1] if "-" in task.model else "full"
-    model = build_villin(variant=variant, **task.model_params)
-    if task.initial_positions is not None:
-        rng = RandomStream(task.seed)
-        velocities = model.system.maxwell_boltzmann_velocities(
-            task.temperature, rng
+#: Fields that must agree for MDTasks to share one batched propagation.
+BATCH_COMPATIBLE_FIELDS = (
+    "model",
+    "n_steps",
+    "report_interval",
+    "integrator",
+    "temperature",
+    "friction",
+    "timestep",
+    "model_params",
+)
+
+
+@dataclass
+class BatchedMDTask:
+    """R compatible :class:`MDTask` commands stacked into one kernel call.
+
+    Per-replica degrees of freedom (seed, task id, explicit initial
+    positions, resume checkpoint) stay per-replica; everything listed
+    in :data:`BATCH_COMPATIBLE_FIELDS` is shared — those are exactly
+    the fields the distribution stack's command coalescing keys on.
+    """
+
+    model: str
+    n_steps: int
+    seeds: List[int]
+    task_ids: List[str]
+    report_interval: int = 100
+    integrator: str = "langevin"
+    temperature: float = 300.0
+    friction: float = 1.0
+    timestep: float = 0.02
+    initial_positions: Optional[List[Optional[np.ndarray]]] = None
+    checkpoints: Optional[List[Optional[Dict]]] = None
+    model_params: Dict = field(default_factory=dict)
+    batch_id: str = ""
+
+    def __post_init__(self) -> None:
+        n_rep = len(self.seeds)
+        if n_rep == 0:
+            raise ConfigurationError("a batched task needs >= 1 replica")
+        if len(self.task_ids) != n_rep:
+            raise ConfigurationError("task_ids/seeds length mismatch")
+        for name in ("initial_positions", "checkpoints"):
+            per_replica = getattr(self, name)
+            if per_replica is not None and len(per_replica) != n_rep:
+                raise ConfigurationError(f"{name}/seeds length mismatch")
+
+    @property
+    def n_replicas(self) -> int:
+        """Number of stacked replica commands."""
+        return len(self.seeds)
+
+    @classmethod
+    def from_tasks(
+        cls, tasks: Sequence[MDTask], batch_id: str = ""
+    ) -> "BatchedMDTask":
+        """Stack compatible serial tasks (see :data:`BATCH_COMPATIBLE_FIELDS`).
+
+        Raises
+        ------
+        ConfigurationError
+            If any task disagrees on a shared field.
+        """
+        if not tasks:
+            raise ConfigurationError("need at least one task to batch")
+        first = tasks[0]
+        for task in tasks[1:]:
+            for name in BATCH_COMPATIBLE_FIELDS:
+                if getattr(task, name) != getattr(first, name):
+                    raise ConfigurationError(
+                        f"cannot batch tasks differing in {name!r}"
+                    )
+        initial = [task.initial_positions for task in tasks]
+        checkpoints = [task.checkpoint for task in tasks]
+        return cls(
+            model=first.model,
+            n_steps=first.n_steps,
+            seeds=[task.seed for task in tasks],
+            task_ids=[task.task_id for task in tasks],
+            report_interval=first.report_interval,
+            integrator=first.integrator,
+            temperature=first.temperature,
+            friction=first.friction,
+            timestep=first.timestep,
+            initial_positions=(
+                initial if any(p is not None for p in initial) else None
+            ),
+            checkpoints=(
+                checkpoints if any(c is not None for c in checkpoints) else None
+            ),
+            model_params=dict(first.model_params),
+            batch_id=batch_id or first.task_id,
         )
-        state = State(np.asarray(task.initial_positions, dtype=float), velocities)
-    else:
-        state = model.extended_state(rng=task.seed, temperature=task.temperature)
-    return model.system, state
 
-
-def _build_muller_brown_task(task: MDTask):
-    system = muller_brown_system(**task.model_params)
-    if task.initial_positions is not None:
-        rng = RandomStream(task.seed)
-        velocities = system.maxwell_boltzmann_velocities(task.temperature, rng)
-        state = State(np.asarray(task.initial_positions, dtype=float), velocities)
-    else:
-        state = muller_brown_initial_state(
-            rng=task.seed, temperature=task.temperature, **task.model_params
+    def replica_task(self, replica: int) -> MDTask:
+        """The serial :class:`MDTask` for one replica."""
+        return MDTask(
+            model=self.model,
+            n_steps=self.n_steps,
+            report_interval=self.report_interval,
+            integrator=self.integrator,
+            temperature=self.temperature,
+            friction=self.friction,
+            timestep=self.timestep,
+            seed=self.seeds[replica],
+            initial_positions=(
+                self.initial_positions[replica]
+                if self.initial_positions is not None
+                else None
+            ),
+            checkpoint=(
+                self.checkpoints[replica]
+                if self.checkpoints is not None
+                else None
+            ),
+            model_params=dict(self.model_params),
+            task_id=self.task_ids[replica],
         )
-    return system, state
+
+    def tasks(self) -> List[MDTask]:
+        """All replica tasks, in replica order."""
+        return [self.replica_task(r) for r in range(self.n_replicas)]
+
+    def to_payload(self) -> Dict:
+        """Wire-format dict."""
+        payload = {
+            "model": self.model,
+            "n_steps": int(self.n_steps),
+            "seeds": [int(seed) for seed in self.seeds],
+            "task_ids": list(self.task_ids),
+            "report_interval": int(self.report_interval),
+            "integrator": self.integrator,
+            "temperature": float(self.temperature),
+            "friction": float(self.friction),
+            "timestep": float(self.timestep),
+            "model_params": dict(self.model_params),
+            "batch_id": self.batch_id,
+        }
+        if self.initial_positions is not None:
+            payload["initial_positions"] = [
+                np.asarray(p) if p is not None else None
+                for p in self.initial_positions
+            ]
+        if self.checkpoints is not None:
+            payload["checkpoints"] = list(self.checkpoints)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "BatchedMDTask":
+        """Inverse of :meth:`to_payload`."""
+        initial = payload.get("initial_positions")
+        return cls(
+            model=payload["model"],
+            n_steps=int(payload["n_steps"]),
+            seeds=[int(seed) for seed in payload["seeds"]],
+            task_ids=list(payload["task_ids"]),
+            report_interval=int(payload.get("report_interval", 100)),
+            integrator=payload.get("integrator", "langevin"),
+            temperature=float(payload.get("temperature", 300.0)),
+            friction=float(payload.get("friction", 1.0)),
+            timestep=float(payload.get("timestep", 0.02)),
+            initial_positions=(
+                [np.asarray(p) if p is not None else None for p in initial]
+                if initial is not None
+                else None
+            ),
+            checkpoints=payload.get("checkpoints"),
+            model_params=dict(payload.get("model_params", {})),
+            batch_id=payload.get("batch_id", ""),
+        )
 
 
-def _build_lj_fluid_task(task: MDTask):
+@dataclass
+class BatchedMDResult:
+    """Per-command results of one batched propagation.
+
+    ``split()`` recovers plain :class:`MDResult` objects whose
+    checkpoints, frames and step counts are bit-identical to serial
+    execution — the property that lets the distribution stack treat a
+    coalesced command group exactly like individually-run commands.
+    """
+
+    results: List[MDResult]
+    batch_id: str = ""
+
+    @property
+    def completed(self) -> bool:
+        """True when every replica command completed."""
+        return all(result.completed for result in self.results)
+
+    def split(self) -> List[MDResult]:
+        """Per-command results, aligned with the batched task's replicas."""
+        return list(self.results)
+
+    def to_payload(self) -> Dict:
+        """Wire-format dict."""
+        return {
+            "batch_id": self.batch_id,
+            "results": [result.to_payload() for result in self.results],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "BatchedMDResult":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            results=[MDResult.from_payload(p) for p in payload["results"]],
+            batch_id=payload.get("batch_id", ""),
+        )
+
+
+@dataclass
+class BuiltModel:
+    """A constructed model: one shared system + a per-task state builder.
+
+    The split is what lets the serial and batched engines share a
+    single registry lookup: the (expensive) system is built once, then
+    ``state_builder`` is called per task/replica — states depend only
+    on the task's seed, initial positions and temperature, so a
+    batched stack's replicas are bit-identical to serial runs.
+    """
+
+    system: System
+    state_builder: Callable[[MDTask], State]
+
+
+def _explicit_state(system: System, task: MDTask) -> Optional[State]:
+    """State from a task's explicit coordinates (velocities thermalised)."""
+    if task.initial_positions is None:
+        return None
+    rng = RandomStream(task.seed)
+    velocities = system.maxwell_boltzmann_velocities(task.temperature, rng)
+    return State(np.asarray(task.initial_positions, dtype=float), velocities)
+
+
+def _villin_builder(model: str, model_params: Dict) -> BuiltModel:
+    variant = model.split("-", 1)[1] if "-" in model else "full"
+    built = build_villin(variant=variant, **model_params)
+
+    def state_builder(task: MDTask) -> State:
+        state = _explicit_state(built.system, task)
+        if state is not None:
+            return state
+        return built.extended_state(rng=task.seed, temperature=task.temperature)
+
+    return BuiltModel(built.system, state_builder)
+
+
+def _muller_brown_builder(model: str, model_params: Dict) -> BuiltModel:
+    system = muller_brown_system(**model_params)
+
+    def state_builder(task: MDTask) -> State:
+        state = _explicit_state(system, task)
+        if state is not None:
+            return state
+        return muller_brown_initial_state(
+            rng=task.seed, temperature=task.temperature, **model_params
+        )
+
+    return BuiltModel(system, state_builder)
+
+
+def _lj_fluid_builder(model: str, model_params: Dict) -> BuiltModel:
     from repro.md.models.lj_fluid import lj_fluid_state, lj_fluid_system
 
-    system, box = lj_fluid_system(**task.model_params)
-    if task.initial_positions is not None:
-        rng = RandomStream(task.seed)
-        velocities = system.maxwell_boltzmann_velocities(task.temperature, rng)
-        state = State(np.asarray(task.initial_positions, dtype=float), velocities)
-    else:
-        state = lj_fluid_state(
+    system, box = lj_fluid_system(**model_params)
+
+    def state_builder(task: MDTask) -> State:
+        state = _explicit_state(system, task)
+        if state is not None:
+            return state
+        return lj_fluid_state(
             system, box, temperature=task.temperature, rng=task.seed
         )
-    return system, state
+
+    return BuiltModel(system, state_builder)
 
 
-def _build_double_well_task(task: MDTask):
-    system = double_well_system(**task.model_params)
-    if task.initial_positions is not None:
-        rng = RandomStream(task.seed)
-        velocities = system.maxwell_boltzmann_velocities(task.temperature, rng)
-        state = State(np.asarray(task.initial_positions, dtype=float), velocities)
-    else:
-        width = task.model_params.get("width", 1.0)
-        dim = task.model_params.get("dim", 1)
-        state = double_well_initial_state(
+def _double_well_builder(model: str, model_params: Dict) -> BuiltModel:
+    system = double_well_system(**model_params)
+    width = model_params.get("width", 1.0)
+    dim = model_params.get("dim", 1)
+
+    def state_builder(task: MDTask) -> State:
+        state = _explicit_state(system, task)
+        if state is not None:
+            return state
+        return double_well_initial_state(
             rng=task.seed, temperature=task.temperature, width=width, dim=dim
         )
-    return system, state
+
+    return BuiltModel(system, state_builder)
 
 
-#: Model registry: name -> builder(task) -> (system, initial_state).
-MODEL_REGISTRY: Dict[str, Callable] = {
-    "villin-full": _build_villin_task,
-    "villin-fast": _build_villin_task,
-    "muller-brown": _build_muller_brown_task,
-    "double-well": _build_double_well_task,
-    "lj-fluid": _build_lj_fluid_task,
+#: Model registry: name -> builder(model, model_params) -> BuiltModel.
+#: One lookup shared by the serial and batched execution paths.
+MODEL_REGISTRY: Dict[str, Callable[[str, Dict], BuiltModel]] = {
+    "villin-full": _villin_builder,
+    "villin-fast": _villin_builder,
+    "muller-brown": _muller_brown_builder,
+    "double-well": _double_well_builder,
+    "lj-fluid": _lj_fluid_builder,
 }
+
+
+def register_model(
+    name: str, builder: Callable[[str, Dict], BuiltModel]
+) -> None:
+    """Register (or override) a model builder under *name*."""
+    MODEL_REGISTRY[name] = builder
+
+
+def resolve_model(model: str, model_params: Optional[Dict] = None) -> BuiltModel:
+    """Look up and build *model*, raising typed errors for bad names.
+
+    Raises
+    ------
+    UnknownModelError
+        If *model* is not registered (a :class:`ConfigurationError`
+        subclass, so pre-registry callers keep working).
+    """
+    try:
+        builder = MODEL_REGISTRY[model]
+    except KeyError:
+        raise UnknownModelError(
+            f"unknown model {model!r}; known: {sorted(MODEL_REGISTRY)}"
+        ) from None
+    return builder(model, dict(model_params or {}))
+
+
+def _legacy_task_builder(name: str) -> Callable:
+    def build(task: MDTask):
+        built = resolve_model(task.model, task.model_params)
+        return built.system, built.state_builder(task)
+
+    build.__name__ = name
+    return build
+
+
+_LEGACY_BUILDER_NAMES = (
+    "_build_villin_task",
+    "_build_muller_brown_task",
+    "_build_lj_fluid_task",
+    "_build_double_well_task",
+)
+
+
+def __getattr__(name: str):
+    if name in _LEGACY_BUILDER_NAMES:
+        from repro.compat import warn_deprecated
+
+        warn_deprecated(
+            f"repro.md.engine.{name}",
+            "repro.md.engine.resolve_model",
+            stacklevel=2,
+        )
+        return _legacy_task_builder(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class MDEngine:
@@ -250,32 +540,21 @@ class MDEngine:
         self.segment_steps = int(segment_steps)
 
     def _make_integrator(self, task: MDTask):
-        if task.integrator == "langevin":
-            return LangevinIntegrator(
-                task.timestep,
-                task.temperature,
-                friction=task.friction,
-                rng=task.seed + 1,
-            )
-        if task.integrator == "nose-hoover":
-            return NoseHooverIntegrator(task.timestep, task.temperature)
-        if task.integrator == "verlet":
-            return VelocityVerletIntegrator(task.timestep)
-        raise ConfigurationError(f"unknown integrator {task.integrator!r}")
+        return make_integrator(
+            task.integrator,
+            timestep=task.timestep,
+            temperature=task.temperature,
+            friction=task.friction,
+            seed=task.seed,
+        )
 
     def prepare(self, task: MDTask) -> Simulation:
         """Build the simulation for *task* (resuming its checkpoint if any)."""
-        try:
-            builder = MODEL_REGISTRY[task.model]
-        except KeyError:
-            raise ConfigurationError(
-                f"unknown model {task.model!r}; known: {sorted(MODEL_REGISTRY)}"
-            ) from None
-        system, state = builder(task)
+        built = resolve_model(task.model, task.model_params)
         simulation = Simulation(
-            system,
+            built.system,
             self._make_integrator(task),
-            state,
+            built.state_builder(task),
             report_interval=task.report_interval,
         )
         if task.checkpoint is not None:
@@ -321,3 +600,87 @@ class MDEngine:
             wall_seconds=_walltime.perf_counter() - start_wall,
             final_potential_energy=simulation.potential_energy(),
         )
+
+    def run_batched(
+        self,
+        btask: BatchedMDTask,
+        abort_after_steps: Optional[int] = None,
+    ) -> BatchedMDResult:
+        """Run a batched task; per-replica results match serial bit-for-bit.
+
+        Integrators without a batched form (Nosé–Hoover) fall back to a
+        serial per-replica loop, so every coalescible command is also
+        runnable here.  *abort_after_steps* bounds the further steps of
+        every replica, mirroring :meth:`run`.
+        """
+        start_wall = _walltime.perf_counter()
+        integrator = make_batched_integrator(
+            btask.integrator,
+            btask.timestep,
+            btask.temperature,
+            btask.friction,
+            btask.seeds,
+        )
+        if integrator is None:
+            return BatchedMDResult(
+                results=[
+                    self.run(task, abort_after_steps)
+                    for task in btask.tasks()
+                ],
+                batch_id=btask.batch_id,
+            )
+        built = resolve_model(btask.model, btask.model_params)
+        simulation = BatchedSimulation(
+            built.system,
+            integrator,
+            [built.state_builder(task) for task in btask.tasks()],
+            report_interval=btask.report_interval,
+        )
+        if btask.checkpoints is not None:
+            for replica, payload in enumerate(btask.checkpoints):
+                if payload is not None:
+                    simulation.restore(
+                        replica, Checkpoint.from_payload(payload)
+                    )
+        start_steps = simulation.batch.steps.copy()
+        target = btask.n_steps
+        budget = abort_after_steps if abort_after_steps is not None else target
+        for replica in range(btask.n_replicas):
+            # A replica restored at (or past) its target never runs —
+            # the serial engine records no frames for it either.
+            if start_steps[replica] >= target or budget <= 0:
+                simulation.deactivate(replica)
+
+        while True:
+            steps = simulation.batch.steps
+            remaining = np.minimum(
+                target - steps, budget - (steps - start_steps)
+            )
+            if not np.any(remaining > 0):
+                break
+            chunk = np.clip(remaining, 0, self.segment_steps)
+            simulation.run_to(steps + chunk)
+
+        elapsed = _walltime.perf_counter() - start_wall
+        results = []
+        for replica in range(btask.n_replicas):
+            trajectory = simulation.trajectories[replica]
+            step = int(simulation.batch.steps[replica])
+            results.append(
+                MDResult(
+                    task_id=btask.task_ids[replica],
+                    frames=trajectory.frames,
+                    times=trajectory.times,
+                    checkpoint=simulation.checkpoint(replica).to_payload(),
+                    steps_completed=step - int(start_steps[replica]),
+                    completed=step >= target,
+                    # Amortised: the batch ran once for all replicas.
+                    wall_seconds=elapsed / btask.n_replicas,
+                    # Serial energy path so results are indistinguishable
+                    # from individually-run commands.
+                    final_potential_energy=built.system.potential_energy(
+                        simulation.batch.positions[replica]
+                    ),
+                )
+            )
+        return BatchedMDResult(results=results, batch_id=btask.batch_id)

@@ -2,23 +2,33 @@
 
 Each term precomputes its index arrays once; ``energy_forces`` is pure
 vectorised numpy with ``np.add.at`` scatter-adds into the force buffer.
+Every term also implements ``compute_batch`` over ``(R, N, 3)`` replica
+stacks (see :mod:`repro.md.forcefield.base`): the index arrays are
+shared across replicas, all arithmetic is elementwise over the replica
+axis, and scatters go through :class:`~repro.md.forcefield.base.
+SegmentScatter`, so per-replica forces are bit-identical to the serial
+kernels.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.md.forcefield.base import SegmentScatter
 from repro.util.errors import ConfigurationError
 
 
 def _cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Row-wise cross product without np.cross's axis-juggling overhead."""
+    """Last-axis cross product without np.cross's axis-juggling overhead.
+
+    Works for ``(P, 3)`` rows and ``(R, P, 3)`` replica stacks alike.
+    """
     out = np.empty_like(a)
-    out[:, 0] = a[:, 1] * b[:, 2] - a[:, 2] * b[:, 1]
-    out[:, 1] = a[:, 2] * b[:, 0] - a[:, 0] * b[:, 2]
-    out[:, 2] = a[:, 0] * b[:, 1] - a[:, 1] * b[:, 0]
+    out[..., 0] = a[..., 1] * b[..., 2] - a[..., 2] * b[..., 1]
+    out[..., 1] = a[..., 2] * b[..., 0] - a[..., 0] * b[..., 2]
+    out[..., 2] = a[..., 0] * b[..., 1] - a[..., 1] * b[..., 0]
     return out
 
 
@@ -33,6 +43,7 @@ class HarmonicBondForce:
             raise ConfigurationError("bond arrays misaligned")
         self._i = self.pairs[:, 0]
         self._j = self.pairs[:, 1]
+        self._scatter: Optional[SegmentScatter] = None
 
     def energy_forces(self, positions: np.ndarray) -> Tuple[float, np.ndarray]:
         """Return (energy, forces) at *positions* (see module docstring)."""
@@ -50,6 +61,26 @@ class HarmonicBondForce:
         np.add.at(forces, self._i, -fij)
         return energy, forces
 
+    def compute_batch(
+        self, positions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched ``energy_forces`` over ``(R, N, 3)`` replica stacks."""
+        forces = np.zeros(positions.shape)
+        if len(self.pairs) == 0:
+            return np.zeros(positions.shape[0]), forces
+        rij = positions[:, self._j] - positions[:, self._i]
+        r = np.sqrt(np.sum(rij * rij, axis=2))
+        dr = r - self.r0
+        energies = 0.5 * np.sum(self.k * (dr * dr), axis=1)
+        fscale = -(self.k * dr) / np.maximum(r, 1e-12)
+        fij = fscale[..., None] * rij
+        if self._scatter is None:
+            self._scatter = SegmentScatter(
+                np.concatenate([self._j, self._i])
+            )
+        self._scatter.add(forces, np.concatenate([fij, -fij], axis=1))
+        return energies, forces
+
 
 class HarmonicAngleForce:
     """``E = 0.5 k (theta - theta0)^2`` over i-j-k triples (vertex j)."""
@@ -65,6 +96,7 @@ class HarmonicAngleForce:
         self._i = self.triples[:, 0]
         self._j = self.triples[:, 1]
         self._k = self.triples[:, 2]
+        self._scatter: Optional[SegmentScatter] = None
 
     def energy_forces(self, positions: np.ndarray) -> Tuple[float, np.ndarray]:
         """Return (energy, forces) at *positions* (see module docstring)."""
@@ -94,6 +126,39 @@ class HarmonicAngleForce:
         np.add.at(forces, self._j, -(fi + fk))
         return energy, forces
 
+    def compute_batch(
+        self, positions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched ``energy_forces`` over ``(R, N, 3)`` replica stacks."""
+        forces = np.zeros(positions.shape)
+        if len(self.triples) == 0:
+            return np.zeros(positions.shape[0]), forces
+        rij = positions[:, self._i] - positions[:, self._j]
+        rkj = positions[:, self._k] - positions[:, self._j]
+        nij = np.sqrt(np.sum(rij * rij, axis=2))
+        nkj = np.sqrt(np.sum(rkj * rkj, axis=2))
+        cos_t = np.sum(rij * rkj, axis=2) / np.maximum(nij * nkj, 1e-12)
+        cos_t = np.clip(cos_t, -1.0 + 1e-10, 1.0 - 1e-10)
+        theta = np.arccos(cos_t)
+        dtheta = theta - self.theta0
+        energies = 0.5 * np.sum(self.k * (dtheta * dtheta), axis=1)
+        sin_t = np.sqrt(1.0 - cos_t * cos_t)
+        coeff = (self.k * dtheta) / np.maximum(sin_t, 1e-12)
+        fi = (coeff / nij)[..., None] * (
+            rkj / nkj[..., None] - cos_t[..., None] * rij / nij[..., None]
+        )
+        fk = (coeff / nkj)[..., None] * (
+            rij / nij[..., None] - cos_t[..., None] * rkj / nkj[..., None]
+        )
+        if self._scatter is None:
+            self._scatter = SegmentScatter(
+                np.concatenate([self._i, self._k, self._j])
+            )
+        self._scatter.add(
+            forces, np.concatenate([fi, fk, -(fi + fk)], axis=1)
+        )
+        return energies, forces
+
 
 class PeriodicDihedralForce:
     """``E = k (1 + cos(n phi - phi0))`` over i-j-k-l quadruples."""
@@ -117,6 +182,7 @@ class PeriodicDihedralForce:
         self._j = self.quads[:, 1]
         self._k = self.quads[:, 2]
         self._l = self.quads[:, 3]
+        self._scatter: Optional[SegmentScatter] = None
 
     @staticmethod
     def dihedral_angles(
@@ -176,3 +242,45 @@ class PeriodicDihedralForce:
         np.add.at(forces, self._k, fk)
         np.add.at(forces, self._l, fl)
         return energy, forces
+
+    def compute_batch(
+        self, positions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched ``energy_forces`` over ``(R, N, 3)`` replica stacks."""
+        forces = np.zeros(positions.shape)
+        if len(self.quads) == 0:
+            return np.zeros(positions.shape[0]), forces
+        b1 = positions[:, self._j] - positions[:, self._i]
+        b2 = positions[:, self._k] - positions[:, self._j]
+        b3 = positions[:, self._l] - positions[:, self._k]
+        n1 = _cross(b1, b2)
+        n2 = _cross(b2, b3)
+        nb2 = np.sqrt(np.sum(b2 * b2, axis=2))
+        m1 = _cross(n1, b2 / nb2[..., None])
+        x = np.sum(n1 * n2, axis=2)
+        y = np.sum(m1 * n2, axis=2)
+        phi = np.arctan2(y, x)
+        energies = np.sum(
+            self.k * (1.0 + np.cos(self.mult * phi - self.phi0)), axis=1
+        )
+        dE = -self.k * self.mult * np.sin(self.mult * phi - self.phi0)
+        n1sq = np.maximum(np.sum(n1 * n1, axis=2), 1e-12)
+        n2sq = np.maximum(np.sum(n2 * n2, axis=2), 1e-12)
+        dphi_i = (nb2 / n1sq)[..., None] * n1
+        dphi_l = -(nb2 / n2sq)[..., None] * n2
+        s12 = np.sum(b1 * b2, axis=2) / np.maximum(nb2 * nb2, 1e-12)
+        s32 = np.sum(b3 * b2, axis=2) / np.maximum(nb2 * nb2, 1e-12)
+        dphi_j = -(1.0 + s12)[..., None] * dphi_i + s32[..., None] * dphi_l
+        dphi_k = s12[..., None] * dphi_i - (1.0 + s32)[..., None] * dphi_l
+        fi = -dE[..., None] * dphi_i
+        fj = -dE[..., None] * dphi_j
+        fk = -dE[..., None] * dphi_k
+        fl = -dE[..., None] * dphi_l
+        if self._scatter is None:
+            self._scatter = SegmentScatter(
+                np.concatenate([self._i, self._j, self._k, self._l])
+            )
+        self._scatter.add(
+            forces, np.concatenate([fi, fj, fk, fl], axis=1)
+        )
+        return energies, forces

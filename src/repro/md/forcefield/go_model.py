@@ -14,10 +14,11 @@ behaviour the paper's adaptive-MSM machinery consumes.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.md.forcefield.base import SegmentScatter
 from repro.util.errors import ConfigurationError
 
 
@@ -46,6 +47,7 @@ class GoContactForce:
         self.cutoff = self.r0 * cutoff_factor
         self._i = self.pairs[:, 0]
         self._j = self.pairs[:, 1]
+        self._scatter: Optional[SegmentScatter] = None
 
     def energy_forces(self, positions: np.ndarray) -> Tuple[float, np.ndarray]:
         """Return (energy, forces) of the 12-10 contact wells."""
@@ -65,6 +67,38 @@ class GoContactForce:
         np.add.at(forces, self._j, fij)
         np.add.at(forces, self._i, -fij)
         return energy, forces
+
+    def compute_batch(
+        self, positions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched ``energy_forces`` over ``(R, N, 3)`` replica stacks."""
+        forces = np.zeros(positions.shape)
+        if len(self.pairs) == 0:
+            return np.zeros(positions.shape[0]), forces
+        rij = positions[:, self._j] - positions[:, self._i]
+        r2 = np.sum(rij * rij, axis=2)
+        inv_r2 = self.r0 * self.r0 / r2
+        s10 = inv_r2**5
+        s12 = s10 * inv_r2
+        energies = np.sum(self.epsilon * (5.0 * s12 - 6.0 * s10), axis=1)
+        fscale = 60.0 * self.epsilon * (s12 - s10) / r2
+        fij = fscale[..., None] * rij
+        if self._scatter is None:
+            self._scatter = SegmentScatter(
+                np.concatenate([self._j, self._i])
+            )
+        self._scatter.add(forces, np.concatenate([fij, -fij], axis=1))
+        return energies, forces
+
+    def fraction_native_batch(
+        self, positions: np.ndarray, tolerance: float = 1.2
+    ) -> np.ndarray:
+        """Per-replica Q over an ``(R, N, 3)`` stack (see fraction_native)."""
+        if len(self.pairs) == 0:
+            return np.ones(positions.shape[0])
+        rij = positions[:, self._j] - positions[:, self._i]
+        r = np.sqrt(np.sum(rij * rij, axis=2))
+        return np.mean(r < tolerance * self.r0, axis=1)
 
     def fraction_native(
         self, positions: np.ndarray, tolerance: float = 1.2

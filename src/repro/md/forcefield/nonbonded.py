@@ -12,7 +12,42 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.md.forcefield.base import SegmentScatter
 from repro.util.errors import ConfigurationError
+
+
+def _static_pairs(pair_provider, positions_batch):
+    """Shared (i, j) arrays for a replica batch, or ``None``.
+
+    Vectorising over replicas requires one pair list valid for every
+    replica, so only positions-independent providers (e.g.
+    :class:`~repro.md.neighborlist.AllPairs`) qualify; a cell list
+    would prune differently per replica and falls back to the serial
+    loop.
+    """
+    if not getattr(pair_provider, "positions_independent", False):
+        return None
+    return pair_provider.pairs(positions_batch[0])
+
+
+def _masked_pair_scatter(
+    term, i: np.ndarray, j: np.ndarray, forces, fij, within
+) -> None:
+    """Scatter ``+fij`` at *j* then ``-fij`` at *i*, cutoff-masked.
+
+    Caches the :class:`~repro.md.forcefield.base.SegmentScatter` on the
+    force term (*term*) — valid because only positions-independent
+    providers reach the batched path, so (i, j) never change.
+    """
+    scatter = getattr(term, "_batch_scatter", None)
+    if scatter is None:
+        scatter = SegmentScatter(np.concatenate([j, i]))
+        term._batch_scatter = scatter
+    scatter.add(
+        forces,
+        np.concatenate([fij, -fij], axis=1),
+        mask=np.concatenate([within, within], axis=1),
+    )
 
 #: Coulomb prefactor f = 1/(4 pi eps0) in kJ mol^-1 nm e^-2 (Gromacs value).
 COULOMB_PREFACTOR = 138.935458
@@ -92,6 +127,36 @@ class LennardJonesForce:
         np.add.at(forces, self._as_index(i), -fij)
         return energy, forces
 
+    def compute_batch(
+        self, positions: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Batched ``energy_forces``; ``None`` if the provider is dynamic."""
+        pair = _static_pairs(self.pair_provider, positions)
+        if pair is None:
+            return None
+        i, j = pair
+        forces = np.zeros(positions.shape)
+        if len(i) == 0:
+            return np.zeros(positions.shape[0]), forces
+        rij = positions[:, j] - positions[:, i]
+        if self.box is not None:
+            rij -= self.box * np.round(rij / self.box)
+        r2 = np.sum(rij * rij, axis=2)
+        within = r2 < self.cutoff * self.cutoff
+        sig, eps = self._pair_params(i, j)
+        inv_r2 = 1.0 / r2
+        s6 = (sig * sig * inv_r2) ** 3
+        s12 = s6 * s6
+        sc6 = (sig / self.cutoff) ** 6
+        shift = 4.0 * eps * (sc6 * sc6 - sc6)
+        energies = np.sum(
+            np.where(within, 4.0 * eps * (s12 - s6) - shift, 0.0), axis=1
+        )
+        fscale = 24.0 * eps * (2.0 * s12 - s6) * inv_r2
+        fij = fscale[..., None] * rij
+        _masked_pair_scatter(self, i, j, forces, fij, within)
+        return energies, forces
+
     @staticmethod
     def _as_index(idx: np.ndarray) -> np.ndarray:
         return idx
@@ -151,6 +216,31 @@ class ReactionFieldElectrostatics:
         np.add.at(forces, i, -fij)
         return energy, forces
 
+    def compute_batch(
+        self, positions: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Batched ``energy_forces``; ``None`` if the provider is dynamic."""
+        pair = _static_pairs(self.pair_provider, positions)
+        if pair is None:
+            return None
+        i, j = pair
+        forces = np.zeros(positions.shape)
+        if len(i) == 0:
+            return np.zeros(positions.shape[0]), forces
+        rij = positions[:, j] - positions[:, i]
+        r2 = np.sum(rij * rij, axis=2)
+        within = r2 < self.cutoff * self.cutoff
+        r = np.sqrt(r2)
+        qq = COULOMB_PREFACTOR * self.charges[i] * self.charges[j]
+        energies = np.sum(
+            np.where(within, qq * (1.0 / r + self.k_rf * r2 - self.c_rf), 0.0),
+            axis=1,
+        )
+        fscale = qq * (1.0 / (r2 * r) - 2.0 * self.k_rf)
+        fij = fscale[..., None] * rij
+        _masked_pair_scatter(self, i, j, forces, fij, within)
+        return energies, forces
+
 
 class ExcludedVolumeForce:
     """Purely repulsive ``eps (sigma/r)^12`` wall, cutoff at ``r = sigma * factor``.
@@ -194,3 +284,28 @@ class ExcludedVolumeForce:
         np.add.at(forces, j, fij)
         np.add.at(forces, i, -fij)
         return energy, forces
+
+    def compute_batch(
+        self, positions: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Batched ``energy_forces``; ``None`` if the provider is dynamic."""
+        pair = _static_pairs(self.pair_provider, positions)
+        if pair is None:
+            return None
+        i, j = pair
+        forces = np.zeros(positions.shape)
+        if len(i) == 0:
+            return np.zeros(positions.shape[0]), forces
+        rij = positions[:, j] - positions[:, i]
+        r2 = np.sum(rij * rij, axis=2)
+        within = r2 < self.cutoff * self.cutoff
+        inv_r2 = 1.0 / r2
+        s12 = (self.sigma * self.sigma * inv_r2) ** 6
+        shift = self.epsilon * (self.sigma / self.cutoff) ** 12
+        energies = np.sum(
+            np.where(within, self.epsilon * s12 - shift, 0.0), axis=1
+        )
+        fscale = 12.0 * self.epsilon * s12 * inv_r2
+        fij = fscale[..., None] * rij
+        _masked_pair_scatter(self, i, j, forces, fij, within)
+        return energies, forces

@@ -15,6 +15,33 @@ from repro.util.rng import RandomStream, ensure_stream
 from repro.util.units import KB
 
 
+def make_integrator(
+    name: str,
+    *,
+    timestep: float,
+    temperature: float = 300.0,
+    friction: float = 1.0,
+    seed: int = 0,
+):
+    """Build an integrator by name — the one lookup shared by the MD
+    engine, the batched kernel's serial fallback and the
+    :meth:`~repro.md.simulation.Simulation.configure` facade.
+
+    ``seed`` follows the engine convention: the Langevin noise stream
+    is ``seed + 1`` (stream 0 is reserved for initial velocities), so a
+    task propagated here is bit-identical to one run by the engine.
+    """
+    if name == "langevin":
+        return LangevinIntegrator(
+            timestep, temperature, friction=friction, rng=seed + 1
+        )
+    if name == "nose-hoover":
+        return NoseHooverIntegrator(timestep, temperature)
+    if name == "verlet":
+        return VelocityVerletIntegrator(timestep)
+    raise ConfigurationError(f"unknown integrator {name!r}")
+
+
 class _IntegratorBase:
     """Shared timestep plumbing."""
 

@@ -26,6 +26,10 @@ def _exclusion_key(n_atoms: int, i: np.ndarray, j: np.ndarray) -> np.ndarray:
 class AllPairs:
     """Every unordered pair, minus exclusions, precomputed once."""
 
+    #: The pair list never depends on coordinates, so batched force
+    #: kernels may share it across every replica of a stack.
+    positions_independent = True
+
     def __init__(
         self, n_atoms: int, exclusions: Optional[Iterable[Tuple[int, int]]] = None
     ) -> None:
@@ -71,6 +75,10 @@ class CellList:
     exclusions:
         Pairs never returned.
     """
+
+    #: Pair lists are rebuilt from coordinates, so batched kernels must
+    #: fall back to per-replica evaluation.
+    positions_independent = False
 
     def __init__(
         self,

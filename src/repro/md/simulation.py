@@ -127,21 +127,98 @@ class Simulation:
         self.state = state
         self.report_interval = int(report_interval)
         self.trajectory = Trajectory()
+        #: Default step count for :meth:`run` (set by :meth:`configure`).
+        self.default_steps: Optional[int] = None
         self._forces: Optional[np.ndarray] = None
         self._observers: List[Callable[[State], None]] = []
+
+    @classmethod
+    def configure(
+        cls,
+        *,
+        model: str,
+        integrator: str = "langevin",
+        steps: Optional[int] = None,
+        temperature: float = 300.0,
+        friction: float = 1.0,
+        timestep: float = 0.02,
+        seed: int = 0,
+        report_interval: int = 100,
+        initial_positions: Optional[np.ndarray] = None,
+        model_params: Optional[Dict] = None,
+    ) -> "Simulation":
+        """Build a ready-to-run simulation from a model name.
+
+        The keyword-only public constructor: resolves *model* through
+        the engine's model registry, thermalises the initial state with
+        *seed*, and wires the named *integrator* — the same code paths
+        a distributed ``mdrun`` command takes, so a configured
+        simulation propagates bit-identically to the equivalent
+        :class:`~repro.md.engine.MDTask`.
+
+        ``steps`` (optional) becomes the default for :meth:`run`.
+
+        Raises
+        ------
+        UnknownModelError
+            If *model* is not registered.
+        ConfigurationError
+            If *integrator* is unknown or parameters are invalid.
+        """
+        # Imported here: the engine module imports this one.
+        from repro.md.engine import MDTask, resolve_model
+        from repro.md.integrators import make_integrator
+
+        task = MDTask(
+            model=model,
+            n_steps=int(steps) if steps is not None else 0,
+            report_interval=report_interval,
+            integrator=integrator,
+            temperature=temperature,
+            friction=friction,
+            timestep=timestep,
+            seed=seed,
+            initial_positions=initial_positions,
+            model_params=dict(model_params or {}),
+        )
+        built = resolve_model(task.model, task.model_params)
+        simulation = cls(
+            built.system,
+            make_integrator(
+                integrator,
+                timestep=timestep,
+                temperature=temperature,
+                friction=friction,
+                seed=seed,
+            ),
+            built.state_builder(task),
+            report_interval=report_interval,
+        )
+        if steps is not None:
+            simulation.default_steps = int(steps)
+        return simulation
 
     def add_observer(self, callback: Callable[[State], None]) -> None:
         """Register a callable invoked at every report interval."""
         self._observers.append(callback)
 
-    def run(self, n_steps: int) -> None:
-        """Advance *n_steps* timesteps.
+    def run(self, n_steps: Optional[int] = None) -> None:
+        """Advance *n_steps* timesteps (default: the configured ``steps``).
 
         Raises
         ------
         SimulationError
             If coordinates become non-finite (numerical blow-up).
+        ConfigurationError
+            If *n_steps* is omitted and no default was configured.
         """
+        if n_steps is None:
+            if self.default_steps is None:
+                raise ConfigurationError(
+                    "run() needs n_steps (no default configured via "
+                    "Simulation.configure(steps=...))"
+                )
+            n_steps = self.default_steps
         if n_steps < 0:
             raise ConfigurationError(f"n_steps must be >= 0, got {n_steps}")
         if self._forces is None:

@@ -18,7 +18,11 @@ allocated").  This subpackage implements that methodology:
   the multi-level parallelism hierarchy of Fig. 6.
 """
 
-from repro.perfmodel.mdperf import MDPerformanceModel, VILLIN_MODEL
+from repro.perfmodel.mdperf import (
+    MDPerformanceModel,
+    VILLIN_MODEL,
+    batch_speedup,
+)
 from repro.perfmodel.scheduler_sim import (
     ProjectSpec,
     ResourcePool,
@@ -36,6 +40,7 @@ from repro.perfmodel.bandwidth import (
 __all__ = [
     "MDPerformanceModel",
     "VILLIN_MODEL",
+    "batch_speedup",
     "ProjectSpec",
     "ResourcePool",
     "SchedulerResult",

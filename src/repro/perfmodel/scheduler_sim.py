@@ -23,7 +23,11 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.des import Environment, Store
-from repro.perfmodel.mdperf import MDPerformanceModel, VILLIN_MODEL
+from repro.perfmodel.mdperf import (
+    MDPerformanceModel,
+    VILLIN_MODEL,
+    batch_speedup,
+)
 from repro.util.errors import ConfigurationError
 
 
@@ -39,6 +43,12 @@ class ProjectSpec:
     ns_per_quantum: float = 10.0   # controller extension granularity
     cluster_overhead_hours: float = 0.05
     data_per_command_mb: float = 15.0   # compressed trajectory upload
+    #: Replicas the workers coalesce into one batched kernel call
+    #: (1 = the unbatched engine).
+    batch_size: int = 1
+    #: Per-command dispatch-overhead-to-work ratio amortised by
+    #: batching; see :func:`repro.perfmodel.mdperf.batch_speedup`.
+    batch_dispatch_overhead: float = 0.0
     md_model: MDPerformanceModel = field(default_factory=lambda: VILLIN_MODEL)
 
     def __post_init__(self) -> None:
@@ -54,6 +64,10 @@ class ProjectSpec:
             raise ConfigurationError("ns parameters must be positive")
         if self.cluster_overhead_hours < 0 or self.data_per_command_mb < 0:
             raise ConfigurationError("overheads must be >= 0")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.batch_dispatch_overhead < 0:
+            raise ConfigurationError("batch_dispatch_overhead must be >= 0")
 
     @property
     def n_workers(self) -> int:
@@ -64,6 +78,22 @@ class ProjectSpec:
     def total_ns(self) -> float:
         """Total simulated nanoseconds in the project."""
         return self.n_commands * self.n_generations * self.ns_per_command
+
+    @property
+    def effective_rate(self) -> float:
+        """Per-simulation rate (ns/hour) including the batch term.
+
+        The coalesced batch cannot be larger than the work actually
+        available per worker, so the speedup is evaluated at
+        ``min(batch_size, ceil(n_commands / n_workers))``.
+        """
+        concurrent = max(
+            1, -(-self.n_commands // max(1, self.n_workers))
+        )
+        effective_batch = min(self.batch_size, concurrent)
+        return self.md_model.rate(self.cores_per_sim) * batch_speedup(
+            effective_batch, self.batch_dispatch_overhead
+        )
 
 
 @dataclass
@@ -95,7 +125,7 @@ def analytic_project_time(spec: ProjectSpec) -> float:
     quantum chunks achieves the maximum of the two up to one quantum
     of tail.
     """
-    rate = spec.md_model.rate(spec.cores_per_sim)  # ns/hour per simulation
+    rate = spec.effective_rate  # ns/hour per simulation (incl. batching)
     active = min(spec.n_workers, spec.n_commands)
     work_bound = spec.n_commands * spec.ns_per_command / (active * rate)
     chain_bound = spec.ns_per_command / rate
@@ -111,7 +141,7 @@ def simulate_project(spec: ProjectSpec) -> SchedulerResult:
     clustering step.
     """
     env = Environment()
-    rate = spec.md_model.rate(spec.cores_per_sim)
+    rate = spec.effective_rate
     quantum_hours = spec.ns_per_quantum / rate
     n_workers = min(spec.n_workers, spec.n_commands)
     generation_hours: List[float] = []
@@ -189,7 +219,7 @@ def analytic_result(spec: ProjectSpec) -> SchedulerResult:
     hours = analytic_project_time(spec)
     t1 = reference_time_single_core(spec)
     total_mb = spec.n_commands * spec.n_generations * spec.data_per_command_mb
-    rate = spec.md_model.rate(spec.cores_per_sim)
+    rate = spec.effective_rate
     active = min(spec.n_workers, spec.n_commands)
     per_gen = hours / spec.n_generations
     return SchedulerResult(

@@ -25,11 +25,19 @@ class WorkerCapabilities:
     platform: str
     cores: int
     executables: List[str] = field(default_factory=list)
+    #: How many compatible MD commands the worker will coalesce into
+    #: one batched kernel call (1 = no coalescing).
+    batch_capacity: int = 1
 
     def __post_init__(self) -> None:
         if self.cores < 1:
             raise SchedulingError(
                 f"worker {self.worker!r} announced {self.cores} cores"
+            )
+        if self.batch_capacity < 1:
+            raise SchedulingError(
+                f"worker {self.worker!r} announced batch capacity "
+                f"{self.batch_capacity}"
             )
 
     def to_payload(self) -> Dict:
@@ -39,6 +47,7 @@ class WorkerCapabilities:
             "platform": self.platform,
             "cores": int(self.cores),
             "executables": list(self.executables),
+            "batch_capacity": int(self.batch_capacity),
         }
 
     @classmethod
@@ -49,6 +58,7 @@ class WorkerCapabilities:
             platform=payload["platform"],
             cores=int(payload["cores"]),
             executables=list(payload.get("executables", [])),
+            batch_capacity=int(payload.get("batch_capacity", 1)),
         )
 
 
@@ -76,10 +86,22 @@ def build_workload(
     the health layer's probation sizing for workers that have been
     crashing, flapping or straggling.
 
+    A worker announcing ``batch_capacity > 1`` (and the batched MD
+    executable) also receives *rider* commands: queued commands that
+    share a popped command's coalesce key ride along on the same cores,
+    up to the capacity, because the worker will merge them into one
+    batched kernel call.  Riders are ordinary commands — each gets its
+    own lease, trace and assignment.
+
     Returns
     -------
     List of ``(command, cores_assigned)``.
     """
+    from repro.worker.coalesce import BATCH_EXECUTABLE, coalesce_key
+
+    batching = (
+        caps.batch_capacity > 1 and BATCH_EXECUTABLE in caps.executables
+    )
     workload: List[Tuple[Command, int]] = []
     free = caps.cores
     while free > 0:
@@ -94,4 +116,18 @@ def build_workload(
         assigned = max(assigned, command.min_cores)
         workload.append((command, assigned))
         free -= assigned
+        if not batching:
+            continue
+        key = coalesce_key(command)
+        if key is None:
+            continue
+        group = 1
+        while group < caps.batch_capacity:
+            if max_commands is not None and len(workload) >= max_commands:
+                break
+            rider = queue.pop_matching(lambda c: coalesce_key(c) == key)
+            if rider is None:
+                break
+            workload.append((rider, assigned))
+            group += 1
     return workload

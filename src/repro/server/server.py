@@ -670,7 +670,14 @@ class CopernicusServer(Endpoint):
     #: Backwards-compatible alias: the failure check grew into a full
     #: liveness sweep (PR 3) but callers predate the rename.
     def check_failures(self, now: float) -> List[str]:
-        """Alias for :meth:`check_liveness`."""
+        """Deprecated alias for :meth:`check_liveness`."""
+        from repro.compat import warn_deprecated
+
+        warn_deprecated(
+            "CopernicusServer.check_failures",
+            "CopernicusServer.check_liveness",
+            stacklevel=2,
+        )
         return self.check_liveness(now)
 
     def _check_stragglers(self, now: float) -> None:

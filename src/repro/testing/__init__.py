@@ -31,6 +31,7 @@ from repro.testing.chaos import ChaosNetwork
 from repro.testing.faultplan import Fault, FaultKind, FaultPlan
 from repro.testing.invariants import Invariants
 from repro.testing.scenarios import (
+    ScenarioResult,
     SwarmController,
     run_relay_with_sick_peer,
     run_swarm_under_faults,
@@ -45,6 +46,7 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "Invariants",
+    "ScenarioResult",
     "SwarmController",
     "run_relay_with_sick_peer",
     "run_swarm_under_faults",

@@ -31,9 +31,11 @@ runs with the same seed *is* the determinism test.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.compat import warn_deprecated
 from repro.core.command import Command
 from repro.core.controller import Controller
 from repro.core.project import Project
@@ -49,6 +51,62 @@ from repro.testing.faultplan import FaultPlan
 from repro.util.errors import SchedulingError
 from repro.worker.platform import SMPPlatform
 from repro.worker.worker import Worker
+
+
+@dataclass
+class ScenarioResult:
+    """What a chaos/liveness scenario hands back to its assertions.
+
+    Previously a raw dict; now typed attribute access
+    (``result.server``, ``result.obs`` ...) with per-scenario extras
+    defaulting to ``None``.  ``result["server"]`` still works for
+    legacy call sites but emits a :class:`DeprecationWarning`.
+    """
+
+    runner: ProjectRunner
+    server: CopernicusServer
+    workers: List[Worker]
+    controller: Controller
+    network: ChaosNetwork
+    obs: Any
+    transcript: str
+    chaos: Dict
+    # -- per-scenario extras --------------------------------------------
+    #: phase-2 resumed project (server-restart scenario)
+    project: Optional[Project] = None
+    #: phase-1 summary dict (server-restart scenario)
+    pre: Optional[Dict] = None
+    #: the deliberately slow worker (straggler scenario)
+    straggler: Optional[Worker] = None
+    #: the link-flapping worker (flapping-worker scenario)
+    flapper: Optional[Worker] = None
+    #: relay / sick peer servers and the relay's breaker (relay scenario)
+    relay: Optional[CopernicusServer] = None
+    sick: Optional[CopernicusServer] = None
+    breaker: Any = None
+    #: virtual time at project completion (straggler scenario)
+    completed_at: Optional[float] = None
+    #: cycles spent draining the straggler's doomed copy
+    drain_cycles: Optional[int] = None
+
+    @property
+    def events(self):
+        """The runner's event log (``runner.events`` shorthand)."""
+        return self.runner.events
+
+    # -- legacy dict protocol -------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        warn_deprecated(
+            f'scenario["{key}"]', f"ScenarioResult.{key}", stacklevel=2
+        )
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and hasattr(self, key)
 
 
 class SwarmController(Controller):
@@ -95,7 +153,7 @@ def run_swarm_under_faults(
     tick: float = 90.0,
     max_cycles: int = 10000,
     seed: int = 0,
-) -> dict:
+) -> ScenarioResult:
     """Run the failure-recovery swarm under a fault plan.
 
     Parameters
@@ -110,8 +168,9 @@ def run_swarm_under_faults(
     seed:
         Seeds the network and (when *plan* is ``None``) the plan.
 
-    Returns a dict with ``runner``, ``server``, ``workers``,
-    ``controller``, ``network``, ``transcript`` and ``chaos`` keys.
+    Returns a :class:`ScenarioResult` with ``runner``, ``server``,
+    ``workers``, ``controller``, ``network``, ``transcript`` and
+    ``chaos`` populated.
     """
     network = ChaosNetwork(plan=plan or FaultPlan(seed=seed), seed=seed)
     if configure is not None:
@@ -138,16 +197,16 @@ def run_swarm_under_faults(
     runner = ProjectRunner(network, server, workers, tick=tick)
     runner.submit(Project("swarm"), controller)
     runner.run(max_cycles=max_cycles)
-    return {
-        "runner": runner,
-        "server": server,
-        "workers": workers,
-        "controller": controller,
-        "network": network,
-        "obs": network.obs,
-        "transcript": runner.events.to_text(),
-        "chaos": network.chaos_report(),
-    }
+    return ScenarioResult(
+        runner=runner,
+        server=server,
+        workers=workers,
+        controller=controller,
+        network=network,
+        obs=network.obs,
+        transcript=runner.events.to_text(),
+        chaos=network.chaos_report(),
+    )
 
 
 def _build_swarm_deployment(
@@ -206,7 +265,7 @@ def run_swarm_with_server_restart(
     seed: int = 0,
     segment_bytes: int = 1 << 16,
     snapshot_every: Optional[int] = 2,
-) -> dict:
+) -> ScenarioResult:
     """Kill the project server mid-project; restart it from its journal.
 
     Phase 1 builds the failure-recovery swarm with a
@@ -227,11 +286,12 @@ def run_swarm_with_server_restart(
     phases) lets tests corrupt or truncate the on-disk state the way a
     mid-write crash would.
 
-    Returns a dict with the phase-2 ``runner``/``server``/``workers``/
-    ``controller``/``network``/``project``/``transcript``/``chaos``
-    keys (so recovery assertions read like the other scenarios') plus
-    ``pre`` holding the phase-1 runner, server, transcript and the
-    number of results applied before the kill.
+    Returns a :class:`ScenarioResult` with the phase-2 ``runner``/
+    ``server``/``workers``/``controller``/``network``/``project``/
+    ``transcript``/``chaos`` attributes (so recovery assertions read
+    like the other scenarios') plus ``pre`` holding the phase-1 runner,
+    server, transcript and the number of results applied before the
+    kill.
     """
     journal_root = Path(journal_root)
     plan = plan or FaultPlan(seed=seed)
@@ -262,7 +322,7 @@ def run_swarm_with_server_restart(
             worker.work_once(now=runner.now)
         runner.now += tick
         for server in runner.servers:
-            server.check_failures(runner.now)
+            server.check_liveness(runner.now)
         if journal.results_applied >= crash_after_results:
             killed = True
             break
@@ -297,18 +357,18 @@ def run_swarm_with_server_restart(
     )
     project = restarted.resume("swarm", fresh_controller)
     restarted.run(max_cycles=max_cycles)
-    return {
-        "pre": pre_summary,
-        "runner": restarted,
-        "server": post["server"],
-        "workers": post["workers"],
-        "controller": fresh_controller,
-        "network": post["network"],
-        "project": project,
-        "obs": post["network"].obs,
-        "transcript": restarted.events.to_text(),
-        "chaos": post["network"].chaos_report(),
-    }
+    return ScenarioResult(
+        pre=pre_summary,
+        runner=restarted,
+        server=post["server"],
+        workers=post["workers"],
+        controller=fresh_controller,
+        network=post["network"],
+        project=project,
+        obs=post["network"].obs,
+        transcript=restarted.events.to_text(),
+        chaos=post["network"].chaos_report(),
+    )
 
 
 def run_swarm_with_straggler(
@@ -322,7 +382,7 @@ def run_swarm_with_straggler(
     max_cycles: int = 10000,
     max_drain_cycles: int = 200,
     seed: int = 0,
-) -> dict:
+) -> ScenarioResult:
     """One worker is 10x slow but heartbeats happily; speculation wins.
 
     Worker ``w0`` is armed as a :attr:`FaultKind.STRAGGLER`: it runs
@@ -394,19 +454,19 @@ def run_swarm_with_straggler(
             f"straggler still mid-command after {max_drain_cycles} "
             f"drain cycles"
         )
-    return {
-        "runner": runner,
-        "server": server,
-        "workers": workers,
-        "straggler": straggler,
-        "controller": controller,
-        "network": network,
-        "completed_at": completed_at,
-        "drain_cycles": drain_cycles,
-        "obs": network.obs,
-        "transcript": runner.events.to_text(),
-        "chaos": network.chaos_report(),
-    }
+    return ScenarioResult(
+        runner=runner,
+        server=server,
+        workers=workers,
+        straggler=straggler,
+        controller=controller,
+        network=network,
+        completed_at=completed_at,
+        drain_cycles=drain_cycles,
+        obs=network.obs,
+        transcript=runner.events.to_text(),
+        chaos=network.chaos_report(),
+    )
 
 
 def run_swarm_with_flapping_worker(
@@ -422,7 +482,7 @@ def run_swarm_with_flapping_worker(
     quarantine_seconds: float = 270.0,
     max_cycles: int = 10000,
     seed: int = 0,
-) -> dict:
+) -> ScenarioResult:
     """A worker's link flaps until health scoring quarantines it.
 
     Worker ``w0``'s connectivity oscillates (one
@@ -483,17 +543,17 @@ def run_swarm_with_flapping_worker(
     runner = ProjectRunner(network, server, workers, tick=tick)
     runner.submit(Project("swarm"), controller)
     runner.run(max_cycles=max_cycles)
-    return {
-        "runner": runner,
-        "server": server,
-        "workers": workers,
-        "flapper": workers[0],
-        "controller": controller,
-        "network": network,
-        "obs": network.obs,
-        "transcript": runner.events.to_text(),
-        "chaos": network.chaos_report(),
-    }
+    return ScenarioResult(
+        runner=runner,
+        server=server,
+        workers=workers,
+        flapper=workers[0],
+        controller=controller,
+        network=network,
+        obs=network.obs,
+        transcript=runner.events.to_text(),
+        chaos=network.chaos_report(),
+    )
 
 
 def run_relay_with_sick_peer(
@@ -506,7 +566,7 @@ def run_relay_with_sick_peer(
     cooldown_seconds: float = 200.0,
     max_cycles: int = 10000,
     seed: int = 0,
-) -> dict:
+) -> ScenarioResult:
     """A relay's sick wildcard peer trips its circuit breaker.
 
     Topology: project server ``srv`` holds the queue, worker ``w0``
@@ -551,16 +611,16 @@ def run_relay_with_sick_peer(
     runner = ProjectRunner(network, srv, [worker], tick=tick)
     runner.submit(Project("swarm"), controller)
     runner.run(max_cycles=max_cycles)
-    return {
-        "runner": runner,
-        "server": srv,
-        "relay": relay,
-        "sick": sick,
-        "workers": [worker],
-        "breaker": relay.breaker_for("sick"),
-        "controller": controller,
-        "network": network,
-        "obs": network.obs,
-        "transcript": runner.events.to_text(),
-        "chaos": network.chaos_report(),
-    }
+    return ScenarioResult(
+        runner=runner,
+        server=srv,
+        relay=relay,
+        sick=sick,
+        workers=[worker],
+        breaker=relay.breaker_for("sick"),
+        controller=controller,
+        network=network,
+        obs=network.obs,
+        transcript=runner.events.to_text(),
+        chaos=network.chaos_report(),
+    )

@@ -54,6 +54,13 @@ class InvariantViolation(ReproError):
     """A recovery invariant failed when replaying a run's event log."""
 
 
+class UnknownModelError(ConfigurationError):
+    """A simulation command named a model that is not registered.
+
+    Subclasses :class:`ConfigurationError` so callers that predate the
+    typed model registry keep catching the same family."""
+
+
 class SchedulingError(ReproError):
     """The server could not queue, match or track a command."""
 

@@ -1,0 +1,146 @@
+"""Adaptive command coalescing: merge compatible MD commands into batches.
+
+The batched kernel (:mod:`repro.md.batched`) makes R replicas of one
+model nearly as cheap as one, but the distribution stack hands workers
+*commands* — one replica each.  This module closes that gap: queued
+``mdrun`` commands that agree on every batch-compatible field (model,
+step budget, integrator parameters — see
+:data:`repro.md.engine.BATCH_COMPATIBLE_FIELDS`) are merged into a
+single ``mdrun_batch`` command, executed through
+:meth:`~repro.md.engine.MDEngine.run_batched`, and the result split
+back into per-command payloads.
+
+The merge depth is *adaptive*: it is whatever compatible work is
+actually present, capped by the worker's announced ``batch_capacity``
+— a lone command runs serially, a burst of ensemble generation
+coalesces to the cap.  Commands carrying a resume checkpoint never
+coalesce (a requeued command resumes serially), so recovery paths are
+untouched.
+
+Crucially, coalescing is invisible above the worker: every member
+command keeps its own lease, trace span, heartbeat checkpoint, journal
+record and result submission, and the per-command results are
+bit-identical to serial execution (the batched kernel's contract), so
+the server's dedup barrier, speculation races and crash recovery work
+unchanged on merged commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.command import Command
+from repro.md.engine import BatchedMDTask, MDTask
+from repro.util.errors import ConfigurationError
+
+#: The only executable whose commands coalesce.
+COALESCIBLE_EXECUTABLE = "mdrun"
+#: The executable a merged command runs under.
+BATCH_EXECUTABLE = "mdrun_batch"
+
+
+@dataclass
+class BatchCommand(Command):
+    """A merged command: one ``mdrun_batch`` payload, many members.
+
+    Exists only inside a worker (or its executor) between coalescing
+    and result splitting; it never crosses the wire — the members do.
+    """
+
+    members: List[Command] = field(default_factory=list)
+
+
+def coalesce_key(command: Command) -> Optional[Tuple]:
+    """Grouping key for *command*, or ``None`` when it must run serially.
+
+    Two commands with equal (non-``None``) keys propagate identically
+    batched or not, so they may share one kernel call.
+    """
+    if command.executable != COALESCIBLE_EXECUTABLE:
+        return None
+    if command.checkpoint is not None:
+        return None
+    payload = command.payload
+    if payload.get("checkpoint") is not None:
+        return None
+    try:
+        return (
+            command.executable,
+            payload["model"],
+            int(payload["n_steps"]),
+            int(payload.get("report_interval", 100)),
+            payload.get("integrator", "langevin"),
+            float(payload.get("temperature", 300.0)),
+            float(payload.get("friction", 1.0)),
+            float(payload.get("timestep", 0.02)),
+            repr(sorted(payload.get("model_params", {}).items())),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def merge_commands(group: Sequence[Command]) -> BatchCommand:
+    """Merge same-key commands into one :class:`BatchCommand`."""
+    if len(group) < 2:
+        raise ConfigurationError("a batch needs >= 2 member commands")
+    btask = BatchedMDTask.from_tasks(
+        [MDTask.from_payload(command.payload) for command in group],
+        batch_id=group[0].command_id,
+    )
+    return BatchCommand(
+        command_id="batch:" + "+".join(c.command_id for c in group),
+        project_id=group[0].project_id,
+        executable=BATCH_EXECUTABLE,
+        payload=btask.to_payload(),
+        min_cores=max(c.min_cores for c in group),
+        preferred_cores=max(c.preferred_cores for c in group),
+        priority=min(c.priority for c in group),
+        origin_server=group[0].origin_server,
+        members=list(group),
+    )
+
+
+def split_results(batch: BatchCommand, result: dict) -> List[Tuple[Command, dict]]:
+    """Pair each member command with its per-command result payload."""
+    payloads = result["results"]
+    if len(payloads) != len(batch.members):
+        raise ConfigurationError(
+            f"batch result has {len(payloads)} entries for "
+            f"{len(batch.members)} members"
+        )
+    return list(zip(batch.members, payloads))
+
+
+def coalesce_commands(
+    commands: Sequence[Command], capacity: int
+) -> List[Command]:
+    """Adaptively merge a command list, preserving first-seen order.
+
+    Greedy over the list: each still-unmerged coalescible command
+    starts a group and absorbs later same-key commands up to
+    *capacity*.  Groups of one (and non-coalescible commands,
+    including already-merged :class:`BatchCommand` entries) pass
+    through untouched, so the function is idempotent.
+    """
+    if capacity <= 1 or len(commands) <= 1:
+        return list(commands)
+    out: List[Command] = []
+    used = [False] * len(commands)
+    for i, command in enumerate(commands):
+        if used[i]:
+            continue
+        used[i] = True
+        key = coalesce_key(command)
+        if key is None:
+            out.append(command)
+            continue
+        group = [command]
+        for j in range(i + 1, len(commands)):
+            if len(group) >= capacity:
+                break
+            if not used[j] and coalesce_key(commands[j]) == key:
+                group.append(commands[j])
+                used[j] = True
+        out.append(merge_commands(group) if len(group) > 1 else command)
+    return out

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.md.engine import MDEngine, MDTask
+from repro.md.engine import BatchedMDTask, MDEngine, MDTask
 from repro.util.errors import ConfigurationError
 
 ExecutableFn = Callable[[dict, Optional[int]], Tuple[dict, bool]]
@@ -29,6 +29,21 @@ def mdrun_executable(
     task = MDTask.from_payload(payload)
     engine = MDEngine()
     result = engine.run(task, abort_after_steps=abort_after_steps)
+    return result.to_payload(), result.completed
+
+
+def mdrun_batch_executable(
+    payload: dict, abort_after_steps: Optional[int] = None
+) -> Tuple[dict, bool]:
+    """Batched MD: R coalesced commands in one kernel call.
+
+    Per-replica outputs (frames, checkpoints, step counts) are
+    bit-identical to running each member through ``mdrun`` — see
+    :mod:`repro.worker.coalesce`.
+    """
+    task = BatchedMDTask.from_payload(payload)
+    engine = MDEngine()
+    result = engine.run_batched(task, abort_after_steps=abort_after_steps)
     return result.to_payload(), result.completed
 
 
@@ -45,6 +60,7 @@ def fepsample_executable(
 #: Global registry usable from worker subprocesses.
 _GLOBAL_EXECUTABLES: Dict[str, ExecutableFn] = {
     "mdrun": mdrun_executable,
+    "mdrun_batch": mdrun_batch_executable,
     "fepsample": fepsample_executable,
 }
 

@@ -3,17 +3,22 @@
 A worker whose platform reports several cores can run the commands of
 one workload concurrently — each command in its own OS process, the
 in-process analogue of one node hosting several independent
-simulations.  Results are byte-identical to serial execution (commands
-are deterministic given their payloads); only wall-time changes.
+simulations.  Compatible MD commands can additionally be *coalesced*
+(``coalesce_limit``) into batched kernel calls before distribution, so
+one process propagates a whole replica stack.  Results are
+byte-identical to serial execution either way (commands are
+deterministic given their payloads, and the batched kernel is
+bit-identical per replica); only wall-time changes.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.command import Command
 from repro.util.errors import ConfigurationError
+from repro.worker.coalesce import BatchCommand, coalesce_commands, split_results
 from repro.worker.executable import run_executable
 
 
@@ -29,43 +34,61 @@ class ParallelExecutor:
     ----------
     n_processes:
         Pool size; match the worker's core count.
+    coalesce_limit:
+        Maximum compatible MD commands merged into one batched kernel
+        call before distribution over the pool (1 = no coalescing; see
+        :mod:`repro.worker.coalesce`).
     """
 
-    def __init__(self, n_processes: int = 2) -> None:
+    def __init__(self, n_processes: int = 2, coalesce_limit: int = 1) -> None:
         if n_processes < 1:
             raise ConfigurationError("n_processes must be >= 1")
+        if coalesce_limit < 1:
+            raise ConfigurationError("coalesce_limit must be >= 1")
         self.n_processes = int(n_processes)
+        self.coalesce_limit = int(coalesce_limit)
 
     def run_commands(
         self, commands: Sequence[Command]
     ) -> List[Tuple[Command, Optional[dict]]]:
         """Execute every command; returns ``[(command, result), ...]``.
 
-        Results arrive in submission order.  A command whose checkpoint
-        is set resumes from it, exactly as in serial execution.  With
-        one process (or one command) the pool is skipped entirely.
+        Results are returned in submission order, one entry per input
+        command even when commands were coalesced into shared batched
+        executions.  A command whose checkpoint is set resumes from it,
+        exactly as in serial execution.  With one process (or one
+        prepared execution) the pool is skipped entirely.
         """
+        entries = coalesce_commands(commands, self.coalesce_limit)
         prepared: List[Tuple[Command, dict]] = []
-        for command in commands:
-            payload = dict(command.payload)
-            if command.checkpoint is not None:
-                payload["checkpoint"] = command.checkpoint
-            prepared.append((command, payload))
+        for entry in entries:
+            payload = dict(entry.payload)
+            if entry.checkpoint is not None:
+                payload["checkpoint"] = entry.checkpoint
+            prepared.append((entry, payload))
 
         if self.n_processes == 1 or len(prepared) <= 1:
-            out = []
-            for command, payload in prepared:
-                result, _ = _run_one(command.executable, payload)
-                out.append((command, result))
-            return out
+            raw = []
+            for entry, payload in prepared:
+                result, _ = _run_one(entry.executable, payload)
+                raw.append((entry, result))
+        else:
+            with ProcessPoolExecutor(max_workers=self.n_processes) as pool:
+                futures = [
+                    pool.submit(_run_one, entry.executable, payload)
+                    for entry, payload in prepared
+                ]
+                raw = []
+                for (entry, _), future in zip(prepared, futures):
+                    result, _ = future.result()
+                    raw.append((entry, result))
 
-        with ProcessPoolExecutor(max_workers=self.n_processes) as pool:
-            futures = [
-                pool.submit(_run_one, command.executable, payload)
-                for command, payload in prepared
-            ]
-            out = []
-            for (command, _), future in zip(prepared, futures):
-                result, _ = future.result()
-                out.append((command, result))
-            return out
+        # expand batches back to per-command results, in submission order
+        by_id: Dict[str, Tuple[Command, Optional[dict]]] = {}
+        for entry, result in raw:
+            if isinstance(entry, BatchCommand):
+                for member, member_result in split_results(entry, result):
+                    by_id[member.command_id] = (member, member_result)
+            else:
+                by_id[entry.command_id] = (entry, result)
+        return [by_id[command.command_id] for command in commands]

@@ -20,6 +20,7 @@ from repro.core.command import Command
 from repro.net.protocol import Message, MessageType
 from repro.net.transport import Endpoint, Network
 from repro.obs.trace import Span, trace_id_for
+from repro.worker.coalesce import BatchCommand, coalesce_commands, split_results
 from repro.worker.executable import ExecutableRegistry, default_registry
 from repro.worker.platform import SMPPlatform
 from repro.util.errors import ConfigurationError, TransientCommunicationError
@@ -44,6 +45,11 @@ class _ActiveCommand:
     accumulated: Optional[dict] = None
     #: The open ``worker.execute`` span covering this execution.
     span: Optional[Span] = None
+    #: For a coalesced batch: per-member state (command, record, span).
+    #: Members carry the observable identity — the batch itself opens
+    #: no span and joins no history, so traces and records are
+    #: indistinguishable from unmerged execution.
+    members: Optional[List["_ActiveCommand"]] = None
 
 
 class Worker(Endpoint):
@@ -71,6 +77,11 @@ class Worker(Endpoint):
         Cap on parked undeliverable results; beyond it the oldest is
         dropped (and counted) — a long partition must not grow worker
         memory without bound.
+    batch_capacity:
+        Maximum compatible ``mdrun`` commands coalesced into one
+        batched kernel call (see :mod:`repro.worker.coalesce`).  The
+        default of 1 disables coalescing; the capacity is announced to
+        the server so workload matching can hand over rider commands.
     """
 
     def __init__(
@@ -83,6 +94,7 @@ class Worker(Endpoint):
         segment_steps: int = 2000,
         segments_per_cycle: Optional[int] = None,
         pending_results_limit: int = 64,
+        batch_capacity: int = 1,
     ) -> None:
         super().__init__(name, network)
         if segment_steps < 1:
@@ -91,11 +103,14 @@ class Worker(Endpoint):
             raise ConfigurationError("segments_per_cycle must be >= 1")
         if pending_results_limit < 1:
             raise ConfigurationError("pending_results_limit must be >= 1")
+        if batch_capacity < 1:
+            raise ConfigurationError("batch_capacity must be >= 1")
         self.server = server
         self.platform = platform or SMPPlatform(cores=1)
         self.executables = executables or default_registry()
         self.segment_steps = segment_steps
         self.segments_per_cycle = segments_per_cycle
+        self.batch_capacity = int(batch_capacity)
         self.crashed = False
         #: Degradation factor in (0, 1]: fraction of ``segment_steps``
         #: actually executed per segment (chaos "slow worker" fault).
@@ -156,6 +171,7 @@ class Worker(Endpoint):
             "platform": info.name,
             "cores": info.cores,
             "executables": self.executables.names,
+            "batch_capacity": self.batch_capacity,
         }
 
     def announce(self, now: float = 0.0) -> dict:
@@ -215,13 +231,25 @@ class Worker(Endpoint):
         pacing (``segments_per_cycle``), if the command parked to
         resume on the next work cycle.
         """
+        if isinstance(command, BatchCommand):
+            return self._start_batch(command, now)
         record = ExecutionRecord(command_id=command.command_id)
         self.history.append(record)
         payload = dict(command.payload)
         if command.checkpoint is not None:
             payload["checkpoint"] = command.checkpoint
+        active = _ActiveCommand(
+            command=command,
+            payload=payload,
+            record=record,
+            span=self._begin_exec_span(command, now),
+        )
+        return self._execute(active, now)
+
+    def _begin_exec_span(self, command: Command, now: float) -> Span:
+        """Open the ``worker.execute`` span for one command."""
         ctx = command.trace or {}
-        span = self.obs.tracer.begin(
+        return self.obs.tracer.begin(
             "worker.execute",
             now,
             ctx.get("trace_id")
@@ -230,19 +258,58 @@ class Worker(Endpoint):
             parent_id=ctx.get("span_id"),
             command=command.command_id,
         )
+
+    def _start_batch(self, batch: BatchCommand, now: float) -> Optional[dict]:
+        """Begin executing a coalesced batch.
+
+        Observability is per member: each member command gets its own
+        execution record and ``worker.execute`` span, exactly as if it
+        ran unmerged; the batch wrapper itself stays invisible.
+        """
+        members: List[_ActiveCommand] = []
+        for member in batch.members:
+            record = ExecutionRecord(command_id=member.command_id)
+            self.history.append(record)
+            members.append(
+                _ActiveCommand(
+                    command=member,
+                    payload={},
+                    record=record,
+                    span=self._begin_exec_span(member, now),
+                )
+            )
+        self._count(
+            "repro_worker_commands_coalesced_total",
+            amount=len(members),
+            help="Commands executed inside coalesced batches.",
+        )
         active = _ActiveCommand(
-            command=command, payload=payload, record=record, span=span
+            command=batch,
+            payload=dict(batch.payload),
+            record=ExecutionRecord(command_id=batch.command_id),
+            members=members,
         )
         return self._execute(active, now)
 
     def _execute(self, active: _ActiveCommand, now: float) -> Optional[dict]:
-        """Run (or resume) one command until done, crash, or budget."""
-        command, record = active.command, active.record
+        """Run (or resume) one command until done, crash, or budget.
+
+        For a coalesced batch every observable action — crash-hook
+        probe, span, execution record, heartbeat checkpoint — happens
+        per member command, so the server sees exactly what unmerged
+        execution would have produced.
+        """
+        command = active.command
+        # observable identity: the member commands, or the command itself
+        tracked = active.members if active.members is not None else [active]
         executed = 0
         while True:
             if self.crashed or (
                 self._crash_hook
-                and self._crash_hook(command.command_id, record.segments)
+                and any(
+                    self._crash_hook(t.command.command_id, t.record.segments)
+                    for t in tracked
+                )
             ):
                 self.crashed = True
                 self._active = None
@@ -250,13 +317,14 @@ class Worker(Endpoint):
                     "repro_worker_crashes_total",
                     help="Worker deaths (mid-command node loss).",
                 )
-                if active.span is not None:
-                    self.obs.tracer.end(
-                        active.span,
-                        now,
-                        crashed=True,
-                        segments=record.segments,
-                    )
+                for t in tracked:
+                    if t.span is not None:
+                        self.obs.tracer.end(
+                            t.span,
+                            now,
+                            crashed=True,
+                            segments=t.record.segments,
+                        )
                 return None
             if (
                 self.segments_per_cycle is not None
@@ -271,36 +339,50 @@ class Worker(Endpoint):
                 active.payload,
                 abort_after_steps=max(1, int(self.segment_steps * self.throttle)),
             )
-            record.segments += 1
             executed += 1
+            for t in tracked:
+                t.record.segments += 1
             self._count(
                 "repro_worker_segments_total",
                 help="Checkpointed execution segments run.",
             )
             active.accumulated = self._merge_segment(active.accumulated, result)
             if completed:
-                record.completed = True
                 self._active = None
                 self._count(
                     "repro_worker_commands_completed_total",
+                    amount=len(tracked),
                     help="Commands executed to completion.",
                 )
-                if active.span is not None:
-                    self.obs.tracer.end(
-                        active.span,
-                        now,
-                        completed=True,
-                        segments=record.segments,
-                    )
-                    self._exec_spans[command.command_id] = active.span
+                for t in tracked:
+                    t.record.completed = True
+                    if t.span is not None:
+                        self.obs.tracer.end(
+                            t.span,
+                            now,
+                            completed=True,
+                            segments=t.record.segments,
+                        )
+                        self._exec_spans[t.command.command_id] = t.span
                 self.heartbeat(now)
                 return active.accumulated
-            # continue from the returned checkpoint, heartbeating it so
-            # the server can recover the command if this worker dies
-            active.payload["checkpoint"] = result["checkpoint"]
-            self.heartbeat(
-                now, checkpoints={command.command_id: result["checkpoint"]}
-            )
+            # continue from the returned checkpoint(s), heartbeating so
+            # the server can recover the command(s) if this worker dies
+            if active.members is not None:
+                checkpoints = [r["checkpoint"] for r in result["results"]]
+                active.payload["checkpoints"] = checkpoints
+                self.heartbeat(
+                    now,
+                    checkpoints={
+                        t.command.command_id: cp
+                        for t, cp in zip(active.members, checkpoints)
+                    },
+                )
+            else:
+                active.payload["checkpoint"] = result["checkpoint"]
+                self.heartbeat(
+                    now, checkpoints={command.command_id: result["checkpoint"]}
+                )
 
     @staticmethod
     def _merge_segment(
@@ -310,6 +392,13 @@ class Worker(Endpoint):
         if accumulated is None:
             return dict(segment)
         merged = dict(segment)
+        if "results" in segment and "results" in accumulated:
+            # batched payload: merge the per-member results elementwise
+            merged["results"] = [
+                Worker._merge_segment(prev, cur)
+                for prev, cur in zip(accumulated["results"], segment["results"])
+            ]
+            return merged
         if "frames" in segment and "frames" in accumulated:
             import numpy as np
 
@@ -425,7 +514,12 @@ class Worker(Endpoint):
         if self.crashed:
             return done
         if self._active is None and not self._backlog:
-            self._backlog.extend(self.request_workload(now=now))
+            fetched = self.request_workload(now=now)
+            # adaptive coalescing: merge whatever compatible work the
+            # workload actually contains, up to the announced capacity
+            self._backlog.extend(
+                coalesce_commands(fetched, self.batch_capacity)
+            )
         while True:
             if self._active is not None:
                 command = self._active.command
@@ -437,7 +531,15 @@ class Worker(Endpoint):
                 break
             if result is None:
                 break  # crashed mid-command, or parked until next cycle
-            response = self.submit_result(command, result)
-            if response is not None:
-                done += 1
+            if isinstance(command, BatchCommand):
+                # split the batch back into per-command results; each is
+                # submitted (and deduplicated, journaled, traced) exactly
+                # as if its command had run alone
+                for member, member_result in split_results(command, result):
+                    if self.submit_result(member, member_result) is not None:
+                        done += 1
+            else:
+                response = self.submit_result(command, result)
+                if response is not None:
+                    done += 1
         return done

@@ -1,0 +1,197 @@
+"""Bit-identity contract of the batched ensemble kernel.
+
+The batched kernel is only allowed to change wall-clock time: every
+per-replica observable — positions, velocities, trajectory frames, RNG
+state, checkpoint payloads — must be byte-for-byte what R serial engine
+runs with the same seeds produce, including across an abort /
+checkpoint / restore cycle.  These tests are the acceptance gate for
+ISSUE 5's tentpole.
+"""
+
+import numpy as np
+import pytest
+
+from repro.md.batched import BatchedSimulation, make_batched_integrator
+from repro.md.engine import (
+    BatchedMDResult,
+    BatchedMDTask,
+    MDEngine,
+    MDTask,
+    resolve_model,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.serialization import encode_message
+
+R = 8
+N_STEPS = 250
+MODEL = "double-well"
+
+
+def make_tasks(model=MODEL, n_steps=N_STEPS, integrator="langevin", **kw):
+    return [
+        MDTask(
+            model=model,
+            n_steps=n_steps,
+            report_interval=50,
+            integrator=integrator,
+            seed=10 + r,
+            task_id=f"t{r}",
+            **kw,
+        )
+        for r in range(R)
+    ]
+
+
+def checkpoint_bytes(payload):
+    """Canonical bytes of a checkpoint payload (ndarray-safe compare)."""
+    return encode_message(payload)
+
+
+def assert_results_identical(serial, batched):
+    assert len(serial) == len(batched)
+    for expect, got in zip(serial, batched):
+        assert got.task_id == expect.task_id
+        np.testing.assert_array_equal(got.frames, expect.frames)
+        np.testing.assert_array_equal(got.times, expect.times)
+        assert got.steps_completed == expect.steps_completed
+        assert got.completed == expect.completed
+        assert got.final_potential_energy == expect.final_potential_energy
+        assert checkpoint_bytes(got.checkpoint) == checkpoint_bytes(
+            expect.checkpoint
+        )
+
+
+@pytest.mark.parametrize("model", ["double-well", "muller-brown", "villin-fast"])
+def test_batched_bit_identical_to_serial(model):
+    engine = MDEngine(segment_steps=100)
+    tasks = make_tasks(model=model)
+    serial = [engine.run(task) for task in tasks]
+    batched = engine.run_batched(BatchedMDTask.from_tasks(tasks))
+    assert_results_identical(serial, batched.results)
+
+
+def test_batched_verlet_bit_identical():
+    engine = MDEngine(segment_steps=100)
+    tasks = make_tasks(integrator="verlet")
+    serial = [engine.run(task) for task in tasks]
+    batched = engine.run_batched(BatchedMDTask.from_tasks(tasks))
+    assert_results_identical(serial, batched.results)
+
+
+def test_batched_nose_hoover_serial_fallback():
+    """No batched Nosé–Hoover form; the kernel's fallback still matches."""
+    engine = MDEngine(segment_steps=100)
+    tasks = make_tasks(integrator="nose-hoover")
+    serial = [engine.run(task) for task in tasks]
+    batched = engine.run_batched(BatchedMDTask.from_tasks(tasks))
+    assert_results_identical(serial, batched.results)
+
+
+def test_batched_identity_across_checkpoint_restore():
+    """Abort mid-run, resume each path from its checkpoint: still equal."""
+    engine = MDEngine(segment_steps=40)
+    tasks = make_tasks()
+
+    serial_partial = [engine.run(t, abort_after_steps=90) for t in tasks]
+    batched_partial = engine.run_batched(
+        BatchedMDTask.from_tasks(tasks), abort_after_steps=90
+    )
+    assert_results_identical(serial_partial, batched_partial.results)
+    assert not any(r.completed for r in batched_partial.results)
+
+    resumed_tasks = [
+        MDTask(
+            **{
+                **task.__dict__,
+                "checkpoint": partial.checkpoint,
+            }
+        )
+        for task, partial in zip(tasks, serial_partial)
+    ]
+    serial_final = [engine.run(t) for t in resumed_tasks]
+    batched_final = engine.run_batched(BatchedMDTask.from_tasks(resumed_tasks))
+    assert_results_identical(serial_final, batched_final.results)
+    assert all(r.completed for r in batched_final.results)
+
+    # the resumed runs also equal an uninterrupted straight-through run
+    straight = [engine.run(t) for t in tasks]
+    for interrupted, uninterrupted in zip(serial_final, straight):
+        assert checkpoint_bytes(interrupted.checkpoint) == checkpoint_bytes(
+            uninterrupted.checkpoint
+        )
+
+
+def test_batched_rng_streams_independent_of_batch_shape():
+    """Replica r's stream is a function of its seed, not the batch."""
+    engine = MDEngine(segment_steps=100)
+    tasks = make_tasks()
+    full = engine.run_batched(BatchedMDTask.from_tasks(tasks))
+    halves = [
+        engine.run_batched(BatchedMDTask.from_tasks(tasks[:4])),
+        engine.run_batched(BatchedMDTask.from_tasks(tasks[4:])),
+    ]
+    assert_results_identical(
+        full.results, halves[0].results + halves[1].results
+    )
+
+
+def test_batched_early_exit_masks():
+    """Replicas with unequal remaining work finish at their own targets."""
+    engine = MDEngine(segment_steps=60)
+    tasks = make_tasks()
+    partial = engine.run_batched(
+        BatchedMDTask.from_tasks(tasks), abort_after_steps=100
+    )
+    resumed = [
+        MDTask(**{**task.__dict__, "checkpoint": result.checkpoint})
+        for task, result in zip(tasks, partial.results)
+    ]
+    # one replica already finished separately: zero remaining steps
+    done = MDEngine().run(resumed[0])
+    resumed[0] = MDTask(**{**resumed[0].__dict__, "checkpoint": done.checkpoint})
+    batched = engine.run_batched(BatchedMDTask.from_tasks(resumed))
+    assert batched.results[0].steps_completed == 0
+    assert all(r.completed for r in batched.results)
+    serial = [MDEngine(segment_steps=60).run(t) for t in resumed]
+    assert_results_identical(serial, batched.results)
+
+
+def test_batched_task_payload_roundtrip():
+    btask = BatchedMDTask.from_tasks(make_tasks(), batch_id="b1")
+    clone = BatchedMDTask.from_payload(btask.to_payload())
+    assert clone.seeds == btask.seeds
+    assert clone.task_ids == btask.task_ids
+    assert clone.batch_id == "b1"
+    result = MDEngine(segment_steps=100).run_batched(clone)
+    roundtrip = BatchedMDResult.from_payload(result.to_payload())
+    assert_results_identical(result.results, roundtrip.results)
+
+
+def test_batched_task_rejects_incompatible_members():
+    tasks = make_tasks()
+    tasks[3] = MDTask(**{**tasks[3].__dict__, "n_steps": N_STEPS + 1})
+    with pytest.raises(ConfigurationError):
+        BatchedMDTask.from_tasks(tasks)
+
+
+def test_batched_simulation_checkpoints_match_serial_simulation():
+    """The kernel's own checkpoints equal the serial Simulation's."""
+    tasks = make_tasks()[:4]
+    built = resolve_model(MODEL, {})
+    integrator = make_batched_integrator(
+        "langevin", 0.02, 300.0, 1.0, [t.seed for t in tasks]
+    )
+    batched = BatchedSimulation(
+        built.system,
+        integrator,
+        [built.state_builder(t) for t in tasks],
+        report_interval=50,
+    )
+    batched.run_to(np.full(len(tasks), 120))
+    for r, task in enumerate(tasks):
+        serial = MDEngine(segment_steps=120).run(
+            MDTask(**{**task.__dict__, "n_steps": 120})
+        )
+        assert checkpoint_bytes(
+            batched.checkpoint(r).to_payload()
+        ) == checkpoint_bytes(serial.checkpoint)

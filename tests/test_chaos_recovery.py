@@ -34,11 +34,11 @@ def test_crash_plus_partition_completes_with_invariants_green(seed):
     scenario = run_swarm_under_faults(
         configure=crash_and_partition, seed=seed
     )
-    runner = scenario["runner"]
+    runner = scenario.runner
     project = runner._projects["swarm"]
     assert project.status is ProjectStatus.COMPLETE
-    assert scenario["workers"][0].crashed
-    assert scenario["server"].requeued_after_failure >= 1
+    assert scenario.workers[0].crashed
+    assert scenario.server.requeued_after_failure >= 1
     Invariants(runner).assert_ok()
 
 
@@ -46,21 +46,21 @@ def test_crash_plus_partition_completes_with_invariants_green(seed):
 def test_same_seed_reproduces_identical_event_log(seed):
     first = run_swarm_under_faults(configure=crash_and_partition, seed=seed)
     second = run_swarm_under_faults(configure=crash_and_partition, seed=seed)
-    assert first["transcript"] == second["transcript"]
-    assert first["chaos"] == second["chaos"]
-    assert sorted(first["controller"].finished) == sorted(
-        second["controller"].finished
+    assert first.transcript == second.transcript
+    assert first.chaos == second.chaos
+    assert sorted(first.controller.finished) == sorted(
+        second.controller.finished
     )
 
 
 def test_crashed_workers_command_resumes_from_checkpoint():
     scenario = run_swarm_under_faults(configure=crash_and_partition, seed=0)
-    finished = dict(scenario["controller"].finished)
+    finished = dict(scenario.controller.finished)
     # the command the dead worker started was NOT restarted from zero:
     # the finishing worker executed only the remaining steps
     resumed = [s for s in finished.values() if s < 5000]
     assert resumed, "no command resumed from a checkpoint"
-    requeues = scenario["runner"].events.filter(kind=EventKind.COMMAND_REQUEUED)
+    requeues = scenario.runner.events.filter(kind=EventKind.COMMAND_REQUEUED)
     assert any(r.details.get("has_checkpoint") for r in requeues)
 
 
@@ -72,8 +72,8 @@ def test_probabilistic_heartbeat_drops_survived(seed):
         )
 
     scenario = run_swarm_under_faults(configure=configure, seed=seed)
-    assert scenario["runner"]._projects["swarm"].status is ProjectStatus.COMPLETE
-    Invariants(scenario["runner"]).assert_ok()
+    assert scenario.runner._projects["swarm"].status is ProjectStatus.COMPLETE
+    Invariants(scenario.runner).assert_ok()
 
 
 # --------------------------------------------- exactly-once under duplicates
@@ -84,10 +84,10 @@ def test_duplicated_results_complete_exactly_once():
         plan.duplicate(message_type=MessageType.COMMAND_RESULT)
 
     scenario = run_swarm_under_faults(configure=configure, seed=5)
-    server = scenario["server"]
+    server = scenario.server
     assert server.duplicates_dropped >= 1
-    Invariants(scenario["runner"]).assert_ok()
-    completed = scenario["runner"].events.filter(
+    Invariants(scenario.runner).assert_ok()
+    completed = scenario.runner.events.filter(
         kind=EventKind.COMMAND_COMPLETED
     )
     assert len(completed) == 3  # one per command despite duplication
@@ -104,9 +104,9 @@ def test_false_death_then_late_result_deduplicated():
         plan.drop(src="w1", message_type=MessageType.COMMAND_RESULT, count=8)
 
     scenario = run_swarm_under_faults(configure=configure, seed=11)
-    runner = scenario["runner"]
+    runner = scenario.runner
     assert runner._projects["swarm"].status is ProjectStatus.COMPLETE
-    assert scenario["server"].duplicates_dropped == 1
+    assert scenario.server.duplicates_dropped == 1
     dead = runner.events.filter(kind=EventKind.WORKER_DEAD)
     assert [r.details["worker"] for r in dead] == ["w1"]
     dropped = runner.events.filter(kind=EventKind.DUPLICATE_RESULT_DROPPED)
@@ -125,7 +125,7 @@ def test_partition_heals_and_worker_revives():
         plan.partition("srv", "w1", after_index=6, until_index=40)
 
     scenario = run_swarm_under_faults(configure=configure, seed=2)
-    runner = scenario["runner"]
+    runner = scenario.runner
     events = runner.events
     dead = [
         r
@@ -152,16 +152,16 @@ def test_slow_worker_takes_more_segments_but_finishes():
         plan.slow_worker("w0", factor=0.5)
 
     scenario = run_swarm_under_faults(configure=configure, seed=4)
-    assert scenario["workers"][0].throttle == 0.5
-    Invariants(scenario["runner"]).assert_ok()
+    assert scenario.workers[0].throttle == 0.5
+    Invariants(scenario.runner).assert_ok()
     # half-size segments means more checkpoint heartbeats per command
-    slow_segments = [r.segments for r in scenario["workers"][0].history]
+    slow_segments = [r.segments for r in scenario.workers[0].history]
     assert all(s >= 9 for s in slow_segments)  # 5000 steps / 500-step segments
 
 
 def test_retry_traffic_visible_after_chaos_run():
     scenario = run_swarm_under_faults(configure=crash_and_partition, seed=0)
-    rows = {row["link"]: row for row in scenario["network"].traffic_report()}
+    rows = {row["link"]: row for row in scenario.network.traffic_report()}
     retry_rows = [k for k in rows if k.startswith("endpoint:")]
     assert retry_rows, "retries should surface in the traffic report"
-    assert scenario["network"].retries_total > 0
+    assert scenario.network.retries_total > 0

@@ -28,19 +28,19 @@ def scenario():
 
 
 def test_project_completes_despite_failures(scenario):
-    project = scenario["runner"]._projects["swarm"]
+    project = scenario.runner._projects["swarm"]
     assert project.status is ProjectStatus.COMPLETE
-    assert len(scenario["controller"].finished) == 3
+    assert len(scenario.controller.finished) == 3
 
 
 def test_crash_and_requeue_happened(scenario):
-    flaky = scenario["workers"][0]
+    flaky = scenario.workers[0]
     assert flaky.crashed
-    assert scenario["server"].requeued_after_failure >= 1
+    assert scenario.server.requeued_after_failure >= 1
 
 
 def test_checkpoint_handoff_shortened_resumed_command(scenario):
-    finished = dict(scenario["controller"].finished)
+    finished = dict(scenario.controller.finished)
     resumed = [steps for steps in finished.values() if steps < 5000]
     assert resumed, "the requeued command restarted from scratch"
     # the dead worker got through 2 x 1000-step segments, so the
@@ -49,12 +49,12 @@ def test_checkpoint_handoff_shortened_resumed_command(scenario):
 
 
 def test_partition_forced_retries(scenario):
-    assert scenario["network"].messages_dropped > 0
-    assert scenario["network"].retries_total > 0
+    assert scenario.network.messages_dropped > 0
+    assert scenario.network.retries_total > 0
 
 
 def test_invariants_green(scenario):
-    Invariants(scenario["runner"]).assert_ok()
+    Invariants(scenario.runner).assert_ok()
 
 
 def test_example_main_runs_and_reports(capsys):

@@ -72,7 +72,7 @@ def test_reannounce_after_outage_keeps_checkpoints_at_server_level():
         {"worker": "w", "now": 10.0,
          "checkpoints": {"cmd0": {"step": 3000}}},
     )
-    assert server.check_failures(now=500.0) == ["w"]
+    assert server.check_liveness(now=500.0) == ["w"]
     # the worker reconnects and re-announces
     worker.send(
         "srv",
@@ -83,4 +83,4 @@ def test_reannounce_after_outage_keeps_checkpoints_at_server_level():
     assert server.monitor.is_alive("w")
     assert server.monitor.checkpoint_for("w", "cmd0") == {"step": 3000}
     # same outage ended by the re-announce: no duplicate death report
-    assert server.check_failures(now=520.0) == []
+    assert server.check_liveness(now=520.0) == []

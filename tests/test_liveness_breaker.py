@@ -101,7 +101,7 @@ def test_escalated_cooldown_is_capped():
 
 def test_sick_peer_trips_and_recovers_the_relay_breaker():
     out = run_relay_with_sick_peer(seed=0)
-    breaker = out["breaker"]
+    breaker = out.breaker
     # the breaker opened on the sick window, skipped while open, and
     # re-closed through half-open probes once the peer recovered
     assert breaker.opens == 1
@@ -109,15 +109,15 @@ def test_sick_peer_trips_and_recovers_the_relay_breaker():
     assert breaker.closes == 1
     assert breaker.state is BreakerState.CLOSED
     # fetches kept succeeding via the project server the whole time
-    assert len(out["controller"].finished) == 8
-    Invariants(out["runner"]).assert_ok()
+    assert len(out.controller.finished) == 8
+    Invariants(out.runner).assert_ok()
 
 
 def test_sick_peer_breaker_surfaces_in_traffic_report():
     out = run_relay_with_sick_peer(seed=0)
     rows = [
         row
-        for row in out["network"].traffic_report()
+        for row in out.network.traffic_report()
         if row.get("link") == "breaker:relay->sick"
     ]
     assert rows and rows[0]["opens"] == 1 and rows[0]["skips"] > 0
@@ -127,5 +127,5 @@ def test_sick_peer_breaker_surfaces_in_traffic_report():
 def test_sick_peer_scenario_is_deterministic():
     a = run_relay_with_sick_peer(seed=1)
     b = run_relay_with_sick_peer(seed=1)
-    assert a["transcript"] == b["transcript"]
-    assert a["breaker"].describe() == b["breaker"].describe()
+    assert a.transcript == b.transcript
+    assert a.breaker.describe() == b.breaker.describe()

@@ -101,7 +101,7 @@ def test_repeat_quarantine_cooldown_escalates():
 
 def test_flapping_worker_is_quarantined_then_readmitted():
     out = run_swarm_with_flapping_worker(seed=0)
-    runner, server = out["runner"], out["server"]
+    runner, server = out.runner, out.server
     events = runner.events
 
     # the flap was seen as a death and a revival...
@@ -123,13 +123,13 @@ def test_flapping_worker_is_quarantined_then_readmitted():
     assert server.health.readmissions == 1
 
     # the project still completed, and every liveness invariant holds
-    assert len(out["controller"].finished) == 10
+    assert len(out.controller.finished) == 10
     Invariants(runner).assert_ok()
 
 
 def test_flapping_worker_receives_no_workload_while_quarantined():
     out = run_swarm_with_flapping_worker(seed=0)
-    events = out["runner"].events
+    events = out.runner.events
     quarantined_at = events.filter(kind=EventKind.WORKER_QUARANTINED)[0].time
     readmitted_at = events.filter(kind=EventKind.WORKER_READMITTED)[0].time
     for record in events.filter(kind=EventKind.WORKLOAD_ASSIGNED):
@@ -141,4 +141,4 @@ def test_flapping_worker_receives_no_workload_while_quarantined():
 def test_flapping_scenario_is_deterministic():
     a = run_swarm_with_flapping_worker(seed=3)
     b = run_swarm_with_flapping_worker(seed=3)
-    assert a["transcript"] == b["transcript"]
+    assert a.transcript == b.transcript

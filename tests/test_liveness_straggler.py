@@ -16,12 +16,12 @@ from repro.testing import Invariants, run_swarm_with_straggler
 @pytest.mark.parametrize("seed", [0, 1, 2])
 def test_straggler_completes_via_speculation_in_bounded_time(seed):
     out = run_swarm_with_straggler(seed=seed)
-    runner, server = out["runner"], out["server"]
+    runner, server = out.runner, out.server
 
     # the project finished in bounded virtual time: a handful of ticks,
     # not the ~10x stretch the straggler alone would have needed
-    assert out["completed_at"] <= 20 * 90.0
-    assert len(out["controller"].finished) == 3
+    assert out.completed_at <= 20 * 90.0
+    assert len(out.controller.finished) == 3
 
     # the slow worker was flagged as a straggler (not dead), and a
     # speculative copy raced it home
@@ -46,7 +46,7 @@ def test_straggler_completes_via_speculation_in_bounded_time(seed):
 @pytest.mark.parametrize("seed", [0, 1, 2])
 def test_losing_copy_is_journaled_and_dropped_exactly_once(seed):
     out = run_swarm_with_straggler(seed=seed)
-    runner, server = out["runner"], out["server"]
+    runner, server = out.runner, out.server
     events = runner.events
 
     # the straggler's late result arrived after the drain loop let it
@@ -69,9 +69,9 @@ def test_losing_copy_is_journaled_and_dropped_exactly_once(seed):
 def test_straggler_scenario_is_deterministic():
     a = run_swarm_with_straggler(seed=2)
     b = run_swarm_with_straggler(seed=2)
-    assert a["transcript"] == b["transcript"]
-    assert a["completed_at"] == b["completed_at"]
-    assert a["drain_cycles"] == b["drain_cycles"]
+    assert a.transcript == b.transcript
+    assert a.completed_at == b.completed_at
+    assert a.drain_cycles == b.drain_cycles
 
 
 def test_checkpoints_evicted_once_commands_complete():
@@ -79,8 +79,8 @@ def test_checkpoints_evicted_once_commands_complete():
     # finished commands (including the speculated one, reported by two
     # workers) leave no checkpoint behind on any worker record
     out = run_swarm_with_straggler(seed=0)
-    server = out["server"]
-    finished_ids = [command_id for command_id, _ in out["controller"].finished]
+    server = out.server
+    finished_ids = [command_id for command_id, _ in out.controller.finished]
     assert finished_ids
     for worker in server.monitor.workers():
         for command_id in finished_ids:

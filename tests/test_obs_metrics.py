@@ -85,7 +85,7 @@ def test_prometheus_round_trip_hand_built():
 
 def test_prometheus_round_trip_live_run():
     out = run_swarm_under_faults(seed=0)
-    reg = out["obs"].metrics
+    reg = out.obs.metrics
     values, types = parse_prometheus_text(to_prometheus_text(reg))
     samples = reg.collect()
     assert samples, "a live run must leave metrics behind"
@@ -114,8 +114,8 @@ def test_json_lines_export():
 
 
 def test_snapshot_is_deterministic_across_seeded_runs():
-    first = run_swarm_under_faults(seed=3)["obs"].metrics.snapshot()
-    second = run_swarm_under_faults(seed=3)["obs"].metrics.snapshot()
+    first = run_swarm_under_faults(seed=3).obs.metrics.snapshot()
+    second = run_swarm_under_faults(seed=3).obs.metrics.snapshot()
 
     # byte accounting is derived from serialized payload sizes, and MD
     # results embed a measured `wall_seconds` whose decimal length

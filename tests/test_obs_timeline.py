@@ -41,7 +41,7 @@ def _assert_phases_partition(report):
 @pytest.mark.parametrize("seed", [0, 1])
 def test_villin_swarm_phases_sum_to_lifecycle(seed):
     out = run_swarm_under_faults(seed=seed)
-    report = timeline_report_for(out["runner"])
+    report = timeline_report_for(out.runner)
     assert len(report.commands) == 3
     assert all(tl.complete for tl in report.commands)
     _assert_phases_partition(report)
@@ -58,7 +58,7 @@ def test_paced_single_worker_swarm_partitions():
             "w0", factor=1.0, segments_per_cycle=1
         ),
     )
-    report = timeline_report_for(out["runner"])
+    report = timeline_report_for(out.runner)
     _assert_phases_partition(report)
     assert report.makespan > 0.0
     assert 0.0 <= report.utilization() <= 1.0
@@ -66,7 +66,7 @@ def test_paced_single_worker_swarm_partitions():
 
 def test_straggler_timeline_marks_speculation():
     out = run_swarm_with_straggler(seed=0)
-    report = timeline_report_for(out["runner"])
+    report = timeline_report_for(out.runner)
     _assert_phases_partition(report)
     by_id = {tl.command_id: tl for tl in report.commands}
     assert by_id["cmd0"].speculated
@@ -80,7 +80,7 @@ def test_straggler_timeline_marks_speculation():
 
 def test_timeline_without_tracer_still_partitions():
     out = run_swarm_under_faults(seed=0)
-    report = build_timeline_report(out["runner"].events, tracer=None)
+    report = build_timeline_report(out.runner.events, tracer=None)
     # no spans: everything that isn't transfer/controller is queue wait
     _assert_phases_partition(report)
     assert report.phase_totals["compute"] == 0.0
@@ -88,7 +88,7 @@ def test_timeline_without_tracer_still_partitions():
 
 def test_report_renders_every_command():
     out = run_swarm_under_faults(seed=0)
-    report = timeline_report_for(out["runner"])
+    report = timeline_report_for(out.runner)
     text = report.render_text()
     for tl in report.commands:
         assert tl.command_id in text

@@ -49,8 +49,8 @@ def test_trace_ids_are_deterministic():
 
 def test_end_to_end_command_trace_spans_server_and_worker():
     out = run_swarm_under_faults(seed=0)
-    tracer = out["obs"].tracer
-    worker_names = {w.name for w in out["workers"]}
+    tracer = out.obs.tracer
+    worker_names = {w.name for w in out.workers}
 
     for k in range(3):
         trace_id = trace_id_for("swarm", f"cmd{k}")
@@ -83,7 +83,7 @@ def test_end_to_end_command_trace_spans_server_and_worker():
 
 def test_speculation_shares_the_trace_across_workers():
     out = run_swarm_with_straggler(seed=0)
-    tracer = out["obs"].tracer
+    tracer = out.obs.tracer
     trace_id = trace_id_for("swarm", "cmd0")
     executes = [
         s for s in tracer.for_trace(trace_id) if s.name == "worker.execute"
@@ -95,10 +95,10 @@ def test_speculation_shares_the_trace_across_workers():
 
 
 def test_chrome_trace_export_validates_and_is_deterministic():
-    first = to_chrome_trace(run_swarm_under_faults(seed=1)["obs"].tracer)
+    first = to_chrome_trace(run_swarm_under_faults(seed=1).obs.tracer)
     assert validate_chrome_trace(first) == []
     assert validate_chrome_trace(json.dumps(first)) == []
-    second = to_chrome_trace(run_swarm_under_faults(seed=1)["obs"].tracer)
+    second = to_chrome_trace(run_swarm_under_faults(seed=1).obs.tracer)
     assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
 
     names = {e["name"] for e in first["traceEvents"]}

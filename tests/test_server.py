@@ -294,7 +294,7 @@ def test_server_failure_requeues_with_checkpoint():
             },
         )
     )
-    dead = origin.check_failures(now=100.0)
+    dead = origin.check_liveness(now=100.0)
     assert dead == ["w"]
     assert origin.requeued_after_failure == 1
     requeued = origin.queue.pop()

@@ -46,28 +46,28 @@ def test_restart_completes_with_invariants_green(tmp_path, seed):
     out = run_swarm_with_server_restart(
         tmp_path / "journal", configure=restart_after_one, seed=seed
     )
-    assert out["project"].status is ProjectStatus.COMPLETE
+    assert out.project.status is ProjectStatus.COMPLETE
     # the kill genuinely interrupted the project
-    assert 1 <= out["pre"]["results_applied"] < N_COMMANDS
-    assert sorted(c for c, _ in out["controller"].finished) == ALL_COMMANDS
-    Invariants(out["runner"]).assert_ok()
+    assert 1 <= out.pre["results_applied"] < N_COMMANDS
+    assert sorted(c for c, _ in out.controller.finished) == ALL_COMMANDS
+    Invariants(out.runner).assert_ok()
 
 
 def test_no_result_lost_or_doubled_across_restart(tmp_path):
     out = run_swarm_with_server_restart(
         tmp_path / "journal", configure=restart_after_one, seed=1
     )
-    events = out["runner"].events
+    events = out.runner.events
     completed = events.filter(kind=EventKind.COMMAND_COMPLETED)
     # every command completes exactly once across the restart boundary
     assert sorted(r.details["command"] for r in completed) == ALL_COMMANDS
     replayed = [r for r in completed if r.details.get("replayed")]
-    assert len(replayed) == out["pre"]["results_applied"]
+    assert len(replayed) == out.pre["results_applied"]
 
     recovered = events.filter(kind=EventKind.SERVER_RECOVERED)
     assert len(recovered) == 1
     details = recovered[0].details
-    assert details["replayed"] == out["pre"]["results_applied"]
+    assert details["replayed"] == out.pre["results_applied"]
     # recovery accounts for every pre-crash command: replayed or restored
     assert details["replayed"] + details["restored"] == N_COMMANDS
     restored = events.filter(kind=EventKind.COMMAND_RESTORED)
@@ -82,9 +82,9 @@ def test_same_seed_reproduces_identical_transcripts(tmp_path, seed):
     second = run_swarm_with_server_restart(
         tmp_path / "b", configure=restart_after_one, seed=seed
     )
-    assert first["pre"]["transcript"] == second["pre"]["transcript"]
-    assert first["transcript"] == second["transcript"]
-    assert first["chaos"] == second["chaos"]
+    assert first.pre["transcript"] == second.pre["transcript"]
+    assert first.transcript == second.transcript
+    assert first.chaos == second.chaos
 
 
 # -------------------------------------------- exactly-once after recovery
@@ -97,9 +97,9 @@ def test_late_duplicate_result_after_restart_is_dropped(tmp_path):
     out = run_swarm_with_server_restart(
         tmp_path / "journal", configure=restart_after_one, seed=2
     )
-    server = out["server"]
+    server = out.server
     command, result = server.journal.project("swarm").state.results[0]
-    finished_before = len(out["controller"].finished)
+    finished_before = len(out.controller.finished)
     dropped_before = server.duplicates_dropped
     response = server.handle(
         Message(
@@ -115,12 +115,12 @@ def test_late_duplicate_result_after_restart_is_dropped(tmp_path):
     )
     assert response == {"ok": True}  # the worker still gets its ack
     assert server.duplicates_dropped == dropped_before + 1
-    assert len(out["controller"].finished) == finished_before
-    dropped = out["runner"].events.filter(
+    assert len(out.controller.finished) == finished_before
+    dropped = out.runner.events.filter(
         kind=EventKind.DUPLICATE_RESULT_DROPPED
     )
     assert [r.details["command"] for r in dropped] == [command.command_id]
-    Invariants(out["runner"]).assert_ok()
+    Invariants(out.runner).assert_ok()
 
 
 # --------------------------------------------------- checkpoints survive
@@ -137,13 +137,13 @@ def test_leased_command_resumes_from_journaled_checkpoint(tmp_path):
     out = run_swarm_with_server_restart(
         tmp_path / "journal", configure=configure, seed=0
     )
-    assert out["project"].status is ProjectStatus.COMPLETE
-    restored = out["runner"].events.filter(kind=EventKind.COMMAND_RESTORED)
+    assert out.project.status is ProjectStatus.COMPLETE
+    restored = out.runner.events.filter(kind=EventKind.COMMAND_RESTORED)
     assert any(r.details["has_checkpoint"] for r in restored)
-    finished = dict(out["controller"].finished)
+    finished = dict(out.controller.finished)
     resumed = [steps for steps in finished.values() if steps < N_STEPS]
     assert resumed, "no command resumed from a checkpoint after restart"
-    Invariants(out["runner"]).assert_ok()
+    Invariants(out.runner).assert_ok()
 
 
 # ------------------------------------------------------------- torn tails
@@ -165,9 +165,9 @@ def test_torn_journal_tail_still_recovers_and_completes(tmp_path):
         snapshot_every=None,  # keep all records in the log so the tear bites
         seed=3,
     )
-    assert out["project"].status is ProjectStatus.COMPLETE
-    assert sorted(c for c, _ in out["controller"].finished) == ALL_COMMANDS
-    Invariants(out["runner"]).assert_ok()
+    assert out.project.status is ProjectStatus.COMPLETE
+    assert sorted(c for c, _ in out.controller.finished) == ALL_COMMANDS
+    Invariants(out.runner).assert_ok()
 
 
 # ------------------------------------------------------------- edge cases
@@ -189,7 +189,7 @@ def test_restart_rule_fires_and_is_reported(tmp_path):
     rule = plan.server_restart_point("srv")
     assert rule.fired == 1
     assert any(f is rule for _, f in plan.firings)
-    description = out["pre"]["runner"]  # phase-1 runner survives for audits
+    description = out.pre["runner"]  # phase-1 runner survives for audits
     assert description.events.filter(kind=EventKind.PROJECT_SUBMITTED)
     assert {"kind": "server_restart", "fired": 1, "after_index": 0,
             "dst": "srv", "after_results": 1} == rule.describe()

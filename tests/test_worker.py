@@ -199,7 +199,7 @@ def test_crashed_worker_command_recovered_by_second_worker():
     assert w0.work_once(now=1.0) == 0
     # w0 silent; w1 stays alive; failure detected after 2x interval
     w1.heartbeat(20.0)
-    dead = server.check_failures(now=25.0)
+    dead = server.check_liveness(now=25.0)
     assert dead == ["w0"]
     # w1 picks the command up and finishes from step 400
     assert w1.work_once(now=26.0) == 1
