@@ -29,6 +29,20 @@ Three entry points:
 ``run()``
     One-call convenience wrapping both.
 
+Multi-tenant runs add two more:
+
+``Tenant``
+    A named user of the shared service plane: their workload (ensembles
+    or a custom controller) plus their fair-share policy knobs (quota,
+    weight, queue-depth bound).
+``run_tenants()``
+    Stand up a sharded deployment
+    (:func:`repro.net.topology.sharded`), consistent-hash every
+    tenant's project onto a shard, apply the fair-share policy, and
+    drive all projects concurrently with one
+    :class:`~repro.core.multirunner.MultiProjectRunner`.  Returns a
+    :class:`MultiRunOutcome`.
+
 The single-process simulation entry point is
 :meth:`repro.md.simulation.Simulation.configure`.
 """
@@ -40,16 +54,32 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.command import Command
 from repro.core.controller import Controller
+from repro.core.multirunner import MultiProjectRunner
 from repro.core.project import Project as _CoreProject
 from repro.core.runner import ProjectRunner
 from repro.md.engine import MDResult, MDTask, resolve_model
+from repro.net import topology
 from repro.net.transport import Network
+from repro.server.fairshare import (
+    DEFAULT_MAX_WAIT_SECONDS,
+    FairSharePolicy,
+    FairShareScheduler,
+    TenantPolicy,
+)
 from repro.server.server import CopernicusServer
 from repro.util.errors import ConfigurationError
 from repro.worker.platform import SMPPlatform
 from repro.worker.worker import Worker
 
-__all__ = ["Ensemble", "Project", "RunOutcome", "run"]
+__all__ = [
+    "Ensemble",
+    "Project",
+    "RunOutcome",
+    "run",
+    "Tenant",
+    "MultiRunOutcome",
+    "run_tenants",
+]
 
 #: Upper bound on auto-selected worker batch capacity (one kernel call
 #: propagating more replicas than this stops paying for itself).
@@ -303,6 +333,187 @@ class Project:
             workers=workers,
             network=network,
         )
+
+
+@dataclass
+class Tenant:
+    """One user of a shared multi-tenant deployment.
+
+    Couples the workload (ensembles, or a custom controller) with the
+    fair-share policy the service plane should enforce for it:
+
+    quota:
+        Max commands in flight at once (``None`` = unlimited, ``0`` =
+        admit nothing — a suspended tenant).
+    weight:
+        Relative share when tenants compete for the same cores.
+    max_queued:
+        Queue-depth backpressure bound; submissions past it are
+        deferred (journaled first, so nothing is lost) until the
+        backlog drains.
+    """
+
+    name: str
+    ensembles: Sequence[Ensemble] = field(default_factory=list)
+    controller: Optional[Controller] = None
+    quota: Optional[int] = None
+    weight: float = 1.0
+    max_queued: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.controller is not None and self.ensembles:
+            raise ConfigurationError(
+                f"tenant {self.name!r}: pass ensembles or a custom "
+                f"controller, not both"
+            )
+        self.ensembles = list(self.ensembles)
+
+    def policy(self) -> TenantPolicy:
+        """This tenant's admission policy (validated)."""
+        return TenantPolicy(
+            quota=self.quota, weight=self.weight, max_queued=self.max_queued
+        )
+
+    def build_controller(self) -> Controller:
+        if self.controller is not None:
+            return self.controller
+        if not self.ensembles:
+            raise ConfigurationError(
+                f"tenant {self.name!r} has no ensembles and no controller"
+            )
+        return _EnsembleController(self.ensembles)
+
+
+@dataclass
+class MultiRunOutcome:
+    """Everything :func:`run_tenants` produced.
+
+    Per-tenant views go through :meth:`project` /
+    :meth:`md_results`; fleet-wide state (event log, metrics,
+    schedulers) hangs off the live ``runner`` / ``network``.
+    """
+
+    runner: MultiProjectRunner
+    network: Network
+    shards: List[CopernicusServer]
+    workers: List[Worker]
+    projects: Dict[str, _CoreProject]
+    controllers: Dict[str, Controller]
+    schedulers: Dict[str, FairShareScheduler]
+
+    def project(self, tenant: str) -> _CoreProject:
+        """One tenant's project (raises KeyError when unknown)."""
+        return self.projects[tenant]
+
+    def status(self, tenant: str) -> str:
+        """One tenant's final lifecycle state."""
+        return self.projects[tenant].status.value
+
+    @property
+    def obs(self):
+        """The deployment's observability hub (metrics + tracer)."""
+        return self.network.obs
+
+    @property
+    def transcript(self) -> str:
+        """Deterministic event-log transcript of the whole run."""
+        return self.runner.events.to_text()
+
+    def shard_of(self, tenant: str) -> str:
+        """Which shard a tenant's project was hashed onto."""
+        return self.runner.shard_of(tenant)
+
+    def md_results(self, tenant: str) -> Dict[str, MDResult]:
+        """One tenant's completed MD results keyed by command id."""
+        out: Dict[str, MDResult] = {}
+        for command_id, payload in self.projects[tenant].results_log:
+            if isinstance(payload, dict) and "frames" in payload:
+                out[command_id] = MDResult.from_payload(payload)
+        return out
+
+    def tenant_report(self) -> Dict[str, Dict]:
+        """Per-tenant rollup: shard, progress, fair-share ledger."""
+        return self.runner.tenant_report()
+
+
+def run_tenants(
+    tenants: Sequence[Tenant],
+    *,
+    n_shards: int = 3,
+    workers_per_shard: int = 2,
+    cores: int = 1,
+    seed: int = 0,
+    tick: float = 60.0,
+    max_wait_seconds: float = DEFAULT_MAX_WAIT_SECONDS,
+    max_cycles: int = 100000,
+    journal_root=None,
+) -> MultiRunOutcome:
+    """Run many tenants' projects concurrently on one shard fabric.
+
+    Builds :func:`repro.net.topology.sharded`, attaches one
+    fair-share scheduler per shard (policy assembled from each
+    tenant's quota/weight/max_queued), hashes every tenant's project
+    onto its shard and drives them all to completion together.
+
+    Parameters
+    ----------
+    tenants:
+        The workloads; tenant names must be unique (each becomes a
+        project id).
+    n_shards / workers_per_shard / cores:
+        Fabric shape.
+    seed / tick / max_cycles:
+        As in :meth:`Project.run`.
+    max_wait_seconds:
+        Starvation bound: a command queued longer than this jumps the
+        fair-share order (aged-first dispatch).
+    journal_root:
+        When given, each shard journals to ``journal_root/<shard>``.
+    """
+    if not tenants:
+        raise ConfigurationError("run_tenants needs at least one tenant")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("tenant names must be unique")
+
+    deployment = topology.sharded(
+        n_shards=n_shards,
+        workers_per_shard=workers_per_shard,
+        cores_per_worker=cores,
+        seed=seed,
+    )
+    runner = MultiProjectRunner(
+        deployment.network,
+        deployment.project_servers,
+        deployment.workers,
+        tick=tick,
+    )
+    policy = FairSharePolicy(
+        tenants={t.name: t.policy() for t in tenants},
+        max_wait_seconds=max_wait_seconds,
+    )
+    schedulers = runner.apply_fairshare(policy)
+    if journal_root is not None:
+        runner.attach_journals(journal_root)
+
+    projects: Dict[str, _CoreProject] = {}
+    controllers: Dict[str, Controller] = {}
+    for tenant in tenants:
+        controller = tenant.build_controller()
+        core_project = _CoreProject(tenant.name)
+        runner.submit(core_project, controller)
+        projects[tenant.name] = core_project
+        controllers[tenant.name] = controller
+    runner.run(max_cycles=max_cycles)
+    return MultiRunOutcome(
+        runner=runner,
+        network=deployment.network,
+        shards=deployment.project_servers,
+        workers=deployment.workers,
+        projects=projects,
+        controllers=controllers,
+        schedulers=schedulers,
+    )
 
 
 def run(

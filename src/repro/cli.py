@@ -13,7 +13,10 @@ module is its reproduction-scale analogue:
 * ``python -m repro obs {metrics,trace,timeline}`` — run a canned
   chaos scenario and export its observability artifacts: a Prometheus
   metrics dump, a Perfetto-loadable Chrome trace, or a per-command
-  lifecycle timeline report.
+  lifecycle timeline report;
+* ``python -m repro soak`` — drive 100+ tenants across a sharded
+  fabric under seeded faults, check all twelve invariants, and emit a
+  JSON verdict (nonzero exit on any violation).
 """
 
 from __future__ import annotations
@@ -109,6 +112,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "timeline", help="per-command lifecycle timeline report"
     )
     _obs_common(timeline)
+
+    soak = sub.add_parser(
+        "soak",
+        help="multi-tenant soak: 100+ tenants under faults + invariants",
+    )
+    soak.add_argument("--tenants", type=int, default=100)
+    soak.add_argument("--shards", type=int, default=4)
+    soak.add_argument("--workers-per-shard", type=int, default=3)
+    soak.add_argument("--steps", type=int, default=300)
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument(
+        "--out", default=None,
+        help="write the JSON report to this file (default: stdout)",
+    )
     return parser
 
 
@@ -399,6 +416,49 @@ def cmd_obs(args, out) -> int:
     return 0
 
 
+def cmd_soak(args, out) -> int:
+    """``soak``: run the multi-tenant soak and emit its JSON verdict.
+
+    Drives ``--tenants`` concurrent projects (heterogeneous quotas,
+    weights and backpressure caps; colliding command ids) across
+    ``--shards`` chaos-wrapped shard servers, checks all twelve
+    invariants, and writes a JSON report: the verdict, every
+    violation, the chaos summary and the per-tenant ledger rollup.
+    Exit code is nonzero when any invariant failed or any tenant did
+    not complete — CI consumes that directly.
+    """
+    import json
+
+    from repro.testing.soak import run_multitenant_soak
+
+    result = run_multitenant_soak(
+        n_tenants=args.tenants,
+        n_shards=args.shards,
+        workers_per_shard=args.workers_per_shard,
+        n_steps=args.steps,
+        seed=args.seed,
+    )
+    completed = result.completed_tenants()
+    report = {
+        "seed": args.seed,
+        "tenants": len(result.specs),
+        "completed": completed,
+        "invariants_ok": not result.violations,
+        "violations": result.violations,
+        "chaos": result.chaos,
+        "per_tenant": result.report,
+    }
+    _emit(json.dumps(report, indent=2, default=str) + "\n", args, out)
+    ok = not result.violations and completed == len(result.specs)
+    if not ok:
+        print(
+            f"soak FAILED: {len(result.violations)} violations, "
+            f"{completed}/{len(result.specs)} tenants complete",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "info": cmd_info,
     "demo-msm": cmd_demo_msm,
@@ -407,6 +467,7 @@ _COMMANDS = {
     "demo-recovery": cmd_demo_recovery,
     "demo-umbrella": cmd_demo_umbrella,
     "obs": cmd_obs,
+    "soak": cmd_soak,
 }
 
 

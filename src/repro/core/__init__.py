@@ -17,6 +17,7 @@ __all__ = [
     "Project",
     "ProjectStatus",
     "ProjectRunner",
+    "MultiProjectRunner",
     "AdaptiveMSMController",
     "MSMProjectConfig",
     "BARController",
@@ -29,6 +30,7 @@ _LAZY = {
     "Project": ("repro.core.project", "Project"),
     "ProjectStatus": ("repro.core.project", "ProjectStatus"),
     "ProjectRunner": ("repro.core.runner", "ProjectRunner"),
+    "MultiProjectRunner": ("repro.core.multirunner", "MultiProjectRunner"),
     "AdaptiveMSMController": ("repro.core.msm_controller", "AdaptiveMSMController"),
     "MSMProjectConfig": ("repro.core.msm_controller", "MSMProjectConfig"),
     "BARController": ("repro.core.fep_controller", "BARController"),

@@ -9,7 +9,29 @@ execute them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
+
+#: Separator inside scoped command keys.  Chosen to be absent from the
+#: conventional id styles (``gen1_r0``, ``ensemble/r0``) so a scoped
+#: key splits back unambiguously.
+SCOPE_SEPARATOR = "::"
+
+
+def scoped_command_id(project_id: str, command_id: str) -> str:
+    """The (project, command) key used by cross-project server tables."""
+    return f"{project_id}{SCOPE_SEPARATOR}{command_id}"
+
+
+def split_scoped_id(key: str) -> Tuple[str, str]:
+    """Inverse of :func:`scoped_command_id`.
+
+    A key without a separator (e.g. from a pre-namespacing client)
+    maps to an empty project scope rather than failing.
+    """
+    project_id, sep, command_id = key.partition(SCOPE_SEPARATOR)
+    if not sep:
+        return "", key
+    return project_id, command_id
 
 
 @dataclass
@@ -57,6 +79,17 @@ class Command:
     origin_server: str = ""
     checkpoint: Optional[Dict] = None
     trace: Optional[Dict] = None
+
+    @property
+    def scoped_id(self) -> str:
+        """The command's deployment-wide key, namespaced by project.
+
+        ``command_id`` is only unique *within* a project (two tenants
+        may both issue ``gen0_r0``), so every server-side table that
+        spans projects — assignments, leases, the exactly-once dedup
+        barrier, heartbeat checkpoints — keys by this instead.
+        """
+        return scoped_command_id(self.project_id, self.command_id)
 
     def to_payload(self) -> Dict:
         """Wire-format dict."""

@@ -54,6 +54,15 @@ class EventKind(enum.Enum):
     WORKER_QUARANTINED = "worker_quarantined"
     #: A quarantined worker's cooldown expired; re-admitted on probation.
     WORKER_READMITTED = "worker_readmitted"
+    #: Admission control held a submitted command back because its
+    #: tenant's queue depth hit the backpressure limit.
+    ADMISSION_DEFERRED = "admission_deferred"
+    #: A deferred command entered the queue after depth drained.
+    ADMISSION_RELEASED = "admission_released"
+    #: The fair-share scheduler bypassed an admissible command that
+    #: had waited past the aging bound — must never happen; checked by
+    #: invariant 12.
+    AGING_VIOLATED = "aging_violated"
 
 
 @dataclass(frozen=True)

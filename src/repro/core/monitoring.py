@@ -82,7 +82,7 @@ def status_snapshot(runner) -> Dict:
                     for w in server.monitor.workers()
                 },
                 "in_flight": {
-                    w: sorted(cmds)
+                    w: sorted(c.command_id for c in cmds.values())
                     for w, cmds in server.assignments.items()
                     if cmds
                 },

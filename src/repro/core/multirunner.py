@@ -1,0 +1,144 @@
+"""MultiProjectRunner: many concurrent projects over a sharded overlay.
+
+The paper's service plane hosts many users' projects on one server
+overlay.  This runner drives that shape: project ids are
+consistent-hashed onto *shards* (project servers) by a
+:class:`~repro.net.sharding.ShardRouter`, every shard keeps its own
+queue, lease tracker, heartbeat monitor and (optionally) its own
+:class:`~repro.server.wal.ServerJournal`, and a shared
+:class:`~repro.server.fairshare.FairSharePolicy` can be applied so no
+tenant starves another.
+
+It *is* a :class:`~repro.core.runner.ProjectRunner` — the only routing
+decision, "which server hosts this project", is the ``_origin_for``
+hook, so submission, recovery, the drive loop, liveness sweeps and the
+event log are shared code.  A deployment with one shard and no policy
+therefore behaves exactly like the classic runner.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.runner import ProjectRunner
+from repro.net.sharding import DEFAULT_REPLICAS, ShardRouter
+from repro.net.transport import Network
+from repro.server.fairshare import FairSharePolicy, FairShareScheduler
+from repro.server.server import CopernicusServer
+from repro.server.wal import ServerJournal
+from repro.util.errors import ConfigurationError
+from repro.worker.worker import Worker
+
+
+class MultiProjectRunner(ProjectRunner):
+    """Drives many projects, each hosted on its hashed shard.
+
+    Parameters
+    ----------
+    network:
+        The overlay.
+    shards:
+        The project servers acting as shard fabric.  Workers may be
+        attached to any of them (or to relays); cross-shard wildcard
+        fetches keep every worker busy, guarded by the per-peer
+        circuit breakers of :mod:`repro.net.transport`.
+    workers:
+        Worker clients, already linked on the overlay.
+    tick:
+        Logical seconds per runner cycle.
+    replicas:
+        Virtual nodes per shard on the consistent-hash ring.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        shards: List[CopernicusServer],
+        workers: List[Worker],
+        tick: float = 60.0,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if not shards:
+            raise ConfigurationError("a multi-project runner needs >= 1 shard")
+        super().__init__(network, shards[0], workers, tick=tick)
+        self.shards = list(shards)
+        self._shards_by_name: Dict[str, CopernicusServer] = {
+            shard.name: shard for shard in shards
+        }
+        if len(self._shards_by_name) != len(shards):
+            raise ConfigurationError("shard server names must be unique")
+        self.router = ShardRouter(
+            [shard.name for shard in shards], replicas=replicas
+        )
+
+    # -- routing -------------------------------------------------------------
+
+    def _origin_for(self, project_id: str) -> CopernicusServer:
+        """The shard server hosting *project_id* (consistent hash)."""
+        return self._shards_by_name[self.router.route(project_id)]
+
+    def shard_of(self, project_id: str) -> str:
+        """The shard name a project routes to (stable across runs)."""
+        return self.router.route(project_id)
+
+    # -- tenancy plumbing ----------------------------------------------------
+
+    def apply_fairshare(
+        self, policy: Optional[FairSharePolicy] = None
+    ) -> Dict[str, FairShareScheduler]:
+        """Attach an independent fair-share scheduler to every shard.
+
+        One shared policy, one scheduler (ledger) per shard — quotas
+        bound each tenant's in-flight load per shard, which is also
+        its total bound since a project lives on exactly one shard.
+        Returns the schedulers by shard name for tests/monitoring.
+        """
+        schedulers: Dict[str, FairShareScheduler] = {}
+        for shard in self.shards:
+            scheduler = FairShareScheduler(policy)
+            shard.attach_fairshare(scheduler)
+            schedulers[shard.name] = scheduler
+        return schedulers
+
+    def attach_journals(self, root) -> None:
+        """Give every shard its own write-ahead journal under *root*."""
+        for shard in self.shards:
+            shard.attach_journal(ServerJournal(Path(root) / shard.name))
+
+    # -- per-tenant telemetry ------------------------------------------------
+
+    def _refresh_status(self) -> None:
+        super()._refresh_status()
+        for pid, project in self._projects.items():
+            self.obs.metrics.set_gauge(
+                "repro_tenant_commands_outstanding",
+                project.outstanding,
+                help="Issued-minus-completed commands per tenant.",
+                project=pid,
+                shard=self.shard_of(pid),
+            )
+            self.obs.metrics.set_gauge(
+                "repro_tenant_commands_completed",
+                project.completed,
+                help="Completed commands per tenant.",
+                project=pid,
+                shard=self.shard_of(pid),
+            )
+
+    def tenant_report(self) -> Dict[str, Dict]:
+        """Per-tenant rollup: shard placement, progress, scheduler ledger."""
+        ledgers: Dict[str, Dict] = {}
+        for shard in self.shards:
+            if shard.fairshare is not None:
+                ledgers.update(shard.fairshare.snapshot())
+        out: Dict[str, Dict] = {}
+        for pid, project in self._projects.items():
+            out[pid] = {
+                "shard": self.shard_of(pid),
+                "status": project.status.value,
+                "issued": project.issued,
+                "completed": project.completed,
+                "ledger": ledgers.get(pid, {}),
+            }
+        return out

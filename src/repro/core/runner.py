@@ -91,6 +91,19 @@ class ProjectRunner:
         """The deployment's observability hub (shared via the network)."""
         return self.network.obs
 
+    # -- routing -------------------------------------------------------------
+
+    def _origin_for(self, project_id: str) -> CopernicusServer:
+        """The server hosting *project_id*.
+
+        The single-project runner always answers with its one project
+        server; :class:`~repro.core.multirunner.MultiProjectRunner`
+        overrides this with a consistent-hash shard lookup.  Every
+        submission/forwarding path routes through here, so the two
+        runners share all other machinery.
+        """
+        return self.project_server
+
     # -- submission ----------------------------------------------------------
 
     def submit(self, project: Project, controller: Controller) -> None:
@@ -106,10 +119,16 @@ class ProjectRunner:
         def sink(command: Command, result: dict) -> None:
             self._on_result(project, controller, command, result)
 
-        self.project_server.host_project(project.project_id, sink)
+        origin = self._origin_for(project.project_id)
+        # Attach the audit trail before the first submission so events
+        # raised at admission time (e.g. backpressure deferrals) land
+        # in the same log run() later re-attaches fleet-wide.
+        origin.events = self.events
+        origin.clock = max(origin.clock, self.now)
+        origin.host_project(project.project_id, sink)
         initial = controller.on_project_start(project)
         project.record_issue(initial)
-        self.project_server.submit_commands(initial)
+        origin.submit_commands(initial)
         project.status = ProjectStatus.RUNNING
         self.events.record(
             self.now, EventKind.PROJECT_SUBMITTED, project.project_id
@@ -144,10 +163,11 @@ class ProjectRunner:
             raise SchedulingError(
                 f"project {project_id!r} already submitted"
             )
-        server_journal = self.project_server.journal
+        origin = self._origin_for(project_id)
+        server_journal = origin.journal
         if server_journal is None:
             raise ConfigurationError(
-                f"server {self.project_server.name!r} has no journal "
+                f"server {origin.name!r} has no journal "
                 f"attached; nothing to resume from"
             )
         state = server_journal.project(project_id).recover()
@@ -175,15 +195,15 @@ class ProjectRunner:
         def sink(command: Command, result: dict) -> None:
             self._on_result(project, controller, command, result)
 
-        self.project_server.host_project(project_id, sink)
-        self.project_server.restore_commands(
-            project_id, outstanding, completed_ids
-        )
+        origin.events = self.events
+        origin.clock = max(origin.clock, self.now)
+        origin.host_project(project_id, sink)
+        origin.restore_commands(project_id, outstanding, completed_ids)
         self.events.record(
             self.now,
             EventKind.SERVER_RECOVERED,
             project_id,
-            server=self.project_server.name,
+            server=origin.name,
             replayed=len(state.results),
             restored=len(outstanding),
             issued=project.issued,
@@ -249,7 +269,7 @@ class ProjectRunner:
         )
         if follow_ups:
             project.record_issue(follow_ups)
-            self.project_server.submit_commands(follow_ups)
+            self._origin_for(project.project_id).submit_commands(follow_ups)
             self.network.obs.metrics.inc(
                 "repro_controller_follow_ups_total",
                 amount=len(follow_ups),

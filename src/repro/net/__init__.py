@@ -18,6 +18,7 @@ reproduces that substrate in-process:
 from repro.net.auth import KeyPair, TrustStore
 from repro.net.circuit import BreakerPolicy, BreakerState, CircuitBreaker
 from repro.net.protocol import Message, MessageType
+from repro.net.sharding import HashRing, ShardRouter, stable_hash
 from repro.net.transport import Endpoint, Link, Network
 
 __all__ = [
@@ -26,6 +27,9 @@ __all__ = [
     "BreakerPolicy",
     "BreakerState",
     "CircuitBreaker",
+    "HashRing",
+    "ShardRouter",
+    "stable_hash",
     "Message",
     "MessageType",
     "Endpoint",

@@ -140,6 +140,52 @@ def cluster(
     return deployment
 
 
+def sharded(
+    n_shards: int = 3,
+    workers_per_shard: int = 2,
+    cores_per_worker: int = 2,
+    seed: int = 0,
+    heartbeat_interval: float = 120.0,
+    poll_jitter: float = 0.1,
+) -> Deployment:
+    """A multi-tenant shard fabric: N project servers behind a gateway.
+
+    Each shard hosts the projects that consistent-hash to it
+    (:class:`~repro.net.sharding.ShardRouter` over the shard names) and
+    owns a worker pool.  An idle shard's workers pull cross-shard work
+    through the gateway via wildcard fetches, guarded by the per-peer
+    circuit breakers — the same relay/head-node fabric as
+    :func:`figure1`, reused as a service plane.
+    """
+    if n_shards < 1:
+        raise ConfigurationError("need at least one shard")
+    if workers_per_shard < 1:
+        raise ConfigurationError("need at least one worker per shard")
+    net = Network(seed=seed)
+    gateway = CopernicusServer(
+        "gateway", net, heartbeat_interval=heartbeat_interval
+    )
+    shards, workers = [], []
+    for s in range(n_shards):
+        shard = CopernicusServer(
+            f"shard{s}", net, heartbeat_interval=heartbeat_interval
+        )
+        shards.append(shard)
+        net.connect("gateway", f"shard{s}", latency=LATENCY_CAMPUS)
+        for w in range(workers_per_shard):
+            name = f"s{s}w{w}"
+            worker = Worker(
+                name, net, server=f"shard{s}",
+                platform=SMPPlatform(cores=cores_per_worker),
+            )
+            net.connect(f"shard{s}", name, latency=LATENCY_LOCAL)
+            workers.append(worker)
+    apply_poll_jitter(net, workers, heartbeat_interval, poll_jitter)
+    deployment = Deployment(net, shards, [gateway], workers)
+    deployment.announce_all()
+    return deployment
+
+
 def figure1(
     workers_per_cluster: int = 2,
     cores_per_worker: int = 2,

@@ -2,6 +2,12 @@
 
 from repro.server.queue import CommandQueue
 from repro.server.matching import WorkerCapabilities, build_workload
+from repro.server.fairshare import (
+    FairSharePolicy,
+    FairShareScheduler,
+    TenantLedger,
+    TenantPolicy,
+)
 from repro.server.heartbeat import HeartbeatMonitor
 from repro.server.health import (
     HealthPolicy,
@@ -28,6 +34,10 @@ __all__ = [
     "CommandQueue",
     "WorkerCapabilities",
     "build_workload",
+    "FairSharePolicy",
+    "FairShareScheduler",
+    "TenantLedger",
+    "TenantPolicy",
     "HeartbeatMonitor",
     "HealthPolicy",
     "HealthRegistry",

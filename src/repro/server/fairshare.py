@@ -1,0 +1,406 @@
+"""Fair-share admission and dispatch across tenants.
+
+The paper pitches Copernicus as a service plane ("millions of users"
+behind one overlay); a single priority queue cannot deliver that — one
+tenant submitting a huge ensemble starves everyone else.  This module
+layers three mechanisms over :func:`repro.server.matching.build_workload`:
+
+* **Quotas** — a per-tenant cap on concurrently in-flight commands.
+  ``None`` is unlimited; ``0`` means the tenant never dispatches (a
+  suspended account).  Quota accounting is an exact ledger (checked by
+  invariant 11): per tenant, ``dispatched == released + in_flight``
+  at every instant, and ``peak_in_flight`` never exceeds the quota.
+* **Weighted fairness** — among tenants under quota, the next command
+  comes from the tenant with the smallest ``in_flight / weight``
+  deficit, so capacity divides proportionally to weight under load.
+* **Starvation-free aging** — any admissible command that has waited
+  past ``max_wait_seconds`` dispatches *before* all deficit-ordered
+  picks, oldest first, bounding every tenant's wait (invariant 12).
+  Bypassing an aged admissible command is a scheduler bug; the
+  scheduler self-checks and reports violations instead of hiding them.
+* **Backpressure** — per-tenant queue-depth admission control: a
+  submission beyond ``max_queued`` is *deferred* (journaled but not
+  queued) and released FIFO, deterministically, as the tenant's queue
+  drains.
+
+A deployment with one tenant and no policy for it takes a fast path
+that delegates straight to :func:`build_workload`, so single-project
+servers behave byte-for-byte as before.
+
+Tenant identity is the project id.  All bookkeeping keys are *scoped*
+command keys (:meth:`repro.core.command.Command.scoped_id`), so two
+tenants reusing a command id never alias, and a speculative clone of
+an in-flight command is recognised as the same logical command (it
+neither double-counts on dispatch nor double-credits on release).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.command import Command
+from repro.server.matching import WorkerCapabilities, build_workload
+from repro.server.queue import CommandQueue
+from repro.util.errors import ConfigurationError
+
+#: Default aging bound: an admissible command never waits longer than
+#: this (virtual seconds) while the scheduler dispatches other work.
+DEFAULT_MAX_WAIT_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's share of the service plane.
+
+    Attributes
+    ----------
+    quota:
+        Maximum concurrently in-flight commands.  ``None`` = unlimited,
+        ``0`` = never dispatch.
+    weight:
+        Relative share among tenants competing under quota.
+    max_queued:
+        Queue-depth backpressure limit; submissions beyond it are
+        deferred until the tenant's queue drains.  ``None`` = no limit.
+    """
+
+    quota: Optional[int] = None
+    weight: float = 1.0
+    max_queued: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.quota is not None and self.quota < 0:
+            raise ConfigurationError("tenant quota cannot be negative")
+        if self.weight <= 0:
+            raise ConfigurationError("tenant weight must be positive")
+        if self.max_queued is not None and self.max_queued < 1:
+            raise ConfigurationError("max_queued must be >= 1 (or None)")
+
+
+#: The policy applied to tenants without an explicit entry.
+DEFAULT_POLICY = TenantPolicy()
+
+
+@dataclass
+class FairSharePolicy:
+    """Deployment-wide fair-share configuration."""
+
+    tenants: Dict[str, TenantPolicy] = field(default_factory=dict)
+    default: TenantPolicy = DEFAULT_POLICY
+    max_wait_seconds: float = DEFAULT_MAX_WAIT_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.max_wait_seconds <= 0:
+            raise ConfigurationError("max_wait_seconds must be positive")
+
+    def for_tenant(self, tenant: str) -> TenantPolicy:
+        """The effective policy for *tenant*."""
+        return self.tenants.get(tenant, self.default)
+
+
+@dataclass
+class TenantLedger:
+    """Exact per-tenant accounting (invariant 11's subject)."""
+
+    dispatched: int = 0
+    released: int = 0
+    peak_in_flight: int = 0
+    deferred_total: int = 0
+
+    @property
+    def in_flight_balance(self) -> int:
+        return self.dispatched - self.released
+
+
+class FairShareScheduler:
+    """Admission + dispatch policy for one server's command queue.
+
+    Attach with :meth:`CopernicusServer.attach_fairshare`; the server
+    then routes every workload build, submission and release through
+    this scheduler.  Unattached servers are untouched.
+    """
+
+    def __init__(self, policy: Optional[FairSharePolicy] = None) -> None:
+        self.policy = policy or FairSharePolicy()
+        #: Scoped keys currently in flight, per tenant.
+        self._in_flight: Dict[str, Set[str]] = {}
+        #: Per-tenant dispatch/release/peak ledgers.
+        self.ledgers: Dict[str, TenantLedger] = {}
+        #: Deferred (admitted-but-not-queued) commands, FIFO per tenant.
+        self._deferred: Dict[str, List[Command]] = {}
+        #: Aging self-check reports not yet consumed by the server:
+        #: ``(tenant, command_id, waited_seconds)``.
+        self._violations: List[Tuple[str, str, float]] = []
+        self.aging_violations = 0
+
+    # -- ledger ------------------------------------------------------------
+
+    def _ledger(self, tenant: str) -> TenantLedger:
+        return self.ledgers.setdefault(tenant, TenantLedger())
+
+    def in_flight(self, tenant: str) -> int:
+        """Commands of *tenant* currently dispatched and unresolved."""
+        return len(self._in_flight.get(tenant, ()))
+
+    def _note_dispatch(self, command: Command) -> bool:
+        """Count a command leaving the queue; idempotent per scoped key
+        (a speculative clone is the same logical command)."""
+        keys = self._in_flight.setdefault(command.project_id, set())
+        if command.scoped_id in keys:
+            return False
+        keys.add(command.scoped_id)
+        ledger = self._ledger(command.project_id)
+        ledger.dispatched += 1
+        ledger.peak_in_flight = max(ledger.peak_in_flight, len(keys))
+        return True
+
+    def release(self, command: Command) -> bool:
+        """Resolve a dispatched command (result arrived, or requeued).
+
+        Membership-guarded and therefore idempotent: the losing copy
+        of a speculation race, a duplicated result and a requeue of a
+        never-dispatched command are all no-ops.
+        """
+        keys = self._in_flight.get(command.project_id)
+        if not keys or command.scoped_id not in keys:
+            return False
+        keys.remove(command.scoped_id)
+        self._ledger(command.project_id).released += 1
+        return True
+
+    def check_ledger(self) -> List[str]:
+        """Internal-consistency violations (feeds invariant 11)."""
+        violations = []
+        for tenant in sorted(self.ledgers):
+            ledger = self.ledgers[tenant]
+            balance = ledger.in_flight_balance
+            live = self.in_flight(tenant)
+            if balance != live:
+                violations.append(
+                    f"tenant {tenant!r} ledger balance {balance} != "
+                    f"{live} live in-flight keys"
+                )
+            quota = self.policy.for_tenant(tenant).quota
+            if quota is not None and ledger.peak_in_flight > quota:
+                violations.append(
+                    f"tenant {tenant!r} peaked at {ledger.peak_in_flight} "
+                    f"in-flight commands over quota {quota}"
+                )
+            if quota == 0 and ledger.dispatched > 0:
+                violations.append(
+                    f"zero-quota tenant {tenant!r} dispatched "
+                    f"{ledger.dispatched} commands"
+                )
+        return violations
+
+    # -- admission (backpressure) ------------------------------------------
+
+    def _queued_depth(self, queue: CommandQueue, tenant: str) -> int:
+        return sum(1 for c in queue.commands() if c.project_id == tenant)
+
+    def should_defer(self, command: Command, queue: CommandQueue) -> bool:
+        """Whether a submission must wait for the tenant's queue to drain.
+
+        Once a tenant has anything deferred, later submissions defer
+        too — releases are strictly FIFO.
+        """
+        tenant = command.project_id
+        limit = self.policy.for_tenant(tenant).max_queued
+        if limit is None:
+            return False
+        if self._deferred.get(tenant):
+            return True
+        return self._queued_depth(queue, tenant) >= limit
+
+    def defer(self, command: Command) -> None:
+        """Hold a submission back until :meth:`drain` releases it."""
+        self._deferred.setdefault(command.project_id, []).append(command)
+        self._ledger(command.project_id).deferred_total += 1
+
+    def drain(self, queue: CommandQueue) -> List[Command]:
+        """Deferred commands whose tenants have room again, in a
+        deterministic order (tenants sorted by name, FIFO within)."""
+        released: List[Command] = []
+        for tenant in sorted(self._deferred):
+            pending = self._deferred[tenant]
+            limit = self.policy.for_tenant(tenant).max_queued
+            depth = self._queued_depth(queue, tenant)
+            while pending and (limit is None or depth < limit):
+                released.append(pending.pop(0))
+                depth += 1
+        return released
+
+    def deferred_commands(self) -> List[Command]:
+        """Every currently deferred command (for invariant accounting:
+        deferred commands are issued but neither queued nor in flight)."""
+        out: List[Command] = []
+        for tenant in sorted(self._deferred):
+            out.extend(self._deferred[tenant])
+        return out
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _admits(self, command: Command) -> bool:
+        """Whether quota allows dispatching *command* right now."""
+        quota = self.policy.for_tenant(command.project_id).quota
+        if quota is None:
+            return True
+        keys = self._in_flight.get(command.project_id, ())
+        if command.scoped_id in keys:
+            # a speculative clone of an already-counted command adds
+            # no net in-flight load
+            return True
+        return len(keys) < quota
+
+    def _is_aged(self, command: Command, now: float, queued_at: Dict[str, float]) -> bool:
+        enqueued = queued_at.get(command.scoped_id)
+        if enqueued is None:
+            return False
+        return (now - enqueued) > self.policy.max_wait_seconds
+
+    def build(
+        self,
+        queue: CommandQueue,
+        caps: WorkerCapabilities,
+        now: float,
+        queued_at: Dict[str, float],
+        max_commands: Optional[int] = None,
+    ) -> List[Tuple[Command, int]]:
+        """Pop a fair workload for *caps*; the scheduler's core.
+
+        Selection order: aged admissible commands first (oldest
+        enqueue wins), then smallest ``in_flight / weight`` tenant
+        deficit (name-ordered on ties).  Core packing and rider
+        coalescing follow :func:`build_workload` exactly — riders
+        share their seed command's coalesce key, which includes the
+        project id, so a batch never spans tenants; each rider counts
+        against its tenant's quota like any dispatched command.
+        """
+        from repro.worker.coalesce import BATCH_EXECUTABLE, coalesce_key
+
+        tenants_queued = {c.project_id for c in queue.commands()}
+        if len(tenants_queued) <= 1 and all(
+            self.policy.for_tenant(t) == DEFAULT_POLICY for t in tenants_queued
+        ):
+            # single-tenant, unconstrained: byte-for-byte the classic
+            # matcher, with the ledger still kept exact
+            workload = build_workload(queue, caps, max_commands=max_commands)
+            for command, _ in workload:
+                self._note_dispatch(command)
+            return workload
+
+        batching = (
+            caps.batch_capacity > 1 and BATCH_EXECUTABLE in caps.executables
+        )
+        workload: List[Tuple[Command, int]] = []
+        free = caps.cores
+
+        def full() -> bool:
+            return (
+                free <= 0
+                or (max_commands is not None and len(workload) >= max_commands)
+            )
+
+        while not full():
+            candidates = [
+                c
+                for c in queue.commands()
+                if c.executable in caps.executables
+                and c.min_cores <= free
+                and self._admits(c)
+            ]
+            if not candidates:
+                break
+            aged = [c for c in candidates if self._is_aged(c, now, queued_at)]
+            if aged:
+                pick = min(
+                    aged,
+                    key=lambda c: (
+                        queued_at.get(c.scoped_id, now),
+                        c.priority,
+                        c.project_id,
+                        c.command_id,
+                    ),
+                )
+                command = queue.pop_matching(lambda c: c is pick)
+            else:
+                tenant = min(
+                    {c.project_id for c in candidates},
+                    key=lambda t: (
+                        self.in_flight(t) / self.policy.for_tenant(t).weight,
+                        t,
+                    ),
+                )
+                command = queue.pop_matching(
+                    lambda c: c.project_id == tenant
+                    and c.executable in caps.executables
+                    and c.min_cores <= free
+                    and self._admits(c)
+                )
+            if command is None:
+                break
+            assigned = min(command.preferred_cores, free)
+            assigned = max(assigned, command.min_cores)
+            workload.append((command, assigned))
+            self._note_dispatch(command)
+            free -= assigned
+            if not batching:
+                continue
+            key = coalesce_key(command)
+            if key is None:
+                continue
+            group = 1
+            while group < caps.batch_capacity and not (
+                max_commands is not None and len(workload) >= max_commands
+            ):
+                rider = queue.pop_matching(
+                    lambda c: coalesce_key(c) == key and self._admits(c)
+                )
+                if rider is None:
+                    break
+                workload.append((rider, assigned))
+                self._note_dispatch(rider)
+                group += 1
+
+        # self-check (invariant 12): an aged admissible command that
+        # still fits must never remain behind a workload we just built
+        if workload:
+            for leftover in queue.commands():
+                if (
+                    self._is_aged(leftover, now, queued_at)
+                    and self._admits(leftover)
+                    and leftover.executable in caps.executables
+                    and leftover.min_cores <= free
+                    and not (
+                        max_commands is not None
+                        and len(workload) >= max_commands
+                    )
+                ):
+                    waited = now - queued_at.get(leftover.scoped_id, now)
+                    self.aging_violations += 1
+                    self._violations.append(
+                        (leftover.project_id, leftover.command_id, waited)
+                    )
+        return workload
+
+    def pop_violations(self) -> List[Tuple[str, str, float]]:
+        """Drain unreported aging violations (server records events)."""
+        out, self._violations = self._violations, []
+        return out
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant ledger snapshot for status/metrics export."""
+        return {
+            tenant: {
+                "dispatched": ledger.dispatched,
+                "released": ledger.released,
+                "in_flight": self.in_flight(tenant),
+                "peak_in_flight": ledger.peak_in_flight,
+                "deferred_total": ledger.deferred_total,
+                "deferred_pending": len(self._deferred.get(tenant, ())),
+            }
+            for tenant, ledger in sorted(self.ledgers.items())
+        }

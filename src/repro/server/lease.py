@@ -114,7 +114,13 @@ class Lease:
 
 
 class LeaseTracker:
-    """All outstanding leases of one server, keyed (worker, command)."""
+    """All outstanding leases of one server.
+
+    Keys are ``(worker, scoped command key)`` — the scoped key (see
+    :meth:`repro.core.command.Command.scoped_id`) namespaces the
+    command by its project, so two tenants reusing a command id (both
+    issuing a ``gen0_r0``, say) can never alias each other's leases.
+    """
 
     def __init__(self) -> None:
         self._leases: Dict[Tuple[str, str], Lease] = {}
@@ -149,7 +155,7 @@ class LeaseTracker:
         lease = Lease(
             worker=worker, command=command, granted_at=now, deadline=deadline
         )
-        self._leases[(worker, command.command_id)] = lease
+        self._leases[(worker, command.scoped_id)] = lease
         self._count(
             "repro_server_leases_granted_total",
             "Leases granted to workers.",

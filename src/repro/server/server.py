@@ -18,11 +18,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.core.command import Command
+from repro.core.command import Command, scoped_command_id, split_scoped_id
 from repro.core.events import EventKind, EventLog
 from repro.net.protocol import ANY_SERVER, Message, MessageType
 from repro.net.transport import Endpoint, Network
 from repro.obs.trace import SpanContext, trace_id_for
+from repro.server.fairshare import FairShareScheduler
 from repro.server.health import HealthPolicy, HealthRegistry
 from repro.server.heartbeat import DEFAULT_INTERVAL, HeartbeatMonitor
 from repro.server.lease import LeasePolicy, LeaseTracker
@@ -60,8 +61,8 @@ class CopernicusServer(Endpoint):
         self.leases = LeaseTracker()
         #: Per-worker EWMA health scores, probation and quarantine.
         self.health = HealthRegistry(health_policy)
-        #: Commands under speculative re-execution: {command_id: the
-        #: straggling worker whose late result loses the race}.
+        #: Commands under speculative re-execution: {scoped command
+        #: key: the straggling worker whose late result loses the race}.
         self.speculated: Dict[str, str] = {}
         #: Liveness accounting.
         self.stragglers_detected = 0
@@ -72,15 +73,18 @@ class CopernicusServer(Endpoint):
         self.workloads_denied = 0
         #: Worker capabilities by worker name (workers attached here).
         self.worker_caps: Dict[str, WorkerCapabilities] = {}
-        #: In-flight commands per worker: {worker: {command_id: Command}}.
+        #: In-flight commands per worker, keyed by the *scoped* command
+        #: key (two tenants may both issue a ``gen0_r0``):
+        #: {worker: {project::command: Command}}.
         self.assignments: Dict[str, Dict[str, Command]] = {}
         #: Result sinks per locally hosted project.
         self._sinks: Dict[str, Callable[[Command, dict], None]] = {}
         #: Count of commands requeued after worker failures.
         self.requeued_after_failure = 0
-        #: Commands whose results already reached their sink here; a
-        #: retransmitted or duplicated result is dropped, keeping
-        #: completion exactly-once even under message duplication.
+        #: Scoped keys of commands whose results already reached their
+        #: sink here; a retransmitted or duplicated result is dropped,
+        #: keeping completion exactly-once even under message
+        #: duplication — and per tenant, since the keys are scoped.
         self.completed_ids: Set[str] = set()
         #: Count of duplicate results dropped by the dedup barrier.
         self.duplicates_dropped = 0
@@ -94,9 +98,12 @@ class CopernicusServer(Endpoint):
         #: lease, checkpoint, result, requeue — is journaled *before*
         #: it is acknowledged, so a restarted server can resume.
         self.journal: Optional[ServerJournal] = None
-        #: Virtual enqueue time per queued command (feeds the
-        #: ``queue.wait`` spans and the queue-wait histogram).
+        #: Virtual enqueue time per queued command, by scoped key
+        #: (feeds the ``queue.wait`` spans and the queue-wait histogram).
         self._queued_at: Dict[str, float] = {}
+        #: Optional multi-tenant scheduler (see :meth:`attach_fairshare`).
+        #: ``None`` keeps the classic single-queue matching untouched.
+        self.fairshare: Optional[FairShareScheduler] = None
         self.leases.bind_metrics(self.obs.metrics, self.name)
         self.health.bind_metrics(self.obs.metrics, self.name)
 
@@ -127,6 +134,66 @@ class CopernicusServer(Endpoint):
         if self.journal is None or project_id not in self._sinks:
             return None
         return self.journal.project(project_id)
+
+    # -- multi-tenancy -----------------------------------------------------
+
+    def attach_fairshare(self, scheduler: FairShareScheduler) -> None:
+        """Route dispatch and admission through a fair-share scheduler.
+
+        Quotas, weighted fairness, aging and backpressure apply from
+        the next submission/workload on; a server without a scheduler
+        behaves exactly as before.
+        """
+        self.fairshare = scheduler
+
+    def _build_workload(
+        self, caps: WorkerCapabilities, max_commands: Optional[int] = None
+    ):
+        """Local workload construction: fair-share when attached."""
+        if self.fairshare is None:
+            return build_workload(self.queue, caps, max_commands=max_commands)
+        workload = self.fairshare.build(
+            self.queue,
+            caps,
+            now=self.clock,
+            queued_at=self._queued_at,
+            max_commands=max_commands,
+        )
+        for tenant, command_id, waited in self.fairshare.pop_violations():
+            self._count(
+                "repro_server_aging_violations_total",
+                help="Aged admissible commands bypassed by the scheduler "
+                "(must stay zero; invariant 12).",
+                project=tenant,
+            )
+            self._record(
+                EventKind.AGING_VIOLATED,
+                command=command_id,
+                project_id=tenant,
+                server=self.name,
+                waited=round(waited, 3),
+            )
+        return workload
+
+    def _drain_deferred(self) -> None:
+        """Admit deferred submissions whose tenants drained below the
+        backpressure limit (deterministic: tenant name order, FIFO)."""
+        if self.fairshare is None:
+            return
+        for command in self.fairshare.drain(self.queue):
+            self._queued_at[command.scoped_id] = self.clock
+            self.queue.push(command)
+            self._count(
+                "repro_server_admissions_released_total",
+                help="Deferred commands admitted after queues drained.",
+                project=command.project_id,
+            )
+            self._record(
+                EventKind.ADMISSION_RELEASED,
+                command=command.command_id,
+                project_id=command.project_id,
+                server=self.name,
+            )
 
     # -- project hosting ---------------------------------------------------
 
@@ -165,7 +232,26 @@ class CopernicusServer(Endpoint):
                 command=command.command_id,
             )
             command.trace = {"trace_id": trace_id, "span_id": issue.span_id}
-            self._queued_at[command.command_id] = self.clock
+            if self.fairshare is not None and self.fairshare.should_defer(
+                command, self.queue
+            ):
+                # journaled (durable) but held back: the tenant's queue
+                # is at its backpressure limit; released FIFO by
+                # _drain_deferred as the queue drains
+                self.fairshare.defer(command)
+                self._count(
+                    "repro_server_admissions_deferred_total",
+                    help="Submissions deferred by queue-depth backpressure.",
+                    project=command.project_id,
+                )
+                self._record(
+                    EventKind.ADMISSION_DEFERRED,
+                    command=command.command_id,
+                    project_id=command.project_id,
+                    server=self.name,
+                )
+                continue
+            self._queued_at[command.scoped_id] = self.clock
             self.queue.push(command)
         self._count(
             "repro_server_commands_submitted_total",
@@ -186,12 +272,15 @@ class CopernicusServer(Endpoint):
         and requeues the outstanding commands *without* re-journaling
         them as issued — their issuance is already on disk.
         """
-        self.completed_ids.update(completed_ids)
+        self.completed_ids.update(
+            scoped_command_id(project_id, command_id)
+            for command_id in completed_ids
+        )
         for command in commands:
             if not command.origin_server:
                 command.origin_server = self.name
             self._trace_ctx(command)
-            self._queued_at[command.command_id] = self.clock
+            self._queued_at[command.scoped_id] = self.clock
             self.queue.push(command)
         self._count(
             "repro_server_commands_restored_total",
@@ -249,19 +338,25 @@ class CopernicusServer(Endpoint):
         if revived:
             self._record(EventKind.WORKER_REVIVED, worker=worker, server=self.name)
             self._observe_failure(worker, "flap")
-        for command_id, checkpoint in (checkpoints or {}).items():
-            command = self.assignments.get(worker, {}).get(command_id)
+        for key, checkpoint in (checkpoints or {}).items():
+            project_id, command_id = split_scoped_id(key)
+            command = self.assignments.get(worker, {}).get(key)
             if command is not None and isinstance(checkpoint, dict):
                 journal = self._journal_for(command.project_id)
                 if journal is not None:
                     # durable before the ack: a restarted server requeues
                     # this command from the acknowledged checkpoint
-                    journal.record_checkpoint(worker, command_id, checkpoint)
+                    # (journals are per project, so the plain id is the
+                    # right key there)
+                    journal.record_checkpoint(
+                        worker, command.command_id, checkpoint
+                    )
             step = checkpoint.get("step") if isinstance(checkpoint, dict) else None
             self._record(
                 EventKind.CHECKPOINT_REPORTED,
                 worker=worker,
                 command=command_id,
+                project_id=project_id,
                 step=step,
             )
             self._count(
@@ -304,7 +399,7 @@ class CopernicusServer(Endpoint):
                 help="Workload requests refused (worker quarantined).",
             )
             return {"commands": [], "cores": []}
-        workload = build_workload(self.queue, caps, max_commands=max_commands)
+        workload = self._build_workload(caps, max_commands=max_commands)
         if not workload:
             workload = self._fetch_from_peers(caps, max_commands=max_commands)
         if self.journal is not None:
@@ -321,11 +416,11 @@ class CopernicusServer(Endpoint):
         assigned = self.assignments.setdefault(caps.worker, {})
         out_commands, out_cores = [], []
         for command, cores in workload:
-            assigned[command.command_id] = command
+            assigned[command.scoped_id] = command
             deadline = self.lease_policy.deadline_for(command, cores, self.clock)
             self.leases.grant(caps.worker, command, self.clock, deadline)
             ctx = self._trace_ctx(command)
-            queued_at = self._queued_at.pop(command.command_id, self.clock)
+            queued_at = self._queued_at.pop(command.scoped_id, self.clock)
             self.obs.tracer.record(
                 "queue.wait",
                 queued_at,
@@ -351,6 +446,7 @@ class CopernicusServer(Endpoint):
                 worker=caps.worker,
                 server=self.name,
                 commands=[c.command_id for c, _ in workload],
+                projects=sorted({c.project_id for c, _ in workload}),
             )
             self._count(
                 "repro_server_workloads_assigned_total",
@@ -361,6 +457,8 @@ class CopernicusServer(Endpoint):
                 amount=len(workload),
                 help="Commands handed to workers inside workloads.",
             )
+        # queue depth dropped: deferred submissions may now be admitted
+        self._drain_deferred()
         return {"commands": out_commands, "cores": out_cores}
 
     def _fetch_from_peers(
@@ -404,9 +502,10 @@ class CopernicusServer(Endpoint):
     def _on_command_fetch(self, message: Message) -> Optional[dict]:
         caps = WorkerCapabilities.from_payload(message.payload)
         max_commands = message.payload.get("max_commands")
-        workload = build_workload(self.queue, caps, max_commands=max_commands)
+        workload = self._build_workload(caps, max_commands=max_commands)
         if not workload:
             return None  # keep walking the overlay
+        self._drain_deferred()
         return {
             "commands": [c.to_payload() for c, _ in workload],
             "cores": [k for _, k in workload],
@@ -438,13 +537,17 @@ class CopernicusServer(Endpoint):
                 worker=worker,
                 outcome=outcome,
             )
-        self.assignments.get(worker, {}).pop(command.command_id, None)
-        self.leases.clear(worker, command.command_id)
+        self.assignments.get(worker, {}).pop(command.scoped_id, None)
+        self.leases.clear(worker, command.scoped_id)
+        if self.fairshare is not None:
+            # membership-guarded: a no-op for commands this server's
+            # queue never dispatched (peer-stolen work)
+            self.fairshare.release(command)
         # the command is finished from this server's perspective either
         # way — evict every worker's checkpoint for it
-        self.monitor.clear_command(command.command_id)
+        self.monitor.clear_command(command.scoped_id)
         if outcome == "duplicate":
-            straggler = self.speculated.get(command.command_id)
+            straggler = self.speculated.get(command.scoped_id)
             if straggler is not None:
                 # the slower copy of a speculated command came home
                 # after the race was decided: journal the loss, drop
@@ -459,15 +562,16 @@ class CopernicusServer(Endpoint):
                 self._record(
                     EventKind.SPECULATION_LOST,
                     command=command.command_id,
+                    project_id=command.project_id,
                     worker=worker,
                     server=self.name,
                 )
-                del self.speculated[command.command_id]
+                del self.speculated[command.scoped_id]
                 if worker == straggler:
                     self._observe_failure(worker, "speculation_loss")
         else:
             self.health.observe_success(worker, self.clock)
-            straggler = self.speculated.get(command.command_id)
+            straggler = self.speculated.get(command.scoped_id)
             if straggler is not None and worker != straggler:
                 # the speculative copy beat the straggler home; keep the
                 # entry so the straggler's late copy is recognized (and
@@ -497,7 +601,7 @@ class CopernicusServer(Endpoint):
         """
         ctx = self._trace_ctx(command)
         if command.project_id in self._sinks:
-            if command.command_id in self.completed_ids:
+            if command.scoped_id in self.completed_ids:
                 # a retried/duplicated COMMAND_RESULT, or a command that
                 # was falsely requeued and finished twice: exactly-once
                 self.duplicates_dropped += 1
@@ -513,6 +617,7 @@ class CopernicusServer(Endpoint):
                 self._record(
                     EventKind.DUPLICATE_RESULT_DROPPED,
                     command=command.command_id,
+                    project_id=command.project_id,
                     server=self.name,
                 )
                 self.obs.tracer.record(
@@ -530,7 +635,12 @@ class CopernicusServer(Endpoint):
                 # durable before the sink applies it: a crash after this
                 # point replays the result instead of losing it
                 journal.record_result(command, result)
-            self.completed_ids.add(command.command_id)
+            self.completed_ids.add(command.scoped_id)
+            if self.fairshare is not None:
+                # the origin's ledger resolves here, covering commands
+                # stolen cross-shard (their results only come home via
+                # RESULT_FORWARD, never through _on_command_result)
+                self.fairshare.release(command)
             self._sinks[command.project_id](command, result)
             self._count(
                 "repro_server_results_total",
@@ -573,7 +683,9 @@ class CopernicusServer(Endpoint):
             "queued_ids": [c.command_id for c in self.queue.commands()],
             "workers": self.monitor.workers(),
             "in_flight": {
-                w: sorted(cmds) for w, cmds in self.assignments.items() if cmds
+                w: sorted(c.command_id for c in cmds.values())
+                for w, cmds in self.assignments.items()
+                if cmds
             },
         }
 
@@ -631,26 +743,30 @@ class CopernicusServer(Endpoint):
             # a command whose result already reached the barrier (e.g.
             # the worker died right after delivering) must not requeue
             requeue = {
-                command_id: command
-                for command_id, command in in_flight.items()
-                if command_id not in self.completed_ids
+                key: command
+                for key, command in in_flight.items()
+                if key not in self.completed_ids
             }
             if self.journal is not None and requeue:
                 requeues: Dict[str, List[str]] = {}
-                for command_id, command in requeue.items():
+                for command in requeue.values():
                     requeues.setdefault(command.project_id, []).append(
-                        command_id
+                        command.command_id
                     )
                 for project_id, command_ids in requeues.items():
                     journal = self._journal_for(project_id)
                     if journal is not None:
                         journal.record_requeued(worker, command_ids)
-            for command_id, command in requeue.items():
-                checkpoint = self.monitor.checkpoint_for(worker, command_id)
+            for key, command in requeue.items():
+                checkpoint = self.monitor.checkpoint_for(worker, key)
                 if checkpoint is not None:
                     command.checkpoint = checkpoint
-                self.monitor.clear_checkpoint(worker, command_id)
-                self._queued_at[command_id] = self.clock
+                self.monitor.clear_checkpoint(worker, key)
+                if self.fairshare is not None:
+                    # back on the queue: no longer in flight, and its
+                    # eventual re-dispatch counts afresh
+                    self.fairshare.release(command)
+                self._queued_at[key] = self.clock
                 self.queue.push(command)
                 self.requeued_after_failure += 1
                 self._count(
@@ -660,7 +776,8 @@ class CopernicusServer(Endpoint):
                 self._record(
                     EventKind.COMMAND_REQUEUED,
                     worker=worker,
-                    command=command_id,
+                    command=command.command_id,
+                    project_id=command.project_id,
                     has_checkpoint=checkpoint is not None,
                 )
             self.assignments[worker] = {}
@@ -684,12 +801,13 @@ class CopernicusServer(Endpoint):
         """Speculatively re-queue commands whose leases are overdue."""
         for lease in self.leases.overdue(now):
             worker = lease.worker
+            key = lease.command.scoped_id
             command_id = lease.command.command_id
             if not self.monitor.is_alive(worker):
                 continue  # the dead path owns this lease
-            command = self.assignments.get(worker, {}).get(command_id)
-            if command is None or command_id in self.completed_ids:
-                self.leases.clear(worker, command_id)
+            command = self.assignments.get(worker, {}).get(key)
+            if command is None or key in self.completed_ids:
+                self.leases.clear(worker, key)
                 continue
             lease.speculated = True
             self.stragglers_detected += 1
@@ -701,6 +819,7 @@ class CopernicusServer(Endpoint):
                 EventKind.STRAGGLER_DETECTED,
                 worker=worker,
                 command=command_id,
+                project_id=command.project_id,
                 server=self.name,
                 deadline=lease.deadline,
             )
@@ -708,21 +827,22 @@ class CopernicusServer(Endpoint):
             # clone the command from the straggler's latest checkpoint;
             # the original keeps running — first result home wins
             clone = Command.from_payload(command.to_payload())
-            checkpoint = self.monitor.checkpoint_for(worker, command_id)
+            checkpoint = self.monitor.checkpoint_for(worker, key)
             if checkpoint is not None:
                 clone.checkpoint = checkpoint
-            self.speculated[command_id] = worker
+            self.speculated[key] = worker
             self.speculations_started += 1
             self._count(
                 "repro_server_speculations_total",
                 help="Speculative re-executions by race outcome.",
                 outcome="started",
             )
-            self._queued_at[command_id] = now
+            self._queued_at[key] = now
             self.queue.push(clone)
             self._record(
                 EventKind.SPECULATION_STARTED,
                 command=command_id,
+                project_id=command.project_id,
                 worker=worker,
                 server=self.name,
                 has_checkpoint=checkpoint is not None,

@@ -15,6 +15,11 @@ executable tests:
   checkpoints monotone, requeues match crashes, recovery accounting
   exact across server restarts, speculation exactly-once, quarantine
   respected, breaker accounting consistent).
+* :mod:`repro.testing.soak` — the multi-tenant soak:
+  :func:`run_multitenant_soak` drives 100+ tenants' projects across a
+  sharded fabric under seeded faults and checks all twelve invariants
+  (tenant isolation, exact quota accounting and starvation-free aging
+  included) before returning.
 * :mod:`repro.testing.scenarios` — canned deployments under fire:
   :func:`run_swarm_with_server_restart` kills the journaled project
   server mid-project and resumes it from disk; the liveness trio
@@ -30,6 +35,14 @@ the repository root for the fault-plan schema and reproduction recipe.
 from repro.testing.chaos import ChaosNetwork
 from repro.testing.faultplan import Fault, FaultKind, FaultPlan
 from repro.testing.invariants import Invariants
+from repro.testing.soak import (
+    SoakResult,
+    TenantSpec,
+    TenantSwarmController,
+    default_soak_faults,
+    default_tenant_mix,
+    run_multitenant_soak,
+)
 from repro.testing.scenarios import (
     ScenarioResult,
     SwarmController,
@@ -47,6 +60,12 @@ __all__ = [
     "FaultPlan",
     "Invariants",
     "ScenarioResult",
+    "SoakResult",
+    "TenantSpec",
+    "TenantSwarmController",
+    "default_soak_faults",
+    "default_tenant_mix",
+    "run_multitenant_soak",
     "SwarmController",
     "run_relay_with_sick_peer",
     "run_swarm_under_faults",

@@ -40,6 +40,27 @@ that must hold no matter which workers died or which links flapped:
    drop/delay totals: every injected fault was observed, none were
    invented.
 
+The multi-tenant service plane adds three more:
+
+10. **Tenant isolation** — a completion is only ever delivered to the
+    tenant that issued the command, every project's result log holds
+    only its own command ids, and no queued or assigned command
+    belongs to a tenant the deployment does not know.
+11. **Exact quota accounting** — every fair-share scheduler's ledger
+    balances (``dispatched == released + in_flight`` per tenant),
+    ``peak_in_flight`` never exceeded the quota, a zero-quota tenant
+    never dispatched, and the ledgers' deferral/release totals match
+    the ``ADMISSION_DEFERRED`` / ``ADMISSION_RELEASED`` events.
+12. **Starvation-free aging** — no admissible command that aged past
+    the fair-share ``max_wait_seconds`` was ever bypassed by a
+    workload build (zero ``AGING_VIOLATED`` events), and the
+    schedulers' violation counters agree with the log.
+
+When the event log spans more than one project, all command identity
+is *scoped* by project id, so two tenants reusing a command id (say,
+``ensemble/r0``) never alias in the checker; single-project logs keep
+plain ids, so checks behave exactly as before.
+
 :class:`Invariants` replays a :class:`~repro.core.events.EventLog`
 (plus end-state from the runner's servers) and returns human-readable
 violations; :meth:`Invariants.assert_ok` raises
@@ -48,8 +69,9 @@ violations; :meth:`Invariants.assert_ok` raises
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
+from repro.core.command import scoped_command_id
 from repro.core.events import EventKind, EventLog
 from repro.core.project import ProjectStatus
 from repro.net.circuit import BreakerState
@@ -72,30 +94,59 @@ class Invariants:
             servers = self.runner._servers
         return list(servers)
 
+    # -- identity scoping --------------------------------------------------
+
+    def _scoper(self) -> Callable[[str, str], str]:
+        """Command-identity namer: plain ids for a single-project log,
+        project-scoped ids when the log spans tenants (so two tenants
+        reusing a command id never alias in any check)."""
+        projects = {
+            record.project_id
+            for record in self.events.filter(kind=EventKind.COMMANDS_ISSUED)
+        }
+        if len(projects) <= 1:
+            return lambda pid, cid: cid
+        return lambda pid, cid: scoped_command_id(pid, cid) if pid else cid
+
     # -- individual checks -------------------------------------------------
 
-    def _issued_ids(self) -> Set[str]:
+    def _issued_ids(self, scope: Callable[[str, str], str]) -> Set[str]:
         issued: Set[str] = set()
         for record in self.events.filter(kind=EventKind.COMMANDS_ISSUED):
-            issued.update(record.details.get("ids", []))
+            for cid in record.details.get("ids", []):
+                issued.add(scope(record.project_id, cid))
         return issued
 
-    def _completed_ids(self) -> List[str]:
+    def _completed_ids(self, scope: Callable[[str, str], str]) -> List[str]:
         return [
-            record.details.get("command")
+            scope(record.project_id, record.details.get("command"))
             for record in self.events.filter(kind=EventKind.COMMAND_COMPLETED)
         ]
 
     def check_no_lost_commands(self) -> List[str]:
-        """Invariant 1: issued == completed + queued + in-flight."""
-        issued = self._issued_ids()
-        completed = set(self._completed_ids())
+        """Invariant 1: issued == completed + queued + in-flight.
+
+        Deferred submissions (fair-share backpressure) are journaled
+        but intentionally not yet queued; they count as queued here so
+        backpressure is never mistaken for loss.
+        """
+        scope = self._scoper()
+        issued = self._issued_ids(scope)
+        completed = set(self._completed_ids(scope))
         queued: Set[str] = set()
         in_flight: Set[str] = set()
         for server in self._servers:
-            queued.update(c.command_id for c in server.queue.commands())
+            for c in server.queue.commands():
+                queued.add(scope(getattr(c, "project_id", ""), c.command_id))
+            fairshare = getattr(server, "fairshare", None)
+            if fairshare is not None:
+                for c in fairshare.deferred_commands():
+                    queued.add(scope(c.project_id, c.command_id))
             for cmds in server.assignments.values():
-                in_flight.update(cmds)
+                for c in cmds.values():
+                    in_flight.add(
+                        scope(getattr(c, "project_id", ""), c.command_id)
+                    )
         violations = []
         lost = issued - completed - queued - in_flight
         if lost:
@@ -122,7 +173,7 @@ class Invariants:
     def check_no_double_completion(self) -> List[str]:
         """Invariant 2: each command completes at most once."""
         seen: Dict[str, int] = {}
-        for command_id in self._completed_ids():
+        for command_id in self._completed_ids(self._scoper()):
             seen[command_id] = seen.get(command_id, 0) + 1
         return [
             f"command {command_id!r} completed {n} times"
@@ -139,15 +190,18 @@ class Invariants:
         tracked per ``(command, worker)`` stream instead of globally.
         """
         violations = []
+        scope = self._scoper()
         speculated = {
-            record.details.get("command")
+            scope(record.project_id, record.details.get("command"))
             for record in self.events.filter(kind=EventKind.SPECULATION_STARTED)
         }
         last: Dict[tuple, tuple] = {}
         for record in self.events.filter(kind=EventKind.CHECKPOINT_REPORTED):
-            command = record.details.get("command")
+            if record.details.get("command") is None:
+                continue
+            command = scope(record.project_id, record.details["command"])
             step = record.details.get("step")
-            if command is None or step is None:
+            if step is None:
                 continue
             key = (
                 (command, record.details.get("worker"))
@@ -266,11 +320,14 @@ class Invariants:
     def check_speculation_exactly_once(self) -> List[str]:
         """Invariant 6: speculative re-execution never double-completes."""
         violations = []
+        scope = self._scoper()
         started: Set[str] = set()
         completed: Dict[str, int] = {}
         lost: Dict[str, int] = {}
         for record in self.events.all():
             command = record.details.get("command")
+            if command is not None:
+                command = scope(record.project_id, command)
             if record.kind is EventKind.SPECULATION_STARTED:
                 started.add(command)
             elif record.kind is EventKind.COMMAND_COMPLETED:
@@ -423,6 +480,141 @@ class Invariants:
             )
         return violations
 
+    def _fairshare_schedulers(self) -> List[tuple]:
+        """``(server_name, scheduler)`` for every fair-share server."""
+        out = []
+        for server in self._servers:
+            fairshare = getattr(server, "fairshare", None)
+            if fairshare is not None:
+                out.append((getattr(server, "name", "?"), fairshare))
+        return out
+
+    def check_tenant_isolation(self) -> List[str]:
+        """Invariant 10: no work or results leak across tenants."""
+        violations = []
+        issued_by_pid: Dict[str, Set[str]] = {}
+        for record in self.events.filter(kind=EventKind.COMMANDS_ISSUED):
+            issued_by_pid.setdefault(record.project_id, set()).update(
+                record.details.get("ids", [])
+            )
+        # completions must reach the tenant that issued the command
+        for record in self.events.filter(kind=EventKind.COMMAND_COMPLETED):
+            pid = record.project_id
+            cid = record.details.get("command")
+            if cid is None or cid in issued_by_pid.get(pid, set()):
+                continue
+            leakers = sorted(
+                p for p, ids in issued_by_pid.items() if cid in ids and p != pid
+            )
+            if leakers:
+                violations.append(
+                    f"cross-tenant leak: completion of {cid!r} delivered to "
+                    f"{pid!r} but issued by {leakers[0]!r} (t={record.time})"
+                )
+        # a project's result log holds only its own command ids
+        for pid, project in self.runner._projects.items():
+            results_log = getattr(project, "results_log", None)
+            if not results_log or pid not in issued_by_pid:
+                continue
+            foreign = {cid for cid, _ in results_log} - issued_by_pid[pid]
+            if foreign:
+                violations.append(
+                    f"project {pid!r} holds results for commands it never "
+                    f"issued: {sorted(foreign)[:5]}"
+                )
+        # queued/assigned work belongs to known tenants only
+        known = set(self.runner._projects) | set(issued_by_pid)
+        if known:
+            for server in self._servers:
+                name = getattr(server, "name", "?")
+                for c in server.queue.commands():
+                    pid = getattr(c, "project_id", "")
+                    if pid and pid not in known:
+                        violations.append(
+                            f"server {name!r} queues command "
+                            f"{c.command_id!r} for unknown tenant {pid!r}"
+                        )
+                for cmds in server.assignments.values():
+                    for c in cmds.values():
+                        pid = getattr(c, "project_id", "")
+                        if pid and pid not in known:
+                            violations.append(
+                                f"server {name!r} assigned command "
+                                f"{c.command_id!r} for unknown tenant {pid!r}"
+                            )
+        return violations
+
+    def check_quota_accounting(self) -> List[str]:
+        """Invariant 11: fair-share ledgers are exact and match the log.
+
+        Servers without a fair-share scheduler attached have no quota
+        promises to keep, so single-tenant deployments pass trivially.
+        """
+        violations = []
+        schedulers = self._fairshare_schedulers()
+        if not schedulers:
+            return violations
+        for name, scheduler in schedulers:
+            for message in scheduler.check_ledger():
+                violations.append(f"server {name!r}: {message}")
+        # cross-check deferral accounting against the event log
+        deferred_events: Dict[str, int] = {}
+        for record in self.events.filter(kind=EventKind.ADMISSION_DEFERRED):
+            pid = record.project_id
+            deferred_events[pid] = deferred_events.get(pid, 0) + 1
+        released_events: Dict[str, int] = {}
+        for record in self.events.filter(kind=EventKind.ADMISSION_RELEASED):
+            pid = record.project_id
+            released_events[pid] = released_events.get(pid, 0) + 1
+        totals: Dict[str, Dict[str, int]] = {}
+        for _, scheduler in schedulers:
+            for tenant, snap in scheduler.snapshot().items():
+                agg = totals.setdefault(
+                    tenant, {"deferred_total": 0, "deferred_pending": 0}
+                )
+                agg["deferred_total"] += snap["deferred_total"]
+                agg["deferred_pending"] += snap["deferred_pending"]
+        for tenant in sorted(set(deferred_events) | set(totals)):
+            agg = totals.get(
+                tenant, {"deferred_total": 0, "deferred_pending": 0}
+            )
+            logged = deferred_events.get(tenant, 0)
+            if agg["deferred_total"] != logged:
+                violations.append(
+                    f"tenant {tenant!r}: ledgers count "
+                    f"{agg['deferred_total']} deferrals but the event log "
+                    f"records {logged}"
+                )
+            ledger_released = agg["deferred_total"] - agg["deferred_pending"]
+            logged_released = released_events.get(tenant, 0)
+            if ledger_released != logged_released:
+                violations.append(
+                    f"tenant {tenant!r}: ledgers account for "
+                    f"{ledger_released} released deferrals but the event "
+                    f"log records {logged_released}"
+                )
+        return violations
+
+    def check_starvation_free_aging(self) -> List[str]:
+        """Invariant 12: no aged admissible command was ever bypassed."""
+        violations = []
+        aged = self.events.filter(kind=EventKind.AGING_VIOLATED)
+        for record in aged:
+            violations.append(
+                f"aged command {record.details.get('command')!r} of tenant "
+                f"{record.project_id!r} was bypassed after waiting "
+                f"{record.details.get('waited', '?')}s (t={record.time})"
+            )
+        schedulers = self._fairshare_schedulers()
+        if schedulers:
+            counted = sum(s.aging_violations for _, s in schedulers)
+            if counted != len(aged):
+                violations.append(
+                    f"schedulers count {counted} aging violations but the "
+                    f"event log records {len(aged)}"
+                )
+        return violations
+
     # -- entry points ------------------------------------------------------
 
     def check(self) -> List[str]:
@@ -437,6 +629,9 @@ class Invariants:
             + self.check_quarantine_respected()
             + self.check_breaker_accounting()
             + self.check_fault_accounting()
+            + self.check_tenant_isolation()
+            + self.check_quota_accounting()
+            + self.check_starvation_free_aging()
         )
 
     def assert_ok(self) -> None:

@@ -1,0 +1,287 @@
+"""Multi-tenant soak: 100+ tenants on a sharded fabric under fire.
+
+The service-plane claim ("one overlay, many users") needs a test shape
+of its own: not one project surviving faults, but *hundreds of
+tenants* sharing shard servers, quotas, weights and backpressure
+limits while the chaos layer drops, delays and duplicates messages —
+and all twelve recovery invariants still holding at the end, with zero
+cross-tenant leakage and exact quota ledgers.
+
+:func:`run_multitenant_soak` builds that world deterministically from
+a seed: a :func:`~repro.net.topology.sharded`-shaped fabric over a
+:class:`~repro.testing.chaos.ChaosNetwork`, ``n_tenants`` projects
+with a heterogeneous workload mix (models, command counts, quotas,
+weights, backpressure caps all derived from the tenant index), every
+tenant deliberately reusing the *same* command ids (``cmd0``,
+``cmd1``, ...) so any identity-scoping bug aliases instantly, and a
+default fault plan of probabilistic heartbeat drops, result
+duplications and delivery delays.
+
+The result carries the live runner plus the pre-computed invariant
+verdict; CI runs it across seeds via ``python -m repro soak``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.command import Command
+from repro.core.controller import Controller
+from repro.core.multirunner import MultiProjectRunner
+from repro.core.project import Project
+from repro.md.engine import MDTask
+from repro.net.protocol import MessageType
+from repro.net.topology import LATENCY_CAMPUS, LATENCY_LOCAL
+from repro.server.fairshare import (
+    DEFAULT_MAX_WAIT_SECONDS,
+    FairSharePolicy,
+    FairShareScheduler,
+    TenantPolicy,
+)
+from repro.server.server import CopernicusServer
+from repro.testing.chaos import ChaosNetwork
+from repro.testing.faultplan import FaultPlan
+from repro.testing.invariants import Invariants
+from repro.util.errors import ConfigurationError
+from repro.worker.platform import SMPPlatform
+from repro.worker.worker import Worker
+
+#: The two cheap models the tenant mix alternates between.
+SOAK_MODELS = ("double-well", "muller-brown")
+
+
+@dataclass
+class TenantSpec:
+    """One soak tenant's workload and fair-share knobs."""
+
+    name: str
+    model: str
+    n_commands: int
+    n_steps: int
+    quota: Optional[int] = None
+    weight: float = 1.0
+    max_queued: Optional[int] = None
+
+    def policy(self) -> TenantPolicy:
+        return TenantPolicy(
+            quota=self.quota, weight=self.weight, max_queued=self.max_queued
+        )
+
+
+class TenantSwarmController(Controller):
+    """A flat per-tenant swarm whose command ids collide across tenants.
+
+    Every tenant issues ``cmd0 .. cmd{n-1}`` on purpose: the scoped
+    command identity (:attr:`repro.core.command.Command.scoped_id`)
+    must keep them apart in every server table, so the soak doubles as
+    a fleet-wide aliasing regression test.
+    """
+
+    def __init__(self, spec: TenantSpec) -> None:
+        self.spec = spec
+        self.finished: List[str] = []
+
+    def on_project_start(self, project):
+        return [
+            Command(
+                command_id=f"cmd{k}",
+                project_id=project.project_id,
+                executable="mdrun",
+                payload=MDTask(
+                    model=self.spec.model,
+                    n_steps=self.spec.n_steps,
+                    report_interval=max(1, self.spec.n_steps // 2),
+                    seed=k,
+                    task_id=f"cmd{k}",
+                ).to_payload(),
+            )
+            for k in range(self.spec.n_commands)
+        ]
+
+    def on_command_finished(self, project, command, result):
+        self.finished.append(command.command_id)
+        return []
+
+    def is_complete(self, project):
+        return len(self.finished) >= self.spec.n_commands
+
+
+def default_tenant_mix(n_tenants: int, n_steps: int = 300) -> List[TenantSpec]:
+    """A heterogeneous-but-deterministic tenant population.
+
+    Derived purely from the tenant index: command counts cycle 1..3,
+    models alternate, every 5th tenant is quota-capped, every 3rd
+    carries double weight, every 7th has a backpressure cap small
+    enough that its later submissions are deferred and released.
+    """
+    specs = []
+    for k in range(n_tenants):
+        specs.append(
+            TenantSpec(
+                name=f"tenant{k:03d}",
+                model=SOAK_MODELS[k % len(SOAK_MODELS)],
+                n_commands=1 + (k % 3),
+                n_steps=n_steps,
+                quota=2 if k % 5 == 0 else None,
+                weight=2.0 if k % 3 == 0 else 1.0,
+                max_queued=1 if k % 7 == 0 else None,
+            )
+        )
+    return specs
+
+
+def default_soak_faults(plan: FaultPlan) -> None:
+    """The standing fault weather for a soak run.
+
+    Probabilistic, seeded by the plan: heartbeat drops (death/revival
+    churn), duplicated results (dedup-barrier pressure), and delivery
+    delays (timeout pressure).  All three are recoverable by design —
+    the soak asserts the *invariants*, not fault-free execution.
+    """
+    plan.drop(message_type=MessageType.HEARTBEAT, probability=0.05, count=40)
+    plan.duplicate(
+        message_type=MessageType.COMMAND_RESULT, probability=0.1, count=25
+    )
+    plan.delay(
+        5.0, message_type=MessageType.WORKLOAD_REQUEST,
+        probability=0.1, count=50,
+    )
+
+
+@dataclass
+class SoakResult:
+    """Everything a soak assertion (or the CI artifact) needs."""
+
+    runner: MultiProjectRunner
+    network: ChaosNetwork
+    shards: List[CopernicusServer]
+    workers: List[Worker]
+    schedulers: Dict[str, FairShareScheduler]
+    specs: List[TenantSpec]
+    controllers: Dict[str, TenantSwarmController]
+    #: All twelve invariants, checked post-run (empty = green).
+    violations: List[str]
+    #: Per-tenant rollup (shard, status, issue/complete, ledger).
+    report: Dict[str, Dict]
+    transcript: str
+    chaos: Dict
+
+    @property
+    def events(self):
+        return self.runner.events
+
+    @property
+    def obs(self):
+        return self.network.obs
+
+    def completed_tenants(self) -> int:
+        return sum(
+            1 for r in self.report.values() if r["status"] == "complete"
+        )
+
+
+def run_multitenant_soak(
+    n_tenants: int = 100,
+    n_shards: int = 4,
+    workers_per_shard: int = 3,
+    cores_per_worker: int = 2,
+    n_steps: int = 300,
+    specs: Optional[List[TenantSpec]] = None,
+    plan: Optional[FaultPlan] = None,
+    configure: Optional[Callable[[FaultPlan], None]] = None,
+    max_wait_seconds: float = DEFAULT_MAX_WAIT_SECONDS,
+    heartbeat_interval: float = 120.0,
+    tick: float = 60.0,
+    segment_steps: int = 1000,
+    max_cycles: int = 20000,
+    seed: int = 0,
+) -> SoakResult:
+    """Drive ``n_tenants`` concurrent projects through seeded chaos.
+
+    Builds the sharded fabric (gateway + ``n_shards`` shard servers +
+    per-shard worker pools) over a :class:`ChaosNetwork` carrying
+    *plan* (default: :func:`default_soak_faults` seeded with *seed*),
+    submits every tenant's project to its consistent-hashed shard
+    under the assembled fair-share policy, runs the fleet to
+    completion, and checks **all twelve invariants** before returning.
+
+    The returned :class:`SoakResult` is a pure function of the
+    arguments: same seed, same transcript, same verdict.
+
+    Parameters
+    ----------
+    specs:
+        Explicit tenant population (default:
+        :func:`default_tenant_mix` of *n_tenants*).
+    configure:
+        Callback to add faults to the plan (endpoint names are
+        ``gateway``, ``shard{s}``, ``s{s}w{w}``).
+    """
+    specs = specs if specs is not None else default_tenant_mix(
+        n_tenants, n_steps=n_steps
+    )
+    if not specs:
+        raise ConfigurationError("soak needs at least one tenant")
+    if len({spec.name for spec in specs}) != len(specs):
+        raise ConfigurationError("tenant names must be unique")
+
+    network = ChaosNetwork(plan=plan or FaultPlan(seed=seed), seed=seed)
+    if plan is None and configure is None:
+        default_soak_faults(network.plan)
+    if configure is not None:
+        configure(network.plan)
+
+    gateway = CopernicusServer(
+        "gateway", network, heartbeat_interval=heartbeat_interval
+    )
+    shards: List[CopernicusServer] = []
+    workers: List[Worker] = []
+    for s in range(n_shards):
+        shard = CopernicusServer(
+            f"shard{s}", network, heartbeat_interval=heartbeat_interval
+        )
+        shards.append(shard)
+        network.connect("gateway", f"shard{s}", latency=LATENCY_CAMPUS)
+        for w in range(workers_per_shard):
+            name = f"s{s}w{w}"
+            worker = Worker(
+                name,
+                network,
+                server=f"shard{s}",
+                platform=SMPPlatform(cores=cores_per_worker),
+                segment_steps=segment_steps,
+            )
+            network.connect(f"shard{s}", name, latency=LATENCY_LOCAL)
+            workers.append(worker)
+    for worker in workers:
+        worker.announce(0.0)
+
+    runner = MultiProjectRunner(network, shards, workers, tick=tick)
+    policy = FairSharePolicy(
+        tenants={spec.name: spec.policy() for spec in specs},
+        max_wait_seconds=max_wait_seconds,
+    )
+    schedulers = runner.apply_fairshare(policy)
+
+    controllers: Dict[str, TenantSwarmController] = {}
+    for spec in specs:
+        controller = TenantSwarmController(spec)
+        runner.submit(Project(spec.name), controller)
+        controllers[spec.name] = controller
+    runner.run(max_cycles=max_cycles)
+
+    violations = Invariants(runner).check()
+    return SoakResult(
+        runner=runner,
+        network=network,
+        shards=shards,
+        workers=workers,
+        schedulers=schedulers,
+        specs=specs,
+        controllers=controllers,
+        violations=violations,
+        report=runner.tenant_report(),
+        transcript=runner.events.to_text(),
+        chaos=network.chaos_report(),
+    )

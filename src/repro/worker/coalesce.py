@@ -66,6 +66,9 @@ def coalesce_key(command: Command) -> Optional[Tuple]:
         return None
     try:
         return (
+            # never merge across tenants: a batch carries one project's
+            # journal/lease identity and its riders must share it
+            command.project_id,
             command.executable,
             payload["model"],
             int(payload["n_steps"]),

@@ -373,15 +373,17 @@ class Worker(Endpoint):
                 active.payload["checkpoints"] = checkpoints
                 self.heartbeat(
                     now,
+                    # checkpoints are keyed by the *scoped* command key:
+                    # this worker may hold work from several tenants
                     checkpoints={
-                        t.command.command_id: cp
+                        t.command.scoped_id: cp
                         for t, cp in zip(active.members, checkpoints)
                     },
                 )
             else:
                 active.payload["checkpoint"] = result["checkpoint"]
                 self.heartbeat(
-                    now, checkpoints={command.command_id: result["checkpoint"]}
+                    now, checkpoints={command.scoped_id: result["checkpoint"]}
                 )
 
     @staticmethod

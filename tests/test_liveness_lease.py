@@ -93,15 +93,15 @@ def test_tracker_grant_overdue_and_clear():
     assert len(tracker.overdue(200.0)) == 2  # both workers' "a" leases
 
     # a speculated lease stops being reported as overdue
-    lease = tracker.get("w0", "a")
+    lease = tracker.get("w0", "p::a")
     lease.speculated = True
     assert [l.worker for l in tracker.overdue(200.0)] == ["w1"]
 
-    tracker.clear_command("a")
+    tracker.clear_command("p::a")
     assert len(tracker) == 1
     tracker.clear_worker("w0")
     assert len(tracker) == 0
-    assert tracker.clear("w0", "b") is None  # already gone
+    assert tracker.clear("w0", "p::b") is None  # already gone
 
 
 def test_tracker_regrant_replaces_lease():
@@ -110,5 +110,5 @@ def test_tracker_regrant_replaces_lease():
     tracker.grant("w0", a, now=0.0, deadline=100.0)
     tracker.grant("w0", a, now=50.0, deadline=400.0)
     assert len(tracker) == 1
-    assert tracker.get("w0", "a").deadline == 400.0
+    assert tracker.get("w0", "p::a").deadline == 400.0
     assert tracker.overdue(200.0) == []

@@ -84,4 +84,5 @@ def test_checkpoints_evicted_once_commands_complete():
     assert finished_ids
     for worker in server.monitor.workers():
         for command_id in finished_ids:
-            assert server.monitor.checkpoint_for(worker, command_id) is None
+            key = f"swarm::{command_id}"
+            assert server.monitor.checkpoint_for(worker, key) is None

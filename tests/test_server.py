@@ -263,7 +263,7 @@ def test_server_workload_request_fetches_from_peer():
     assert len(response["commands"]) == 1
     assert response["commands"][0]["command_id"] == "c3"
     # the relay (worker's server) tracks the assignment
-    assert "c3" in relay.assignments["w"]
+    assert "p::c3" in relay.assignments["w"]
     assert len(origin.queue) == 0
 
 
@@ -290,7 +290,7 @@ def test_server_failure_requeues_with_checkpoint():
             payload={
                 "worker": "w",
                 "now": 5.0,
-                "checkpoints": {"c4": {"step": 123}},
+                "checkpoints": {"p::c4": {"step": 123}},
             },
         )
     )
@@ -335,8 +335,8 @@ def test_result_forward_failure_keeps_assignment_for_retry():
     origin.host_project("p", lambda c, r: got.append(c.command_id))
     command = cmd("c6")
     command.origin_server = "origin"
-    relay.assignments["w"] = {"c6": command}
-    relay.monitor.beat("w", 0.0, checkpoints={"c6": {"step": 50}})
+    relay.assignments["w"] = {command.scoped_id: command}
+    relay.monitor.beat("w", 0.0, checkpoints={"p::c6": {"step": 50}})
 
     from repro.net.protocol import Message, MessageType
     from repro.util.errors import TransientCommunicationError
@@ -363,14 +363,14 @@ def test_result_forward_failure_keeps_assignment_for_retry():
     )
     with pytest.raises(TransientCommunicationError):
         relay.handle(message)
-    assert "c6" in relay.assignments["w"]
-    assert relay.monitor.checkpoint_for("w", "c6") == {"step": 50}
+    assert "p::c6" in relay.assignments["w"]
+    assert relay.monitor.checkpoint_for("w", "p::c6") == {"step": 50}
     assert got == []
 
     relay.handle(message)  # the worker's resubmission
     assert got == ["c6"]
-    assert "c6" not in relay.assignments["w"]
-    assert relay.monitor.checkpoint_for("w", "c6") is None
+    assert "p::c6" not in relay.assignments["w"]
+    assert relay.monitor.checkpoint_for("w", "p::c6") is None
 
 
 # ----------------------------------------------- peer-fetch error triage

@@ -153,8 +153,8 @@ def test_replay_after_crash_resumes_to_completion(tmp_path):
     runner._projects["msm"] = replayed_project
     runner._controllers["msm"] = fresh
     # reseed the exactly-once barrier so late duplicates stay dropped
-    server.completed_ids.update(completed_ids)
-    server.submit_commands(outstanding)
+    # (restore_commands scopes the journaled plain ids by project)
+    server.restore_commands("msm", outstanding, completed_ids)
     from repro.core.project import ProjectStatus
 
     replayed_project.status = ProjectStatus.RUNNING

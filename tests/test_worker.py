@@ -174,7 +174,7 @@ def test_worker_crash_hook_kills_mid_command():
     assert worker.crashed
     assert results == []
     # but checkpoints were heartbeaten before death
-    chk = server.monitor.checkpoint_for("w0", "c0")
+    chk = server.monitor.checkpoint_for("w0", "p::c0")
     assert chk is not None and chk["step"] == 400
 
 
