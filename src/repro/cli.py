@@ -15,8 +15,10 @@ module is its reproduction-scale analogue:
   metrics dump, a Perfetto-loadable Chrome trace, or a per-command
   lifecycle timeline report;
 * ``python -m repro soak`` — drive 100+ tenants across a sharded
-  fabric under seeded faults, check all twelve invariants, and emit a
-  JSON verdict (nonzero exit on any violation).
+  fabric under seeded faults, check all thirteen invariants, and emit
+  a JSON verdict (nonzero exit on any violation); ``--shard-churn``
+  kills a shard mid-run and additionally proves the failover
+  exactly-once against a crash-free baseline.
 """
 
 from __future__ import annotations
@@ -122,6 +124,15 @@ def _build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--workers-per-shard", type=int, default=3)
     soak.add_argument("--steps", type=int, default=300)
     soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument(
+        "--shard-churn", action="store_true",
+        help="kill a shard mid-soak: journaled fabric, monitor-driven "
+        "failover, exactly-once proven against a crash-free baseline",
+    )
+    soak.add_argument(
+        "--journal-root", default=None,
+        help="journal directory for --shard-churn (default: a tempdir)",
+    )
     soak.add_argument(
         "--out", default=None,
         help="write the JSON report to this file (default: stdout)",
@@ -421,23 +432,46 @@ def cmd_soak(args, out) -> int:
 
     Drives ``--tenants`` concurrent projects (heterogeneous quotas,
     weights and backpressure caps; colliding command ids) across
-    ``--shards`` chaos-wrapped shard servers, checks all twelve
+    ``--shards`` chaos-wrapped shard servers, checks all thirteen
     invariants, and writes a JSON report: the verdict, every
     violation, the chaos summary and the per-tenant ledger rollup.
     Exit code is nonzero when any invariant failed or any tenant did
     not complete — CI consumes that directly.
+
+    ``--shard-churn`` swaps in the shard-failover scenario: journals
+    attached, a shard killed mid-run, the gateway's monitor detecting
+    the death, the displaced projects migrated — the report then also
+    carries the victim, the migration ledger and the ``exactly_once``
+    verdict against a crash-free baseline of the same seed, and a
+    failed verdict (or a result set differing from the baseline's)
+    exits nonzero.
     """
     import json
+    import tempfile
 
-    from repro.testing.soak import run_multitenant_soak
-
-    result = run_multitenant_soak(
-        n_tenants=args.tenants,
-        n_shards=args.shards,
-        workers_per_shard=args.workers_per_shard,
-        n_steps=args.steps,
-        seed=args.seed,
+    from repro.testing.soak import (
+        run_multitenant_soak,
+        run_multitenant_with_shard_crash,
     )
+
+    if args.shard_churn:
+        with tempfile.TemporaryDirectory() as scratch:
+            result = run_multitenant_with_shard_crash(
+                args.journal_root or scratch,
+                n_tenants=args.tenants,
+                n_shards=args.shards,
+                workers_per_shard=args.workers_per_shard,
+                n_steps=args.steps,
+                seed=args.seed,
+            )
+    else:
+        result = run_multitenant_soak(
+            n_tenants=args.tenants,
+            n_shards=args.shards,
+            workers_per_shard=args.workers_per_shard,
+            n_steps=args.steps,
+            seed=args.seed,
+        )
     completed = result.completed_tenants()
     report = {
         "seed": args.seed,
@@ -448,8 +482,27 @@ def cmd_soak(args, out) -> int:
         "chaos": result.chaos,
         "per_tenant": result.report,
     }
-    _emit(json.dumps(report, indent=2, default=str) + "\n", args, out)
     ok = not result.violations and completed == len(result.specs)
+    if args.shard_churn:
+        report["shard_churn"] = {
+            "victim": result.victim,
+            "results_before_crash": result.results_before_crash,
+            "exactly_once": result.exactly_once,
+            "migrations": [
+                {
+                    "project": m.project_id,
+                    "from": m.from_shard,
+                    "to": m.to_shard,
+                    "replayed": m.replayed,
+                    "restored": m.restored,
+                    "files_shipped": m.files_shipped,
+                }
+                for m in result.migrations
+            ],
+            "timeline": result.migration_timeline(),
+        }
+        ok = ok and result.exactly_once and bool(result.migrations)
+    _emit(json.dumps(report, indent=2, default=str) + "\n", args, out)
     if not ok:
         print(
             f"soak FAILED: {len(result.violations)} violations, "

@@ -63,6 +63,12 @@ class EventKind(enum.Enum):
     #: had waited past the aging bound — must never happen; checked by
     #: invariant 12.
     AGING_VIOLATED = "aging_violated"
+    #: The shard monitor declared a shard server dead after missed
+    #: liveness probes; failover follows for its hosted projects.
+    SHARD_DEAD = "shard_dead"
+    #: One displaced project finished migrating to a successor shard
+    #: (journal shipped, state replayed, routes flipped).
+    PROJECT_MIGRATED = "project_migrated"
 
 
 @dataclass(frozen=True)

@@ -18,17 +18,46 @@ therefore behaves exactly like the classic runner.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from repro.core.controller import Controller
+from repro.core.events import EventKind
+from repro.core.project import Project
 from repro.core.runner import ProjectRunner
+from repro.net.circuit import BreakerState
+from repro.net.protocol import MessageType
 from repro.net.sharding import DEFAULT_REPLICAS, ShardRouter
 from repro.net.transport import Network
+from repro.obs.trace import trace_id_for
 from repro.server.fairshare import FairSharePolicy, FairShareScheduler
 from repro.server.server import CopernicusServer
-from repro.server.wal import ServerJournal
-from repro.util.errors import ConfigurationError
+from repro.server.shardmon import ShardMonitor, ShardProbePolicy
+from repro.server.wal import ServerJournal, ship_project_journal
+from repro.util.errors import (
+    CommunicationError,
+    ConfigurationError,
+    TransientCommunicationError,
+    UnknownShardError,
+)
 from repro.worker.worker import Worker
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """Accounting for one project's failover migration."""
+
+    project_id: str
+    from_shard: str
+    to_shard: str
+    #: Results replayed from the shipped journal on the successor.
+    replayed: int
+    #: Outstanding commands requeued on the successor.
+    restored: int
+    #: Snapshot + WAL files shipped.
+    files_shipped: int
+    bytes_shipped: int
 
 
 class MultiProjectRunner(ProjectRunner):
@@ -71,6 +100,21 @@ class MultiProjectRunner(ProjectRunner):
         self.router = ShardRouter(
             [shard.name for shard in shards], replicas=replicas
         )
+        #: Journal root handed to :meth:`attach_journals` (failover
+        #: ships journal files between per-shard subdirectories of it).
+        self._journal_root: Optional[Path] = None
+        #: Fresh-controller factories per project (needed to replay a
+        #: shipped journal deterministically on the successor shard).
+        self._factories: Dict[str, Callable[[], Controller]] = {}
+        #: Gateway-side shard liveness (see :meth:`attach_shard_monitor`).
+        self.monitor: Optional[ShardMonitor] = None
+        self.gateway = None
+        #: Completed failovers, in order (invariant 13 cross-checks
+        #: these against the event log and the metrics registry).
+        self.migrations: List[MigrationReport] = []
+        #: The fair-share policy shards were configured with, so a
+        #: successor adopting migrated tenants uses the same policy.
+        self._fairshare_policy: Optional[FairSharePolicy] = None
 
     # -- routing -------------------------------------------------------------
 
@@ -95,6 +139,7 @@ class MultiProjectRunner(ProjectRunner):
         Returns the schedulers by shard name for tests/monitoring.
         """
         schedulers: Dict[str, FairShareScheduler] = {}
+        self._fairshare_policy = policy
         for shard in self.shards:
             scheduler = FairShareScheduler(policy)
             shard.attach_fairshare(scheduler)
@@ -103,8 +148,258 @@ class MultiProjectRunner(ProjectRunner):
 
     def attach_journals(self, root) -> None:
         """Give every shard its own write-ahead journal under *root*."""
+        self._journal_root = Path(root)
         for shard in self.shards:
             shard.attach_journal(ServerJournal(Path(root) / shard.name))
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        project: Project,
+        controller: Controller,
+        controller_factory: Optional[Callable[[], Controller]] = None,
+    ) -> None:
+        """Submit a project to its hashed shard.
+
+        ``controller_factory`` builds a *fresh* equivalent controller;
+        it is what makes the project eligible for shard failover —
+        replaying a shipped journal needs a clean deterministic
+        controller, exactly like :meth:`ProjectRunner.resume` after a
+        restart.  Without one the project still runs, but a shard
+        crash strands it.
+        """
+        if controller_factory is not None:
+            self._factories[project.project_id] = controller_factory
+        super().submit(project, controller)
+
+    # -- shard failover ------------------------------------------------------
+
+    def attach_shard_monitor(
+        self,
+        gateway,
+        policy: Optional[ShardProbePolicy] = None,
+    ) -> ShardMonitor:
+        """Probe shard liveness from *gateway*; fail over the dead.
+
+        The monitor runs inside the normal drive loop (the
+        :meth:`_liveness_sweep` hook), so a shard crashed mid-run is
+        detected and failed over without any out-of-band driver.
+        """
+        self.gateway = gateway
+        self.monitor = ShardMonitor(
+            gateway, [shard.name for shard in self.shards], policy
+        )
+        gateway.breaker_hooks.append(self._on_shard_breaker)
+        return self.monitor
+
+    def _on_shard_breaker(self, breaker, state) -> None:
+        """Breaker-open toward a shard = a re-route is coming; count it."""
+        if state is BreakerState.OPEN and breaker.peer in self._shards_by_name:
+            self.obs.metrics.inc(
+                "repro_shard_route_retries_total",
+                help="Result/dispatch re-routes after a shard moved or "
+                "went unreachable.",
+                project="",
+                reason="breaker_open",
+            )
+
+    def _liveness_sweep(self) -> None:
+        super()._liveness_sweep()
+        if self.monitor is not None:
+            for dead in self.monitor.check(self.now):
+                self.fail_over(dead)
+
+    def dispatch(self, project_id: str, commands) -> str:
+        """Queue *commands* on the project's shard, riding out an
+        unreachable shard instead of failing the submission.
+
+        With a gateway attached the shard is first probed over the
+        wire; a transiently unreachable shard is retried with the
+        transport's capped backoff (inside
+        :meth:`~repro.net.transport.Endpoint.send`), each exhausted
+        probe counted in ``repro_shard_route_retries_total``.  If the
+        shard stays unreachable it is declared dead and the project
+        fails over — the commands queue on the successor.  Returns the
+        name of the shard that accepted the commands.
+        """
+        origin = self._origin_for(project_id)
+        if self.gateway is not None:
+            try:
+                before = self.gateway.send_retries
+                self.gateway.send(
+                    origin.name,
+                    MessageType.PROJECT_STATUS,
+                    {"project_id": project_id},
+                )
+            except TransientCommunicationError:
+                self.obs.metrics.inc(
+                    "repro_shard_route_retries_total",
+                    amount=max(1, self.gateway.send_retries - before),
+                    help="Result/dispatch re-routes after a shard moved "
+                    "or went unreachable.",
+                    project=project_id,
+                    reason="dispatch",
+                )
+                if self.monitor is None or len(self.shards) < 2:
+                    raise
+                self.fail_over(origin.name)
+                origin = self._origin_for(project_id)
+        origin.submit_commands(commands)
+        return origin.name
+
+    def fail_over(self, dead: str) -> List[MigrationReport]:
+        """Remove the dead shard and migrate its projects.
+
+        The sequence per displaced project: ship its WAL snapshot +
+        log segments from the dead shard's journal directory to the
+        successor's, replay them through a fresh controller with the
+        shared :meth:`ProjectRunner.resume` machinery (which reseeds
+        the exactly-once barrier, restores checkpoints and requeues
+        outstanding commands under scoped ids), then flip the route
+        table on every live server so in-flight results re-route.
+        Workers homed on the dead shard are re-pointed at the
+        successor fabric.  Calling this twice for the same shard is a
+        no-op (the double-remove is idempotent).
+        """
+        shard = self._shards_by_name.get(dead)
+        if shard is None:
+            # already failed over (or never a member): the router
+            # distinguishes the two, raising UnknownShardError for
+            # names that were never shards
+            self.router.remove_shard(dead)
+            return []
+        if len(self.shards) < 2:
+            raise ConfigurationError(
+                f"cannot fail over {dead!r}: no successor shard on the ring"
+            )
+        if self._journal_root is None or shard.journal is None:
+            raise ConfigurationError(
+                f"cannot fail over {dead!r}: shards run without journals "
+                f"(attach_journals first)"
+            )
+        t0 = self.now
+        displaced = sorted(
+            pid for pid in self._projects if self.router.route(pid) == dead
+        )
+        self.router.remove_shard(dead)
+        shard.journal.close()
+        self.events.record(
+            self.now,
+            EventKind.SHARD_DEAD,
+            server=dead,
+            displaced=len(displaced),
+        )
+        self.obs.metrics.inc(
+            "repro_shard_failovers_total",
+            help="Shards declared dead and failed over.",
+            shard=dead,
+        )
+        # the dead server's in-memory state is gone with the process;
+        # drop it from every fleet-wide view (liveness, invariants,
+        # stall detection must not consult a corpse)
+        self.shards = [s for s in self.shards if s.name != dead]
+        del self._shards_by_name[dead]
+        self._servers = [s for s in self._servers if s.name != dead]
+        if self.project_server.name == dead:
+            self.project_server = self.shards[0]
+        if self.monitor is not None:
+            self.monitor.forget(dead)
+        self._rehome_workers(dead)
+        reports: List[MigrationReport] = []
+        for pid in displaced:
+            reports.append(self._migrate_project(pid, dead))
+        for pid, successor in ((r.project_id, r.to_shard) for r in reports):
+            # atomic route flip: every live server (the gateway
+            # included) now answers/forwards toward the successor, so
+            # results carried by in-flight workers re-route instead of
+            # chasing the dead origin stamp
+            for server in self._servers:
+                server.update_route(pid, successor)
+        self.migrations.extend(reports)
+        self.obs.tracer.record(
+            "shard.failover",
+            t0,
+            self.now,
+            trace_id_for("__fleet__", f"failover-{dead}"),
+            component="gateway",
+            shard=dead,
+            migrated=len(reports),
+        )
+        return reports
+
+    def _rehome_workers(self, dead: str) -> None:
+        """Point the dead shard's workers at a surviving shard."""
+        survivors = [s.name for s in self.shards]
+        for index, worker in enumerate(self.workers):
+            if worker.server != dead:
+                continue
+            worker.server = survivors[index % len(survivors)]
+            try:
+                worker.announce(self.now)
+            except CommunicationError:
+                # the worker's own uplink may be flaky; heartbeats
+                # auto-register it with the new shard on next contact
+                pass
+
+    def _migrate_project(self, pid: str, dead: str) -> MigrationReport:
+        factory = self._factories.get(pid)
+        if factory is None:
+            raise ConfigurationError(
+                f"project {pid!r} has no controller factory; submit with "
+                f"controller_factory= to make it migratable"
+            )
+        shipment = ship_project_journal(
+            self._journal_root / dead,
+            self._journal_root / self.router.route(pid),
+            pid,
+        )
+        successor = self.router.route(pid)
+        # resume() refuses projects it already knows — forget the
+        # pre-crash registration first; the journal replay rebuilds it
+        self._projects.pop(pid, None)
+        self._controllers.pop(pid, None)
+        self.resume(pid, factory())
+        recovered = [
+            e for e in self.events.filter(EventKind.SERVER_RECOVERED)
+            if e.project_id == pid
+        ][-1]
+        report = MigrationReport(
+            project_id=pid,
+            from_shard=dead,
+            to_shard=successor,
+            replayed=recovered.details.get("replayed", 0),
+            restored=recovered.details.get("restored", 0),
+            files_shipped=shipment.snapshots + shipment.segments,
+            bytes_shipped=shipment.bytes,
+        )
+        self.events.record(
+            self.now,
+            EventKind.PROJECT_MIGRATED,
+            pid,
+            from_shard=dead,
+            to_shard=successor,
+            replayed=report.replayed,
+            restored=report.restored,
+        )
+        self.obs.metrics.inc(
+            "repro_projects_migrated_total",
+            help="Projects migrated off dead shards.",
+            project=pid,
+            to=successor,
+        )
+        self.obs.tracer.record(
+            "project.migrate",
+            self.now,
+            self.now,
+            trace_id_for(pid, "migration"),
+            component="gateway",
+            from_shard=dead,
+            to_shard=successor,
+            replayed=report.replayed,
+            restored=report.restored,
+        )
+        return report
 
     # -- per-tenant telemetry ------------------------------------------------
 

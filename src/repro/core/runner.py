@@ -86,6 +86,12 @@ class ProjectRunner:
         """One submitted project by id (raises KeyError when unknown)."""
         return self._projects[project_id]
 
+    def controller(self, project_id: str) -> Controller:
+        """The live controller for a project.  After a resume or a
+        shard-failover migration this is the fresh replay controller,
+        not the one originally submitted."""
+        return self._controllers[project_id]
+
     @property
     def obs(self):
         """The deployment's observability hub (shared via the network)."""
@@ -318,8 +324,7 @@ class ProjectRunner:
                 worker.heartbeat(worker_now)
                 progress += worker.work_once(now=worker_now)
             self.now += self.tick
-            for server in self._servers:
-                server.check_liveness(self.now)
+            self._liveness_sweep()
             self._refresh_status()
             if progress == 0:
                 if self._all_complete():
@@ -332,6 +337,16 @@ class ProjectRunner:
                     raise SchedulingError("every worker has crashed")
         if not self._all_complete():
             raise SchedulingError(f"projects unfinished after {max_cycles} cycles")
+
+    def _liveness_sweep(self) -> None:
+        """Per-cycle failure detection across the fleet.
+
+        The single-server runner checks worker liveness on every
+        server; :class:`~repro.core.multirunner.MultiProjectRunner`
+        extends this with shard-level probes and failover.
+        """
+        for server in self._servers:
+            server.check_liveness(self.now)
 
     def _any_in_flight(self) -> bool:
         return any(

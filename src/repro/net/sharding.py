@@ -22,7 +22,7 @@ import bisect
 import hashlib
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, UnknownShardError
 
 #: Virtual nodes per shard.  More points smooth the key distribution
 #: (the classic consistent-hashing variance fix); 64 keeps ring
@@ -103,7 +103,7 @@ class HashRing:
     def remove(self, node: str) -> None:
         """Withdraw *node*; its keys redistribute to ring successors."""
         if node not in self._nodes:
-            raise ConfigurationError(f"node {node!r} not on the ring")
+            raise UnknownShardError(f"node {node!r} not on the ring")
         self._nodes.remove(node)
         keep = [
             (point, owner)
@@ -154,6 +154,9 @@ class ShardRouter:
         self.ring = HashRing(shards, replicas=replicas)
         if len(self.ring) == 0:
             raise ConfigurationError("a shard router needs >= 1 shard")
+        #: Shards withdrawn from the ring (failover), so a racing
+        #: second remove is an idempotent no-op instead of an error.
+        self._removed: set = set()
 
     @property
     def shards(self) -> List[str]:
@@ -170,10 +173,21 @@ class ShardRouter:
         """Join a shard (new projects may route to it; existing
         projects keep their origin)."""
         self.ring.add(name)
+        self._removed.discard(name)
 
     def remove_shard(self, name: str) -> None:
-        """Withdraw a shard from *future* routing decisions."""
-        self.ring.remove(name)
+        """Withdraw a shard from *future* routing decisions.
+
+        Removing a shard that was already withdrawn is a no-op —
+        failover paths may race (monitor sweep vs. explicit drain) and
+        both must converge on the same membership.  Removing a shard
+        that was *never* a member raises :class:`UnknownShardError`.
+        """
+        if name in self.ring:
+            self.ring.remove(name)
+            self._removed.add(name)
+        elif name not in self._removed:
+            raise UnknownShardError(f"shard {name!r} is not a member")
 
     def plan(self, project_ids: Sequence[str]) -> Dict[str, str]:
         """project id -> shard, for a batch of submissions."""

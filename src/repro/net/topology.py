@@ -38,6 +38,17 @@ class Deployment:
         """The first (often only) project server."""
         return self.project_servers[0]
 
+    @property
+    def gateway(self) -> CopernicusServer:
+        """The gateway relay (the probe endpoint a
+        :class:`~repro.server.shardmon.ShardMonitor` runs from).
+        Raises :class:`ConfigurationError` on gateway-less topologies.
+        """
+        for relay in self.relay_servers:
+            if relay.name == "gateway":
+                return relay
+        raise ConfigurationError("this deployment has no gateway relay")
+
     def announce_all(self, now: float = 0.0) -> None:
         """Announce every worker to its server.
 

@@ -115,6 +115,13 @@ class Endpoint:
         #: Per-peer circuit breakers, created lazily on wildcard walks.
         self.breaker_policy = breaker_policy or BreakerPolicy()
         self.peer_breakers: Dict[str, CircuitBreaker] = {}
+        #: Extra breaker-transition observers (beyond the metrics
+        #: counter): ``hook(breaker, state)``.  The shard monitor
+        #: registers here so breaker-open evidence toward a shard
+        #: feeds its liveness score.
+        self.breaker_hooks: List[
+            Callable[[CircuitBreaker, BreakerState], None]
+        ] = []
         self._handler = handler
         network._register(self)
 
@@ -138,6 +145,8 @@ class Endpoint:
             peer=breaker.peer,
             to=state.value,
         )
+        for hook in self.breaker_hooks:
+            hook(breaker, state)
 
     def handle(self, message: Message) -> Optional[dict]:
         """Process an inbound request; override or pass ``handler=``."""

@@ -36,6 +36,17 @@ FAILURE_OUTCOMES: Dict[str, float] = {
 }
 
 
+def ewma(score: float, outcome: float, alpha: float) -> float:
+    """Fold *outcome* into *score* with smoothing factor *alpha*.
+
+    The one health primitive shared by every liveness scorer: worker
+    health here and shard liveness in
+    :mod:`repro.server.shardmon` use the same update so their
+    thresholds are comparable.
+    """
+    return (1.0 - alpha) * score + alpha * outcome
+
+
 class HealthState(enum.Enum):
     """Scheduling posture toward one worker."""
 
@@ -238,8 +249,7 @@ class HealthRegistry:
         return True, self.policy.probation_commands, None
 
     def _ewma(self, score: float, outcome: float) -> float:
-        alpha = self.policy.alpha
-        return (1.0 - alpha) * score + alpha * outcome
+        return ewma(score, outcome, self.policy.alpha)
 
     def describe(self) -> Dict[str, dict]:
         """Schema-stable per-worker summary for monitoring."""

@@ -104,6 +104,13 @@ class CopernicusServer(Endpoint):
         #: Optional multi-tenant scheduler (see :meth:`attach_fairshare`).
         #: ``None`` keeps the classic single-queue matching untouched.
         self.fairshare: Optional[FairShareScheduler] = None
+        #: Route overrides: {project_id: current origin server}.  A
+        #: migrated project's commands still carry the dead shard's
+        #: ``origin_server`` stamp; this table (flipped atomically by
+        #: the failover driver) wins over the stamp when forwarding,
+        #: and lets a stale peer answer a forward with a retryable
+        #: redirect instead of a dead-end error.
+        self.routes: Dict[str, str] = {}
         self.leases.bind_metrics(self.obs.metrics, self.name)
         self.health.bind_metrics(self.obs.metrics, self.name)
 
@@ -287,6 +294,10 @@ class CopernicusServer(Endpoint):
             amount=len(commands),
             help="Commands requeued from the journal after a restart.",
         )
+
+    def update_route(self, project_id: str, server: str) -> None:
+        """Point *project_id*'s results at *server* (post-migration)."""
+        self.routes[project_id] = server
 
     def hosts(self, project_id: str) -> bool:
         """Whether this server is the origin of *project_id*."""
@@ -589,6 +600,19 @@ class CopernicusServer(Endpoint):
     def _on_result_forward(self, message: Message) -> dict:
         command = Command.from_payload(message.payload["command"])
         result = message.payload["result"]
+        if command.project_id not in self._sinks:
+            route = self.routes.get(command.project_id)
+            if route and route != self.name:
+                # stale route: the project migrated away from here (or
+                # was never ours post-failover).  Answer with a
+                # retryable redirect so the sender re-forwards to the
+                # successor itself rather than trusting us to relay.
+                self._count(
+                    "repro_shard_route_redirects_total",
+                    help="Result forwards answered with a migration redirect.",
+                    project=command.project_id,
+                )
+                return {"ok": False, "duplicate": False, "redirect": route}
         outcome = self._route_result(command, result)
         return {"ok": True, "duplicate": outcome == "duplicate"}
 
@@ -657,18 +681,43 @@ class CopernicusServer(Endpoint):
                 command=command.command_id,
             )
             return "completed"
-        origin = command.origin_server
+        # the route table (flipped on migration) wins over the
+        # command's origin stamp, which may name a dead shard
+        origin = self.routes.get(command.project_id, command.origin_server)
         if not origin or origin == self.name:
             raise SchedulingError(
                 f"no sink for project {command.project_id!r} on {self.name!r}"
             )
         # no explicit trace headers: the forwarded command's payload
-        # already carries its trace context end to end
-        response = self.send(
-            origin,
-            MessageType.RESULT_FORWARD,
-            {"command": command.to_payload(), "result": result},
-        )
+        # already carries its trace context end to end.  A peer whose
+        # route is staler than ours answers with a redirect; follow it
+        # (each hop visited at most once, so a routing cycle fails
+        # loudly instead of looping).
+        visited = {self.name}
+        while True:
+            if origin in visited:
+                raise SchedulingError(
+                    f"redirect cycle routing {command.project_id!r} "
+                    f"result via {sorted(visited)}"
+                )
+            visited.add(origin)
+            response = self.send(
+                origin,
+                MessageType.RESULT_FORWARD,
+                {"command": command.to_payload(), "result": result},
+            )
+            redirect = response.get("redirect")
+            if not redirect:
+                break
+            self.routes[command.project_id] = redirect
+            self._count(
+                "repro_shard_route_retries_total",
+                help="Result/dispatch re-routes after a shard moved or "
+                "went unreachable.",
+                project=command.project_id,
+                reason="redirect",
+            )
+            origin = redirect
         self._count(
             "repro_server_results_total",
             help="Results routed, by outcome.",
@@ -778,6 +827,7 @@ class CopernicusServer(Endpoint):
                     worker=worker,
                     command=command.command_id,
                     project_id=command.project_id,
+                    server=self.name,
                     has_checkpoint=checkpoint is not None,
                 )
             self.assignments[worker] = {}

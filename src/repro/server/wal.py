@@ -36,7 +36,11 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.command import Command
-from repro.util.errors import ConfigurationError, JournalCorruptionError
+from repro.util.errors import (
+    ConfigurationError,
+    JournalCorruptionError,
+    PersistenceError,
+)
 from repro.util.serialization import decode_message, encode_message
 
 #: Magic + format version written at the head of every segment file.
@@ -593,3 +597,88 @@ class ServerJournal:
         """Close every open project journal."""
         for journal in self._journals.values():
             journal.close()
+
+
+# -- journal shipping (shard failover) ------------------------------------
+
+@dataclass(frozen=True)
+class ShipmentReport:
+    """What one journal shipment moved (for migration accounting)."""
+
+    project_id: str
+    snapshots: int
+    segments: int
+    bytes: int
+
+
+def _copy_durably(src: Path, dst: Path, fsync: bool = True) -> int:
+    """Copy *src* to *dst* atomically (temp + rename); returns bytes."""
+    blob = src.read_bytes()
+    temp = dst.parent / f".{dst.name}.tmp"
+    with open(temp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    temp.rename(dst)
+    return len(blob)
+
+
+def ship_project_journal(
+    src_root: str | Path,
+    dst_root: str | Path,
+    project_id: str,
+    fsync: bool = True,
+) -> ShipmentReport:
+    """Copy a project's snapshot + WAL segments between journal roots.
+
+    The transport half of a :class:`ProjectMigration`: the dead
+    shard's on-disk journal (``<src_root>/<project_id>``) is copied
+    byte-for-byte into the successor's root, after which the successor
+    recovers it exactly as if the project had always been its own.
+
+    Shipping is *idempotent and convergent*: files are copied via
+    temp + rename (a crash mid-ship leaves no torn file), a re-ship
+    overwrites with identical bytes, and destination files that no
+    longer exist at the source (e.g. a snapshot that compacted away
+    log segments between two ships) are removed — after shipping, the
+    destination directory mirrors the source exactly, so replaying it
+    yields the same :class:`JournalState` no matter how many times the
+    shipment ran or raced a late recovery on the first shard.
+    """
+    src = Path(src_root) / project_id
+    dst = Path(dst_root) / project_id
+    if not src.is_dir():
+        raise PersistenceError(
+            f"no journal for project {project_id!r} under {src_root}"
+        )
+    dst.mkdir(parents=True, exist_ok=True)
+    (dst / "wal").mkdir(exist_ok=True)
+    _sweep_temp_files(dst)
+    _sweep_temp_files(dst / "wal")
+    shipped_bytes = 0
+    snapshots = [p.name for p in sorted(src.glob("snapshot-*.bin"))]
+    segments = [p.name for p in sorted((src / "wal").glob("wal-*.log"))]
+    for name in snapshots:
+        shipped_bytes += _copy_durably(src / name, dst / name, fsync)
+    for name in segments:
+        shipped_bytes += _copy_durably(
+            src / "wal" / name, dst / "wal" / name, fsync
+        )
+    # converge: drop destination files the source no longer has, so
+    # the copy is byte-for-byte the source (double-migration safe)
+    for stale in dst.glob("snapshot-*.bin"):
+        if stale.name not in snapshots:
+            stale.unlink()
+    for stale in (dst / "wal").glob("wal-*.log"):
+        if stale.name not in segments:
+            stale.unlink()
+    if fsync:
+        _fsync_path(dst / "wal")
+        _fsync_path(dst)
+    return ShipmentReport(
+        project_id=project_id,
+        snapshots=len(snapshots),
+        segments=len(segments),
+        bytes=shipped_bytes,
+    )

@@ -17,9 +17,12 @@ executable tests:
   respected, breaker accounting consistent).
 * :mod:`repro.testing.soak` — the multi-tenant soak:
   :func:`run_multitenant_soak` drives 100+ tenants' projects across a
-  sharded fabric under seeded faults and checks all twelve invariants
-  (tenant isolation, exact quota accounting and starvation-free aging
-  included) before returning.
+  sharded fabric under seeded faults and checks all thirteen
+  invariants (tenant isolation, exact quota accounting,
+  starvation-free aging and exact failover accounting included)
+  before returning; :func:`run_multitenant_with_shard_crash` kills a
+  shard mid-soak and proves the failover exactly-once against a
+  crash-free baseline of the same seed.
 * :mod:`repro.testing.scenarios` — canned deployments under fire:
   :func:`run_swarm_with_server_restart` kills the journaled project
   server mid-project and resumes it from disk; the liveness trio
@@ -36,12 +39,15 @@ from repro.testing.chaos import ChaosNetwork
 from repro.testing.faultplan import Fault, FaultKind, FaultPlan
 from repro.testing.invariants import Invariants
 from repro.testing.soak import (
+    ShardCrashResult,
     SoakResult,
     TenantSpec,
     TenantSwarmController,
     default_soak_faults,
     default_tenant_mix,
+    live_completions,
     run_multitenant_soak,
+    run_multitenant_with_shard_crash,
 )
 from repro.testing.scenarios import (
     ScenarioResult,
@@ -60,12 +66,15 @@ __all__ = [
     "FaultPlan",
     "Invariants",
     "ScenarioResult",
+    "ShardCrashResult",
     "SoakResult",
     "TenantSpec",
     "TenantSwarmController",
     "default_soak_faults",
     "default_tenant_mix",
+    "live_completions",
     "run_multitenant_soak",
+    "run_multitenant_with_shard_crash",
     "SwarmController",
     "run_relay_with_sick_peer",
     "run_swarm_under_faults",

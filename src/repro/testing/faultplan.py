@@ -63,6 +63,14 @@ class FaultKind(enum.Enum):
     #: A peer server answers wildcard probes with transient failures
     #: while active — exercising the prober's circuit breaker.
     SICK_PEER = "sick_peer"
+    #: A shard server process dies for good (no restart) once
+    #: ``after_results`` results are durably journaled fleet-wide.
+    #: Consumed by the shard-crash scenario, which then arms a
+    #: permanent :attr:`SERVER_CRASH` window for the victim and lets
+    #: the gateway's shard monitor detect the death and fail over —
+    #: like :attr:`SERVER_RESTART`, a deployment-level event, not a
+    #: message-level one.
+    SHARD_CRASH = "shard_crash"
 
 
 @dataclass
@@ -272,6 +280,23 @@ class FaultPlan:
             )
         )
 
+    def crash_shard(self, shard: str, after_results: int = 1) -> Fault:
+        """Kill shard server *shard* permanently (no restart — its
+        projects must migrate) once *after_results* results are durably
+        journaled across the fleet.  Consumed by
+        :func:`repro.testing.soak.run_multitenant_with_shard_crash`."""
+        if after_results < 1:
+            raise ConfigurationError(
+                f"after_results must be >= 1, got {after_results}"
+            )
+        return self.add(
+            Fault(
+                kind=FaultKind.SHARD_CRASH,
+                dst=shard,
+                after_results=after_results,
+            )
+        )
+
     def slow_worker(self, worker: str, factor: float) -> Fault:
         """Throttle *worker* to *factor* of its segment steps."""
         if not 0.0 < factor <= 1.0:
@@ -424,6 +449,17 @@ class FaultPlan:
         """The restart rule (if any) scheduled for server *name*."""
         for fault in self.faults:
             if fault.kind is FaultKind.SERVER_RESTART and fault.dst == name:
+                return fault
+        return None
+
+    def shard_crash_point(self, name: Optional[str] = None) -> Optional[Fault]:
+        """The shard-crash rule (if any) — for *name*, or the first
+        scheduled rule when *name* is ``None`` (scenario drivers ask
+        "whose turn is it to die?")."""
+        for fault in self.faults:
+            if fault.kind is FaultKind.SHARD_CRASH and (
+                name is None or fault.dst == name
+            ):
                 return fault
         return None
 

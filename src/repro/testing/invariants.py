@@ -55,6 +55,10 @@ The multi-tenant service plane adds three more:
     the fair-share ``max_wait_seconds`` was ever bypassed by a
     workload build (zero ``AGING_VIOLATED`` events), and the
     schedulers' violation counters agree with the log.
+13. **Migration accounting is exact** — every ``PROJECT_MIGRATED``
+    follows a ``SHARD_DEAD`` for its source shard and lands on a live
+    shard, and the displaced/migrated counts agree across the event
+    log, the runner's migration reports and the metrics registry.
 
 When the event log spans more than one project, all command identity
 is *scoped* by project id, so two tenants reusing a command id (say,
@@ -117,11 +121,29 @@ class Invariants:
                 issued.add(scope(record.project_id, cid))
         return issued
 
-    def _completed_ids(self, scope: Callable[[str, str], str]) -> List[str]:
+    def _completed_ids(
+        self,
+        scope: Callable[[str, str], str],
+        include_replayed: bool = True,
+    ) -> List[str]:
+        """Completions in the log.  ``include_replayed=False`` drops
+        journal-replay re-deliveries (``replayed=True`` completions): a
+        result completed live and later replayed on a recovered or
+        migrated server is one completion, not two."""
         return [
             scope(record.project_id, record.details.get("command"))
             for record in self.events.filter(kind=EventKind.COMMAND_COMPLETED)
+            if include_replayed or not record.details.get("replayed")
         ]
+
+    def _dead_servers(self) -> Set[str]:
+        """Shards declared dead by the shard monitor.  Their in-memory
+        counters vanished with the process, so counter-vs-event
+        cross-checks must not charge survivors for the corpse's log."""
+        return {
+            record.details.get("server")
+            for record in self.events.filter(kind=EventKind.SHARD_DEAD)
+        }
 
     def check_no_lost_commands(self) -> List[str]:
         """Invariant 1: issued == completed + queued + in-flight.
@@ -171,9 +193,16 @@ class Invariants:
         return violations
 
     def check_no_double_completion(self) -> List[str]:
-        """Invariant 2: each command completes at most once."""
+        """Invariant 2: each command completes at most once.
+
+        Replayed completions are excluded: a journal replay re-delivers
+        already-completed results to the fresh controller by design
+        (restart and migration), which is idempotent, not a double.
+        """
         seen: Dict[str, int] = {}
-        for command_id in self._completed_ids(self._scoper()):
+        for command_id in self._completed_ids(
+            self._scoper(), include_replayed=False
+        ):
             seen[command_id] = seen.get(command_id, 0) + 1
         return [
             f"command {command_id!r} completed {n} times"
@@ -221,9 +250,20 @@ class Invariants:
         return violations
 
     def check_requeue_accounting(self) -> List[str]:
-        """Invariant 4: requeues <-> observed crashes, deaths <-> outages."""
+        """Invariant 4: requeues <-> observed crashes, deaths <-> outages.
+
+        Events recorded by a shard later declared dead are excluded:
+        its counters died with it, and its workers were re-homed — the
+        successor legitimately opens a fresh outage for a worker the
+        corpse had already declared dead.
+        """
         violations = []
-        requeued = self.events.filter(kind=EventKind.COMMAND_REQUEUED)
+        dead_servers = self._dead_servers()
+        requeued = [
+            record
+            for record in self.events.filter(kind=EventKind.COMMAND_REQUEUED)
+            if record.details.get("server") not in dead_servers
+        ]
         counter_total = sum(
             server.requeued_after_failure for server in self._servers
         )
@@ -236,6 +276,15 @@ class Invariants:
         declared_dead: Dict[str, bool] = {}
         for record in self.events.all():
             worker: Optional[str] = record.details.get("worker")
+            if (
+                record.kind in (
+                    EventKind.WORKER_DEAD,
+                    EventKind.WORKER_REVIVED,
+                    EventKind.COMMAND_REQUEUED,
+                )
+                and record.details.get("server") in dead_servers
+            ):
+                continue
             if record.kind is EventKind.WORKER_DEAD:
                 if declared_dead.get(worker):
                     violations.append(
@@ -274,10 +323,19 @@ class Invariants:
                         f"for {pid!r} without a preceding server recovery "
                         f"(t={record.time})"
                     )
+        # aggregate per project: a project may recover more than once
+        # in one log (server restart, then a shard migration), and
+        # each recovery's numbers must jointly balance the re-issues
+        totals: Dict[str, Dict[str, int]] = {}
         for record in self.events.filter(kind=EventKind.SERVER_RECOVERED):
-            pid = record.project_id
-            replayed = record.details.get("replayed", 0)
-            restored = record.details.get("restored", 0)
+            agg = totals.setdefault(
+                record.project_id, {"replayed": 0, "restored": 0}
+            )
+            agg["replayed"] += record.details.get("replayed", 0)
+            agg["restored"] += record.details.get("restored", 0)
+        for pid, agg in sorted(totals.items()):
+            replayed = agg["replayed"]
+            restored = agg["restored"]
             reissued = sum(
                 r.details.get("count", 0)
                 for r in self.events.filter(
@@ -290,12 +348,9 @@ class Invariants:
                     f"recovery of {pid!r} re-issued {reissued} commands but "
                     f"accounts for {replayed} replayed + {restored} restored"
                 )
-            restored_events = [
-                r
-                for r in self.events.filter(
-                    kind=EventKind.COMMAND_RESTORED, project_id=pid
-                )
-            ]
+            restored_events = self.events.filter(
+                kind=EventKind.COMMAND_RESTORED, project_id=pid
+            )
             if len(restored_events) != restored:
                 violations.append(
                     f"recovery of {pid!r} reports {restored} restored "
@@ -321,35 +376,47 @@ class Invariants:
         """Invariant 6: speculative re-execution never double-completes."""
         violations = []
         scope = self._scoper()
+        dead_servers = self._dead_servers()
         started: Set[str] = set()
-        completed: Dict[str, int] = {}
+        completed_live: Dict[str, int] = {}
+        completed_any: Dict[str, int] = {}
         lost: Dict[str, int] = {}
+        lost_live = 0
+        started_live = 0
         for record in self.events.all():
             command = record.details.get("command")
             if command is not None:
                 command = scope(record.project_id, command)
             if record.kind is EventKind.SPECULATION_STARTED:
                 started.add(command)
+                if record.details.get("server") not in dead_servers:
+                    started_live += 1
             elif record.kind is EventKind.COMMAND_COMPLETED:
-                completed[command] = completed.get(command, 0) + 1
+                completed_any[command] = completed_any.get(command, 0) + 1
+                if not record.details.get("replayed"):
+                    completed_live[command] = (
+                        completed_live.get(command, 0) + 1
+                    )
             elif record.kind is EventKind.SPECULATION_LOST:
                 lost[command] = lost.get(command, 0) + 1
+                if record.details.get("server") not in dead_servers:
+                    lost_live += 1
                 if command not in started:
                     violations.append(
                         f"speculation lost for {command!r} without a "
                         f"preceding speculation start (t={record.time})"
                     )
-                if completed.get(command, 0) < 1:
+                if completed_any.get(command, 0) < 1:
                     violations.append(
                         f"speculation lost for {command!r} before any copy "
                         f"completed — the race was not decided "
                         f"(t={record.time})"
                     )
         for command in sorted(started):
-            if completed.get(command, 0) > 1:
+            if completed_live.get(command, 0) > 1:
                 violations.append(
                     f"speculated command {command!r} completed "
-                    f"{completed[command]} times"
+                    f"{completed_live[command]} times"
                 )
             if lost.get(command, 0) > 1:
                 violations.append(
@@ -360,19 +427,16 @@ class Invariants:
             getattr(server, "speculations_lost", 0)
             for server in self._servers
         )
-        event_lost = sum(lost.values())
-        if counter_lost != event_lost:
+        if counter_lost != lost_live:
             violations.append(
                 f"servers count {counter_lost} speculation losses but the "
-                f"event log records {event_lost}"
+                f"event log records {lost_live}"
             )
         counter_started = sum(
             getattr(server, "speculations_started", 0)
             for server in self._servers
         )
-        if counter_started != len(
-            self.events.filter(kind=EventKind.SPECULATION_STARTED)
-        ):
+        if counter_started != started_live:
             violations.append(
                 f"servers count {counter_started} speculations started but "
                 f"the event log disagrees"
@@ -557,13 +621,20 @@ class Invariants:
         for name, scheduler in schedulers:
             for message in scheduler.check_ledger():
                 violations.append(f"server {name!r}: {message}")
-        # cross-check deferral accounting against the event log
+        # cross-check deferral accounting against the event log; a
+        # dead shard's ledger vanished with its process, so its logged
+        # deferrals/releases are excluded from the comparison
+        dead_servers = self._dead_servers()
         deferred_events: Dict[str, int] = {}
         for record in self.events.filter(kind=EventKind.ADMISSION_DEFERRED):
+            if record.details.get("server") in dead_servers:
+                continue
             pid = record.project_id
             deferred_events[pid] = deferred_events.get(pid, 0) + 1
         released_events: Dict[str, int] = {}
         for record in self.events.filter(kind=EventKind.ADMISSION_RELEASED):
+            if record.details.get("server") in dead_servers:
+                continue
             pid = record.project_id
             released_events[pid] = released_events.get(pid, 0) + 1
         totals: Dict[str, Dict[str, int]] = {}
@@ -615,6 +686,83 @@ class Invariants:
                 )
         return violations
 
+    def check_migration_accounting(self) -> List[str]:
+        """Invariant 13: shard failover is exactly accounted.
+
+        Every ``PROJECT_MIGRATED`` follows a ``SHARD_DEAD`` for its
+        source shard, lands on a live shard the runner still knows,
+        and the counts agree everywhere they are recorded: the
+        ``SHARD_DEAD`` events' displaced totals, the runner's
+        migration reports, and the observability counters
+        (``repro_shard_failovers_total``,
+        ``repro_projects_migrated_total``).  Result-set equality with
+        the crash-free run is the scenario's job (the checker sees
+        only one run); this check pins the accounting half.
+        """
+        violations = []
+        dead: Set[str] = set()
+        displaced_total = 0
+        migrations = []
+        for record in self.events.all():
+            if record.kind is EventKind.SHARD_DEAD:
+                dead.add(record.details.get("server"))
+                displaced_total += record.details.get("displaced", 0)
+            elif record.kind is EventKind.PROJECT_MIGRATED:
+                migrations.append(record)
+                src = record.details.get("from_shard")
+                dst = record.details.get("to_shard")
+                pid = record.project_id
+                if src not in dead:
+                    violations.append(
+                        f"project {pid!r} migrated from {src!r} which was "
+                        f"never declared dead (t={record.time})"
+                    )
+                if dst in dead or dst == src:
+                    violations.append(
+                        f"project {pid!r} migrated to {dst!r}, which is "
+                        f"dead or the source shard itself (t={record.time})"
+                    )
+                if pid not in self.runner._projects:
+                    violations.append(
+                        f"migrated project {pid!r} is unknown to the runner"
+                    )
+        if not dead and not migrations:
+            return violations
+        if displaced_total != len(migrations):
+            violations.append(
+                f"shard deaths displaced {displaced_total} projects but "
+                f"{len(migrations)} migrations were logged"
+            )
+        reports = getattr(self.runner, "migrations", None)
+        if reports is not None and len(reports) != len(migrations):
+            violations.append(
+                f"the runner holds {len(reports)} migration reports but "
+                f"the event log records {len(migrations)}"
+            )
+        obs = getattr(self.runner, "obs", None)
+        if obs is not None:
+            failovers = obs.metrics.total("repro_shard_failovers_total")
+            if failovers != len(dead):
+                violations.append(
+                    f"metrics count {failovers:.0f} shard failovers but "
+                    f"{len(dead)} shards were declared dead"
+                )
+            migrated = obs.metrics.total("repro_projects_migrated_total")
+            if migrated != len(migrations):
+                violations.append(
+                    f"metrics count {migrated:.0f} migrated projects but "
+                    f"the event log records {len(migrations)}"
+                )
+        live_shards = {getattr(s, "name", "?") for s in self._servers}
+        for record in migrations:
+            dst = record.details.get("to_shard")
+            if dst not in live_shards:
+                violations.append(
+                    f"project {record.project_id!r} migrated to {dst!r} "
+                    f"which is not a live server"
+                )
+        return violations
+
     # -- entry points ------------------------------------------------------
 
     def check(self) -> List[str]:
@@ -632,6 +780,7 @@ class Invariants:
             + self.check_tenant_isolation()
             + self.check_quota_accounting()
             + self.check_starvation_free_aging()
+            + self.check_migration_accounting()
         )
 
     def assert_ok(self) -> None:

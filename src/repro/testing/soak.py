@@ -4,7 +4,7 @@ The service-plane claim ("one overlay, many users") needs a test shape
 of its own: not one project surviving faults, but *hundreds of
 tenants* sharing shard servers, quotas, weights and backpressure
 limits while the chaos layer drops, delays and duplicates messages —
-and all twelve recovery invariants still holding at the end, with zero
+and all thirteen recovery invariants still holding at the end, with zero
 cross-tenant leakage and exact quota ledgers.
 
 :func:`run_multitenant_soak` builds that world deterministically from
@@ -24,12 +24,14 @@ verdict; CI runs it across seeds via ``python -m repro soak``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.command import Command
 from repro.core.controller import Controller
-from repro.core.multirunner import MultiProjectRunner
-from repro.core.project import Project
+from repro.core.events import EventKind, EventLog
+from repro.core.multirunner import MigrationReport, MultiProjectRunner
+from repro.core.project import Project, ProjectStatus
 from repro.md.engine import MDTask
 from repro.net.protocol import MessageType
 from repro.net.topology import LATENCY_CAMPUS, LATENCY_LOCAL
@@ -40,10 +42,11 @@ from repro.server.fairshare import (
     TenantPolicy,
 )
 from repro.server.server import CopernicusServer
+from repro.server.shardmon import ShardProbePolicy
 from repro.testing.chaos import ChaosNetwork
 from repro.testing.faultplan import FaultPlan
 from repro.testing.invariants import Invariants
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, SchedulingError
 from repro.worker.platform import SMPPlatform
 from repro.worker.worker import Worker
 
@@ -149,6 +152,74 @@ def default_soak_faults(plan: FaultPlan) -> None:
     )
 
 
+def _build_fabric(
+    network: ChaosNetwork,
+    n_shards: int,
+    workers_per_shard: int,
+    cores_per_worker: int,
+    heartbeat_interval: float,
+    segment_steps: int,
+) -> Tuple[CopernicusServer, List[CopernicusServer], List[Worker]]:
+    """The standard soak fabric: gateway + shards + per-shard workers.
+
+    Endpoint names are ``gateway``, ``shard{s}`` and ``s{s}w{w}`` —
+    the names fault plans and scenario victims address.
+    """
+    gateway = CopernicusServer(
+        "gateway", network, heartbeat_interval=heartbeat_interval
+    )
+    shards: List[CopernicusServer] = []
+    workers: List[Worker] = []
+    for s in range(n_shards):
+        shard = CopernicusServer(
+            f"shard{s}", network, heartbeat_interval=heartbeat_interval
+        )
+        shards.append(shard)
+        network.connect("gateway", f"shard{s}", latency=LATENCY_CAMPUS)
+        for w in range(workers_per_shard):
+            name = f"s{s}w{w}"
+            worker = Worker(
+                name,
+                network,
+                server=f"shard{s}",
+                platform=SMPPlatform(cores=cores_per_worker),
+                segment_steps=segment_steps,
+            )
+            network.connect(f"shard{s}", name, latency=LATENCY_LOCAL)
+            workers.append(worker)
+    for worker in workers:
+        worker.announce(0.0)
+    return gateway, shards, workers
+
+
+def _journaled_results(shards: List[CopernicusServer]) -> int:
+    """Results durably applied across every shard's journal."""
+    total = 0
+    for shard in shards:
+        if shard.journal is None:
+            continue
+        for pid in shard.journal.project_ids():
+            total += shard.journal.project(pid).results_applied
+    return total
+
+
+def live_completions(events: EventLog) -> List[Tuple[str, str]]:
+    """The ``(project, command)`` completion multiset of a run.
+
+    Counts only *live* deliveries — journal-replay re-deliveries
+    (``replayed=True``) bridge a controller across a migration and are
+    excluded, exactly as invariant 2 treats them.  Two runs completed
+    exactly-once produce the identical sorted multiset, so comparing a
+    failover run against a crash-free baseline proves "no result lost,
+    none duplicated" in one equality.
+    """
+    return sorted(
+        (record.project_id, record.details.get("command", ""))
+        for record in events.filter(kind=EventKind.COMMAND_COMPLETED)
+        if not record.details.get("replayed")
+    )
+
+
 @dataclass
 class SoakResult:
     """Everything a soak assertion (or the CI artifact) needs."""
@@ -160,7 +231,7 @@ class SoakResult:
     schedulers: Dict[str, FairShareScheduler]
     specs: List[TenantSpec]
     controllers: Dict[str, TenantSwarmController]
-    #: All twelve invariants, checked post-run (empty = green).
+    #: All thirteen invariants, checked post-run (empty = green).
     violations: List[str]
     #: Per-tenant rollup (shard, status, issue/complete, ledger).
     report: Dict[str, Dict]
@@ -204,7 +275,7 @@ def run_multitenant_soak(
     *plan* (default: :func:`default_soak_faults` seeded with *seed*),
     submits every tenant's project to its consistent-hashed shard
     under the assembled fair-share policy, runs the fleet to
-    completion, and checks **all twelve invariants** before returning.
+    completion, and checks **all thirteen invariants** before returning.
 
     The returned :class:`SoakResult` is a pure function of the
     arguments: same seed, same transcript, same verdict.
@@ -232,30 +303,10 @@ def run_multitenant_soak(
     if configure is not None:
         configure(network.plan)
 
-    gateway = CopernicusServer(
-        "gateway", network, heartbeat_interval=heartbeat_interval
+    gateway, shards, workers = _build_fabric(
+        network, n_shards, workers_per_shard, cores_per_worker,
+        heartbeat_interval, segment_steps,
     )
-    shards: List[CopernicusServer] = []
-    workers: List[Worker] = []
-    for s in range(n_shards):
-        shard = CopernicusServer(
-            f"shard{s}", network, heartbeat_interval=heartbeat_interval
-        )
-        shards.append(shard)
-        network.connect("gateway", f"shard{s}", latency=LATENCY_CAMPUS)
-        for w in range(workers_per_shard):
-            name = f"s{s}w{w}"
-            worker = Worker(
-                name,
-                network,
-                server=f"shard{s}",
-                platform=SMPPlatform(cores=cores_per_worker),
-                segment_steps=segment_steps,
-            )
-            network.connect(f"shard{s}", name, latency=LATENCY_LOCAL)
-            workers.append(worker)
-    for worker in workers:
-        worker.announce(0.0)
 
     runner = MultiProjectRunner(network, shards, workers, tick=tick)
     policy = FairSharePolicy(
@@ -284,4 +335,265 @@ def run_multitenant_soak(
         report=runner.tenant_report(),
         transcript=runner.events.to_text(),
         chaos=network.chaos_report(),
+    )
+
+
+@dataclass
+class ShardCrashResult(SoakResult):
+    """A :class:`SoakResult` plus the failover story.
+
+    ``controllers`` holds the *live* post-run controllers — for
+    migrated tenants that is the fresh replay controller, not the one
+    originally submitted.
+    """
+
+    #: The shard that was killed.
+    victim: str = ""
+    #: Delivery index at which the victim started refusing traffic.
+    crash_delivery_index: int = 0
+    #: Fleet-wide journaled results at the crash moment.
+    results_before_crash: int = 0
+    #: Per-project failover accounting, in migration order.
+    migrations: List[MigrationReport] = None  # type: ignore[assignment]
+    #: ``(project, command)`` live-completion multiset of this run.
+    completions: List[Tuple[str, str]] = None  # type: ignore[assignment]
+    #: The crash-free run of the same seed (None when skipped).
+    baseline: Optional[SoakResult] = None
+    #: The baseline's live-completion multiset (None when skipped).
+    baseline_completions: Optional[List[Tuple[str, str]]] = None
+
+    @property
+    def exactly_once(self) -> bool:
+        """Whether the post-failover result set equals the crash-free
+        run's — no result lost, none duplicated, none leaked across
+        tenants (vacuously true when the baseline was skipped)."""
+        return (
+            self.baseline_completions is None
+            or self.completions == self.baseline_completions
+        )
+
+    def migration_timeline(self) -> List[Dict[str, Any]]:
+        """The failover as an ordered record list (the CI artifact):
+        shard death, per-project recovery/replay, migration flips and
+        post-crash requeues."""
+        kinds = {
+            EventKind.SHARD_DEAD,
+            EventKind.SERVER_RECOVERED,
+            EventKind.COMMAND_RESTORED,
+            EventKind.PROJECT_MIGRATED,
+        }
+        return [
+            {
+                "time": record.time,
+                "kind": record.kind.value,
+                "project": record.project_id,
+                **record.details,
+            }
+            for record in self.runner.events.all()
+            if record.kind in kinds
+        ]
+
+
+def run_multitenant_with_shard_crash(
+    journal_root: str | Path,
+    n_tenants: int = 12,
+    n_shards: int = 3,
+    workers_per_shard: int = 2,
+    cores_per_worker: int = 2,
+    n_steps: int = 300,
+    specs: Optional[List[TenantSpec]] = None,
+    plan: Optional[FaultPlan] = None,
+    configure: Optional[Callable[[FaultPlan], None]] = None,
+    victim: Optional[str] = None,
+    crash_after_results: Optional[int] = None,
+    baseline: bool = True,
+    probe_policy: Optional[ShardProbePolicy] = None,
+    max_wait_seconds: float = DEFAULT_MAX_WAIT_SECONDS,
+    heartbeat_interval: float = 120.0,
+    tick: float = 60.0,
+    segment_steps: int = 1000,
+    max_cycles: int = 20000,
+    seed: int = 0,
+) -> ShardCrashResult:
+    """Kill a shard mid-soak; its projects must migrate and finish.
+
+    The canned failover scenario behind invariant 13.  It runs in (up
+    to) three acts:
+
+    1. **Baseline** (unless ``baseline=False``): the identical tenant
+       population runs crash-free under the same seed, capturing the
+       expected :func:`live_completions` multiset.
+    2. **Soak until the crash point**: the journaled multi-tenant
+       fabric (gateway + shards + workers, fair-share applied, shard
+       monitor attached) is driven cycle by cycle until
+       ``crash_after_results`` results are durably journaled
+       fleet-wide.  Then the victim's :meth:`FaultPlan.crash_shard`
+       rule fires: a permanent server-crash window is armed and the
+       network refuses all the victim's traffic from that delivery on.
+    3. **Detection and failover**: the normal drive loop continues;
+       the gateway's :class:`~repro.server.shardmon.ShardMonitor`
+       misses its probes, declares the shard dead, and
+       :meth:`~repro.core.multirunner.MultiProjectRunner.fail_over`
+       ships journals, replays projects on their successors, re-homes
+       the orphaned workers and flips routes — organically, inside
+       :meth:`_liveness_sweep`, with no scenario-side intervention.
+
+    The victim defaults to the plan's scheduled
+    :meth:`~repro.testing.faultplan.FaultPlan.crash_shard` rule, or —
+    when none is scheduled — to the shard hosting the most
+    still-incomplete tenants at the crash moment (ties broken by
+    name), so the failover always has live work to migrate.
+
+    Returns a :class:`ShardCrashResult`; ``exactly_once`` is the
+    headline verdict and ``violations`` covers all thirteen
+    invariants.
+    """
+    journal_root = Path(journal_root)
+    specs = specs if specs is not None else default_tenant_mix(
+        n_tenants, n_steps=n_steps
+    )
+    if not specs:
+        raise ConfigurationError("shard-crash scenario needs >= 1 tenant")
+    if len({spec.name for spec in specs}) != len(specs):
+        raise ConfigurationError("tenant names must be unique")
+    if n_shards < 2:
+        raise ConfigurationError(
+            "shard failover needs >= 2 shards (a successor must exist)"
+        )
+
+    base: Optional[SoakResult] = None
+    baseline_completions: Optional[List[Tuple[str, str]]] = None
+    if baseline:
+        base = run_multitenant_soak(
+            n_shards=n_shards,
+            workers_per_shard=workers_per_shard,
+            cores_per_worker=cores_per_worker,
+            n_steps=n_steps,
+            specs=specs,
+            max_wait_seconds=max_wait_seconds,
+            heartbeat_interval=heartbeat_interval,
+            tick=tick,
+            segment_steps=segment_steps,
+            max_cycles=max_cycles,
+            seed=seed,
+        )
+        baseline_completions = live_completions(base.runner.events)
+
+    network = ChaosNetwork(plan=plan or FaultPlan(seed=seed), seed=seed)
+    if plan is None and configure is None:
+        default_soak_faults(network.plan)
+    if configure is not None:
+        configure(network.plan)
+
+    gateway, shards, workers = _build_fabric(
+        network, n_shards, workers_per_shard, cores_per_worker,
+        heartbeat_interval, segment_steps,
+    )
+    runner = MultiProjectRunner(network, shards, workers, tick=tick)
+    runner.attach_journals(journal_root)
+    policy = FairSharePolicy(
+        tenants={spec.name: spec.policy() for spec in specs},
+        max_wait_seconds=max_wait_seconds,
+    )
+    schedulers = runner.apply_fairshare(policy)
+    runner.attach_shard_monitor(gateway, probe_policy)
+
+    for spec in specs:
+        runner.submit(
+            Project(spec.name),
+            TenantSwarmController(spec),
+            controller_factory=lambda spec=spec: TenantSwarmController(spec),
+        )
+
+    crash_rule = network.plan.shard_crash_point(victim)
+    if crash_rule is not None:
+        victim = crash_rule.dst
+    if victim is not None and victim not in {s.name for s in shards}:
+        raise ConfigurationError(f"victim {victim!r} is not a shard")
+    threshold = crash_after_results
+    if threshold is None:
+        threshold = (
+            crash_rule.after_results if crash_rule is not None else None
+        ) or 3
+
+    # ---- act 2: drive until the crash point, then pull the plug --------
+    for server in runner.servers:
+        server.events = runner.events
+        server.clock = max(server.clock, runner.now)
+    crashed = False
+    for _ in range(max_cycles):
+        for worker in workers:
+            if worker.crashed:
+                continue
+            worker_now = runner.now + worker.poll_offset
+            worker.heartbeat(worker_now)
+            worker.work_once(now=worker_now)
+            # check mid-cycle: one full worker sweep can journal many
+            # results, and the kill should land as close to the
+            # threshold as the delivery stream allows
+            if _journaled_results(runner.shards) >= threshold:
+                crashed = True
+                break
+        if crashed:
+            break
+        runner.now += tick
+        runner._liveness_sweep()
+        if runner._all_complete():
+            break
+    if not crashed:
+        raise SchedulingError(
+            f"tenants finished before {threshold} results could trigger "
+            f"the shard kill; lower crash_after_results"
+        )
+    if victim is None:
+        # the default victim is decided at the crash moment: the shard
+        # hosting the most still-incomplete tenants (ties by name), so
+        # the failover always has live work to migrate
+        if runner._all_complete():
+            raise SchedulingError(
+                "every tenant finished before the crash point; lower "
+                "crash_after_results"
+            )
+        incomplete: Dict[str, int] = {}
+        for spec in specs:
+            if runner.project(spec.name).status is not ProjectStatus.COMPLETE:
+                home = runner.shard_of(spec.name)
+                incomplete[home] = incomplete.get(home, 0) + 1
+        victim = max(sorted(incomplete), key=lambda name: incomplete[name])
+    if crash_rule is None:
+        crash_rule = network.plan.crash_shard(victim, after_results=threshold)
+    results_before_crash = _journaled_results(runner.shards)
+    crash_index = network.delivery_index
+    crash_rule.fired += 1
+    network.plan.firings.append((crash_index, crash_rule))
+    # the actual kill: a permanent crash window — from this delivery
+    # on the victim's process is gone and every message to or from it
+    # raises, exactly what the monitor's probes will run into
+    network.plan.crash_server(victim, after_index=crash_index)
+
+    # ---- act 3: detection, failover and completion ---------------------
+    runner.run(max_cycles=max_cycles)
+
+    violations = Invariants(runner).check()
+    return ShardCrashResult(
+        runner=runner,
+        network=network,
+        shards=runner.shards,
+        workers=workers,
+        schedulers=schedulers,
+        specs=specs,
+        controllers={
+            spec.name: runner.controller(spec.name) for spec in specs
+        },
+        violations=violations,
+        report=runner.tenant_report(),
+        transcript=runner.events.to_text(),
+        chaos=network.chaos_report(),
+        victim=victim,
+        crash_delivery_index=crash_index,
+        results_before_crash=results_before_crash,
+        migrations=list(runner.migrations),
+        completions=live_completions(runner.events),
+        baseline=base,
+        baseline_completions=baseline_completions,
     )

@@ -61,6 +61,13 @@ class UnknownModelError(ConfigurationError):
     typed model registry keep catching the same family."""
 
 
+class UnknownShardError(ConfigurationError):
+    """A ring/router operation named a shard that is not a member.
+
+    Subclasses :class:`ConfigurationError` so callers that predate the
+    typed shard errors keep catching the same family."""
+
+
 class SchedulingError(ReproError):
     """The server could not queue, match or track a command."""
 

@@ -10,7 +10,7 @@ node's points, everyone else keeps their shard.
 import pytest
 
 from repro.net.sharding import DEFAULT_REPLICAS, HashRing, ShardRouter, stable_hash
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, UnknownShardError
 
 KEYS = [f"project-{i}" for i in range(2000)]
 
@@ -131,3 +131,32 @@ def test_router_rejects_empty_inputs():
     router = ShardRouter(["shard0"])
     with pytest.raises(ConfigurationError):
         router.route("")
+
+
+def test_ring_remove_unknown_node_raises_typed_error():
+    # the typed error subclasses ConfigurationError, so pre-existing
+    # catch sites keep working while failover code can distinguish
+    assert issubclass(UnknownShardError, ConfigurationError)
+    ring = HashRing(["s0", "s1"])
+    with pytest.raises(UnknownShardError):
+        ring.remove("ghost")
+    ring.remove("s1")
+    with pytest.raises(UnknownShardError):
+        ring.remove("s1")  # the ring itself is strict; no membership log
+
+
+def test_router_double_remove_is_idempotent_unknown_is_typed():
+    router = ShardRouter(["shard0", "shard1", "shard2"])
+    router.remove_shard("shard1")
+    assert "shard1" not in router.shards
+    # a former member: removing again is a failover-safe no-op
+    router.remove_shard("shard1")
+    # a name that never was a member: typed refusal
+    with pytest.raises(UnknownShardError):
+        router.remove_shard("ghost")
+    # re-adding re-arms strictness for the next removal cycle
+    router.add_shard("shard1")
+    assert "shard1" in router.shards
+    router.remove_shard("shard1")
+    router.remove_shard("shard1")
+    assert sorted(router.shards) == ["shard0", "shard2"]
