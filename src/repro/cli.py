@@ -15,10 +15,12 @@ module is its reproduction-scale analogue:
   metrics dump, a Perfetto-loadable Chrome trace, or a per-command
   lifecycle timeline report;
 * ``python -m repro soak`` — drive 100+ tenants across a sharded
-  fabric under seeded faults, check all thirteen invariants, and emit
+  fabric under seeded faults, check all fourteen invariants, and emit
   a JSON verdict (nonzero exit on any violation); ``--shard-churn``
   kills a shard mid-run and additionally proves the failover
-  exactly-once against a crash-free baseline.
+  exactly-once against a crash-free baseline; ``--partition-churn``
+  partitions the shard instead and proves the healed zombie is
+  epoch-fenced and demoted, not just survived.
 """
 
 from __future__ import annotations
@@ -130,8 +132,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "failover, exactly-once proven against a crash-free baseline",
     )
     soak.add_argument(
+        "--partition-churn", action="store_true",
+        help="partition a shard mid-soak instead of killing it: the "
+        "fleet fails over, the partition heals, and the zombie owner "
+        "is epoch-fenced and demoted (invariant 14)",
+    )
+    soak.add_argument(
+        "--heal-after", type=int, default=1500,
+        help="deliveries until the partition heals (--partition-churn)",
+    )
+    soak.add_argument(
         "--journal-root", default=None,
-        help="journal directory for --shard-churn (default: a tempdir)",
+        help="journal directory for --shard-churn / --partition-churn "
+        "(default: a tempdir)",
     )
     soak.add_argument(
         "--out", default=None,
@@ -432,7 +445,7 @@ def cmd_soak(args, out) -> int:
 
     Drives ``--tenants`` concurrent projects (heterogeneous quotas,
     weights and backpressure caps; colliding command ids) across
-    ``--shards`` chaos-wrapped shard servers, checks all thirteen
+    ``--shards`` chaos-wrapped shard servers, checks all fourteen
     invariants, and writes a JSON report: the verdict, every
     violation, the chaos summary and the per-tenant ledger rollup.
     Exit code is nonzero when any invariant failed or any tenant did
@@ -445,16 +458,42 @@ def cmd_soak(args, out) -> int:
     verdict against a crash-free baseline of the same seed, and a
     failed verdict (or a result set differing from the baseline's)
     exits nonzero.
+
+    ``--partition-churn`` runs the partition-with-heal variant: the
+    victim is cut off from the gateway rather than killed, keeps
+    serving its island as a split-brain zombie, and is epoch-fenced
+    and demoted when the link heals.  The report additionally carries
+    the fencing counters, the demotion reports and the zombie's
+    locally-applied (fenced) completions; zero demotions or zero
+    fencing rejections exits nonzero.
     """
     import json
     import tempfile
 
     from repro.testing.soak import (
         run_multitenant_soak,
+        run_multitenant_with_partitioned_shard,
         run_multitenant_with_shard_crash,
     )
 
-    if args.shard_churn:
+    if args.shard_churn and args.partition_churn:
+        print(
+            "--shard-churn and --partition-churn are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.partition_churn:
+        with tempfile.TemporaryDirectory() as scratch:
+            result = run_multitenant_with_partitioned_shard(
+                args.journal_root or scratch,
+                n_tenants=args.tenants,
+                n_shards=args.shards,
+                workers_per_shard=args.workers_per_shard,
+                n_steps=args.steps,
+                heal_after=args.heal_after,
+                seed=args.seed,
+            )
+    elif args.shard_churn:
         with tempfile.TemporaryDirectory() as scratch:
             result = run_multitenant_with_shard_crash(
                 args.journal_root or scratch,
@@ -483,8 +522,8 @@ def cmd_soak(args, out) -> int:
         "per_tenant": result.report,
     }
     ok = not result.violations and completed == len(result.specs)
-    if args.shard_churn:
-        report["shard_churn"] = {
+    if args.shard_churn or args.partition_churn:
+        churn = {
             "victim": result.victim,
             "results_before_crash": result.results_before_crash,
             "exactly_once": result.exactly_once,
@@ -496,12 +535,31 @@ def cmd_soak(args, out) -> int:
                     "replayed": m.replayed,
                     "restored": m.restored,
                     "files_shipped": m.files_shipped,
+                    "epoch": m.epoch,
                 }
                 for m in result.migrations
             ],
             "timeline": result.migration_timeline(),
         }
         ok = ok and result.exactly_once and bool(result.migrations)
+        if args.partition_churn:
+            churn.update(
+                partition_index=result.partition_index,
+                heal_index=result.heal_index,
+                fencing=result.fencing,
+                demotions=result.demotions,
+                zombie_completions=[
+                    list(entry) for entry in result.zombie_completions
+                ],
+            )
+            report["partition_churn"] = churn
+            ok = (
+                ok
+                and bool(result.demotions)
+                and result.fencing["rejections_total"] > 0
+            )
+        else:
+            report["shard_churn"] = churn
     _emit(json.dumps(report, indent=2, default=str) + "\n", args, out)
     if not ok:
         print(

@@ -67,6 +67,11 @@ class Command:
         by the issuing server so the worker's execution spans join the
         command's trace.  Telemetry only — never consulted by matching
         or execution logic.
+    epoch:
+        The project's ownership epoch at issue time.  Every effectful
+        write derived from this command (lease, checkpoint, result,
+        forward) is fenced against the owner's current epoch; a stamp
+        older than the owner's is a stale writer and is rejected.
     """
 
     command_id: str
@@ -79,6 +84,7 @@ class Command:
     origin_server: str = ""
     checkpoint: Optional[Dict] = None
     trace: Optional[Dict] = None
+    epoch: int = 0
 
     @property
     def scoped_id(self) -> str:
@@ -102,6 +108,7 @@ class Command:
             "preferred_cores": int(self.preferred_cores),
             "priority": int(self.priority),
             "origin_server": self.origin_server,
+            "epoch": int(self.epoch),
         }
         if self.checkpoint is not None:
             out["checkpoint"] = self.checkpoint
@@ -123,4 +130,6 @@ class Command:
             origin_server=payload.get("origin_server", ""),
             checkpoint=payload.get("checkpoint"),
             trace=payload.get("trace"),
+            # pre-epoch payloads stamp as 0 (first ownership regime)
+            epoch=int(payload.get("epoch", 0)),
         )

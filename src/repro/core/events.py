@@ -69,6 +69,22 @@ class EventKind(enum.Enum):
     #: One displaced project finished migrating to a successor shard
     #: (journal shipped, state replayed, routes flipped).
     PROJECT_MIGRATED = "project_migrated"
+    #: A project's ownership epoch moved forward (failover bump or
+    #: recovery reseed); every effectful write is fenced against it.
+    EPOCH_BUMPED = "epoch_bumped"
+    #: A write carrying a stale ownership epoch was rejected by the
+    #: project's current owner (counted by
+    #: ``repro_fencing_rejections_total``; checked by invariant 14).
+    FENCING_REJECTED = "fencing_rejected"
+    #: A healed zombie shard learned it lost ownership of a project:
+    #: dispatch stopped, leases voided, local results forwarded
+    #: stale-epoch-tagged, journal freed.
+    PROJECT_FENCED = "project_fenced"
+    #: A displaced project had no surviving successor shard; it is
+    #: parked (off the ring, journal intact) until a shard joins.
+    PROJECT_PARKED = "project_parked"
+    #: A parked project resumed on a newly joined shard.
+    PROJECT_UNPARKED = "project_unparked"
 
 
 @dataclass(frozen=True)

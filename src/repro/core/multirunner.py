@@ -34,7 +34,11 @@ from repro.obs.trace import trace_id_for
 from repro.server.fairshare import FairSharePolicy, FairShareScheduler
 from repro.server.server import CopernicusServer
 from repro.server.shardmon import ShardMonitor, ShardProbePolicy
-from repro.server.wal import ServerJournal, ship_project_journal
+from repro.server.wal import (
+    ProjectJournal,
+    ServerJournal,
+    ship_project_journal,
+)
 from repro.util.errors import (
     CommunicationError,
     ConfigurationError,
@@ -58,6 +62,9 @@ class MigrationReport:
     #: Snapshot + WAL files shipped.
     files_shipped: int
     bytes_shipped: int
+    #: The ownership epoch the successor adopted (bumped past the dead
+    #: shard's regime before the journal shipped; fences stale writers).
+    epoch: int = 0
 
 
 class MultiProjectRunner(ProjectRunner):
@@ -115,6 +122,15 @@ class MultiProjectRunner(ProjectRunner):
         #: The fair-share policy shards were configured with, so a
         #: successor adopting migrated tenants uses the same policy.
         self._fairshare_policy: Optional[FairSharePolicy] = None
+        #: Whether apply_fairshare ran (the policy itself may be None).
+        self._fairshare_applied = False
+        #: Projects displaced by a failover that found no surviving
+        #: successor: {project_id: the dead shard whose journal holds
+        #: its state}.  Unparked by :meth:`add_shard`.
+        self._parked: Dict[str, str] = {}
+        #: Names of shards failed over so far (workers still pointing
+        #: at one are re-homed when a replacement shard joins).
+        self._dead_shards: set = set()
 
     # -- routing -------------------------------------------------------------
 
@@ -140,6 +156,7 @@ class MultiProjectRunner(ProjectRunner):
         """
         schedulers: Dict[str, FairShareScheduler] = {}
         self._fairshare_policy = policy
+        self._fairshare_applied = True
         for shard in self.shards:
             scheduler = FairShareScheduler(policy)
             shard.attach_fairshare(scheduler)
@@ -261,6 +278,12 @@ class MultiProjectRunner(ProjectRunner):
         Workers homed on the dead shard are re-pointed at the
         successor fabric.  Calling this twice for the same shard is a
         no-op (the double-remove is idempotent).
+
+        When the dead shard was the *last* one, there is no successor
+        to migrate to: the displaced projects are parked
+        (``PROJECT_PARKED``) with their journals intact, and resume
+        automatically when a replacement shard joins the ring via
+        :meth:`add_shard` — instead of failing the whole sweep.
         """
         shard = self._shards_by_name.get(dead)
         if shard is None:
@@ -269,10 +292,6 @@ class MultiProjectRunner(ProjectRunner):
             # names that were never shards
             self.router.remove_shard(dead)
             return []
-        if len(self.shards) < 2:
-            raise ConfigurationError(
-                f"cannot fail over {dead!r}: no successor shard on the ring"
-            )
         if self._journal_root is None or shard.journal is None:
             raise ConfigurationError(
                 f"cannot fail over {dead!r}: shards run without journals "
@@ -301,22 +320,44 @@ class MultiProjectRunner(ProjectRunner):
         self.shards = [s for s in self.shards if s.name != dead]
         del self._shards_by_name[dead]
         self._servers = [s for s in self._servers if s.name != dead]
-        if self.project_server.name == dead:
+        self._dead_shards.add(dead)
+        if self.project_server.name == dead and self.shards:
             self.project_server = self.shards[0]
         if self.monitor is not None:
-            self.monitor.forget(dead)
+            # keep the corpse on the zombie watch: if it was merely
+            # partitioned and heals, the fence table riding on the
+            # probes demotes it (PROJECT_FENCED) instead of leaving a
+            # split-brain owner running
+            self.monitor.mark_dead(dead)
         self._rehome_workers(dead)
+        if not self.shards:
+            # no surviving successor: park the displaced projects with
+            # their journals intact; add_shard unparks them
+            for pid in displaced:
+                self._parked[pid] = dead
+                self.events.record(
+                    self.now, EventKind.PROJECT_PARKED, pid, from_shard=dead
+                )
+                self.obs.metrics.inc(
+                    "repro_projects_parked_total",
+                    help="Projects parked awaiting a replacement shard.",
+                    project=pid,
+                )
+            self.obs.tracer.record(
+                "shard.failover",
+                t0,
+                self.now,
+                trace_id_for("__fleet__", f"failover-{dead}"),
+                component="gateway",
+                shard=dead,
+                migrated=0,
+                parked=len(displaced),
+            )
+            return []
         reports: List[MigrationReport] = []
         for pid in displaced:
             reports.append(self._migrate_project(pid, dead))
-        for pid, successor in ((r.project_id, r.to_shard) for r in reports):
-            # atomic route flip: every live server (the gateway
-            # included) now answers/forwards toward the successor, so
-            # results carried by in-flight workers re-route instead of
-            # chasing the dead origin stamp
-            for server in self._servers:
-                server.update_route(pid, successor)
-        self.migrations.extend(reports)
+        self._finish_migrations(reports)
         self.obs.tracer.record(
             "shard.failover",
             t0,
@@ -328,9 +369,91 @@ class MultiProjectRunner(ProjectRunner):
         )
         return reports
 
+    def _finish_migrations(self, reports: List[MigrationReport]) -> None:
+        """Route flips + fence recording for completed migrations."""
+        for report in reports:
+            # atomic route flip: every live server (the gateway
+            # included) now answers/forwards toward the successor, so
+            # results carried by in-flight workers re-route instead of
+            # chasing the dead origin stamp
+            for server in self._servers:
+                server.update_route(report.project_id, report.to_shard)
+            if self.monitor is not None:
+                # every future probe carries the fence, so the old
+                # owner — if it turns out to be a healed zombie rather
+                # than a corpse — demotes itself on first contact
+                self.monitor.record_fence(
+                    report.project_id, report.epoch, report.to_shard
+                )
+        self.migrations.extend(reports)
+
+    def add_shard(self, shard: CopernicusServer) -> List[MigrationReport]:
+        """Join a replacement shard to the ring mid-run.
+
+        The shard is wired up exactly like a constructor-time shard —
+        journal under the shared root, a fair-share scheduler when the
+        fleet runs one, liveness monitoring, the shared event log —
+        and workers stranded on dead shards are re-pointed at it.
+        Projects parked by a successor-less failover are then migrated
+        onto the ring (``PROJECT_UNPARKED``) from the dead shard's
+        journals; the migration reports are returned.
+        """
+        if shard.name in self._shards_by_name:
+            raise ConfigurationError(
+                f"shard {shard.name!r} is already on the ring"
+            )
+        if shard.name in self._dead_shards:
+            raise ConfigurationError(
+                f"shard name {shard.name!r} belonged to a dead shard; "
+                f"replacements join under a fresh name"
+            )
+        self.shards.append(shard)
+        self._shards_by_name[shard.name] = shard
+        if all(s.name != shard.name for s in self._servers):
+            self._servers.append(shard)
+        self.router.add_shard(shard.name)
+        shard.events = self.events
+        shard.clock = max(shard.clock, self.now)
+        if self._journal_root is not None and shard.journal is None:
+            shard.attach_journal(
+                ServerJournal(self._journal_root / shard.name)
+            )
+        if self._fairshare_applied and shard.fairshare is None:
+            shard.attach_fairshare(FairShareScheduler(self._fairshare_policy))
+        if self.monitor is not None:
+            self.monitor.watch(shard.name)
+        if self.project_server.name not in self._shards_by_name:
+            self.project_server = shard
+        for dead in sorted(self._dead_shards):
+            self._rehome_workers(dead)
+        reports: List[MigrationReport] = []
+        for pid in sorted(self._parked):
+            source = self._parked.pop(pid)
+            report = self._migrate_project(pid, source)
+            reports.append(report)
+            self.events.record(
+                self.now,
+                EventKind.PROJECT_UNPARKED,
+                pid,
+                from_shard=source,
+                to_shard=report.to_shard,
+                epoch=report.epoch,
+            )
+            self.obs.metrics.inc(
+                "repro_projects_unparked_total",
+                help="Parked projects resumed on a replacement shard.",
+                project=pid,
+            )
+        self._finish_migrations(reports)
+        return reports
+
     def _rehome_workers(self, dead: str) -> None:
         """Point the dead shard's workers at a surviving shard."""
         survivors = [s.name for s in self.shards]
+        if not survivors:
+            # nowhere to re-home to; add_shard re-homes them when a
+            # replacement joins
+            return
         for index, worker in enumerate(self.workers):
             if worker.server != dead:
                 continue
@@ -349,6 +472,16 @@ class MultiProjectRunner(ProjectRunner):
                 f"project {pid!r} has no controller factory; submit with "
                 f"controller_factory= to make it migratable"
             )
+        # bump the ownership epoch *in the source journal, before the
+        # ship*: the successor recovers the new epoch atomically with
+        # the state it adopts, and anything the dead shard's regime
+        # still writes is fenced as stale (invariant 14)
+        source = ProjectJournal(
+            self._journal_root / dead / pid, snapshot_every=None
+        )
+        new_epoch = source.state.epoch + 1
+        source.record_epoch(new_epoch)
+        source.close()
         shipment = ship_project_journal(
             self._journal_root / dead,
             self._journal_root / self.router.route(pid),
@@ -372,6 +505,7 @@ class MultiProjectRunner(ProjectRunner):
             restored=recovered.details.get("restored", 0),
             files_shipped=shipment.snapshots + shipment.segments,
             bytes_shipped=shipment.bytes,
+            epoch=new_epoch,
         )
         self.events.record(
             self.now,
@@ -381,6 +515,7 @@ class MultiProjectRunner(ProjectRunner):
             to_shard=successor,
             replayed=report.replayed,
             restored=report.restored,
+            epoch=new_epoch,
         )
         self.obs.metrics.inc(
             "repro_projects_migrated_total",

@@ -204,7 +204,12 @@ class ProjectRunner:
         origin.events = self.events
         origin.clock = max(origin.clock, self.now)
         origin.host_project(project_id, sink)
-        origin.restore_commands(project_id, outstanding, completed_ids)
+        # reseed the journaled ownership epoch before the outstanding
+        # commands are queued, so they are restamped under the regime
+        # the recovering owner actually holds (invariant 14)
+        origin.restore_commands(
+            project_id, outstanding, completed_ids, epoch=state.epoch
+        )
         self.events.record(
             self.now,
             EventKind.SERVER_RECOVERED,
@@ -231,12 +236,18 @@ class ProjectRunner:
                 replayed=True,
             )
         for command in outstanding:
+            checkpoint = command.checkpoint
             self.events.record(
                 self.now,
                 EventKind.COMMAND_RESTORED,
                 project_id,
                 command=command.command_id,
-                has_checkpoint=command.checkpoint is not None,
+                has_checkpoint=checkpoint is not None,
+                step=(
+                    checkpoint.get("step")
+                    if isinstance(checkpoint, dict)
+                    else None
+                ),
             )
         project.status = ProjectStatus.RUNNING
         self._refresh_status()  # already-complete projects finish here

@@ -25,6 +25,7 @@ from repro.obs import Observability
 from repro.util.errors import (
     CommunicationError,
     CommunicationTimeout,
+    FencedError,
     TransientCommunicationError,
     WildcardUnclaimedError,
 )
@@ -207,6 +208,12 @@ class Endpoint:
                         f"(timeout {timeout:.3f}s)"
                     )
                 return response
+            except FencedError:
+                # an authoritative ownership verdict, not a transport
+                # fault: the epoch only moves forward, so retrying
+                # cannot change the answer — permanent and quiet, like
+                # WildcardUnclaimedError in the peer-fetch triage
+                raise
             except TransientCommunicationError:
                 if attempt >= self.retry_policy.max_retries:
                     self.send_failures += 1
@@ -486,6 +493,12 @@ class Network:
                 self._candidate_fault(probe, candidate)
                 self._traverse(probe, path)
                 response = self.endpoint(candidate).handle(probe)
+            except FencedError:
+                # a fencing rejection is the *peer's* authoritative
+                # verdict on a stale epoch, not evidence the peer is
+                # unhealthy: it must never feed the breaker or count
+                # as a probe failure
+                raise
             except TransientCommunicationError as exc:
                 breaker.record_failure(sender.clock)
                 self.obs.metrics.inc(

@@ -31,6 +31,7 @@ from repro.server.matching import WorkerCapabilities, build_workload
 from repro.server.queue import CommandQueue
 from repro.server.wal import ServerJournal
 from repro.util.errors import (
+    FencedError,
     SchedulingError,
     TransientCommunicationError,
     WildcardUnclaimedError,
@@ -111,6 +112,19 @@ class CopernicusServer(Endpoint):
         #: and lets a stale peer answer a forward with a retryable
         #: redirect instead of a dead-end error.
         self.routes: Dict[str, str] = {}
+        #: Ownership epochs: {project_id: the newest epoch this server
+        #: knows}.  For hosted projects this is the authoritative
+        #: regime every effectful write is fenced against; issued
+        #: commands are stamped with it.  Absent entries mean epoch 0
+        #: (first ownership), so epoch-unaware deployments see no
+        #: fencing at all.
+        self.epochs: Dict[str, int] = {}
+        #: Demotion reports for projects this server lost to a newer
+        #: epoch: {project_id: report dict}.  A fenced project is no
+        #: longer hosted, dispatched or journaled here.
+        self.fenced: Dict[str, dict] = {}
+        #: Stale-epoch writes this server rejected as current owner.
+        self.fencing_rejections = 0
         self.leases.bind_metrics(self.obs.metrics, self.name)
         self.health.bind_metrics(self.obs.metrics, self.name)
 
@@ -218,8 +232,23 @@ class CopernicusServer(Endpoint):
         after this call requeues them on recovery.
         """
         for command in commands:
+            if command.project_id in self.fenced:
+                # this server lost the project to a newer owner; a
+                # late controller submission here is a stale writer
+                raise FencedError(
+                    f"project {command.project_id!r} is fenced on "
+                    f"{self.name!r} (owned by "
+                    f"{self.fenced[command.project_id]['owner']!r} at epoch "
+                    f"{self.fenced[command.project_id]['epoch']})",
+                    project_id=command.project_id,
+                    stale_epoch=self.fenced[command.project_id]["stale_epoch"],
+                    current_epoch=self.fenced[command.project_id]["epoch"],
+                )
             if not command.origin_server:
                 command.origin_server = self.name
+            # stamp the ownership regime the command is issued under;
+            # every downstream write derived from it is fenced on this
+            command.epoch = self.epochs.get(command.project_id, 0)
         if self.journal is not None:
             by_project: Dict[str, List[Command]] = {}
             for command in commands:
@@ -271,6 +300,7 @@ class CopernicusServer(Endpoint):
         project_id: str,
         commands: List[Command],
         completed_ids: Set[str],
+        epoch: Optional[int] = None,
     ) -> None:
         """Re-adopt a recovered project's state after a server restart.
 
@@ -278,7 +308,16 @@ class CopernicusServer(Endpoint):
         (so a late duplicate of a pre-crash result is still dropped)
         and requeues the outstanding commands *without* re-journaling
         them as issued — their issuance is already on disk.
+
+        When *epoch* is given (the journal's recovered ownership
+        epoch), it is adopted first — validated against anything this
+        server already knows and journaled — and the restored commands
+        are re-stamped with it, so work reissued by the new owner is
+        distinguishable from the dead regime's in-flight copies.
         """
+        if epoch is not None:
+            self.adopt_epoch(project_id, int(epoch))
+        current = self.epochs.get(project_id, 0)
         self.completed_ids.update(
             scoped_command_id(project_id, command_id)
             for command_id in completed_ids
@@ -286,6 +325,7 @@ class CopernicusServer(Endpoint):
         for command in commands:
             if not command.origin_server:
                 command.origin_server = self.name
+            command.epoch = current
             self._trace_ctx(command)
             self._queued_at[command.scoped_id] = self.clock
             self.queue.push(command)
@@ -294,6 +334,189 @@ class CopernicusServer(Endpoint):
             amount=len(commands),
             help="Commands requeued from the journal after a restart.",
         )
+
+    # -- ownership epochs (fencing) ----------------------------------------
+
+    def adopt_epoch(self, project_id: str, epoch: int) -> None:
+        """Adopt *epoch* as *project_id*'s current ownership regime.
+
+        Epochs only move forward: adopting the known epoch again is an
+        idempotent no-op (a plain restart), a newer epoch is journaled
+        before any command is stamped with it, and an *older* one —
+        a resurrected owner trying to re-adopt a project it lost —
+        raises :class:`FencedError`.
+        """
+        epoch = int(epoch)
+        current = self.epochs.get(project_id, 0)
+        if epoch < current:
+            self.fencing_rejections += 1
+            self._count(
+                "repro_fencing_rejections_total",
+                help="Stale-epoch writes rejected by the project's "
+                "current owner, by path.",
+                project=project_id,
+                path="adopt",
+            )
+            self._record(
+                EventKind.FENCING_REJECTED,
+                command="",
+                project_id=project_id,
+                server=self.name,
+                path="adopt",
+                stale_epoch=epoch,
+                current_epoch=current,
+            )
+            raise FencedError(
+                f"cannot adopt epoch {epoch} for project {project_id!r} "
+                f"on {self.name!r}: current epoch is {current}",
+                project_id=project_id,
+                stale_epoch=epoch,
+                current_epoch=current,
+            )
+        if epoch == current:
+            self.epochs[project_id] = epoch
+            return
+        self.epochs[project_id] = epoch
+        journal = self._journal_for(project_id)
+        if journal is not None:
+            # durable before any command carries the new stamp: a
+            # restarted owner resumes under the same regime
+            journal.record_epoch(epoch)
+        self._count(
+            "repro_epoch_bumps_total",
+            help="Ownership epoch adoptions (one per regime change).",
+            project=project_id,
+        )
+        self._record(
+            EventKind.EPOCH_BUMPED,
+            project_id=project_id,
+            server=self.name,
+            epoch=epoch,
+            previous=current,
+        )
+
+    def _reject_fenced(self, command: Command, current: int, path: str) -> None:
+        """Count and record one stale-epoch write rejection."""
+        self.fencing_rejections += 1
+        self._count(
+            "repro_fencing_rejections_total",
+            help="Stale-epoch writes rejected by the project's "
+            "current owner, by path.",
+            project=command.project_id,
+            path=path,
+        )
+        self._record(
+            EventKind.FENCING_REJECTED,
+            command=command.command_id,
+            project_id=command.project_id,
+            server=self.name,
+            path=path,
+            stale_epoch=int(command.epoch),
+            current_epoch=int(current),
+        )
+
+    def demote_project(self, project_id: str, epoch: int, owner: str) -> dict:
+        """Stand down as *project_id*'s owner: it now lives at *owner*
+        under *epoch*.
+
+        The zombie path: a partitioned shard heals and learns — from a
+        probe's fence table or its first rejected write — that the
+        project was migrated away under a newer epoch while it was
+        unreachable.  The shard stops dispatching the project, voids
+        its leases, forwards its locally-journaled completions to the
+        new owner still stamped with the dead regime's epoch (the
+        owner's dedup barrier drops what it already has; its fence
+        rejects and counts the rest — either way nothing is applied
+        twice), releases the project's journal, and flips its route
+        table.  Idempotent; returns the demotion report.
+        """
+        if project_id in self.fenced:
+            return self.fenced[project_id]
+        epoch = int(epoch)
+        stale = self.epochs.get(project_id, 0)
+        # 1. stop dispatch: purge the project's queued commands
+        purged = self.queue.remove_project(project_id)
+        for key in [
+            k for k in self._queued_at if split_scoped_id(k)[0] == project_id
+        ]:
+            del self._queued_at[key]
+        # 2. void leases and in-flight assignments — they belong to the
+        #    dead regime; any results they still produce will be fenced
+        voided = 0
+        for worker, assigned in self.assignments.items():
+            for key in [
+                k for k in assigned if split_scoped_id(k)[0] == project_id
+            ]:
+                command = assigned.pop(key)
+                self.leases.clear(worker, key)
+                if self.fairshare is not None:
+                    self.fairshare.release(command)
+                self.monitor.clear_command(key)
+                self.speculated.pop(key, None)
+                voided += 1
+        # 3. forward locally-journaled completions to the new owner,
+        #    still carrying their stale stamps: exactly-once is decided
+        #    there (dedup drop or fencing rejection), never here
+        journal = self._journal_for(project_id)
+        results = list(journal.state.results) if journal is not None else []
+        forwarded = rejected = duplicates = 0
+        for command, result in results:
+            forwarded += 1
+            try:
+                response = self.send(
+                    owner,
+                    MessageType.RESULT_FORWARD,
+                    {"command": command.to_payload(), "result": result},
+                )
+            except FencedError:
+                rejected += 1
+                continue
+            except TransientCommunicationError:
+                # the owner is momentarily unreachable; the completion
+                # is still in the shipped journal, so nothing is lost
+                continue
+            if response.get("duplicate"):
+                duplicates += 1
+        # 4. release ownership: unhost, free the journal handle, flip
+        #    the route so anything still arriving here is redirected
+        self._sinks.pop(project_id, None)
+        if self.journal is not None:
+            self.journal.release(project_id)
+        self.routes[project_id] = owner
+        self.epochs[project_id] = epoch
+        report = {
+            "project_id": project_id,
+            "server": self.name,
+            "owner": owner,
+            "stale_epoch": stale,
+            "epoch": epoch,
+            "queue_purged": purged,
+            "leases_voided": voided,
+            "results_forwarded": forwarded,
+            "forwards_rejected": rejected,
+            "forwards_duplicate": duplicates,
+        }
+        self.fenced[project_id] = report
+        self._count(
+            "repro_projects_fenced_total",
+            help="Projects this server stood down from after losing "
+            "ownership to a newer epoch.",
+            project=project_id,
+        )
+        self._record(
+            EventKind.PROJECT_FENCED,
+            project_id=project_id,
+            server=self.name,
+            owner=owner,
+            stale_epoch=stale,
+            epoch=epoch,
+            queue_purged=purged,
+            leases_voided=voided,
+            results_forwarded=forwarded,
+            forwards_rejected=rejected,
+            forwards_duplicate=duplicates,
+        )
+        return report
 
     def update_route(self, project_id: str, server: str) -> None:
         """Point *project_id*'s results at *server* (post-migration)."""
@@ -352,6 +575,19 @@ class CopernicusServer(Endpoint):
         for key, checkpoint in (checkpoints or {}).items():
             project_id, command_id = split_scoped_id(key)
             command = self.assignments.get(worker, {}).get(key)
+            if (
+                command is not None
+                and int(command.epoch) < self.epochs.get(command.project_id, 0)
+            ):
+                # a checkpoint for a dead regime's command: never
+                # journal or acknowledge it — the new owner resumed
+                # the command under a fresher epoch elsewhere
+                self._reject_fenced(
+                    command,
+                    self.epochs.get(command.project_id, 0),
+                    path="checkpoint",
+                )
+                continue
             if command is not None and isinstance(checkpoint, dict):
                 journal = self._journal_for(command.project_id)
                 if journal is not None:
@@ -413,6 +649,17 @@ class CopernicusServer(Endpoint):
         workload = self._build_workload(caps, max_commands=max_commands)
         if not workload:
             workload = self._fetch_from_peers(caps, max_commands=max_commands)
+        admitted = []
+        for command, cores in workload:
+            current = self.epochs.get(command.project_id, 0)
+            if int(command.epoch) < current:
+                # a stale-regime command (e.g. fetched from a zombie
+                # peer's queue) must never be leased: drop it here,
+                # before the lease is journaled or granted
+                self._reject_fenced(command, current, path="lease")
+                continue
+            admitted.append((command, cores))
+        workload = admitted
         if self.journal is not None:
             leases: Dict[str, List[str]] = {}
             for command, _ in workload:
@@ -580,6 +827,11 @@ class CopernicusServer(Endpoint):
                 del self.speculated[command.scoped_id]
                 if worker == straggler:
                     self._observe_failure(worker, "speculation_loss")
+        elif outcome == "fenced":
+            # a dead regime's result: rejected, never applied.  The
+            # worker is innocent — it ran what it was handed — so no
+            # health penalty, but no success credit either.
+            pass
         else:
             self.health.observe_success(worker, self.clock)
             straggler = self.speculated.get(command.scoped_id)
@@ -600,6 +852,23 @@ class CopernicusServer(Endpoint):
     def _on_result_forward(self, message: Message) -> dict:
         command = Command.from_payload(message.payload["command"])
         result = message.payload["result"]
+        if command.project_id in self._sinks:
+            current = self.epochs.get(command.project_id, 0)
+            if int(command.epoch) < current:
+                # a stale writer (a healed zombie, or a relay holding
+                # its results) forwarded a dead regime's result: answer
+                # with the typed, authoritative rejection — distinct
+                # from the retryable redirect, never retried
+                self._reject_fenced(command, current, path="forward")
+                raise FencedError(
+                    f"result for {command.command_id!r} carries stale "
+                    f"epoch {command.epoch} (project "
+                    f"{command.project_id!r} is at epoch {current} on "
+                    f"{self.name!r})",
+                    project_id=command.project_id,
+                    stale_epoch=int(command.epoch),
+                    current_epoch=current,
+                )
         if command.project_id not in self._sinks:
             route = self.routes.get(command.project_id)
             if route and route != self.name:
@@ -621,10 +890,23 @@ class CopernicusServer(Endpoint):
 
         Returns ``"completed"`` when the sink consumed it,
         ``"duplicate"`` when the dedup barrier dropped it (here or at
-        the origin), or ``"forwarded"`` otherwise.
+        the origin), ``"fenced"`` when a stale ownership epoch kept it
+        from ever reaching the sink, or ``"forwarded"`` otherwise.
         """
         ctx = self._trace_ctx(command)
         if command.project_id in self._sinks:
+            current = self.epochs.get(command.project_id, 0)
+            if int(command.epoch) < current:
+                # a dead regime's result reached the owner directly
+                # (worker delivery): fence it out *before* the dedup
+                # barrier so it is rejected, counted and never applied
+                self._reject_fenced(command, current, path="result")
+                self._count(
+                    "repro_server_results_total",
+                    help="Results routed, by outcome.",
+                    outcome="fenced",
+                )
+                return "fenced"
             if command.scoped_id in self.completed_ids:
                 # a retried/duplicated COMMAND_RESULT, or a command that
                 # was falsely requeued and finished twice: exactly-once
@@ -701,11 +983,23 @@ class CopernicusServer(Endpoint):
                     f"result via {sorted(visited)}"
                 )
             visited.add(origin)
-            response = self.send(
-                origin,
-                MessageType.RESULT_FORWARD,
-                {"command": command.to_payload(), "result": result},
-            )
+            try:
+                response = self.send(
+                    origin,
+                    MessageType.RESULT_FORWARD,
+                    {"command": command.to_payload(), "result": result},
+                )
+            except FencedError:
+                # the owner's authoritative verdict: our stamp is from
+                # a dead regime.  Drop the relay quietly — the owner
+                # counted the rejection, and the epoch only moves
+                # forward, so retrying cannot change the answer.
+                self._count(
+                    "repro_server_results_total",
+                    help="Results routed, by outcome.",
+                    outcome="fenced",
+                )
+                return "fenced"
             redirect = response.get("redirect")
             if not redirect:
                 break
@@ -726,6 +1020,27 @@ class CopernicusServer(Endpoint):
         return "duplicate" if response.get("duplicate") else "forwarded"
 
     def _on_project_status(self, message: Message) -> dict:
+        # the gateway's probe carries its fence table: {project_id:
+        # {"epoch", "owner"}} for every project migrated away from a
+        # shard it declared dead.  A healed zombie learns here — from
+        # its first answered probe — that it lost those projects and
+        # demotes itself synchronously; the demotion reports ride back
+        # in the response.  A live owner hosting at the same (or a
+        # newer) epoch is untouched.
+        demoted = []
+        for project_id, fence in (message.payload.get("fenced") or {}).items():
+            if not isinstance(fence, dict):
+                continue
+            epoch = int(fence.get("epoch", 0))
+            if (
+                project_id in self._sinks
+                and self.epochs.get(project_id, 0) < epoch
+            ):
+                demoted.append(
+                    self.demote_project(
+                        project_id, epoch, str(fence.get("owner", ""))
+                    )
+                )
         return {
             "server": self.name,
             "queued": len(self.queue),
@@ -736,6 +1051,8 @@ class CopernicusServer(Endpoint):
                 for w, cmds in self.assignments.items()
                 if cmds
             },
+            "fenced_projects": sorted(self.fenced),
+            "demoted": demoted,
         }
 
     # -- failure & liveness handling ---------------------------------------

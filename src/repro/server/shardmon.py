@@ -96,6 +96,15 @@ class ShardMonitor:
         self._records: Dict[str, ShardHealth] = {
             name: ShardHealth(shard=name) for name in shards
         }
+        #: Ownership fences learned from failovers: {project_id:
+        #: {"epoch": int, "owner": shard}}.  Carried on every probe so
+        #: a healed zombie shard learns from its first answered probe
+        #: that it lost those projects and demotes itself.
+        self.fences: Dict[str, dict] = {}
+        #: Demotion reports collected from healed zombies' probe
+        #: answers (invariant 14 cross-checks these against the event
+        #: log and the fencing-rejection counters).
+        self.demotions: List[dict] = []
         self._metrics = gateway.obs.metrics
         # Breaker-open transitions toward a shard are liveness
         # evidence too: a wildcard fetch or a result forward tripping
@@ -141,9 +150,13 @@ class ShardMonitor:
         try:
             # any hosted project id works for a liveness check; an
             # unknown project still answers with hosted=False, which
-            # proves the shard process is alive and serving.
+            # proves the shard process is alive and serving.  The
+            # fence table rides along so a healed zombie demotes
+            # itself from the very first probe it answers.
             status = self.gateway.send(
-                shard, MessageType.PROJECT_STATUS, {"project_id": "__probe__"}
+                shard,
+                MessageType.PROJECT_STATUS,
+                {"project_id": "__probe__", "fenced": dict(self.fences)},
             )
         except CommunicationError:
             record.misses += 1
@@ -155,6 +168,8 @@ class ShardMonitor:
         record.consecutive_misses = 0
         record.score = ewma(record.score, 1.0, self.policy.alpha)
         record.last_status = status or {}
+        for report in (status or {}).get("demoted") or []:
+            self.demotions.append(dict(report))
         self._count_probe(record, "ok")
         self._export(record)
         return True
@@ -163,9 +178,15 @@ class ShardMonitor:
         """Probe due shards; return shards newly declared dead."""
         newly_dead: List[str] = []
         for name, record in self._records.items():
-            if record.dead:
-                continue
             if now - record.last_probe < self.policy.probe_interval:
+                continue
+            if record.dead:
+                # zombie watch: a declared-dead shard stays on the
+                # probe schedule (never resurrected — death is one-way)
+                # so that if it was merely partitioned and heals, the
+                # fence table riding on the probe demotes it.  Misses
+                # are expected and quiet.
+                self.probe(name, now)
                 continue
             self.probe(name, now)
             if (
@@ -182,6 +203,21 @@ class ShardMonitor:
     def forget(self, shard: str) -> None:
         """Drop a shard from monitoring (post-failover cleanup)."""
         self._records.pop(shard, None)
+
+    def mark_dead(self, shard: str) -> None:
+        """Record a death verdict reached outside :meth:`check` (an
+        explicit drain, or a dispatch-path failover) so the shard
+        joins the zombie watch instead of being probed as live."""
+        record = self._records.get(shard)
+        if record is None:
+            record = ShardHealth(shard=shard)
+            self._records[shard] = record
+        record.dead = True
+
+    def record_fence(self, project_id: str, epoch: int, owner: str) -> None:
+        """Remember that *project_id* now lives at *owner* under
+        *epoch*; every future probe carries this fence."""
+        self.fences[project_id] = {"epoch": int(epoch), "owner": owner}
 
     def watch(self, shard: str) -> None:
         """Start monitoring a shard that joined after construction."""

@@ -295,6 +295,10 @@ class JournalState:
     leases: Dict[str, Set[str]] = field(default_factory=dict)
     #: Requeue transitions journaled (for reports/assertions).
     requeues: int = 0
+    #: Ownership epoch: monotonic per project, bumped on failover before
+    #: the journal ships, reseeded into the successor on resume.  Every
+    #: effectful write is fenced against it (invariant 14).
+    epoch: int = 0
 
     def lease_holder(self, command_id: str) -> Optional[str]:
         """The worker currently leasing *command_id*, if any."""
@@ -333,6 +337,9 @@ class JournalState:
                 ids
             )
             self.requeues += len(ids)
+        elif kind == "epoch":
+            # epochs only move forward; a replayed stale bump is a no-op
+            self.epoch = max(self.epoch, int(record["epoch"]))
         else:
             raise JournalCorruptionError(
                 f"unknown journal record type {kind!r}"
@@ -352,6 +359,7 @@ class JournalState:
             "checkpoints": dict(self.checkpoints),
             "leases": {w: sorted(ids) for w, ids in self.leases.items()},
             "requeues": int(self.requeues),
+            "epoch": int(self.epoch),
         }
 
     @classmethod
@@ -370,6 +378,8 @@ class JournalState:
             checkpoints=dict(payload["checkpoints"]),
             leases={w: set(ids) for w, ids in payload["leases"].items()},
             requeues=int(payload.get("requeues", 0)),
+            # pre-epoch snapshots load at epoch 0 (first ownership)
+            epoch=int(payload.get("epoch", 0)),
         )
 
 
@@ -540,6 +550,13 @@ class ProjectJournal:
         )
         self._maybe_snapshot()
 
+    def record_epoch(self, epoch: int) -> None:
+        """The project's ownership epoch moved forward (journal before
+        the new owner acts under it)."""
+        if int(epoch) <= self.state.epoch:
+            return  # idempotent: epochs only move forward
+        self._append({"type": "epoch", "epoch": int(epoch)})
+
     def record_requeued(self, worker: str, command_ids: List[str]) -> None:
         """Leased commands of a dead worker went back on the queue."""
         if not command_ids:
@@ -592,6 +609,18 @@ class ServerJournal:
     def project_ids(self) -> List[str]:
         """Projects with journals on disk."""
         return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    def release(self, project_id: str) -> None:
+        """Close and forget one project's journal (zombie demotion).
+
+        The on-disk files stay — they are the fenced regime's history,
+        useful for audits — but this server stops holding the append
+        handle and will not journal under the project again unless it
+        is re-adopted via :meth:`project`.
+        """
+        journal = self._journals.pop(project_id, None)
+        if journal is not None:
+            journal.close()
 
     def close(self) -> None:
         """Close every open project journal."""

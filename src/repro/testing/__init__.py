@@ -17,12 +17,16 @@ executable tests:
   respected, breaker accounting consistent).
 * :mod:`repro.testing.soak` — the multi-tenant soak:
   :func:`run_multitenant_soak` drives 100+ tenants' projects across a
-  sharded fabric under seeded faults and checks all thirteen
+  sharded fabric under seeded faults and checks all fourteen
   invariants (tenant isolation, exact quota accounting,
-  starvation-free aging and exact failover accounting included)
-  before returning; :func:`run_multitenant_with_shard_crash` kills a
-  shard mid-soak and proves the failover exactly-once against a
-  crash-free baseline of the same seed.
+  starvation-free aging, exact failover accounting and epoch fencing
+  included) before returning; :func:`run_multitenant_with_shard_crash`
+  kills a shard mid-soak and proves the failover exactly-once against
+  a crash-free baseline of the same seed;
+  :func:`run_multitenant_with_partitioned_shard` partitions a shard
+  instead — the "dead" shard's island keeps computing, the partition
+  heals, and the fenced zombie's split-brain completions must all be
+  rejected under the ownership epochs.
 * :mod:`repro.testing.scenarios` — canned deployments under fire:
   :func:`run_swarm_with_server_restart` kills the journaled project
   server mid-project and resumes it from disk; the liveness trio
@@ -39,6 +43,7 @@ from repro.testing.chaos import ChaosNetwork
 from repro.testing.faultplan import Fault, FaultKind, FaultPlan
 from repro.testing.invariants import Invariants
 from repro.testing.soak import (
+    PartitionResult,
     ShardCrashResult,
     SoakResult,
     TenantSpec,
@@ -47,6 +52,7 @@ from repro.testing.soak import (
     default_tenant_mix,
     live_completions,
     run_multitenant_soak,
+    run_multitenant_with_partitioned_shard,
     run_multitenant_with_shard_crash,
 )
 from repro.testing.scenarios import (
@@ -61,6 +67,7 @@ from repro.testing.scenarios import (
 
 __all__ = [
     "ChaosNetwork",
+    "PartitionResult",
     "Fault",
     "FaultKind",
     "FaultPlan",
@@ -74,6 +81,7 @@ __all__ = [
     "default_tenant_mix",
     "live_completions",
     "run_multitenant_soak",
+    "run_multitenant_with_partitioned_shard",
     "run_multitenant_with_shard_crash",
     "SwarmController",
     "run_relay_with_sick_peer",

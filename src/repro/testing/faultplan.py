@@ -86,6 +86,10 @@ class Fault:
         faults (crashes, slow worker) ``dst`` names the victim.
     link:
         For :attr:`FaultKind.PARTITION`: the (a, b) edge to sever.
+    directed:
+        For :attr:`FaultKind.PARTITION`: when true, only the
+        ``link[0] -> link[1]`` direction is severed; traffic the other
+        way still flows.  Built via :meth:`FaultPlan.partition_link`.
     after_index / until_index:
         Half-open delivery-index window in which the rule is active;
         ``until_index=None`` means "forever".  Endpoint faults use the
@@ -105,6 +109,7 @@ class Fault:
     dst: Optional[str] = None
     message_type: Optional[MessageType] = None
     link: Optional[Tuple[str, str]] = None
+    directed: bool = False
     after_index: int = 0
     until_index: Optional[int] = None
     probability: float = 1.0
@@ -145,12 +150,23 @@ class Fault:
         return True
 
     def matches_link(self, a: str, b: str) -> bool:
-        """Whether this (partition) rule severs the edge a<->b."""
-        return self.link is not None and set(self.link) == {a, b}
+        """Whether this (partition) rule severs the a->b traversal.
+
+        Symmetric rules (the default) sever both directions of the
+        edge; directed rules sever only the ``link[0] -> link[1]``
+        traversal, so the reverse direction still delivers.
+        """
+        if self.link is None:
+            return False
+        if self.directed:
+            return (a, b) == tuple(self.link)
+        return set(self.link) == {a, b}
 
     def describe(self) -> dict:
         """Schema-stable summary (used by reports and TESTING.md docs)."""
         out = {"kind": self.kind.value, "fired": self.fired}
+        if self.directed:
+            out["directed"] = True
         for key in (
             "src", "dst", "message_type", "link", "after_index",
             "until_index", "probability", "count", "delay_seconds",
@@ -223,6 +239,40 @@ class FaultPlan:
             Fault(
                 kind=FaultKind.PARTITION,
                 link=(a, b),
+                after_index=after_index,
+                until_index=until_index,
+                **kwargs,
+            )
+        )
+
+    def partition_link(
+        self,
+        src: str,
+        dst: str,
+        after_index: int = 0,
+        heal_after: Optional[int] = None,
+        **kwargs,
+    ) -> Fault:
+        """Sever only the ``src -> dst`` direction of a link.
+
+        Unlike :meth:`partition`, the reverse direction keeps
+        delivering — the asymmetric shape real partitions take (a
+        gateway that cannot reach a shard whose own uplink still
+        works).  ``heal_after`` schedules the heal: the partition
+        lifts ``heal_after`` deliveries after it activates
+        (``until_index = after_index + heal_after``); ``None`` means
+        the link never heals.
+        """
+        if heal_after is not None and heal_after < 1:
+            raise ConfigurationError(
+                f"heal_after must be >= 1 or None, got {heal_after}"
+            )
+        until_index = None if heal_after is None else after_index + heal_after
+        return self.add(
+            Fault(
+                kind=FaultKind.PARTITION,
+                link=(src, dst),
+                directed=True,
                 after_index=after_index,
                 until_index=until_index,
                 **kwargs,

@@ -59,6 +59,14 @@ The multi-tenant service plane adds three more:
     follows a ``SHARD_DEAD`` for its source shard and lands on a live
     shard, and the displaced/migrated counts agree across the event
     log, the runner's migration reports and the metrics registry.
+14. **Epoch fencing holds** — per-project ownership epochs
+    (``EPOCH_BUMPED``) move strictly forward, the current owner's
+    journal never accepted an effectful write stamped below the epoch
+    in force at that point of its history, and the fencing-rejection
+    counts agree across the event log, the shared metrics registry,
+    the live servers' counters and the zombies' demotion reports —
+    so a partitioned old owner can never smuggle a stale write past
+    a failover.
 
 When the event log spans more than one project, all command identity
 is *scoped* by project id, so two tenants reusing a command id (say,
@@ -73,13 +81,16 @@ violations; :meth:`Invariants.assert_ok` raises
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.command import scoped_command_id
 from repro.core.events import EventKind, EventLog
 from repro.core.project import ProjectStatus
 from repro.net.circuit import BreakerState
+from repro.server.wal import WriteAheadLog
 from repro.util.errors import InvariantViolation
+from repro.util.serialization import decode_message
 
 
 class Invariants:
@@ -217,6 +228,15 @@ class Invariants:
         checkpoints concurrently (the straggler and its speculative
         copy), so commands named in ``SPECULATION_STARTED`` events are
         tracked per ``(command, worker)`` stream instead of globally.
+
+        A ``COMMAND_RESTORED`` event starts a new execution regime for
+        its command: when the restore carried no journaled checkpoint
+        (``has_checkpoint=False`` — e.g. the checkpoint was only ever
+        reported to a peer shard that fetched the command, never to the
+        owner's journal) the command legitimately restarts from scratch
+        and its stream resets.  When a checkpoint *was* journaled, the
+        stream is reseeded at the journaled step instead — the restored
+        command must resume at or past it.
         """
         violations = []
         scope = self._scoper()
@@ -225,7 +245,17 @@ class Invariants:
             for record in self.events.filter(kind=EventKind.SPECULATION_STARTED)
         }
         last: Dict[tuple, tuple] = {}
-        for record in self.events.filter(kind=EventKind.CHECKPOINT_REPORTED):
+        for record in self.events.all():
+            if record.kind is EventKind.COMMAND_RESTORED:
+                command = scope(record.project_id, record.details.get("command"))
+                for key in [k for k in last if k[0] == command]:
+                    del last[key]
+                step = record.details.get("step")
+                if record.details.get("has_checkpoint") and step is not None:
+                    last[(command, None)] = (record.time, step)
+                continue
+            if record.kind is not EventKind.CHECKPOINT_REPORTED:
+                continue
             if record.details.get("command") is None:
                 continue
             command = scope(record.project_id, record.details["command"])
@@ -763,6 +793,166 @@ class Invariants:
                 )
         return violations
 
+    def check_epoch_fencing(self) -> List[str]:
+        """Invariant 14: ownership epochs fence every stale regime.
+
+        Three promises, cross-checked against independent recordings:
+        per-project ``EPOCH_BUMPED`` events move strictly forward; the
+        *current owner's* journal never accepted an effectful write
+        stamped below the epoch in force at that point of its history
+        (replayed record by record from disk); and the
+        fencing-rejection counts agree everywhere they are kept — the
+        event log, ``repro_fencing_rejections_total`` in the metrics
+        registry, the live servers' ``fencing_rejections`` counters,
+        and the demotion reports healed zombies answered probes with.
+        """
+        violations = []
+        last_epoch: Dict[str, int] = {}
+        for record in self.events.filter(kind=EventKind.EPOCH_BUMPED):
+            pid = record.project_id
+            epoch = int(record.details.get("epoch", 0))
+            prev = last_epoch.get(pid)
+            if prev is not None and epoch <= prev:
+                violations.append(
+                    f"epoch of {pid!r} bumped to {epoch} after {prev} "
+                    f"(epochs must move strictly forward; t={record.time})"
+                )
+            last_epoch[pid] = max(epoch, prev or 0)
+        violations += self._scan_owner_journals()
+        rejections = self.events.filter(kind=EventKind.FENCING_REJECTED)
+        obs = getattr(self.runner, "obs", None)
+        if obs is not None:
+            counted = obs.metrics.total("repro_fencing_rejections_total")
+            if counted != len(rejections):
+                violations.append(
+                    f"metrics count {counted:.0f} fencing rejections but "
+                    f"the event log records {len(rejections)}"
+                )
+        counter_total = sum(
+            getattr(server, "fencing_rejections", 0)
+            for server in self._servers
+        )
+        if counter_total != len(rejections):
+            violations.append(
+                f"live servers count {counter_total} fencing rejections "
+                f"but the event log records {len(rejections)}"
+            )
+        if rejections and not last_epoch:
+            violations.append(
+                f"{len(rejections)} fencing rejections logged but no epoch "
+                f"was ever bumped (nothing to be stale against)"
+            )
+        # demotion reports: internally consistent, and their rejected
+        # forwards can never exceed the owners' forward-path rejections
+        monitor = getattr(self.runner, "monitor", None)
+        reports = list(getattr(monitor, "demotions", None) or [])
+        forward_rejections = sum(
+            1 for r in rejections if r.details.get("path") == "forward"
+        )
+        reported_rejected = 0
+        for report in reports:
+            pid = report.get("project_id")
+            rejected = int(report.get("forwards_rejected", 0))
+            duplicate = int(report.get("forwards_duplicate", 0))
+            forwarded = int(report.get("results_forwarded", 0))
+            reported_rejected += rejected
+            if rejected + duplicate > forwarded:
+                violations.append(
+                    f"demotion of {pid!r} at {report.get('server')!r} "
+                    f"accounts for {rejected} rejected + {duplicate} "
+                    f"duplicate forwards out of only {forwarded} forwarded "
+                    f"results"
+                )
+            if int(report.get("epoch", 0)) <= int(
+                report.get("stale_epoch", 0)
+            ):
+                violations.append(
+                    f"demotion of {pid!r} fenced stale epoch "
+                    f"{report.get('stale_epoch')} with a non-newer epoch "
+                    f"{report.get('epoch')}"
+                )
+        if reported_rejected > forward_rejections:
+            violations.append(
+                f"demotion reports account for {reported_rejected} rejected "
+                f"forwards but owners logged only {forward_rejections} "
+                f"forward-path rejections"
+            )
+        return violations
+
+    def _scan_owner_journals(self) -> List[str]:
+        """Replay each project's *current owner's* journal directory.
+
+        A fenced zombie's own directory legitimately holds
+        stale-stamped writes — its whole regime was fenced and
+        discarded at demotion — so only the owner of record is held to
+        the no-stale-writes promise.  Runners without journals (or
+        without a shard router) have no durable history to scan.
+        """
+        violations = []
+        root = getattr(self.runner, "_journal_root", None)
+        router = getattr(self.runner, "router", None)
+        if root is None or router is None:
+            return violations
+        for pid in sorted(getattr(self.runner, "_projects", {})):
+            try:
+                owner = router.route(pid)
+            except Exception:
+                continue  # every shard parked/dead: no owner to hold
+            directory = Path(root) / owner / pid
+            if directory.is_dir():
+                violations += self._scan_journal_dir(pid, owner, directory)
+        return violations
+
+    def _scan_journal_dir(
+        self, pid: str, owner: str, directory: Path
+    ) -> List[str]:
+        """One journal directory, replayed record by record: epoch
+        records strictly advance, and no result record carries a stamp
+        below the epoch in force when it was accepted."""
+        violations = []
+        epoch = 0
+        snapshot_seq = -1
+        snapshots = sorted(directory.glob("snapshot-*.bin"))
+        if snapshots:
+            try:
+                payload = decode_message(snapshots[-1].read_bytes())
+            except Exception as exc:
+                return [
+                    f"journal of {pid!r} at {owner!r}: snapshot "
+                    f"{snapshots[-1].name} unreadable ({exc})"
+                ]
+            epoch = int(payload.get("epoch", 0))
+            snapshot_seq = int(payload.get("last_seq", -1))
+        wal_dir = directory / "wal"
+        if not wal_dir.is_dir():
+            return violations
+        wal = WriteAheadLog(wal_dir, fsync=False)
+        try:
+            for record in wal.records():
+                if int(record.get("seq", -1)) <= snapshot_seq:
+                    continue  # already folded into the snapshot
+                kind = record.get("type")
+                if kind == "epoch":
+                    bumped = int(record.get("epoch", 0))
+                    if bumped <= epoch:
+                        violations.append(
+                            f"journal of {pid!r} at {owner!r}: epoch record "
+                            f"{bumped} does not advance past {epoch}"
+                        )
+                    epoch = max(epoch, bumped)
+                elif kind == "result":
+                    command = record.get("command") or {}
+                    stamp = int(command.get("epoch", 0))
+                    if stamp < epoch:
+                        violations.append(
+                            f"journal of {pid!r} at {owner!r}: result for "
+                            f"{command.get('command_id')!r} accepted at "
+                            f"stale epoch {stamp} < {epoch}"
+                        )
+        finally:
+            wal.close()
+        return violations
+
     # -- entry points ------------------------------------------------------
 
     def check(self) -> List[str]:
@@ -781,6 +971,7 @@ class Invariants:
             + self.check_quota_accounting()
             + self.check_starvation_free_aging()
             + self.check_migration_accounting()
+            + self.check_epoch_fencing()
         )
 
     def assert_ok(self) -> None:

@@ -4,7 +4,7 @@ The service-plane claim ("one overlay, many users") needs a test shape
 of its own: not one project surviving faults, but *hundreds of
 tenants* sharing shard servers, quotas, weights and backpressure
 limits while the chaos layer drops, delays and duplicates messages —
-and all thirteen recovery invariants still holding at the end, with zero
+and all fourteen recovery invariants still holding at the end, with zero
 cross-tenant leakage and exact quota ledgers.
 
 :func:`run_multitenant_soak` builds that world deterministically from
@@ -159,11 +159,15 @@ def _build_fabric(
     cores_per_worker: int,
     heartbeat_interval: float,
     segment_steps: int,
+    segments_per_cycle: Optional[int] = None,
 ) -> Tuple[CopernicusServer, List[CopernicusServer], List[Worker]]:
     """The standard soak fabric: gateway + shards + per-shard workers.
 
     Endpoint names are ``gateway``, ``shard{s}`` and ``s{s}w{w}`` —
     the names fault plans and scenario victims address.
+    ``segments_per_cycle`` paces execution (a command spans several
+    work cycles instead of finishing within one), which scenarios use
+    to keep work genuinely in flight across a fault boundary.
     """
     gateway = CopernicusServer(
         "gateway", network, heartbeat_interval=heartbeat_interval
@@ -184,6 +188,7 @@ def _build_fabric(
                 server=f"shard{s}",
                 platform=SMPPlatform(cores=cores_per_worker),
                 segment_steps=segment_steps,
+                segments_per_cycle=segments_per_cycle,
             )
             network.connect(f"shard{s}", name, latency=LATENCY_LOCAL)
             workers.append(worker)
@@ -231,7 +236,7 @@ class SoakResult:
     schedulers: Dict[str, FairShareScheduler]
     specs: List[TenantSpec]
     controllers: Dict[str, TenantSwarmController]
-    #: All thirteen invariants, checked post-run (empty = green).
+    #: All fourteen invariants, checked post-run (empty = green).
     violations: List[str]
     #: Per-tenant rollup (shard, status, issue/complete, ledger).
     report: Dict[str, Dict]
@@ -265,6 +270,7 @@ def run_multitenant_soak(
     heartbeat_interval: float = 120.0,
     tick: float = 60.0,
     segment_steps: int = 1000,
+    segments_per_cycle: Optional[int] = None,
     max_cycles: int = 20000,
     seed: int = 0,
 ) -> SoakResult:
@@ -275,7 +281,7 @@ def run_multitenant_soak(
     *plan* (default: :func:`default_soak_faults` seeded with *seed*),
     submits every tenant's project to its consistent-hashed shard
     under the assembled fair-share policy, runs the fleet to
-    completion, and checks **all thirteen invariants** before returning.
+    completion, and checks **all fourteen invariants** before returning.
 
     The returned :class:`SoakResult` is a pure function of the
     arguments: same seed, same transcript, same verdict.
@@ -305,7 +311,7 @@ def run_multitenant_soak(
 
     gateway, shards, workers = _build_fabric(
         network, n_shards, workers_per_shard, cores_per_worker,
-        heartbeat_interval, segment_steps,
+        heartbeat_interval, segment_steps, segments_per_cycle,
     )
 
     runner = MultiProjectRunner(network, shards, workers, tick=tick)
@@ -445,7 +451,7 @@ def run_multitenant_with_shard_crash(
     name), so the failover always has live work to migrate.
 
     Returns a :class:`ShardCrashResult`; ``exactly_once`` is the
-    headline verdict and ``violations`` covers all thirteen
+    headline verdict and ``violations`` covers all fourteen
     invariants.
     """
     journal_root = Path(journal_root)
@@ -596,4 +602,343 @@ def run_multitenant_with_shard_crash(
         completions=live_completions(runner.events),
         baseline=base,
         baseline_completions=baseline_completions,
+    )
+
+
+@dataclass
+class PartitionResult(ShardCrashResult):
+    """A :class:`ShardCrashResult` whose victim never died.
+
+    The shard was *partitioned* from the gateway: the fleet declared
+    it dead and failed over, but on the island side of the cut the
+    shard kept running — a zombie owner serving its local workers
+    under the old ownership epoch.  When the partition heals, the
+    fence table riding the gateway's probes demotes it
+    (``PROJECT_FENCED``), and every write of its stale regime is
+    rejected (``FENCING_REJECTED``) rather than applied.
+    """
+
+    #: Delivery index at which the gateway<->victim link was severed
+    #: (both directions, as two directed rules).
+    partition_index: int = 0
+    #: Delivery index at which the partition healed.
+    heal_index: int = 0
+    #: ``(project, command)`` completions the zombie applied locally
+    #: during split-brain — journaled under its stale epoch, fenced at
+    #: demotion, never delivered to a live controller.
+    zombie_completions: List[Tuple[str, str]] = None  # type: ignore[assignment]
+    #: The zombie's detached event log: its split-brain story
+    #: (PROJECT_FENCED included) lands here, not in the fleet's log.
+    zombie_events: Optional[EventLog] = None
+    #: Demotion reports the gateway's monitor collected from the
+    #: healed zombie's probe answers.
+    demotions: List[Dict] = None  # type: ignore[assignment]
+    #: End-of-run fencing counters from the shared metrics registry.
+    fencing: Dict[str, float] = None  # type: ignore[assignment]
+
+    def migration_timeline(self) -> List[Dict[str, Any]]:
+        """The partition as an ordered record list (the CI artifact):
+        shard death, migrations, epoch bumps, fencing rejections and
+        the zombie's demotion — merged from the fleet's log and the
+        zombie's detached one, in time order."""
+        kinds = {
+            EventKind.SHARD_DEAD,
+            EventKind.SERVER_RECOVERED,
+            EventKind.COMMAND_RESTORED,
+            EventKind.PROJECT_MIGRATED,
+            EventKind.EPOCH_BUMPED,
+            EventKind.FENCING_REJECTED,
+            EventKind.PROJECT_FENCED,
+            EventKind.PROJECT_PARKED,
+            EventKind.PROJECT_UNPARKED,
+        }
+        merged = list(self.runner.events.all())
+        if self.zombie_events is not None:
+            merged.extend(self.zombie_events.all())
+        timeline = [
+            {
+                "time": record.time,
+                "kind": record.kind.value,
+                "project": record.project_id,
+                **record.details,
+            }
+            for record in merged
+            if record.kind in kinds
+        ]
+        # stable by time only: same-tick events keep their causal
+        # insertion order (shard_dead before the restores it caused)
+        timeline.sort(key=lambda entry: entry["time"])
+        return timeline
+
+
+def run_multitenant_with_partitioned_shard(
+    journal_root: str | Path,
+    n_tenants: int = 12,
+    n_shards: int = 3,
+    workers_per_shard: int = 2,
+    cores_per_worker: int = 2,
+    n_steps: int = 300,
+    specs: Optional[List[TenantSpec]] = None,
+    plan: Optional[FaultPlan] = None,
+    configure: Optional[Callable[[FaultPlan], None]] = None,
+    victim: Optional[str] = None,
+    partition_after_results: int = 3,
+    heal_after: int = 1500,
+    baseline: bool = True,
+    probe_policy: Optional[ShardProbePolicy] = None,
+    max_wait_seconds: float = DEFAULT_MAX_WAIT_SECONDS,
+    heartbeat_interval: float = 120.0,
+    tick: float = 60.0,
+    segment_steps: int = 100,
+    segments_per_cycle: Optional[int] = 2,
+    max_cycles: int = 20000,
+    seed: int = 0,
+) -> PartitionResult:
+    """Partition a shard mid-soak, fail over, heal — and fence the zombie.
+
+    The canned scenario behind invariant 14 (epoch fencing).  Where
+    :func:`run_multitenant_with_shard_crash` kills its victim outright,
+    this scenario only *cuts the victim off from the gateway* — the
+    worst case for ownership, because the old owner stays alive and
+    keeps accepting work from the workers on its side of the cut.  It
+    runs in three acts:
+
+    1. **Baseline** (unless ``baseline=False``): the identical tenant
+       population runs partition-free under the same seed, capturing
+       the expected :func:`live_completions` multiset.
+    2. **Partition and failover**: once ``partition_after_results``
+       results are journaled fleet-wide, two directed
+       :meth:`~repro.testing.faultplan.FaultPlan.partition_link` rules
+       sever ``gateway -> victim`` and ``victim -> gateway`` for
+       ``heal_after`` deliveries.  The monitor's probes miss, the
+       fleet fails over — per-project epochs bump in the source
+       journal before shipping — and the victim's tenants resume on
+       their successors.  Meanwhile the scenario detaches the zombie's
+       island: its workers point back at it, its events land in a
+       private log and its result sinks record locally, so the zombie
+       genuinely runs a split-brain regime under the stale epoch.
+    3. **Heal and demotion**: the partition lifts; the zombie answers
+       its next probe, finds every hosted project fenced at a higher
+       epoch, and demotes itself — voiding leases, purging queues and
+       forwarding its journaled results stale-stamped to the new
+       owners, where each is rejected and counted
+       (``repro_fencing_rejections_total``), never applied.  The loop
+       runs until every tenant completes *and* the demotion reports
+       arrive.
+
+    Returns a :class:`PartitionResult`; ``exactly_once`` (live
+    completions equal to the partition-free baseline's, zombie
+    completions excluded) is the headline verdict, ``violations``
+    covers all fourteen invariants.
+    """
+    journal_root = Path(journal_root)
+    specs = specs if specs is not None else default_tenant_mix(
+        n_tenants, n_steps=n_steps
+    )
+    if not specs:
+        raise ConfigurationError("partition scenario needs >= 1 tenant")
+    if len({spec.name for spec in specs}) != len(specs):
+        raise ConfigurationError("tenant names must be unique")
+    if n_shards < 2:
+        raise ConfigurationError(
+            "shard failover needs >= 2 shards (a successor must exist)"
+        )
+    if heal_after < 1:
+        raise ConfigurationError(
+            f"heal_after must be >= 1, got {heal_after}"
+        )
+
+    base: Optional[SoakResult] = None
+    baseline_completions: Optional[List[Tuple[str, str]]] = None
+    if baseline:
+        base = run_multitenant_soak(
+            n_shards=n_shards,
+            workers_per_shard=workers_per_shard,
+            cores_per_worker=cores_per_worker,
+            n_steps=n_steps,
+            specs=specs,
+            max_wait_seconds=max_wait_seconds,
+            heartbeat_interval=heartbeat_interval,
+            tick=tick,
+            segment_steps=segment_steps,
+            segments_per_cycle=segments_per_cycle,
+            max_cycles=max_cycles,
+            seed=seed,
+        )
+        baseline_completions = live_completions(base.runner.events)
+
+    network = ChaosNetwork(plan=plan or FaultPlan(seed=seed), seed=seed)
+    if plan is None and configure is None:
+        default_soak_faults(network.plan)
+    if configure is not None:
+        configure(network.plan)
+
+    # paced execution by default (segments_per_cycle): commands span
+    # several work cycles, so the island genuinely has work in flight
+    # when the failover happens — the split-brain regime completes it
+    # under the stale epoch instead of having drained before the cut
+    # mattered
+    gateway, shards, workers = _build_fabric(
+        network, n_shards, workers_per_shard, cores_per_worker,
+        heartbeat_interval, segment_steps, segments_per_cycle,
+    )
+    runner = MultiProjectRunner(network, shards, workers, tick=tick)
+    runner.attach_journals(journal_root)
+    policy = FairSharePolicy(
+        tenants={spec.name: spec.policy() for spec in specs},
+        max_wait_seconds=max_wait_seconds,
+    )
+    schedulers = runner.apply_fairshare(policy)
+    runner.attach_shard_monitor(gateway, probe_policy)
+
+    for spec in specs:
+        runner.submit(
+            Project(spec.name),
+            TenantSwarmController(spec),
+            controller_factory=lambda spec=spec: TenantSwarmController(spec),
+        )
+
+    # ---- act 2: drive to the partition point, then cut the link --------
+    for server in runner.servers:
+        server.events = runner.events
+        server.clock = max(server.clock, runner.now)
+    threshold = partition_after_results
+    partitioned = False
+    for _ in range(max_cycles):
+        for worker in workers:
+            if worker.crashed:
+                continue
+            worker_now = runner.now + worker.poll_offset
+            worker.heartbeat(worker_now)
+            worker.work_once(now=worker_now)
+            if _journaled_results(runner.shards) >= threshold:
+                partitioned = True
+                break
+        if partitioned:
+            break
+        runner.now += tick
+        runner._liveness_sweep()
+        if runner._all_complete():
+            break
+    if not partitioned:
+        raise SchedulingError(
+            f"tenants finished before {threshold} results could trigger "
+            f"the partition; lower partition_after_results"
+        )
+    if victim is None:
+        if runner._all_complete():
+            raise SchedulingError(
+                "every tenant finished before the partition point; lower "
+                "partition_after_results"
+            )
+        incomplete: Dict[str, int] = {}
+        for spec in specs:
+            if runner.project(spec.name).status is not ProjectStatus.COMPLETE:
+                home = runner.shard_of(spec.name)
+                incomplete[home] = incomplete.get(home, 0) + 1
+        victim = max(sorted(incomplete), key=lambda name: incomplete[name])
+    zombie = runner._shards_by_name.get(victim)
+    if zombie is None:
+        raise ConfigurationError(f"victim {victim!r} is not a live shard")
+    island_workers = [w for w in workers if w.server == victim]
+    results_before = _journaled_results(runner.shards)
+    partition_index = network.delivery_index
+    heal_index = partition_index + heal_after
+    # the actual cut: both directions of the gateway<->victim edge go
+    # dark for heal_after deliveries.  The victim's own workers stay
+    # connected — that asymmetry is the whole point.
+    network.plan.partition_link(
+        "gateway", victim, after_index=partition_index, heal_after=heal_after
+    )
+    network.plan.partition_link(
+        victim, "gateway", after_index=partition_index, heal_after=heal_after
+    )
+
+    # ---- act 3: failover, split-brain, heal, demotion -------------------
+    zombie_log = EventLog()
+    zombie_completions: List[Tuple[str, str]] = []
+    rewired = False
+    done = False
+    for _ in range(max_cycles):
+        for worker in workers:
+            if worker.crashed:
+                continue
+            worker_now = runner.now + worker.poll_offset
+            worker.heartbeat(worker_now)
+            worker.work_once(now=worker_now)
+        runner.now += tick
+        runner._liveness_sweep()
+        if not rewired and runner.migrations:
+            # The fleet just failed over — but the zombie is alive on
+            # the island side of the cut.  Detach it from the fleet's
+            # world so the harness observes a true split-brain: its
+            # workers point back at it (the failover re-homed them at
+            # a successor they cannot reach), its events land in a
+            # private log, and its result sinks record locally — the
+            # live controllers for its projects now run on the
+            # successors, and feeding them from the stale regime would
+            # falsify the exactly-once comparison this scenario exists
+            # to make.
+            for worker in island_workers:
+                worker.server = victim
+            zombie.events = zombie_log
+            for pid in list(zombie._sinks):
+                zombie._sinks[pid] = (
+                    lambda command, result, pid=pid:
+                    zombie_completions.append((pid, command.command_id))
+                )
+            rewired = True
+        if (
+            rewired
+            and network.delivery_index >= heal_index
+            and runner.monitor.demotions
+            and runner._all_complete()
+        ):
+            done = True
+            break
+    if not done:
+        raise SchedulingError(
+            f"partition scenario did not converge within {max_cycles} "
+            f"cycles (rewired={rewired}, "
+            f"healed={network.delivery_index >= heal_index}, "
+            f"demotions={len(runner.monitor.demotions)})"
+        )
+
+    metrics = network.obs.metrics
+    violations = Invariants(runner).check()
+    return PartitionResult(
+        runner=runner,
+        network=network,
+        shards=runner.shards,
+        workers=workers,
+        schedulers=schedulers,
+        specs=specs,
+        controllers={
+            spec.name: runner.controller(spec.name) for spec in specs
+        },
+        violations=violations,
+        report=runner.tenant_report(),
+        transcript=runner.events.to_text(),
+        chaos=network.chaos_report(),
+        victim=victim,
+        crash_delivery_index=partition_index,
+        results_before_crash=results_before,
+        migrations=list(runner.migrations),
+        completions=live_completions(runner.events),
+        baseline=base,
+        baseline_completions=baseline_completions,
+        partition_index=partition_index,
+        heal_index=heal_index,
+        zombie_completions=zombie_completions,
+        zombie_events=zombie_log,
+        demotions=[dict(r) for r in runner.monitor.demotions],
+        fencing={
+            "rejections_total": metrics.total(
+                "repro_fencing_rejections_total"
+            ),
+            "projects_fenced_total": metrics.total(
+                "repro_projects_fenced_total"
+            ),
+            "epoch_bumps_total": metrics.total("repro_epoch_bumps_total"),
+        },
     )

@@ -40,6 +40,23 @@ class WildcardUnclaimedError(CommunicationError):
     transient nor retried."""
 
 
+class FencedError(CommunicationError):
+    """A write carried a stale ownership epoch and the project's current
+    owner rejected it.  Raised on the *writer's* side after the owner
+    answers a fencing rejection.  Like :class:`WildcardUnclaimedError`
+    this is permanent-but-quiet: the verdict is authoritative (retrying
+    cannot help — the epoch only moves forward), so it is neither
+    transient nor retried and must never feed circuit-breaker
+    penalties.  The fenced shard's correct reaction is demotion, not
+    persistence."""
+
+    def __init__(self, message: str, project_id: str = "", stale_epoch: int = -1, current_epoch: int = -1) -> None:
+        super().__init__(message)
+        self.project_id = project_id
+        self.stale_epoch = stale_epoch
+        self.current_epoch = current_epoch
+
+
 class PersistenceError(ReproError):
     """Durable state (journal, snapshot, result log) could not be
     written or read back."""

@@ -331,3 +331,137 @@ def test_chaos_report_structure():
     assert report["dropped"] == 1
     assert report["firings"] == 1
     assert report["faults"][0]["kind"] == FaultKind.DROP.value
+
+
+# ------------------------------------------------------- directed partitions
+
+
+def test_directed_partition_is_asymmetric():
+    # packets a->b drop; packets b->a deliver — the shape a real
+    # partition takes (a gateway that cannot reach a shard whose own
+    # uplink still works).  A request from b still *arrives* (the
+    # reverse direction flows), though its answer dies on the cut.
+    plan = FaultPlan(seed=0)
+    plan.partition_link("a", "b")
+    net = ChaosNetwork(plan=plan, seed=0)
+    reached = {"a": 0, "b": 0}
+
+    def recorder(name):
+        def handler(message):
+            reached[name] += 1
+            return {"echo": message.payload}
+
+        return handler
+
+    Endpoint("a", net, handler=recorder("a"), retry_policy=RetryPolicy(max_retries=0))
+    Endpoint("b", net, handler=recorder("b"), retry_policy=RetryPolicy(max_retries=0))
+    net.connect("a", "b")
+    # severed direction: the request never reaches b at all
+    with pytest.raises(TransientCommunicationError):
+        net.endpoint("a").send("b", MessageType.PROJECT_STATUS, {})
+    assert reached["b"] == 0
+    # reverse direction: the request crosses and is handled — only the
+    # answer (a packet travelling a->b) dies on the same cut
+    with pytest.raises(TransientCommunicationError):
+        net.endpoint("b").send("a", MessageType.HEARTBEAT, {"w": 1})
+    assert reached["a"] == 1
+
+
+def test_directed_partition_leaves_symmetric_rule_semantics_alone():
+    # the undirected rule severs both directions of the same edge
+    plan = FaultPlan(seed=0)
+    plan.partition("a", "b")
+    net, _ = make_pair(plan=plan, retry_policy=RetryPolicy(max_retries=0))
+    with pytest.raises(TransientCommunicationError):
+        net.endpoint("a").send("b", MessageType.PROJECT_STATUS, {})
+    with pytest.raises(TransientCommunicationError):
+        net.endpoint("b").send("a", MessageType.HEARTBEAT, {})
+
+
+def test_partition_link_heals_on_schedule():
+    plan = FaultPlan(seed=0)
+    fault = plan.partition_link("a", "b", after_index=0, heal_after=3)
+    assert fault.until_index == 3
+    net, _ = make_pair(plan=plan, retry_policy=RetryPolicy(max_retries=0))
+    a = net.endpoint("a")
+    outcomes = []
+    for _ in range(5):
+        try:
+            a.send("b", MessageType.PROJECT_STATUS, {})
+            outcomes.append("ok")
+        except TransientCommunicationError:
+            outcomes.append("cut")
+    # deliveries 0..2 die on the cut; the heal lifts it at index 3
+    assert outcomes == ["cut", "cut", "cut", "ok", "ok"]
+    assert fault.fired == 3
+
+
+def test_partition_link_rejects_bad_heal_budget():
+    plan = FaultPlan(seed=0)
+    with pytest.raises(ConfigurationError):
+        plan.partition_link("a", "b", heal_after=0)
+
+
+def test_flaky_directed_partition_is_seed_reproducible():
+    def pattern(seed):
+        plan = FaultPlan(seed=seed)
+        plan.partition_link("a", "b", probability=0.5)
+        net, _ = make_pair(plan=plan, retry_policy=RetryPolicy(max_retries=0))
+        a = net.endpoint("a")
+        outcomes = []
+        for _ in range(12):
+            try:
+                a.send("b", MessageType.PROJECT_STATUS, {})
+                outcomes.append("ok")
+            except TransientCommunicationError:
+                outcomes.append("cut")
+        return outcomes
+
+    first = pattern(3)
+    assert first == pattern(3)
+    assert "ok" in first and "cut" in first  # genuinely flaky, not constant
+
+
+def test_breaker_half_open_probe_closes_after_directed_heal():
+    """The circuit breaker's life cycle across a partition-with-heal:
+    open on the first severed wildcard probe, skip while open, and
+    close through a half-open probe once the link heals."""
+    from repro.net.circuit import BreakerPolicy, BreakerState
+
+    plan = FaultPlan(seed=0)
+    # a wildcard walk consumes one delivery index however many peers
+    # it probes: two walks under the cut, healed from the third on
+    fault = plan.partition_link("a", "b", after_index=0, heal_after=2)
+    net = ChaosNetwork(plan=plan, seed=0)
+    Endpoint(
+        "a", net, handler=lambda m: None,
+        breaker_policy=BreakerPolicy(
+            failure_threshold=1, cooldown_seconds=50.0, half_open_probes=1
+        ),
+    )
+    Endpoint("b", net, handler=lambda m: {"by": "b"})
+    Endpoint("c", net, handler=lambda m: {"by": "c"})
+    net.connect("a", "b")
+    net.connect("a", "c")
+    a = net.endpoint("a")
+
+    # walk 1 (deliveries 0-1): the severed probe to b opens the
+    # breaker; the walk moves on and c claims the request
+    assert a.send(ANY_SERVER, MessageType.COMMAND_FETCH, {}) == {"by": "c"}
+    breaker = a.breaker_for("b")
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.opens == 1
+
+    # walk 2, still inside the cooldown: b is skipped outright — no
+    # delivery is even attempted toward it
+    a.clock = 10.0
+    assert a.send(ANY_SERVER, MessageType.COMMAND_FETCH, {}) == {"by": "c"}
+    assert breaker.skips == 1
+
+    # the link healed at delivery index 2; once the cooldown elapses
+    # the half-open probe reaches b, succeeds, and closes the breaker
+    assert net.delivery_index >= fault.until_index
+    a.clock = 60.0
+    assert a.send(ANY_SERVER, MessageType.COMMAND_FETCH, {}) == {"by": "b"}
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.closes == 1

@@ -1,0 +1,238 @@
+"""Partition-with-heal chaos: epoch fencing end to end, invariant 14.
+
+The zombie problem shard failover left open: a shard declared dead may
+not be a corpse — a partition can make it *look* dead while its island
+of workers keeps computing.  When the partition heals, the zombie is a
+split-brain writer.  These tests prove the ownership-epoch machinery
+composed: the canned partition scenario (partition -> migration ->
+heal -> demotion) stays exactly-once across seeds, a successor-less
+failover parks instead of failing, partition-free runs report zero
+fencing rejections, and invariant 14 catches fabricated stale-epoch
+acceptance when red-teamed.
+"""
+
+import pytest
+
+from repro.core.events import EventKind
+from repro.server.server import CopernicusServer
+from repro.testing import (
+    Invariants,
+    live_completions,
+    run_multitenant_soak,
+    run_multitenant_with_partitioned_shard,
+)
+from repro.util.errors import ConfigurationError
+
+from tests.test_shard_failover import build_fleet, drive, submit_swarms
+
+
+# -- the canned partition scenario -----------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_partition_scenario_is_exactly_once(tmp_path, seed):
+    result = run_multitenant_with_partitioned_shard(
+        tmp_path / f"seed{seed}", seed=seed
+    )
+    assert result.violations == []
+    # the partition was mistaken for a death: projects really migrated
+    assert result.migrations, "the partition must trigger a failover"
+    assert all(m.epoch >= 1 for m in result.migrations)
+    # the headline: despite a split-brain island completing commands
+    # behind the partition, the live-completion multiset equals the
+    # partition-free baseline's — nothing lost, nothing doubled
+    assert result.baseline_completions is not None
+    assert result.exactly_once
+    # the island genuinely computed behind the partition (otherwise
+    # this scenario proves nothing) and every one of those stale
+    # completions was fenced, not applied
+    assert result.zombie_completions
+    assert result.fencing["rejections_total"] > 0
+    assert result.fencing["epoch_bumps_total"] == len(result.migrations)
+    # the healed zombie demoted itself — one report per displaced
+    # project, each moving to a strictly newer epoch
+    assert result.demotions
+    assert {d["project_id"] for d in result.demotions} == {
+        m.project_id for m in result.migrations
+    }
+    for report in result.demotions:
+        assert report["epoch"] > report["stale_epoch"]
+        assert report["server"] == result.victim
+    assert result.fencing["projects_fenced_total"] == len(result.demotions)
+    # the merged timeline tells the whole story in order
+    kinds = [t["kind"] for t in result.migration_timeline()]
+    assert kinds[0] == "shard_dead"
+    for kind in ("epoch_bumped", "project_migrated", "project_fenced"):
+        assert kind in kinds
+    assert kinds.index("project_migrated") < kinds.index("project_fenced")
+
+
+def test_partition_scenario_respects_explicit_victim(tmp_path):
+    result = run_multitenant_with_partitioned_shard(
+        tmp_path, n_tenants=8, victim="shard1", baseline=False, seed=0
+    )
+    assert result.victim == "shard1"
+    assert result.baseline is None and result.baseline_completions is None
+    assert result.exactly_once  # vacuous without a baseline
+    assert result.violations == []
+    assert result.demotions
+
+
+def test_partition_scenario_rejects_bad_config(tmp_path):
+    with pytest.raises(ConfigurationError):
+        run_multitenant_with_partitioned_shard(tmp_path, n_shards=1)
+    with pytest.raises(ConfigurationError):
+        run_multitenant_with_partitioned_shard(
+            tmp_path, n_tenants=4, victim="not-a-shard", baseline=False
+        )
+
+
+def test_partition_free_soak_reports_zero_fencing_rejections(tmp_path):
+    # the negative control the CI job asserts: without a partition no
+    # write is ever fenced and no epoch ever bumps
+    result = run_multitenant_soak(n_tenants=6, n_shards=2, seed=0)
+    assert result.violations == []
+    metrics = result.runner.obs.metrics
+    assert metrics.total("repro_fencing_rejections_total") == 0
+    assert metrics.total("repro_epoch_bumps_total") == 0
+    assert metrics.total("repro_projects_fenced_total") == 0
+
+
+# -- satellite: successor-less failover parks ------------------------------
+
+
+def test_failover_without_successor_parks_and_add_shard_resumes(tmp_path):
+    network, gateway, runner = build_fleet(
+        tmp_path, n_shards=1, workers_per_shard=2
+    )
+    pids = ["alpha", "beta"]
+    submit_swarms(runner, pids)
+    drive(runner, 2)  # some results journal before the death
+
+    # the only shard dies: nothing to migrate to — the projects park
+    # with their journals intact instead of failing the sweep
+    assert runner.fail_over("shard0") == []
+    parked = runner.events.filter(kind=EventKind.PROJECT_PARKED)
+    assert sorted(e.project_id for e in parked) == pids
+    assert runner.obs.metrics.total("repro_projects_parked_total") == 2
+    assert runner.migrations == []
+
+    # a replacement joins under a fresh name: the parked projects are
+    # migrated onto it from the dead shard's journals
+    replacement = CopernicusServer("shard1", network)
+    network.connect("gateway", "shard1")
+    for worker in runner.workers:
+        network.connect("shard1", worker.name)
+    reports = runner.add_shard(replacement)
+    assert sorted(r.project_id for r in reports) == pids
+    assert all(r.to_shard == "shard1" for r in reports)
+    assert all(r.epoch >= 1 for r in reports)
+    unparked = runner.events.filter(kind=EventKind.PROJECT_UNPARKED)
+    assert sorted(e.project_id for e in unparked) == pids
+    assert runner.obs.metrics.total("repro_projects_unparked_total") == 2
+    # the stranded workers were re-pointed at the replacement
+    assert all(worker.server == "shard1" for worker in runner.workers)
+
+    # and the fleet finishes exactly-once under the new regime
+    runner.run()
+    assert Invariants(runner).check() == []
+    expected = sorted((pid, f"cmd{k}") for pid in pids for k in range(3))
+    assert live_completions(runner.events) == expected
+
+
+def test_replacement_shard_may_not_reuse_a_dead_name(tmp_path):
+    network, gateway, runner = build_fleet(
+        tmp_path, n_shards=1, workers_per_shard=1
+    )
+    submit_swarms(runner, ["alpha"])
+    drive(runner, 1)
+    runner.fail_over("shard0")
+    # (built on a side network: the overlay also refuses duplicate
+    # endpoint names, which is not the refusal under test here)
+    from repro.net.transport import Network
+
+    with pytest.raises(ConfigurationError):
+        runner.add_shard(CopernicusServer("shard0", Network(seed=1)))
+
+
+# -- red team: invariant 14 ------------------------------------------------
+
+
+def finish_clean_fleet(tmp_path):
+    """A completed two-project run with journals — invariant-clean."""
+    network, gateway, runner = build_fleet(tmp_path, workers_per_shard=2)
+    submit_swarms(runner, ["alpha", "beta"])
+    runner.run()
+    assert Invariants(runner).check() == []
+    return network, gateway, runner
+
+
+def test_invariant14_flags_non_monotonic_epoch_bumps(tmp_path):
+    network, gateway, runner = finish_clean_fleet(tmp_path)
+    runner.events.record(
+        runner.now, EventKind.EPOCH_BUMPED, "alpha",
+        server="shard0", epoch=2, previous=0,
+    )
+    runner.events.record(
+        runner.now, EventKind.EPOCH_BUMPED, "alpha",
+        server="shard1", epoch=2, previous=2,
+    )
+    violations = Invariants(runner).check_epoch_fencing()
+    assert any("monotonic" in v or "epoch" in v for v in violations)
+
+
+def test_invariant14_flags_stale_write_accepted_by_the_owner(tmp_path):
+    network, gateway, runner = finish_clean_fleet(tmp_path)
+    pid = "alpha"
+    owner = runner.shard_of(pid)
+    shard = next(s for s in runner.shards if s.name == owner)
+    # the owner moves to epoch 2, then — the fabricated corruption — a
+    # result stamped with the dead regime's epoch lands in its journal
+    # as if the fence had let it through
+    shard.adopt_epoch(pid, 2)
+    from repro.core.command import Command
+
+    stale = Command("smuggled", pid, "mdrun", {})
+    stale.epoch = 0
+    shard.journal.project(pid).record_result(stale, {"steps": 1})
+    violations = Invariants(runner).check_epoch_fencing()
+    assert any("stale epoch" in v for v in violations)
+
+
+def test_invariant14_flags_rejections_without_a_regime_change(tmp_path):
+    network, gateway, runner = finish_clean_fleet(tmp_path)
+    # a fencing rejection event with no EPOCH_BUMPED anywhere: someone
+    # rejected writes against a regime that never changed
+    runner.events.record(
+        runner.now, EventKind.FENCING_REJECTED, "alpha",
+        command="c1", server="shard0", path="result",
+        stale_epoch=0, current_epoch=1,
+    )
+    violations = Invariants(runner).check_epoch_fencing()
+    assert violations  # both the count mismatch and the missing bump
+    assert any("no epoch" in v.lower() or "bump" in v.lower() for v in violations)
+
+
+def test_invariant14_flags_counter_event_disagreement(tmp_path):
+    network, gateway, runner = finish_clean_fleet(tmp_path)
+    # counter moves without a matching FENCING_REJECTED event: the
+    # books must not balance
+    runner.obs.metrics.inc(
+        "repro_fencing_rejections_total",
+        server="shard0", project="alpha", path="result",
+    )
+    violations = Invariants(runner).check_epoch_fencing()
+    assert any("rejection" in v for v in violations)
+
+
+def test_invariant14_is_part_of_the_standard_sweep(tmp_path):
+    network, gateway, runner = finish_clean_fleet(tmp_path)
+    runner.events.record(
+        runner.now, EventKind.EPOCH_BUMPED, "alpha",
+        server="shard0", epoch=2, previous=0,
+    )
+    runner.events.record(
+        runner.now, EventKind.EPOCH_BUMPED, "alpha",
+        server="shard1", epoch=2, previous=2,
+    )
+    assert Invariants(runner).check()  # check() includes invariant 14

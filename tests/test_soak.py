@@ -1,4 +1,4 @@
-"""The multi-tenant soak: 100+ tenants, seeded faults, thirteen invariants.
+"""The multi-tenant soak: 100+ tenants, seeded faults, fourteen invariants.
 
 The acceptance bar for the service plane: a fleet of 100+ tenants with
 heterogeneous quotas/weights/backpressure caps — all deliberately
@@ -26,7 +26,7 @@ def test_soak_completes_all_tenants(soak):
     assert soak.completed_tenants() == 100
 
 
-def test_soak_passes_all_thirteen_invariants(soak):
+def test_soak_passes_all_fourteen_invariants(soak):
     assert soak.violations == []
 
 
