@@ -47,7 +47,7 @@ def campaign_metrics(controller, reference_clusters):
 
 def run_ablation():
     runs = {}
-    for weighting in ("even", "adaptive", "mincounts"):
+    for weighting in ("uniform", "uncertainty", "min-counts"):
         # two seeds each to damp run-to-run noise
         runs[weighting] = [
             run_campaign(weighting, seed, n_generations=4)[1]
@@ -85,13 +85,13 @@ def test_ablation_even_vs_adaptive(benchmark):
             f"{np.mean(uncertainty):18.4f}"
         )
 
-    boost = summary["even"][1] / summary["adaptive"][1]
+    boost = summary["uniform"][1] / summary["uncertainty"][1]
     lines += [
         "",
-        f"uncertainty ratio even/adaptive: {boost:.2f} "
+        f"uncertainty ratio uniform/uncertainty: {boost:.2f} "
         "(paper: adaptive can boost sampling efficiency ~2x)",
     ]
     # adaptive must not lose to even on either axis by a wide margin
-    assert summary["adaptive"][0] >= 0.7 * summary["even"][0]
+    assert summary["uncertainty"][0] >= 0.7 * summary["uniform"][0]
     assert boost > 0.7
     report("ablation_weighting", lines)

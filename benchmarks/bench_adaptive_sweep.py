@@ -1,0 +1,111 @@
+"""Adaptive-strategy sweep + regression floor (BENCH_adaptive.json).
+
+Runs the laboratory's [scheme x adaptive-frequency x parallelism] grid
+on the 20-state ground-truth chain (``markov-ala20``) and writes the
+deterministic ``BENCH_adaptive.json`` payload plus the "which scheme
+wins where" markdown report.
+
+Run as a script (CI's ``lab`` job)::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive_sweep.py \
+        --seeds 0 1 2 --min-speedup 1.5
+
+Exits nonzero if uncertainty-weighted adaptive sampling fails to beat
+uniform by the floor (default 1.5x) on time-to-threshold, pooled over
+the given seeds.  Pooling uses budget-censored times (a scheme that
+never reaches the threshold is scored at the full step budget, a
+conservative lower bound on its true time), because single-seed
+time-to-threshold on a barrier chain is a first-passage time with
+heavy-tailed noise — the pooled ratio is the stable quantity a
+regression floor can sit on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lab.sweep import SweepConfig, render_report, run_sweep
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_MIN_SPEEDUP = 1.5
+FLOOR_STEPS = 400
+FLOOR_TRAJS = 8
+
+
+def _floor_config(seed: int) -> SweepConfig:
+    """The single cell the regression floor is measured on."""
+    return SweepConfig(
+        schemes=("uniform", "uncertainty"),
+        steps_per_command=(FLOOR_STEPS,),
+        n_trajectories=(FLOOR_TRAJS,),
+        seed=seed,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1, 2],
+        help="seeds pooled into the regression floor (grid artifacts "
+        "come from the first seed)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
+        help="pooled uncertainty-vs-uniform floor (default 1.5)",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_adaptive.json"),
+        help="where to write the sweep JSON payload",
+    )
+    parser.add_argument(
+        "--report", default=str(REPO_ROOT / "REPORT_adaptive.md"),
+        help="where to write the markdown report",
+    )
+    args = parser.parse_args(argv)
+
+    grid_seed = args.seeds[0]
+    print(f"[lab] full grid sweep at seed {grid_seed} ...")
+    grid = run_sweep(SweepConfig(seed=grid_seed), log=print)
+    Path(args.out).write_text(grid.to_json() + "\n", encoding="utf-8")
+    Path(args.report).write_text(render_report(grid), encoding="utf-8")
+    print(f"[lab] wrote {args.out} and {args.report}")
+
+    uniform_steps = 0.0
+    uncertainty_steps = 0.0
+    for seed in args.seeds:
+        if seed == grid_seed:
+            result = grid
+        else:
+            print(f"[lab] floor cell at seed {seed} ...")
+            result = run_sweep(_floor_config(seed), log=print)
+        tt_uniform = result.capped_time("uniform", FLOOR_STEPS, FLOOR_TRAJS)
+        tt_uncertainty = result.capped_time(
+            "uncertainty", FLOOR_STEPS, FLOOR_TRAJS
+        )
+        uniform_steps += tt_uniform
+        uncertainty_steps += tt_uncertainty
+        print(
+            f"[lab] seed {seed}: uniform {tt_uniform:,.0f} steps, "
+            f"uncertainty {tt_uncertainty:,.0f} steps "
+            f"(ratio {tt_uniform / tt_uncertainty:.2f}x)"
+        )
+
+    pooled = uniform_steps / uncertainty_steps
+    print(
+        f"[lab] pooled uncertainty-vs-uniform speedup over seeds "
+        f"{args.seeds}: {pooled:.2f}x (floor {args.min_speedup:.2f}x)"
+    )
+    if pooled < args.min_speedup:
+        print(
+            f"[lab] REGRESSION: pooled speedup {pooled:.2f}x is below "
+            f"the {args.min_speedup:.2f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,7 +54,7 @@ def run_full_villin():
         n_clusters=20,
         lag_frames=4,
         n_generations=2,
-        weighting="adaptive",
+        weighting="uncertainty",
         seed=3,
     )
     controller = AdaptiveMSMController(config)

@@ -45,7 +45,7 @@ CAMPAIGN = dict(
     n_clusters=40,                  # [10,000]
     lag_frames=5,                   # [25 ns]
     n_generations=6,                # [8-10]
-    weighting="adaptive",
+    weighting="uncertainty",
     seed=7,
 )
 

@@ -49,7 +49,7 @@ def main() -> None:
         n_clusters=25,
         lag_frames=5,
         n_generations=3,
-        weighting="adaptive",
+        weighting="uncertainty",
         seed=0,
     )
     controller = AdaptiveMSMController(config)

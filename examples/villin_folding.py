@@ -56,7 +56,7 @@ def main() -> None:
         n_clusters=40,                   # paper: 10,000
         lag_frames=5,                    # paper: 25 ns
         n_generations=6,                 # paper: 8-10
-        weighting="adaptive",
+        weighting="uncertainty",
         seed=7,
     )
     controller = AdaptiveMSMController(config)

@@ -20,7 +20,11 @@ module is its reproduction-scale analogue:
   kills a shard mid-run and additionally proves the failover
   exactly-once against a crash-free baseline; ``--partition-churn``
   partitions the shard instead and proves the healed zombie is
-  epoch-fenced and demoted, not just survived.
+  epoch-fenced and demoted, not just survived;
+* ``python -m repro lab sweep`` — race adaptive-sampling schemes over
+  the [scheme x frequency x parallelism] grid on a ground-truth
+  Markov-chain toy, emitting the deterministic ``BENCH_adaptive.json``
+  payload and the "which scheme wins where" markdown report.
 """
 
 from __future__ import annotations
@@ -48,8 +52,9 @@ def _build_parser() -> argparse.ArgumentParser:
     msm.add_argument("--steps", type=int, default=2000)
     msm.add_argument("--generations", type=int, default=3)
     msm.add_argument(
-        "--weighting", choices=["even", "adaptive", "mincounts"],
-        default="adaptive",
+        "--weighting",
+        choices=["uniform", "min-counts", "weighted-counts", "uncertainty"],
+        default="uncertainty",
     )
     msm.add_argument("--seed", type=int, default=0)
 
@@ -149,6 +154,46 @@ def _build_parser() -> argparse.ArgumentParser:
     soak.add_argument(
         "--out", default=None,
         help="write the JSON report to this file (default: stdout)",
+    )
+
+    lab = sub.add_parser(
+        "lab",
+        help="adaptive-strategy laboratory: race schemes on exact toys",
+    )
+    lab_sub = lab.add_subparsers(dest="lab_command", required=True)
+    sweep = lab_sub.add_parser(
+        "sweep",
+        help="scheme x adaptive-frequency x parallelism sweep scored "
+        "against an exactly known transition matrix",
+    )
+    sweep.add_argument(
+        "--model", default="markov-ala20",
+        help="ground-truth chain model (markov-ala20, markov-mb)",
+    )
+    sweep.add_argument(
+        "--schemes", nargs="+", default=None,
+        help="adapter schemes to race (default: uniform min-counts "
+        "uncertainty)",
+    )
+    sweep.add_argument(
+        "--steps-per-command", type=int, nargs="+", default=None,
+        help="adaptive-frequency axis (steps per command)",
+    )
+    sweep.add_argument(
+        "--trajs", type=int, nargs="+", default=None,
+        help="parallelism axis (trajectories per generation)",
+    )
+    sweep.add_argument("--total-steps", type=int, default=None)
+    sweep.add_argument("--metric", default=None)
+    sweep.add_argument("--threshold", type=float, default=None)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--json-out", default=None,
+        help="write the BENCH_adaptive.json payload to this file",
+    )
+    sweep.add_argument(
+        "--out", default=None,
+        help="write the markdown report to this file (default: stdout)",
     )
     return parser
 
@@ -570,6 +615,43 @@ def cmd_soak(args, out) -> int:
     return 0 if ok else 1
 
 
+def cmd_lab(args, out) -> int:
+    """``lab sweep``: run the adaptive-strategy sweep and report it.
+
+    Every cell races one adapter scheme through the full deployment
+    stack on a ground-truth Markov-chain model; the run is wall-clock
+    free, so the ``--json-out`` payload is bit-identical across reruns
+    at the same seed.
+    """
+    from repro.lab.sweep import SweepConfig, render_report, run_sweep
+
+    overrides = {
+        "model": args.model,
+        "seed": args.seed,
+    }
+    if args.schemes is not None:
+        overrides["schemes"] = tuple(args.schemes)
+    if args.steps_per_command is not None:
+        overrides["steps_per_command"] = tuple(args.steps_per_command)
+    if args.trajs is not None:
+        overrides["n_trajectories"] = tuple(args.trajs)
+    if args.total_steps is not None:
+        overrides["total_steps"] = args.total_steps
+    if args.metric is not None:
+        overrides["metric"] = args.metric
+    if args.threshold is not None:
+        overrides["threshold"] = args.threshold
+    config = SweepConfig(**overrides)
+    result = run_sweep(config, log=lambda line: print(line, file=out))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json() + "\n")
+        print(f"wrote {args.json_out}", file=out)
+    report = render_report(result)
+    _emit(report, args, out)
+    return 0
+
+
 _COMMANDS = {
     "info": cmd_info,
     "demo-msm": cmd_demo_msm,
@@ -579,6 +661,7 @@ _COMMANDS = {
     "demo-umbrella": cmd_demo_umbrella,
     "obs": cmd_obs,
     "soak": cmd_soak,
+    "lab": cmd_lab,
 }
 
 

@@ -31,26 +31,29 @@ from repro.analysis.rmsd import rmsd_to_reference
 from repro.core.command import Command
 from repro.core.controller import Controller
 from repro.core.project import Project
+from repro.lab.adapters import Adapter, normalize_scheme, resolve_adapter
 from repro.md.engine import MDTask
 from repro.md.models.villin import build_villin
-from repro.msm.adaptive import (
-    allocate_starts,
-    even_weights,
-    mincounts_weights,
-    uncertainty_weights,
-)
+from repro.msm.adaptive import allocate_starts
 from repro.msm.cluster import ClusterResult, KCentersClustering
 from repro.msm.counts import count_matrix_multi
 from repro.msm.metrics import EuclideanMetric, RMSDMetric
 from repro.msm.model import MarkovStateModel
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, EstimationError
 from repro.util.rng import RandomStream
 
-_WEIGHTING_SCHEMES = {
-    "even": even_weights,
-    "adaptive": uncertainty_weights,
-    "mincounts": mincounts_weights,
-}
+
+def _canonical_weighting(weighting):
+    """Canonical scheme name for a config ``weighting`` value.
+
+    Adapter instances pass through unchanged (the sweep harness uses
+    them for custom schemes); strings go through the registry, which
+    warns on legacy aliases and raises a typed error listing the
+    registered adapters for unknown names.
+    """
+    if isinstance(weighting, Adapter):
+        return weighting
+    return normalize_scheme(weighting)
 
 
 @dataclass
@@ -80,7 +83,17 @@ class MSMProjectConfig:
     n_generations:
         Clustering rounds before completion [~8-10].
     weighting:
-        ``even``, ``adaptive`` (uncertainty) or ``mincounts``.
+        A scheme name from the adapter registry (``uniform``,
+        ``min-counts``, ``weighted-counts``, ``uncertainty``, or
+        anything added via :func:`repro.lab.register_adapter`); the
+        legacy names ``even``/``adaptive``/``mincounts`` still work
+        with a deprecation warning.
+    weighting_params:
+        Keyword arguments for the adapter factory (e.g.
+        ``{"n": 2.0}`` for ``weighted-counts``).
+    integrator:
+        Integrator name handed to every MD command (``langevin``
+        default; ``markov-chain`` for the lab's exact toy systems).
     stop_rmsd:
         Early-stop when any frame comes this close to native (nm);
         ``None`` disables [0.6-0.7 A first-folded criterion].
@@ -99,18 +112,20 @@ class MSMProjectConfig:
     lag_frames: int = 5
     subsample: int = 1
     n_generations: int = 4
-    weighting: str = "even"
+    weighting: str = "uniform"
+    weighting_params: Dict = field(default_factory=dict)
+    integrator: str = "langevin"
     seed: int = 0
     stop_rmsd: Optional[float] = None
     min_cores: int = 1
     preferred_cores: int = 1
 
     def __post_init__(self) -> None:
-        if self.weighting not in _WEIGHTING_SCHEMES:
-            raise ConfigurationError(
-                f"unknown weighting {self.weighting!r}; "
-                f"choose from {sorted(_WEIGHTING_SCHEMES)}"
-            )
+        # resolving eagerly gives the typed unknown-scheme error (with
+        # the registered adapter names) at config time, not mid-run;
+        # legacy aliases are canonicalised here with their warning
+        self.weighting = _canonical_weighting(self.weighting)
+        resolve_adapter(self.weighting, **self.weighting_params)
         for name in (
             "n_starting_conformations",
             "trajectories_per_start",
@@ -144,10 +159,29 @@ class TrajectoryRecord:
 
 
 class AdaptiveMSMController(Controller):
-    """The adaptive-sampling MSM plugin."""
+    """The adaptive-sampling MSM plugin.
 
-    def __init__(self, config: MSMProjectConfig) -> None:
+    The spawning scheme is a pluggable :class:`repro.lab.Adapter`:
+    pass one explicitly, or let the controller resolve
+    ``config.weighting`` through the adapter registry.  An optional
+    *convergence* checker (anything with an
+    ``evaluate(frames_by_traj, **context)`` method, e.g.
+    :class:`repro.lab.ConvergenceChecker`) is invoked at every
+    generation boundary; its numeric results land in
+    ``convergence_history`` and the obs metrics registry.
+    """
+
+    def __init__(
+        self,
+        config: MSMProjectConfig,
+        adapter: Optional[Adapter] = None,
+        convergence=None,
+    ) -> None:
         self.config = config
+        if adapter is None:
+            adapter = resolve_adapter(config.weighting, **config.weighting_params)
+        self.adapter = adapter
+        self.convergence = convergence
         self.rng = RandomStream(config.seed)
         self._is_villin = config.model.startswith("villin")
         if self._is_villin:
@@ -165,6 +199,8 @@ class AdaptiveMSMController(Controller):
         self.pending: set = set()
         self.history: List[dict] = []
         self.cluster_model: Optional[ClusterResult] = None
+        self.convergence_history: List[dict] = []
+        self.simulated_steps = 0
         self._complete = False
         self._stop_hit = False
         self._command_counter = 0
@@ -190,6 +226,7 @@ class AdaptiveMSMController(Controller):
             temperature=cfg.temperature,
             timestep=cfg.timestep,
             friction=cfg.friction,
+            integrator=cfg.integrator,
             seed=int(self.rng.integers(0, 2**31 - 1)),
             initial_positions=np.asarray(initial_positions),
             model_params=cfg.model_params,
@@ -267,6 +304,12 @@ class AdaptiveMSMController(Controller):
             help="Simulation commands spawned by the MSM controller.",
             project=project.project_id,
         )
+        self.obs.metrics.set_gauge(
+            "repro_msm_simulated_steps",
+            self.simulated_steps,
+            help="Aggregate simulated steps across finished commands.",
+            project=project.project_id,
+        )
 
     def on_command_finished(
         self, project: Project, command: Command, result: Dict
@@ -278,6 +321,7 @@ class AdaptiveMSMController(Controller):
         traj.frames = np.asarray(result["frames"])
         traj.times = np.asarray(result["times"])
         traj.status = "done"
+        self.simulated_steps += self.config.steps_per_command
         self.pending.discard(command.command_id)
         if self._check_stop(traj):
             self._complete = True
@@ -288,6 +332,7 @@ class AdaptiveMSMController(Controller):
         # generation boundary
         summary = self._cluster_and_summarise()
         self.history.append(summary)
+        self._evaluate_convergence(project, summary)
         if self.obs is not None:
             self.obs.metrics.inc(
                 "repro_msm_clusterings_total",
@@ -320,6 +365,35 @@ class AdaptiveMSMController(Controller):
         follow_ups = self._spawn_next_generation(project, summary)
         self._observe_generation(project, len(follow_ups))
         return follow_ups
+
+    def _evaluate_convergence(self, project: Project, summary: dict) -> None:
+        """Score model-vs-truth error at a generation boundary."""
+        if self.convergence is None:
+            return
+        frames_by_traj = [
+            t.frames
+            for t in self.trajectories.values()
+            if t.frames is not None and len(t.frames)
+        ]
+        record = self.convergence.evaluate(
+            frames_by_traj,
+            lag_frames=self.config.lag_frames,
+            frame_stride=self.config.report_interval,
+            generation=self.generation,
+            simulated_steps=self.simulated_steps,
+        )
+        summary["convergence"] = record
+        self.convergence_history.append(record)
+        if self.obs is None:
+            return
+        for key, value in record.items():
+            if isinstance(value, (int, float)) and np.isfinite(value):
+                self.obs.metrics.set_gauge(
+                    f"repro_lab_{key}",
+                    float(value),
+                    help="Lab convergence metric (model vs exact ground truth).",
+                    project=project.project_id,
+                )
 
     def _check_stop(self, traj: TrajectoryRecord) -> bool:
         if self.config.stop_rmsd is None or self.native is None:
@@ -360,7 +434,14 @@ class AdaptiveMSMController(Controller):
         # per-command discrete trajectories (no cross-command counting)
         dtrajs = [labels[idx] for _, idx in index]
         counts = count_matrix_multi(dtrajs, n_states, cfg.lag_frames)
-        weights = _WEIGHTING_SCHEMES[cfg.weighting](counts)
+        try:
+            weights = self.adapter.weights(counts)
+        except EstimationError:
+            # nothing countable at this lag yet (every command shorter
+            # than lag_frames): spawn uniformly via allocate_starts'
+            # all-zero fallback and let the next generation's counts
+            # decide
+            weights = np.zeros(n_states)
 
         summary = {
             "generation": self.generation,

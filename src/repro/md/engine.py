@@ -46,7 +46,8 @@ class MDTask:
     report_interval:
         Steps between stored frames.
     integrator:
-        ``langevin`` (default), ``nose-hoover`` or ``verlet``.
+        ``langevin`` (default), ``nose-hoover``, ``verlet`` or
+        ``markov-chain`` (for the lab's exact-ground-truth chains).
     temperature / friction / timestep:
         Integration parameters (K, 1/ps, ps).
     seed:
@@ -437,6 +438,29 @@ def _lj_fluid_builder(model: str, model_params: Dict) -> BuiltModel:
     return BuiltModel(system, state_builder)
 
 
+def _markov_chain_builder(model: str, model_params: Dict) -> BuiltModel:
+    from repro.md.models.markov_chain import (
+        build_markov_chain,
+        markov_chain_initial_state,
+    )
+
+    system = build_markov_chain(model, **model_params)
+    spec = system.spec
+
+    def state_builder(task: MDTask) -> State:
+        state = _explicit_state(system, task)
+        if state is not None:
+            # snap arbitrary restart coordinates onto the nearest
+            # embedding point so the position is a valid chain state
+            state.positions[...] = spec.position_of(
+                spec.state_of(state.positions)
+            )
+            return state
+        return markov_chain_initial_state(system)
+
+    return BuiltModel(system, state_builder)
+
+
 def _double_well_builder(model: str, model_params: Dict) -> BuiltModel:
     system = double_well_system(**model_params)
     width = model_params.get("width", 1.0)
@@ -461,6 +485,8 @@ MODEL_REGISTRY: Dict[str, Callable[[str, Dict], BuiltModel]] = {
     "muller-brown": _muller_brown_builder,
     "double-well": _double_well_builder,
     "lj-fluid": _lj_fluid_builder,
+    "markov-ala20": _markov_chain_builder,
+    "markov-mb": _markov_chain_builder,
 }
 
 

@@ -39,6 +39,8 @@ def make_integrator(
         return NoseHooverIntegrator(timestep, temperature)
     if name == "verlet":
         return VelocityVerletIntegrator(timestep)
+    if name == "markov-chain":
+        return MarkovChainIntegrator(timestep, rng=seed + 1)
     raise ConfigurationError(f"unknown integrator {name!r}")
 
 
@@ -146,6 +148,53 @@ class LangevinIntegrator(_IntegratorBase):
         state.velocities += 0.5 * dt * new_forces * inv_m
         self._advance_clock(state)
         return new_forces
+
+
+class MarkovChainIntegrator(_IntegratorBase):
+    """Discrete jumps drawn from a known transition matrix.
+
+    The lab's exact-ground-truth propagator: the system must be a
+    :class:`repro.md.models.markov_chain.MarkovChainSystem` (anything
+    exposing a chain ``spec``); each step reads the particle's current
+    state from its position, draws the successor from the spec's
+    matrix, and teleports the particle to the successor's embedding.
+    Velocities and forces are untouched — there is no force field.
+
+    Follows the Langevin noise-stream conventions (``rng`` seeded with
+    ``task seed + 1``, PCG64 state exposed as ``rng_state``) so
+    checkpoints resume the exact same jump sequence.
+    """
+
+    def __init__(
+        self, timestep: float, rng: int | RandomStream | None = 0
+    ) -> None:
+        super().__init__(timestep)
+        self.rng = ensure_stream(rng)
+
+    @property
+    def rng_state(self) -> dict:
+        """Serialisable jump-generator state (checkpointed)."""
+        return self.rng.generator.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state: dict) -> None:
+        self.rng.generator.bit_generator.state = state
+
+    def step(
+        self, system: System, state: State, forces: np.ndarray
+    ) -> np.ndarray:
+        """Advance one discrete jump in place; forces pass through."""
+        spec = getattr(system, "spec", None)
+        if spec is None:
+            raise ConfigurationError(
+                "the markov-chain integrator needs a MarkovChainSystem "
+                "(a system with a chain spec)"
+            )
+        current = spec.state_of(state.positions)
+        nxt = spec.sample_next(current, float(self.rng.generator.random()))
+        state.positions[...] = spec.position_of(nxt)
+        self._advance_clock(state)
+        return forces
 
 
 class NoseHooverIntegrator(_IntegratorBase):

@@ -9,6 +9,9 @@
   a fast substrate for MSM unit tests.
 * :mod:`repro.md.models.doublewell` — 1-D/2-D double wells with known
   analytic properties.
+* :mod:`repro.md.models.markov_chain` — discrete Metropolis chains
+  with *exactly* known transition matrices, the adaptive-strategy
+  laboratory's ground-truth systems.
 """
 
 from repro.md.models.villin import VillinModel, build_villin
@@ -24,6 +27,13 @@ from repro.md.models.lj_fluid import (
     lj_fluid_state,
     radial_distribution,
 )
+from repro.md.models.markov_chain import (
+    MarkovChainSpec,
+    MarkovChainSystem,
+    alanine_chain_spec,
+    build_markov_chain,
+    muller_brown_chain_spec,
+)
 
 __all__ = [
     "VillinModel",
@@ -38,4 +48,9 @@ __all__ = [
     "lj_fluid_system",
     "lj_fluid_state",
     "radial_distribution",
+    "MarkovChainSpec",
+    "MarkovChainSystem",
+    "alanine_chain_spec",
+    "build_markov_chain",
+    "muller_brown_chain_spec",
 ]

@@ -45,12 +45,28 @@ def even_weights(counts: np.ndarray) -> np.ndarray:
 
 def mincounts_weights(counts: np.ndarray) -> np.ndarray:
     """Weights inversely proportional to visit counts (exploration)."""
+    return weighted_counts_weights(counts, n=1.0)
+
+
+def weighted_counts_weights(counts: np.ndarray, n: float = 1.0) -> np.ndarray:
+    """Weights proportional to ``(1 + visits)^(-n)`` over visited states.
+
+    MAccelerator's weighted-counts family: the exponent *n* trades
+    exploration against refinement — ``n = 0`` reproduces even
+    weighting over visited states, ``n = 1`` is the classic min-counts
+    heuristic, and larger *n* concentrates spawns ever harder on the
+    least-visited states (the ratio of a rare state's weight to a
+    popular state's grows monotonically with *n*).
+    """
     counts = _check_counts(counts)
+    if n < 0:
+        raise ConfigurationError(f"exponent n must be >= 0, got {n}")
     visits = counts.sum(axis=1) + counts.sum(axis=0)
     visited = visits > 0
     if not visited.any():
         raise EstimationError("no visited states")
-    w = np.where(visited, 1.0 / (1.0 + visits), 0.0)
+    with np.errstate(over="ignore"):
+        w = np.where(visited, (1.0 + visits) ** (-float(n)), 0.0)
     return w / w.sum()
 
 
@@ -92,16 +108,23 @@ def allocate_starts(
 
     Uses largest-remainder apportionment with random tie-breaking, so
     the allocation is exact (sums to ``n_trajectories``), proportional
-    and reproducible.
+    and reproducible.  An all-zero weight vector (every state pruned,
+    or nothing visited yet) falls back to uniform apportionment over
+    all states, so callers always get exactly ``n_trajectories`` starts
+    back — the invariant the MSM controller's generation size rests on.
     """
     weights = np.asarray(weights, dtype=float)
-    if weights.ndim != 1 or np.any(weights < 0):
-        raise ConfigurationError("weights must be a non-negative 1-D array")
+    if weights.ndim != 1 or len(weights) == 0:
+        raise ConfigurationError("weights must be a non-empty 1-D array")
+    if np.any(~np.isfinite(weights)) or np.any(weights < 0):
+        raise ConfigurationError("weights must be finite and non-negative")
     if n_trajectories < 0:
         raise ConfigurationError("n_trajectories must be >= 0")
     total = weights.sum()
     if total <= 0:
-        raise ConfigurationError("weights sum to zero")
+        # nothing visited: spread the starts evenly rather than dying
+        weights = np.ones_like(weights)
+        total = weights.sum()
     stream = ensure_stream(rng)
     quota = weights / total * n_trajectories
     base = np.floor(quota).astype(int)

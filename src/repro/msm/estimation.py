@@ -80,6 +80,13 @@ def reversible_transition_matrix(
         denom = row_counts[:, None] / x_row[:, None] + row_counts[None, :] / x_row[None, :]
         with np.errstate(divide="ignore", invalid="ignore"):
             x_new = np.where(c_sym > 0, c_sym / denom, 0.0)
+        total = x_new.sum()
+        if not np.isfinite(total) or total <= 0:
+            raise EstimationError("reversible estimator iteration diverged")
+        # the fixed point is scale-invariant (x -> c*x maps solutions to
+        # solutions), so without renormalising the iterate drifts along
+        # the scale direction and delta plateaus above any tight tol
+        x_new /= total
         delta = np.abs(x_new - x).max()
         x = x_new
         if delta < tol:

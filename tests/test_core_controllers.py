@@ -198,7 +198,7 @@ def mb_adaptive_run():
         n_clusters=15,
         lag_frames=2,
         n_generations=3,
-        weighting="adaptive",
+        weighting="uncertainty",
         timestep=0.01,
         seed=3,
     )
@@ -245,6 +245,36 @@ def test_msm_history_contains_weights(mb_adaptive_run):
     for record in controller.history:
         assert record["weights"].sum() == pytest.approx(1.0)
         assert record["counts"].shape[0] == record["n_states"]
+
+
+def test_msm_survives_uncountable_first_generation():
+    # commands shorter than the lag: generation 0 has zero countable
+    # transitions, so every weight scheme raises internally and the
+    # controller must fall back to uniform spawning instead of dying
+    net, server, workers = simple_rig(cores=2, segment_steps=2000)
+    runner = ProjectRunner(net, server, workers)
+    cfg = MSMProjectConfig(
+        model="markov-ala20",
+        n_starting_conformations=2,
+        trajectories_per_start=2,
+        steps_per_command=200,
+        report_interval=100,  # 3 frames/command < lag_frames=5
+        lag_frames=5,
+        n_clusters=8,
+        n_generations=2,
+        weighting="min-counts",
+        seed=7,
+    )
+    controller = AdaptiveMSMController(cfg)
+    project = Project("msm_short")
+    runner.submit(project, controller)
+    runner.run()
+    assert project.status is ProjectStatus.COMPLETE
+    gen0 = controller.history[0]
+    assert gen0["counts"].sum() == 0
+    np.testing.assert_array_equal(gen0["weights"], 0.0)
+    # the uniform fallback still spawned a full second generation
+    assert project.completed == 2 * cfg.n_trajectories
 
 
 def test_msm_villin_stop_criterion():

@@ -35,7 +35,7 @@ def msm_config():
         n_clusters=12,
         lag_frames=2,
         n_generations=3,
-        weighting="adaptive",
+        weighting="uncertainty",
         timestep=0.01,
         seed=21,
     )

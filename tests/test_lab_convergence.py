@@ -1,0 +1,132 @@
+"""Tests for the ConvergenceChecker and time-to-threshold scoring."""
+
+import numpy as np
+import pytest
+
+from repro.lab.convergence import (
+    ConvergenceChecker,
+    ConvergenceReport,
+    time_to_threshold,
+)
+from repro.md.models.markov_chain import alanine_chain_spec
+from repro.util.errors import ConfigurationError
+
+
+def _exact_trajectory(spec, n_steps, seed=0, start=None):
+    """Sample one trajectory of embedding frames from the exact chain."""
+    rng = np.random.default_rng(seed)
+    state = spec.default_start if start is None else start
+    frames = [spec.position_of(state)]
+    for _ in range(n_steps):
+        state = spec.sample_next(state, rng.random())
+        frames.append(spec.position_of(state))
+    return np.stack(frames)
+
+
+# ---------------------------------------------------- time_to_threshold
+
+
+def test_time_to_threshold_interpolates_the_crossing():
+    history = [
+        {"simulated_steps": 100, "stationary_tv": 0.8},
+        {"simulated_steps": 200, "stationary_tv": 0.6},
+        {"simulated_steps": 300, "stationary_tv": 0.2},
+    ]
+    # crossing 0.4 happens midway between 0.6@200 and 0.2@300
+    assert time_to_threshold(history, threshold=0.4) == pytest.approx(250.0)
+    # already under threshold at the first record: no interpolation
+    assert time_to_threshold(history, threshold=0.9) == 100.0
+    assert time_to_threshold(history, threshold=0.05) is None
+    assert time_to_threshold([], threshold=0.5) is None
+    with pytest.raises(ConfigurationError):
+        time_to_threshold(history, threshold=0.0)
+
+
+def test_report_wraps_history():
+    history = [
+        {"simulated_steps": 100, "stationary_tv": 0.5},
+        {"simulated_steps": 200, "stationary_tv": 0.1},
+    ]
+    report = ConvergenceReport(history=history)
+    np.testing.assert_allclose(report.metric("stationary_tv"), [0.5, 0.1])
+    assert report.time_to_threshold(threshold=0.3) is not None
+    assert report.final()["simulated_steps"] == 200
+    assert ConvergenceReport().final() == {}
+
+
+# ---------------------------------------------------------- the checker
+
+
+def test_checker_converges_on_exact_data():
+    spec = alanine_chain_spec(n_states=8, barrier=1.5, tilt=0.5)
+    checker = ConvergenceChecker(spec)
+    trajs = [
+        _exact_trajectory(spec, 20000, seed=s, start=s % spec.n_states)
+        for s in range(4)
+    ]
+    record = checker.evaluate(
+        trajs, lag_frames=2, frame_stride=1, generation=0,
+        simulated_steps=80000,
+    )
+    assert record["n_states_discovered"] == spec.n_states
+    assert record["discovered_fraction"] == 1.0
+    assert record["stationary_tv"] < 0.05
+    assert record["timescale_rel_error"] < 0.35
+    assert record["frobenius_error"] < 0.2
+    assert record["timescale_true"] == pytest.approx(checker.truth_timescale)
+    assert checker.history == [record]
+    assert checker.report().final() == record
+
+
+def test_checker_error_shrinks_with_more_data():
+    spec = alanine_chain_spec(n_states=8, barrier=1.5, tilt=0.5)
+    checker = ConvergenceChecker(spec)
+    short = checker.evaluate(
+        [_exact_trajectory(spec, 300, seed=1)], lag_frames=2,
+        generation=0, simulated_steps=300,
+    )
+    long = checker.evaluate(
+        [_exact_trajectory(spec, 30000, seed=1)], lag_frames=2,
+        generation=1, simulated_steps=30000,
+    )
+    assert long["stationary_tv"] < short["stationary_tv"]
+    assert long["frobenius_error"] < short["frobenius_error"]
+
+
+def test_checker_worst_case_scores_on_no_data():
+    spec = alanine_chain_spec(n_states=8)
+    checker = ConvergenceChecker(spec)
+    record = checker.evaluate([], lag_frames=2, generation=0)
+    assert record["n_states_discovered"] == 0
+    assert record["stationary_tv"] == 1.0
+    assert record["timescale_rel_error"] == 1.0
+    assert np.isnan(record["timescale_estimate"])
+
+
+def test_checker_penalises_undiscovered_mass():
+    spec = alanine_chain_spec()
+    checker = ConvergenceChecker(spec)
+    # a trajectory stuck in the shallow start basin never sees the
+    # deep basins, which hold most of the stationary mass
+    stuck = np.repeat(spec.position_of(0), 50, axis=0)
+    record = checker.evaluate([stuck], lag_frames=1, generation=0)
+    assert record["n_states_discovered"] <= 2
+    assert record["stationary_tv"] > 0.8
+
+
+def test_frame_stride_scales_the_lag():
+    spec = alanine_chain_spec(n_states=8, barrier=1.5, tilt=0.5)
+    traj = _exact_trajectory(spec, 20000, seed=2)
+    # frames recorded every step, compared at lag 4...
+    a = ConvergenceChecker(spec).evaluate(
+        [traj], lag_frames=4, frame_stride=1, generation=0
+    )
+    # ...must match frames recorded every 2 steps compared at lag 2
+    b = ConvergenceChecker(spec).evaluate(
+        [traj[::2]], lag_frames=2, frame_stride=2, generation=0
+    )
+    assert a["timescale_true"] == b["timescale_true"]
+    # same effective step lag, so similar estimates (different sample)
+    assert abs(a["timescale_estimate"] - b["timescale_estimate"]) < (
+        0.5 * a["timescale_estimate"]
+    )

@@ -10,6 +10,7 @@ from repro.msm.adaptive import (
     even_weights,
     mincounts_weights,
     uncertainty_weights,
+    weighted_counts_weights,
 )
 from repro.msm.model import MarkovStateModel
 from repro.msm.validation import (
@@ -103,9 +104,15 @@ def test_allocate_starts_validation():
     with pytest.raises(ConfigurationError):
         allocate_starts(np.array([-1.0, 2.0]), 5)
     with pytest.raises(ConfigurationError):
-        allocate_starts(np.array([0.0, 0.0]), 5)
-    with pytest.raises(ConfigurationError):
         allocate_starts(np.array([1.0]), -2)
+    with pytest.raises(ConfigurationError):
+        allocate_starts(np.array([np.nan, 1.0]), 5)
+
+
+def test_allocate_starts_all_zero_falls_back_to_uniform():
+    alloc = allocate_starts(np.zeros(4), 8, rng=0)
+    assert alloc.sum() == 8
+    assert set(alloc.tolist()) == {2}
 
 
 @settings(max_examples=40)
@@ -122,6 +129,64 @@ def test_property_allocation_exact_and_proportional(weights, n, seed):
     # never deviates from the real-valued quota by 1 or more
     quota = w / w.sum() * n
     assert np.all(np.abs(alloc - quota) < 1.0 + 1e-9)
+
+
+# ------------------------------------------- weight-function properties
+
+_count_matrices = st.integers(min_value=2, max_value=7).flatmap(
+    lambda k: st.lists(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=k, max_size=k),
+        min_size=k,
+        max_size=k,
+    )
+).map(np.asarray).filter(lambda c: (c.sum(axis=0) + c.sum(axis=1)).max() > 0)
+
+_weight_functions = [
+    even_weights,
+    mincounts_weights,
+    uncertainty_weights,
+    lambda c: weighted_counts_weights(c, n=0.5),
+    lambda c: weighted_counts_weights(c, n=2.0),
+]
+
+
+@settings(max_examples=40)
+@given(_count_matrices, st.integers(min_value=0, max_value=4))
+def test_property_weights_normalised_on_visited_support(counts, which):
+    w = _weight_functions[which](counts.astype(float))
+    visited = (counts.sum(axis=0) + counts.sum(axis=1)) > 0
+    assert np.all(w >= 0)
+    assert w.sum() == pytest.approx(1.0)
+    # support restricted to visited states
+    assert not np.any(w[~visited] > 0)
+
+
+@settings(max_examples=40)
+@given(_count_matrices)
+def test_property_weighted_counts_monotone_in_exponent(counts):
+    counts = counts.astype(float)
+    visits = counts.sum(axis=0) + counts.sum(axis=1)
+    visited = np.flatnonzero(visits > 0)
+    rare = visited[np.argmin(visits[visited])]
+    popular = visited[np.argmax(visits[visited])]
+    ratios = []
+    for n in (0.0, 0.5, 1.0, 2.0, 4.0):
+        w = weighted_counts_weights(counts, n=n)
+        ratios.append(w[rare] / w[popular])
+    # concentrating harder on the least-visited state as n grows
+    assert all(b >= a - 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+
+def test_weighted_counts_endpoints_match_named_schemes():
+    counts = np.array([[5.0, 1.0, 0.0], [2.0, 8.0, 0.0], [0.0, 0.0, 0.0]])
+    np.testing.assert_allclose(
+        weighted_counts_weights(counts, n=0.0), even_weights(counts)
+    )
+    np.testing.assert_allclose(
+        weighted_counts_weights(counts, n=1.0), mincounts_weights(counts)
+    )
+    with pytest.raises(ConfigurationError):
+        weighted_counts_weights(counts, n=-0.5)
 
 
 # ------------------------------------------------------------ validation
