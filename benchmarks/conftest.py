@@ -8,6 +8,19 @@ with 3,000-step (60 ps) commands against a folding time of hundreds of
 picoseconds.
 """
 
+import os
+
+# Pin BLAS/OpenMP thread pools to one thread *before* numpy loads:
+# benchmark numbers (and their committed baselines) are single-thread
+# measurements, and an unpinned pool adds multi-percent jitter.
+for _var in (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+):
+    os.environ.setdefault(_var, "1")
+
 from pathlib import Path
 
 import numpy as np

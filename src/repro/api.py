@@ -49,7 +49,7 @@ The single-process simulation entry point is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.command import Command
@@ -57,6 +57,13 @@ from repro.core.controller import Controller
 from repro.core.multirunner import MultiProjectRunner
 from repro.core.project import Project as _CoreProject
 from repro.core.runner import ProjectRunner
+from repro.md.dispatch import (
+    DEFAULT_DISPATCH,
+    DEFAULT_PRECISION,
+    MAX_AUTO_BATCH as _MAX_AUTO_BATCH,
+    validate_dispatch,
+    validate_precision,
+)
 from repro.md.engine import MDResult, MDTask, resolve_model
 from repro.net import topology
 from repro.net.transport import Network
@@ -81,9 +88,17 @@ __all__ = [
     "run_tenants",
 ]
 
-#: Upper bound on auto-selected worker batch capacity (one kernel call
-#: propagating more replicas than this stops paying for itself).
-MAX_AUTO_BATCH = 64
+def __getattr__(name: str):
+    # MAX_AUTO_BATCH moved to repro.md.dispatch alongside the other
+    # kernel-dispatch constants; keep the old spelling importable.
+    if name == "MAX_AUTO_BATCH":
+        from repro.compat import warn_deprecated
+
+        warn_deprecated(
+            "repro.api.MAX_AUTO_BATCH", "repro.md.dispatch.MAX_AUTO_BATCH"
+        )
+        return _MAX_AUTO_BATCH
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -94,6 +109,14 @@ class Ensemble:
     everything else is shared, which makes the replicas batch-compatible
     (:data:`repro.md.engine.BATCH_COMPATIBLE_FIELDS`) — a deployment
     with coalescing workers propagates them in one kernel call.
+
+    ``precision`` ("float64" default, "float32" opt-in fast path) and
+    ``dispatch`` ("auto"/"serial"/"batched") select the numeric kernel
+    and the batched execution policy for every replica.  "auto" (the
+    default) batches whenever the measured crossover says batching
+    wins (:data:`repro.md.dispatch.BATCH_DISPATCH_MIN_REPLICAS`);
+    "float32" runs serially because it is outside the batched kernel's
+    bit-identity contract.
     """
 
     model: str
@@ -107,12 +130,16 @@ class Ensemble:
     seed: int = 0
     model_params: Dict = field(default_factory=dict)
     name: str = "ensemble"
+    precision: str = DEFAULT_PRECISION
+    dispatch: str = DEFAULT_DISPATCH
 
     def __post_init__(self) -> None:
         if self.n_replicas < 1:
             raise ConfigurationError("n_replicas must be >= 1")
         if self.steps < 1:
             raise ConfigurationError("steps must be >= 1")
+        validate_precision(self.precision)
+        validate_dispatch(self.dispatch)
         # Fail at declaration time, not when a worker unpacks the task.
         resolve_model(self.model, self.model_params)
 
@@ -130,6 +157,8 @@ class Ensemble:
                 seed=self.seed + r,
                 model_params=dict(self.model_params),
                 task_id=f"{self.name}/r{r}",
+                precision=self.precision,
+                dispatch=self.dispatch,
             )
             for r in range(self.n_replicas)
         ]
@@ -258,10 +287,14 @@ class Project:
         return self
 
     def _auto_batch_capacity(self) -> int:
+        # Custom controllers get the full cap too: the default path is
+        # batched, and per-command dispatch policy (resolved against
+        # the measured crossover) decides whether a coalesced batch
+        # actually runs through the batched kernel.
         if not self.ensembles:
-            return 1
+            return _MAX_AUTO_BATCH
         return min(
-            MAX_AUTO_BATCH, max(e.n_replicas for e in self.ensembles)
+            _MAX_AUTO_BATCH, max(e.n_replicas for e in self.ensembles)
         )
 
     def run(
@@ -274,6 +307,8 @@ class Project:
         tick: float = 60.0,
         segment_steps: int = 2000,
         max_cycles: int = 100000,
+        precision: Optional[str] = None,
+        dispatch: Optional[str] = None,
     ) -> RunOutcome:
         """Build a deployment, run the project to completion.
 
@@ -284,15 +319,33 @@ class Project:
         batch_capacity:
             Commands each worker may coalesce into one batched kernel
             call.  Default (``None``) adapts: the largest ensemble's
-            replica count, capped at :data:`MAX_AUTO_BATCH` (custom
-            controllers default to 1).
+            replica count, capped at
+            :data:`repro.md.dispatch.MAX_AUTO_BATCH`.
         seed:
             Seeds the simulated network.
         tick / segment_steps / max_cycles:
             Runner cadence, checkpoint granularity, cycle budget.
+        precision / dispatch:
+            When given, restamp every ensemble's ``precision`` /
+            ``dispatch`` for this run (see :class:`Ensemble`).  Not
+            applicable to custom controllers, which own their tasks.
         """
         if n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1")
+        if precision is not None or dispatch is not None:
+            if self.controller is not None:
+                raise ConfigurationError(
+                    "precision/dispatch overrides apply to ensembles; "
+                    "a custom controller owns its own task parameters"
+                )
+            overrides = {}
+            if precision is not None:
+                overrides["precision"] = precision
+            if dispatch is not None:
+                overrides["dispatch"] = dispatch
+            # replace() re-runs Ensemble.__post_init__, so bad values
+            # raise ConfigurationError here, not on a worker.
+            self.ensembles = [replace(e, **overrides) for e in self.ensembles]
         controller = self.controller
         if controller is None:
             if not self.ensembles:

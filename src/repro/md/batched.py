@@ -127,9 +127,21 @@ class BatchedSystem:
         """Spatial dimensionality."""
         return self.system.dim
 
-    def energy_forces(self, positions: np.ndarray):
-        """Per-replica ``(energies, forces)`` over an ``(R, N, dim)`` stack."""
-        return composite_energy_forces_batch(self.system.forces, positions)
+    def energy_forces(
+        self, positions: np.ndarray, replica_ids: Optional[np.ndarray] = None
+    ):
+        """Per-replica ``(energies, forces)`` over an ``(R, N, dim)`` stack.
+
+        *replica_ids* maps rows of a compacted stack back to original
+        replica indices so force terms with per-replica caches (shared
+        lazy neighbour lists) stay keyed correctly; ``None`` means row
+        ``r`` is replica ``r``.
+        """
+        if replica_ids is None:
+            replica_ids = np.arange(positions.shape[0])
+        return composite_energy_forces_batch(
+            self.system.forces, positions, replica_ids
+        )
 
 
 class _BatchedIntegratorBase:
@@ -143,10 +155,13 @@ class _BatchedIntegratorBase:
         self.timestep = float(timestep)
 
     def initial_forces(
-        self, system: BatchedSystem, positions: np.ndarray
+        self,
+        system: BatchedSystem,
+        positions: np.ndarray,
+        replica_ids: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Forces at the current positions (primes the step loop)."""
-        return system.energy_forces(positions)[1]
+        return system.energy_forces(positions, replica_ids)[1]
 
 
 class BatchedVelocityVerletIntegrator(_BatchedIntegratorBase):
@@ -171,7 +186,7 @@ class BatchedVelocityVerletIntegrator(_BatchedIntegratorBase):
         inv_m = 1.0 / system.masses[None, :, None]
         velocities += 0.5 * dt * forces * inv_m
         positions += dt * velocities
-        _, new_forces = system.energy_forces(positions)
+        _, new_forces = system.energy_forces(positions, replica_ids)
         velocities += 0.5 * dt * new_forces * inv_m
         return new_forces
 
@@ -249,7 +264,7 @@ class BatchedLangevinIntegrator(_BatchedIntegratorBase):
         # A: half drift
         positions += 0.5 * dt * velocities
         # B: half kick with new forces
-        _, new_forces = system.energy_forces(positions)
+        _, new_forces = system.energy_forces(positions, replica_ids)
         velocities += 0.5 * dt * new_forces * inv_m
         return new_forces
 
@@ -342,7 +357,9 @@ class BatchedSimulation:
         if self._forces is not None:
             return
         self._forces = self.integrator.initial_forces(
-            self.system, self.batch.positions
+            self.system,
+            self.batch.positions,
+            np.arange(self.n_replicas),
         )
         if self.report_interval:
             # Serial parity: a replica that never runs (deactivated

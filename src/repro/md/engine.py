@@ -19,7 +19,15 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.md.batched import BatchedSimulation, make_batched_integrator
+from repro.md.dispatch import (
+    DEFAULT_DISPATCH,
+    DEFAULT_PRECISION,
+    resolve_dispatch,
+    validate_dispatch,
+    validate_precision,
+)
 from repro.md.integrators import make_integrator
+from repro.md.precision import apply_precision
 from repro.md.models.doublewell import double_well_initial_state, double_well_system
 from repro.md.models.muller_brown import (
     muller_brown_initial_state,
@@ -61,6 +69,14 @@ class MDTask:
         Extra keyword arguments for the model builder.
     task_id:
         Opaque identifier assigned by the project controller.
+    precision:
+        ``"float64"`` (default, bit-reproducible) or ``"float32"``
+        (the opt-in fast path, see :mod:`repro.md.precision`).
+        Float32 cannot resume from a checkpoint — resuming requires
+        bit-identity — so that combination is rejected here.
+    dispatch:
+        ``"auto"`` / ``"serial"`` / ``"batched"``: how this task may
+        be propagated when stacked (see :mod:`repro.md.dispatch`).
     """
 
     model: str
@@ -75,6 +91,18 @@ class MDTask:
     checkpoint: Optional[Dict] = None
     model_params: Dict = field(default_factory=dict)
     task_id: str = ""
+    precision: str = DEFAULT_PRECISION
+    dispatch: str = DEFAULT_DISPATCH
+
+    def __post_init__(self) -> None:
+        validate_precision(self.precision)
+        validate_dispatch(self.dispatch)
+        if self.precision != "float64" and self.checkpoint is not None:
+            raise ConfigurationError(
+                "precision='float32' cannot resume from a checkpoint: "
+                "resuming is contractually bit-identical and float32 "
+                "trajectories are not bit-reproducible"
+            )
 
     def to_payload(self) -> Dict:
         """Wire-format dict."""
@@ -89,6 +117,8 @@ class MDTask:
             "seed": int(self.seed),
             "model_params": dict(self.model_params),
             "task_id": self.task_id,
+            "precision": self.precision,
+            "dispatch": self.dispatch,
         }
         if self.initial_positions is not None:
             payload["initial_positions"] = np.asarray(self.initial_positions)
@@ -116,6 +146,8 @@ class MDTask:
             checkpoint=payload.get("checkpoint"),
             model_params=dict(payload.get("model_params", {})),
             task_id=payload.get("task_id", ""),
+            precision=payload.get("precision", DEFAULT_PRECISION),
+            dispatch=payload.get("dispatch", DEFAULT_DISPATCH),
         )
 
 
@@ -170,6 +202,8 @@ BATCH_COMPATIBLE_FIELDS = (
     "friction",
     "timestep",
     "model_params",
+    "precision",
+    "dispatch",
 )
 
 
@@ -196,6 +230,8 @@ class BatchedMDTask:
     checkpoints: Optional[List[Optional[Dict]]] = None
     model_params: Dict = field(default_factory=dict)
     batch_id: str = ""
+    precision: str = DEFAULT_PRECISION
+    dispatch: str = DEFAULT_DISPATCH
 
     def __post_init__(self) -> None:
         n_rep = len(self.seeds)
@@ -207,6 +243,15 @@ class BatchedMDTask:
             per_replica = getattr(self, name)
             if per_replica is not None and len(per_replica) != n_rep:
                 raise ConfigurationError(f"{name}/seeds length mismatch")
+        validate_precision(self.precision)
+        validate_dispatch(self.dispatch)
+        if self.precision != "float64":
+            raise ConfigurationError(
+                "precision='float32' is rejected for batched stacks: "
+                "per-replica results of a batch are contractually "
+                "bit-identical to serial runs, which float32 cannot "
+                "guarantee (run float32 tasks individually instead)"
+            )
 
     @property
     def n_replicas(self) -> int:
@@ -253,6 +298,8 @@ class BatchedMDTask:
             ),
             model_params=dict(first.model_params),
             batch_id=batch_id or first.task_id,
+            precision=first.precision,
+            dispatch=first.dispatch,
         )
 
     def replica_task(self, replica: int) -> MDTask:
@@ -278,6 +325,8 @@ class BatchedMDTask:
             ),
             model_params=dict(self.model_params),
             task_id=self.task_ids[replica],
+            precision=self.precision,
+            dispatch=self.dispatch,
         )
 
     def tasks(self) -> List[MDTask]:
@@ -298,6 +347,8 @@ class BatchedMDTask:
             "timestep": float(self.timestep),
             "model_params": dict(self.model_params),
             "batch_id": self.batch_id,
+            "precision": self.precision,
+            "dispatch": self.dispatch,
         }
         if self.initial_positions is not None:
             payload["initial_positions"] = [
@@ -330,6 +381,8 @@ class BatchedMDTask:
             checkpoints=payload.get("checkpoints"),
             model_params=dict(payload.get("model_params", {})),
             batch_id=payload.get("batch_id", ""),
+            precision=payload.get("precision", DEFAULT_PRECISION),
+            dispatch=payload.get("dispatch", DEFAULT_DISPATCH),
         )
 
 
@@ -341,10 +394,16 @@ class BatchedMDResult:
     checkpoints, frames and step counts are bit-identical to serial
     execution — the property that lets the distribution stack treat a
     coalesced command group exactly like individually-run commands.
+
+    ``dispatch`` records which path actually propagated the stack
+    (``"batched"`` — the vectorised kernel — or ``"serial"`` — the
+    per-replica loop, chosen by policy or integrator fallback); since
+    both paths are bit-identical it is purely observability.
     """
 
     results: List[MDResult]
     batch_id: str = ""
+    dispatch: str = "batched"
 
     @property
     def completed(self) -> bool:
@@ -360,6 +419,7 @@ class BatchedMDResult:
         return {
             "batch_id": self.batch_id,
             "results": [result.to_payload() for result in self.results],
+            "dispatch": self.dispatch,
         }
 
     @classmethod
@@ -368,6 +428,7 @@ class BatchedMDResult:
         return cls(
             results=[MDResult.from_payload(p) for p in payload["results"]],
             batch_id=payload.get("batch_id", ""),
+            dispatch=payload.get("dispatch", "batched"),
         )
 
 
@@ -577,10 +638,13 @@ class MDEngine:
     def prepare(self, task: MDTask) -> Simulation:
         """Build the simulation for *task* (resuming its checkpoint if any)."""
         built = resolve_model(task.model, task.model_params)
+        system, state = apply_precision(
+            built.system, built.state_builder(task), task.precision
+        )
         simulation = Simulation(
-            built.system,
+            system,
             self._make_integrator(task),
-            built.state_builder(task),
+            state,
             report_interval=task.report_interval,
         )
         if task.checkpoint is not None:
@@ -634,10 +698,15 @@ class MDEngine:
     ) -> BatchedMDResult:
         """Run a batched task; per-replica results match serial bit-for-bit.
 
-        Integrators without a batched form (Nosé–Hoover) fall back to a
-        serial per-replica loop, so every coalescible command is also
-        runnable here.  *abort_after_steps* bounds the further steps of
-        every replica, mirroring :meth:`run`.
+        The task's ``dispatch`` policy decides the path: ``"auto"``
+        uses the vectorised kernel only at replica counts where it is
+        measured to win (see :mod:`repro.md.dispatch`), ``"serial"`` /
+        ``"batched"`` force one.  Integrators without a batched form
+        (Nosé–Hoover) always take the serial per-replica loop, so every
+        coalescible command is also runnable here.  The chosen path is
+        recorded in ``BatchedMDResult.dispatch``.  *abort_after_steps*
+        bounds the further steps of every replica, mirroring
+        :meth:`run`.
         """
         start_wall = _walltime.perf_counter()
         integrator = make_batched_integrator(
@@ -647,13 +716,15 @@ class MDEngine:
             btask.friction,
             btask.seeds,
         )
-        if integrator is None:
+        mode = resolve_dispatch(btask.dispatch, btask.n_replicas)
+        if integrator is None or mode == "serial":
             return BatchedMDResult(
                 results=[
                     self.run(task, abort_after_steps)
                     for task in btask.tasks()
                 ],
                 batch_id=btask.batch_id,
+                dispatch="serial",
             )
         built = resolve_model(btask.model, btask.model_params)
         simulation = BatchedSimulation(
@@ -709,4 +780,6 @@ class MDEngine:
                     ),
                 )
             )
-        return BatchedMDResult(results=results, batch_id=btask.batch_id)
+        return BatchedMDResult(
+            results=results, batch_id=btask.batch_id, dispatch="batched"
+        )

@@ -100,7 +100,9 @@ class SegmentScatter:
 
 
 def batch_energy_forces(
-    force: Force, positions: np.ndarray
+    force: Force,
+    positions: np.ndarray,
+    replica_ids: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Evaluate *force* over an ``(R, N, dim)`` replica batch.
 
@@ -108,10 +110,24 @@ def batch_energy_forces(
     applicable; otherwise loops ``energy_forces`` per replica (the
     fallback for force terms that cannot vectorise).  Either way the
     returned forces match the serial kernel bit-for-bit per replica.
+
+    *replica_ids* maps each row of *positions* to its original replica
+    index (the batched simulation compacts finished replicas out, so
+    row ``r`` is not replica ``r`` in general).  Force terms with
+    per-replica caches — shared lazy neighbour lists — key on it;
+    terms that take only positions are called the old way.
     """
     fn = getattr(force, "compute_batch", None)
     if fn is not None:
-        out = fn(positions)
+        if replica_ids is not None:
+            try:
+                out = fn(positions, replica_ids=replica_ids)
+            except TypeError:
+                # Pre-existing third-party term with the one-argument
+                # signature; ids are only needed for per-replica caches.
+                out = fn(positions)
+        else:
+            out = fn(positions)
         if out is not None:
             return out
     energies = np.empty(positions.shape[0])
@@ -124,7 +140,9 @@ def batch_energy_forces(
 
 
 def composite_energy_forces_batch(
-    forces: Iterable[Force], positions: np.ndarray
+    forces: Iterable[Force],
+    positions: np.ndarray,
+    replica_ids: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Batched :func:`composite_energy_forces` over ``(R, N, dim)``.
 
@@ -134,7 +152,7 @@ def composite_energy_forces_batch(
     total_e = np.zeros(positions.shape[0])
     total_f = np.zeros(positions.shape)
     for force in forces:
-        e, f = batch_energy_forces(force, positions)
+        e, f = batch_energy_forces(force, positions, replica_ids)
         total_e += e
         total_f += f
     return total_e, total_f

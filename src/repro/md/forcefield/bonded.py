@@ -62,7 +62,7 @@ class HarmonicBondForce:
         return energy, forces
 
     def compute_batch(
-        self, positions: np.ndarray
+        self, positions: np.ndarray, replica_ids=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Batched ``energy_forces`` over ``(R, N, 3)`` replica stacks."""
         forces = np.zeros(positions.shape)
@@ -127,7 +127,7 @@ class HarmonicAngleForce:
         return energy, forces
 
     def compute_batch(
-        self, positions: np.ndarray
+        self, positions: np.ndarray, replica_ids=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Batched ``energy_forces`` over ``(R, N, 3)`` replica stacks."""
         forces = np.zeros(positions.shape)
@@ -244,7 +244,7 @@ class PeriodicDihedralForce:
         return energy, forces
 
     def compute_batch(
-        self, positions: np.ndarray
+        self, positions: np.ndarray, replica_ids=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Batched ``energy_forces`` over ``(R, N, 3)`` replica stacks."""
         forces = np.zeros(positions.shape)

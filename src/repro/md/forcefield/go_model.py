@@ -69,7 +69,7 @@ class GoContactForce:
         return energy, forces
 
     def compute_batch(
-        self, positions: np.ndarray
+        self, positions: np.ndarray, replica_ids=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Batched ``energy_forces`` over ``(R, N, 3)`` replica stacks."""
         forces = np.zeros(positions.shape)

@@ -30,6 +30,28 @@ def _static_pairs(pair_provider, positions_batch):
     return pair_provider.pairs(positions_batch[0])
 
 
+def _shared_provider_batch(term, positions, replica_ids):
+    """Per-replica evaluation through a shared neighbour-list manager.
+
+    For providers exposing ``replica_pairs(replica, positions)``
+    (:class:`~repro.md.neighborlist.SharedNeighborList`): each row of
+    the ``(R, N, dim)`` stack is evaluated with its *own replica's*
+    lazily-cached pair list, keyed by the true replica id so the
+    batched simulation's compaction of finished replicas cannot mix
+    caches up.  The kernel is the exact serial one
+    (``term._energy_forces_pairs``), so results are bit-identical to a
+    serial run of each replica.
+    """
+    energies = np.empty(positions.shape[0])
+    forces = np.zeros(positions.shape)
+    for row, replica in enumerate(replica_ids):
+        i, j = term.pair_provider.replica_pairs(int(replica), positions[row])
+        energy, row_forces = term._energy_forces_pairs(positions[row], i, j)
+        energies[row] = energy
+        forces[row] = row_forces
+    return energies, forces
+
+
 def _masked_pair_scatter(
     term, i: np.ndarray, j: np.ndarray, forces, fij, within
 ) -> None:
@@ -87,22 +109,31 @@ class LennardJonesForce:
                 )
 
     def _pair_params(
-        self, i: np.ndarray, j: np.ndarray
+        self, i: np.ndarray, j: np.ndarray, dtype=np.float64
     ) -> Tuple[np.ndarray, np.ndarray]:
+        # Scalar parameters materialise in the positions dtype so the
+        # float32 fast path stays single precision end to end; float64
+        # callers get exactly the pre-dtype-aware arrays.
         if np.isscalar(self.sigma):
-            sig = np.full(len(i), float(self.sigma))
+            sig = np.full(len(i), self.sigma, dtype=dtype)
         else:
             sig = 0.5 * (np.asarray(self.sigma)[i] + np.asarray(self.sigma)[j])
         if np.isscalar(self.epsilon):
-            eps = np.full(len(i), float(self.epsilon))
+            eps = np.full(len(i), self.epsilon, dtype=dtype)
         else:
             eps = np.sqrt(np.asarray(self.epsilon)[i] * np.asarray(self.epsilon)[j])
         return sig, eps
 
     def energy_forces(self, positions: np.ndarray) -> Tuple[float, np.ndarray]:
         """Return (energy, forces) at *positions* (see class docstring)."""
-        forces = np.zeros_like(positions)
         i, j = self.pair_provider.pairs(positions)
+        return self._energy_forces_pairs(positions, i, j)
+
+    def _energy_forces_pairs(
+        self, positions: np.ndarray, i: np.ndarray, j: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """The serial kernel over an explicit candidate pair list."""
+        forces = np.zeros_like(positions)
         if len(i) == 0:
             return 0.0, forces
         rij = positions[j] - positions[i]
@@ -113,7 +144,7 @@ class LennardJonesForce:
         if not np.any(within):
             return 0.0, forces
         i, j, rij, r2 = i[within], j[within], rij[within], r2[within]
-        sig, eps = self._pair_params(i, j)
+        sig, eps = self._pair_params(i, j, dtype=positions.dtype)
         inv_r2 = 1.0 / r2
         s6 = (sig * sig * inv_r2) ** 3
         s12 = s6 * s6
@@ -128,11 +159,15 @@ class LennardJonesForce:
         return energy, forces
 
     def compute_batch(
-        self, positions: np.ndarray
+        self, positions: np.ndarray, replica_ids: Optional[np.ndarray] = None
     ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """Batched ``energy_forces``; ``None`` if the provider is dynamic."""
         pair = _static_pairs(self.pair_provider, positions)
         if pair is None:
+            if replica_ids is not None and hasattr(
+                self.pair_provider, "replica_pairs"
+            ):
+                return _shared_provider_batch(self, positions, replica_ids)
             return None
         i, j = pair
         forces = np.zeros(positions.shape)
@@ -196,8 +231,14 @@ class ReactionFieldElectrostatics:
 
     def energy_forces(self, positions: np.ndarray) -> Tuple[float, np.ndarray]:
         """Return (energy, forces) at *positions* (see class docstring)."""
-        forces = np.zeros_like(positions)
         i, j = self.pair_provider.pairs(positions)
+        return self._energy_forces_pairs(positions, i, j)
+
+    def _energy_forces_pairs(
+        self, positions: np.ndarray, i: np.ndarray, j: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """The serial kernel over an explicit candidate pair list."""
+        forces = np.zeros_like(positions)
         if len(i) == 0:
             return 0.0, forces
         rij = positions[j] - positions[i]
@@ -217,11 +258,15 @@ class ReactionFieldElectrostatics:
         return energy, forces
 
     def compute_batch(
-        self, positions: np.ndarray
+        self, positions: np.ndarray, replica_ids: Optional[np.ndarray] = None
     ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """Batched ``energy_forces``; ``None`` if the provider is dynamic."""
         pair = _static_pairs(self.pair_provider, positions)
         if pair is None:
+            if replica_ids is not None and hasattr(
+                self.pair_provider, "replica_pairs"
+            ):
+                return _shared_provider_batch(self, positions, replica_ids)
             return None
         i, j = pair
         forces = np.zeros(positions.shape)
@@ -265,8 +310,14 @@ class ExcludedVolumeForce:
 
     def energy_forces(self, positions: np.ndarray) -> Tuple[float, np.ndarray]:
         """Return (energy, forces) at *positions* (see class docstring)."""
-        forces = np.zeros_like(positions)
         i, j = self.pair_provider.pairs(positions)
+        return self._energy_forces_pairs(positions, i, j)
+
+    def _energy_forces_pairs(
+        self, positions: np.ndarray, i: np.ndarray, j: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """The serial kernel over an explicit candidate pair list."""
+        forces = np.zeros_like(positions)
         if len(i) == 0:
             return 0.0, forces
         rij = positions[j] - positions[i]
@@ -286,11 +337,15 @@ class ExcludedVolumeForce:
         return energy, forces
 
     def compute_batch(
-        self, positions: np.ndarray
+        self, positions: np.ndarray, replica_ids: Optional[np.ndarray] = None
     ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """Batched ``energy_forces``; ``None`` if the provider is dynamic."""
         pair = _static_pairs(self.pair_provider, positions)
         if pair is None:
+            if replica_ids is not None and hasattr(
+                self.pair_provider, "replica_pairs"
+            ):
+                return _shared_provider_batch(self, positions, replica_ids)
             return None
         i, j = pair
         forces = np.zeros(positions.shape)

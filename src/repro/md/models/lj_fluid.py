@@ -15,7 +15,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.md.forcefield.nonbonded import LennardJonesForce
-from repro.md.neighborlist import AllPairs
+from repro.md.neighborlist import AllPairs, SharedNeighborList
 from repro.md.system import State, System
 from repro.util.errors import ConfigurationError
 from repro.util.rng import RandomStream, ensure_stream
@@ -41,11 +41,21 @@ def lj_fluid_system(
     epsilon: float = 1.0,
     mass: float = 39.9,
     cutoff_factor: float = 2.5,
+    neighborlist: str = "all-pairs",
+    skin: float = 0.1,
 ) -> Tuple[System, np.ndarray]:
     """A periodic LJ fluid at reduced density ``rho* = density``.
 
     Returns ``(system, box)``; box length follows from N and density
     (``rho* = N sigma^3 / V``).  Argon-flavoured defaults.
+
+    ``neighborlist`` selects the pair provider: ``"all-pairs"`` (the
+    default, every pair every step) or ``"verlet"`` — a lazy
+    :class:`~repro.md.neighborlist.SharedNeighborList` with *skin*
+    margin (nm) that rebuilds only when an atom has moved more than
+    ``skin/2`` since the last build.  Both produce bit-identical
+    forces (see :mod:`repro.md.neighborlist`); "verlet" amortises the
+    pair search across steps and, in a batched stack, across replicas.
     """
     if n_particles < 2:
         raise ConfigurationError("need at least two particles")
@@ -55,8 +65,17 @@ def lj_fluid_system(
     box_length = volume ** (1.0 / 3.0)
     cutoff = min(cutoff_factor * sigma, 0.499 * box_length)
     box = np.full(3, box_length)
+    if neighborlist == "all-pairs":
+        provider = AllPairs(n_particles)
+    elif neighborlist == "verlet":
+        provider = SharedNeighborList(cutoff, skin=skin, box=box)
+    else:
+        raise ConfigurationError(
+            f"unknown neighborlist {neighborlist!r}: "
+            "expected 'all-pairs' or 'verlet'"
+        )
     force = LennardJonesForce(
-        AllPairs(n_particles), sigma=sigma, epsilon=epsilon,
+        provider, sigma=sigma, epsilon=epsilon,
         cutoff=cutoff, box=box,
     )
     system = System(masses=np.full(n_particles, mass), forces=[force], dim=3)

@@ -129,13 +129,22 @@ class State:
     step: int = 0
 
     def __post_init__(self) -> None:
-        self.positions = np.ascontiguousarray(self.positions, dtype=float)
-        self.velocities = np.ascontiguousarray(self.velocities, dtype=float)
+        # The default path is float64; float32 arrays pass through
+        # unchanged so the opt-in fast path (repro.md.precision) keeps
+        # its dtype across State round-trips.
+        self.positions = self._coerce(self.positions)
+        self.velocities = self._coerce(self.velocities)
         if self.positions.shape != self.velocities.shape:
             raise ConfigurationError(
                 f"positions {self.positions.shape} and velocities "
                 f"{self.velocities.shape} shapes differ"
             )
+
+    @staticmethod
+    def _coerce(array) -> np.ndarray:
+        if isinstance(array, np.ndarray) and array.dtype == np.float32:
+            return np.ascontiguousarray(array)
+        return np.ascontiguousarray(array, dtype=float)
 
     def copy(self) -> "State":
         """Deep copy (positions and velocities are duplicated)."""

@@ -64,6 +64,13 @@ def coalesce_key(command: Command) -> Optional[Tuple]:
     payload = command.payload
     if payload.get("checkpoint") is not None:
         return None
+    # float32 runs are outside the bit-identity contract the batched
+    # kernel guarantees, and an explicit dispatch="serial" is a request
+    # to stay off the batched path — neither may coalesce.
+    if payload.get("precision", "float64") != "float64":
+        return None
+    if payload.get("dispatch", "auto") == "serial":
+        return None
     try:
         return (
             # never merge across tenants: a batch carries one project's
@@ -77,6 +84,8 @@ def coalesce_key(command: Command) -> Optional[Tuple]:
             float(payload.get("temperature", 300.0)),
             float(payload.get("friction", 1.0)),
             float(payload.get("timestep", 0.02)),
+            payload.get("precision", "float64"),
+            payload.get("dispatch", "auto"),
             repr(sorted(payload.get("model_params", {}).items())),
         )
     except (KeyError, TypeError, ValueError):

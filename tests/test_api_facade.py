@@ -132,10 +132,19 @@ def test_run_explicit_batch_capacity_one_disables_coalescing():
 
 
 def test_auto_batch_capacity_is_capped():
+    from repro.md.dispatch import MAX_AUTO_BATCH
+
     project = Project(
         "p", ensembles=[Ensemble(model=MODEL, n_replicas=500, steps=STEPS)]
     )
-    assert project._auto_batch_capacity() == api.MAX_AUTO_BATCH
+    assert project._auto_batch_capacity() == MAX_AUTO_BATCH
+
+
+def test_max_auto_batch_legacy_alias_warns():
+    from repro.md.dispatch import MAX_AUTO_BATCH
+
+    with pytest.warns(DeprecationWarning, match="repro.md.dispatch"):
+        assert api.MAX_AUTO_BATCH == MAX_AUTO_BATCH
 
 
 # -- Simulation.configure -----------------------------------------------------
